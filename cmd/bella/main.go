@@ -1,0 +1,166 @@
+// Command bella runs the BELLA long-read overlapper pipeline on a
+// synthetic data set: k-mer counting, reliable-k-mer pruning, SpGEMM
+// overlap detection, binning, X-drop alignment (CPU or simulated-GPU
+// LOGAN), adaptive-threshold filtering — and evaluates recall/precision
+// against the simulator's ground truth (paper §V).
+//
+// Usage:
+//
+//	bella [-preset ecoli-sim|celegans-sim|tiny] [-x 25] [-backend gpu]
+//	      [-gpus 6] [-seed 1] [-k 17]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"logan/internal/bella"
+	"logan/internal/genome"
+	"logan/internal/loadbal"
+	"logan/internal/seq"
+)
+
+func main() {
+	var (
+		presetName = flag.String("preset", "tiny", "data set preset: ecoli-sim, celegans-sim or tiny")
+		fasta      = flag.String("fasta", "", "align reads from this FASTA file instead of simulating (no ground-truth accuracy)")
+		coverage   = flag.Float64("cov", 6, "assumed coverage for -fasta input (reliable k-mer model)")
+		errRate    = flag.Float64("errrate", 0.15, "assumed per-read error rate for -fasta input")
+		x          = flag.Int("x", 25, "X-drop threshold for the alignment stage")
+		backend    = flag.String("backend", "cpu", "alignment backend: cpu or gpu")
+		gpus       = flag.Int("gpus", 1, "simulated GPU count")
+		seed       = flag.Int64("seed", 1, "simulation RNG seed")
+		k          = flag.Int("k", 17, "k-mer length")
+		minOv      = flag.Int("minov", 500, "minimum reported overlap length (bases)")
+		cigar      = flag.Bool("cigar", false, "recover CIGAR strings for accepted overlaps (CPU post-pass)")
+		pafOut     = flag.String("paf", "", "write accepted overlaps to this file in PAF format")
+		dumpReads  = flag.String("dump-reads", "", "write the simulated reads as FASTA and exit")
+	)
+	flag.Parse()
+
+	var preset genome.Preset
+	switch *presetName {
+	case "ecoli-sim":
+		preset = genome.EColiSim()
+	case "celegans-sim":
+		preset = genome.CElegansSim()
+	case "tiny":
+		preset = genome.Preset{
+			Name: "tiny", GenomeLen: 80_000, Coverage: 5,
+			MinLen: 1000, MaxLen: 2500, ErrorRate: 0.15, RepeatFrac: 0.02,
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *presetName)
+		os.Exit(2)
+	}
+
+	var rs genome.ReadSet
+	haveTruth := false
+	if *fasta != "" {
+		f, err := os.Open(*fasta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
+			os.Exit(1)
+		}
+		recs, err := seq.ReadFasta(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
+			os.Exit(1)
+		}
+		rs = genome.FromRecords(recs)
+		preset.Coverage = *coverage
+		preset.ErrorRate = *errRate
+		fmt.Printf("loaded %d reads from %s\n", len(rs.Reads), *fasta)
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		fmt.Printf("simulating %s: genome %d bp, coverage %.1f, error %.0f%%\n",
+			preset.Name, preset.GenomeLen, preset.Coverage, preset.ErrorRate*100)
+		rs = preset.Build(rng)
+		haveTruth = true
+		fmt.Printf("  %d reads sampled\n", len(rs.Reads))
+	}
+	if *dumpReads != "" {
+		f, err := os.Create(*dumpReads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
+			os.Exit(1)
+		}
+		if err := seq.WriteFasta(f, rs.Records()); err != nil {
+			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d reads to %s\n", len(rs.Reads), *dumpReads)
+		return
+	}
+
+	cfg := bella.DefaultConfig(preset.Coverage, preset.ErrorRate, int32(*x))
+	cfg.K = *k
+	cfg.MinOverlap = *minOv
+	cfg.Traceback = *cigar
+
+	var aligner bella.Aligner = bella.CPUAligner{}
+	if *backend == "gpu" {
+		pool, err := loadbal.NewV100Pool(*gpus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
+			os.Exit(1)
+		}
+		aligner = bella.GPUAligner{Pool: pool}
+	}
+
+	start := time.Now()
+	res, err := bella.Run(rs, cfg, aligner)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bella: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("pipeline (%s aligner) in %v:\n", aligner.Name(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  reliable k-mers:  %d (bounds %d..%d)\n", res.Reliable, res.Bounds[0], res.Bounds[1])
+	fmt.Printf("  matrix nnz:       %d\n", res.NNZ)
+	fmt.Printf("  candidate pairs:  %d\n", res.Candidates)
+	fmt.Printf("  accepted overlaps:%d\n", len(res.Overlaps))
+	fmt.Printf("  alignment cells:  %d\n", res.Align.Cells)
+	fmt.Printf("  stage times: count=%v prune=%v matrix=%v spgemm=%v bin=%v align=%v filter=%v\n",
+		res.Times.Count.Round(time.Millisecond), res.Times.Prune.Round(time.Millisecond),
+		res.Times.Matrix.Round(time.Millisecond), res.Times.SpGEMM.Round(time.Millisecond),
+		res.Times.Binning.Round(time.Millisecond), res.Times.Alignment.Round(time.Millisecond),
+		res.Times.Filter.Round(time.Millisecond))
+	if res.Align.DeviceTime > 0 {
+		fmt.Printf("  modeled GPU time: %v\n", res.Align.DeviceTime.Round(time.Microsecond))
+	}
+	if *cigar && len(res.Overlaps) > 0 {
+		n := min(3, len(res.Overlaps))
+		fmt.Printf("first %d overlaps with traceback:\n", n)
+		for _, ov := range res.Overlaps[:n] {
+			c := ov.CIGAR
+			if len(c) > 60 {
+				c = c[:57] + "..."
+			}
+			fmt.Printf("  %d-%d score=%d identity=%.3f cigar=%s\n", ov.I, ov.J, ov.Score, ov.Identity, c)
+		}
+	}
+	if *pafOut != "" {
+		f, err := os.Create(*pafOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bella.WritePAF(f, rs.Reads, res.Overlaps); err != nil {
+			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d overlaps to %s (PAF)\n", len(res.Overlaps), *pafOut)
+	}
+	if haveTruth {
+		acc := bella.Evaluate(rs, res.Overlaps, *minOv)
+		fmt.Printf("accuracy vs ground truth (overlap >= %d bp):\n", *minOv)
+		fmt.Printf("  recall %.3f  precision %.3f  F1 %.3f  (tp=%d, truth=%d, predicted=%d)\n",
+			acc.Recall, acc.Precision, acc.F1, acc.TruePositives, acc.TruePairs, acc.PredictedPairs)
+	}
+}

@@ -1,0 +1,155 @@
+// Command logan-bench regenerates the paper's evaluation: every table
+// (I-V) and figure (8-13), printed with the paper's reference values side
+// by side. This is the harness behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	logan-bench                 # all experiments at the default scale
+//	logan-bench -exp table2     # one experiment
+//	logan-bench -quick          # reduced scale (test-suite settings)
+//	LOGAN_BENCH_PAIRS=64 logan-bench -exp table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"logan/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1,table2,table3,table4,table5,fig12,fig13,ablation or all")
+		quick = flag.Bool("quick", false, "use the reduced test-suite scale")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	scale := bench.DefaultScale()
+	if *quick {
+		scale = bench.QuickScale()
+	}
+
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	emit := func(render func() string, csvOut func() string) {
+		if *csv {
+			fmt.Println(csvOut())
+		} else {
+			fmt.Println(render())
+		}
+	}
+	experiments := []experiment{
+		{"table1", func() error {
+			res, err := bench.RunTableI(scale)
+			if err != nil {
+				return err
+			}
+			emit(res.Table.Render, res.Table.CSV)
+			return nil
+		}},
+		{"table2", func() error {
+			res, err := bench.RunTableII(scale)
+			if err != nil {
+				return err
+			}
+			emit(res.Table.Render, res.Table.CSV)
+			if !*csv {
+				fmt.Println(res.Fig.Render(64, 16))
+				fmt.Printf("LOGAN peak single-GPU GCUPS: %.1f (paper %.1f)\n\n", res.PeakGCUPS, 181.4)
+			}
+			return nil
+		}},
+		{"table3", func() error {
+			res, err := bench.RunTableIII(scale)
+			if err != nil {
+				return err
+			}
+			emit(res.Table.Render, res.Table.CSV)
+			if !*csv {
+				fmt.Println(res.Fig.Render(64, 16))
+			}
+			return nil
+		}},
+		{"table4", func() error {
+			res, err := bench.RunTableIV(scale)
+			if err != nil {
+				return err
+			}
+			emit(res.Table.Render, res.Table.CSV)
+			if !*csv {
+				fmt.Println(res.Fig.Render(64, 16))
+				fmt.Printf("pipeline accuracy (scaled run): recall %.3f precision %.3f\n\n",
+					res.Accuracy.Recall, res.Accuracy.Precision)
+			}
+			return nil
+		}},
+		{"table5", func() error {
+			res, err := bench.RunTableV(scale)
+			if err != nil {
+				return err
+			}
+			emit(res.Table.Render, res.Table.CSV)
+			if !*csv {
+				fmt.Println(res.Fig.Render(64, 16))
+			}
+			return nil
+		}},
+		{"fig12", func() error {
+			res, err := bench.RunFig12(scale)
+			if err != nil {
+				return err
+			}
+			emit(res.Table.Render, res.Table.CSV)
+			if !*csv {
+				fmt.Println(res.Fig.Render(64, 16))
+			}
+			return nil
+		}},
+		{"fig13", func() error {
+			res, err := bench.RunFig13(scale)
+			if err != nil {
+				return err
+			}
+			emit(res.Table.Render, res.Table.CSV)
+			if !*csv {
+				fmt.Println(res.Plot)
+			}
+			return nil
+		}},
+		{"ablation", func() error {
+			abls, err := bench.RunAblations(scale)
+			if err != nil {
+				return err
+			}
+			tbl := bench.AblationTable(abls)
+			emit(tbl.Render, tbl.CSV)
+			return nil
+		}},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && !strings.EqualFold(*exp, e.name) {
+			continue
+		}
+		start := time.Now()
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "logan-bench %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("[%s regenerated in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,40 @@
+// Command logan-roofline reproduces the paper's §VII analysis: it runs
+// the LOGAN kernel on the simulated V100, scales the accounting to the
+// requested workload, and prints the instruction Roofline with the
+// Eq. (1) adapted ceiling (paper Fig. 13).
+//
+// Usage:
+//
+//	logan-roofline [-x 100] [-pairs 16] [-paper-pairs 100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logan/internal/bench"
+)
+
+func main() {
+	var (
+		x          = flag.Int("x", 100, "X-drop threshold")
+		pairs      = flag.Int("pairs", 16, "sample pairs to execute")
+		paperPairs = flag.Int("paper-pairs", 100000, "workload size to model")
+	)
+	flag.Parse()
+
+	scale := bench.DefaultScale()
+	scale.Pairs = *pairs
+	scale.PaperPairs = *paperPairs
+	if *x != 100 {
+		fmt.Fprintln(os.Stderr, "note: the paper's Fig. 13 operating point is X=100")
+	}
+	res, err := bench.RunFig13At(scale, int32(*x))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logan-roofline: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Table.Render())
+	fmt.Println(res.Plot)
+}

@@ -1,0 +1,80 @@
+// Protein: the paper's §VIII future-work item, implemented — X-drop
+// seed-and-extend under BLOSUM62. A simulated protein family (a parent
+// sequence and diverged homologs) is searched against a query: homologs
+// extend into high-scoring alignments around a conserved motif, unrelated
+// sequences X-drop out almost immediately, exactly the behaviour that
+// makes the algorithm attractive for homology search.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"logan/internal/xdrop"
+)
+
+const residues = "ARNDCQEGHILKMFPSTWYV"
+
+func randProtein(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = residues[rng.Intn(len(residues))]
+	}
+	return out
+}
+
+// diverge substitutes a fraction of residues, preserving a conserved
+// motif at [motifPos, motifPos+motifLen).
+func diverge(rng *rand.Rand, p []byte, frac float64, motifPos, motifLen int) []byte {
+	out := append([]byte(nil), p...)
+	for i := range out {
+		if i >= motifPos && i < motifPos+motifLen {
+			continue
+		}
+		if rng.Float64() < frac {
+			out[i] = residues[rng.Intn(len(residues))]
+		}
+	}
+	return out
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	m := xdrop.Blosum62(-6)
+
+	// A 400-residue query with a conserved 12-residue motif at 200.
+	query := randProtein(rng, 400)
+	const motifPos, motifLen = 200, 12
+
+	type subject struct {
+		name string
+		seq  []byte
+	}
+	subjects := []subject{
+		{"homolog-20%", diverge(rng, query, 0.20, motifPos, motifLen)},
+		{"homolog-40%", diverge(rng, query, 0.40, motifPos, motifLen)},
+		{"homolog-60%", diverge(rng, query, 0.60, motifPos, motifLen)},
+		{"unrelated", append(randProtein(rng, 188), append(append([]byte{}, query[motifPos:motifPos+motifLen]...), randProtein(rng, 200)...)...)},
+	}
+
+	fmt.Println("BLOSUM62 X-drop homology search (seed = conserved motif, X=40)")
+	fmt.Println("subject       score  aligned-query  aligned-subject  cells")
+	for _, s := range subjects {
+		// The motif sits at 200 in homologs, at 188 in the unrelated
+		// decoy (where only the motif matches).
+		tPos := motifPos
+		if s.name == "unrelated" {
+			tPos = 188
+		}
+		r, err := xdrop.ExtendSeedMatrix(query, s.seq, motifPos, tPos, motifLen, m, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  %5d  [%3d,%3d)      [%3d,%3d)        %d\n",
+			s.name, r.Score, r.QBegin, r.QEnd, r.TBegin, r.TEnd, r.Cells())
+	}
+	fmt.Println("\ncloser homologs extend further and score higher; the unrelated")
+	fmt.Println("subject is abandoned at the motif edges — X-drop doing for protein")
+	fmt.Println("homology what it does for long-read overlaps.")
+}

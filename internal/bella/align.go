@@ -1,0 +1,117 @@
+package bella
+
+import (
+	"fmt"
+	"time"
+
+	"logan/internal/core"
+	"logan/internal/genome"
+	"logan/internal/loadbal"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// AlignerStats summarizes the alignment stage for the time models.
+type AlignerStats struct {
+	Pairs      int
+	Cells      int64
+	MaxBand    int
+	MeanBand   float64
+	WallTime   time.Duration // measured Go wall time
+	DeviceTime time.Duration // modeled GPU time (GPU aligner only)
+}
+
+// Aligner is the pluggable pairwise-alignment stage: BELLA ships with
+// SeqAn on CPU threads; the paper's contribution swaps in LOGAN batches on
+// GPUs (§V). Implementations must return results positionally aligned
+// with the input pairs and bit-identical scores (both call the same X-drop
+// semantics).
+type Aligner interface {
+	Name() string
+	AlignPairs(pairs []seq.Pair, sc xdrop.Scoring, x int32) ([]xdrop.SeedResult, AlignerStats, error)
+}
+
+// CPUAligner is the SeqAn-style baseline: independent pairwise alignments
+// across worker threads (OpenMP in the original).
+type CPUAligner struct {
+	Workers int
+}
+
+// Name identifies the aligner in reports.
+func (a CPUAligner) Name() string { return "seqan-cpu" }
+
+// AlignPairs runs the serial X-drop kernel across the worker pool.
+func (a CPUAligner) AlignPairs(pairs []seq.Pair, sc xdrop.Scoring, x int32) ([]xdrop.SeedResult, AlignerStats, error) {
+	start := time.Now()
+	res, stats, err := xdrop.ExtendBatch(pairs, sc, x, a.Workers)
+	if err != nil {
+		return nil, AlignerStats{}, err
+	}
+	return res, AlignerStats{
+		Pairs:    stats.Pairs,
+		Cells:    stats.Cells,
+		MaxBand:  stats.MaxBand,
+		MeanBand: stats.MeanBand(),
+		WallTime: time.Since(start),
+	}, nil
+}
+
+// GPUAligner batches the whole alignment set onto the simulated GPU pool —
+// the modification the paper makes to BELLA (§V): instead of aligning
+// pair-by-pair per CPU thread, the entire set is shipped to the devices.
+type GPUAligner struct {
+	Pool *loadbal.Pool
+}
+
+// Name identifies the aligner in reports.
+func (a GPUAligner) Name() string { return fmt.Sprintf("logan-gpu-x%d", len(a.Pool.Devices)) }
+
+// AlignPairs dispatches the batch through the load balancer.
+func (a GPUAligner) AlignPairs(pairs []seq.Pair, sc xdrop.Scoring, x int32) ([]xdrop.SeedResult, AlignerStats, error) {
+	start := time.Now()
+	cfg := core.Config{Scoring: sc, X: x}
+	res, err := a.Pool.Align(pairs, cfg, loadbal.ByLength)
+	if err != nil {
+		return nil, AlignerStats{}, err
+	}
+	st := AlignerStats{
+		Pairs:      len(pairs),
+		Cells:      res.Cells,
+		WallTime:   time.Since(start),
+		DeviceTime: res.TotalTime,
+	}
+	for i := range res.Results {
+		if b := res.Results[i].Left.MaxBand; b > st.MaxBand {
+			st.MaxBand = b
+		}
+		if b := res.Results[i].Right.MaxBand; b > st.MaxBand {
+			st.MaxBand = b
+		}
+	}
+	return res.Results, st, nil
+}
+
+// BuildAlignmentPairs materializes the candidate pairs plus chosen seeds
+// into the flat pair list the aligners consume. Opposite-strand candidates
+// get a reverse-complemented target with the seed position remapped.
+func BuildAlignmentPairs(reads []genome.Read, cands []Candidate, seeds []ChosenSeed, k int) []seq.Pair {
+	pairs := make([]seq.Pair, len(cands))
+	for i, c := range cands {
+		ri, rj := reads[c.I], reads[c.J]
+		target := rj.Seq
+		pj := int(seeds[i].PosJ)
+		if seeds[i].Opposite {
+			target = rj.Seq.RevComp()
+			pj = len(rj.Seq) - k - pj
+		}
+		pairs[i] = seq.Pair{
+			Query:    ri.Seq,
+			Target:   target,
+			SeedQPos: int(seeds[i].PosI),
+			SeedTPos: pj,
+			SeedLen:  k,
+			ID:       i,
+		}
+	}
+	return pairs
+}

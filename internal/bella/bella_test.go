@@ -1,0 +1,293 @@
+package bella
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"logan/internal/genome"
+	"logan/internal/loadbal"
+	"logan/internal/seq"
+)
+
+func smallReadSet(t *testing.T, seed int64, genomeLen int, cov float64, errRate float64) genome.ReadSet {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := genome.Synthetic(rng, "test", genome.SyntheticOptions{Length: genomeLen})
+	return genome.Simulate(rng, g, genome.SimOptions{
+		Coverage: cov, MinLen: 800, MaxLen: 1600, ErrorRate: errRate,
+	})
+}
+
+func TestCountKmersMatchesNaive(t *testing.T) {
+	rs := smallReadSet(t, 1, 20000, 2, 0.05)
+	k := 15
+	idx := CountKmers(rs.Reads, k, 4)
+	// Naive recount.
+	codec := seq.MustKmerCodec(k)
+	naive := map[seq.Kmer]int32{}
+	for _, r := range rs.Reads {
+		for _, p := range codec.Scan(nil, r.Seq, true) {
+			naive[p.Kmer]++
+		}
+	}
+	if len(idx.Counts) != len(naive) {
+		t.Fatalf("distinct k-mers %d != naive %d", len(idx.Counts), len(naive))
+	}
+	for km, c := range naive {
+		if idx.Counts[km] != c {
+			t.Fatalf("k-mer %v count %d != naive %d", km, idx.Counts[km], c)
+		}
+	}
+}
+
+func TestReliableBounds(t *testing.T) {
+	lo, hi := ReliableBounds(10, 0.15, 17, 1e-3)
+	if lo != 2 {
+		t.Fatalf("lo = %d, want 2", lo)
+	}
+	if hi <= lo {
+		t.Fatalf("hi = %d not above lo", hi)
+	}
+	// Lower error or higher coverage raises the repeat cutoff.
+	_, hi2 := ReliableBounds(10, 0.05, 17, 1e-3)
+	if hi2 <= hi {
+		t.Fatalf("cleaner reads should raise the upper bound: %d vs %d", hi2, hi)
+	}
+	_, hi3 := ReliableBounds(30, 0.15, 17, 1e-3)
+	if hi3 <= hi {
+		t.Fatalf("higher coverage should raise the upper bound: %d vs %d", hi3, hi)
+	}
+}
+
+func TestBinomTail(t *testing.T) {
+	// P(X >= 0) = 1, P(X >= n+1) = 0-ish, monotone decreasing in m.
+	if got := binomTail(10, 0.3, 0); got != 1 {
+		t.Fatalf("tail at 0 = %v", got)
+	}
+	prev := 1.0
+	for m := 1; m <= 10; m++ {
+		cur := binomTail(10, 0.3, m)
+		if cur > prev+1e-12 {
+			t.Fatalf("tail not monotone at m=%d: %v > %v", m, cur, prev)
+		}
+		prev = cur
+	}
+	// Sanity: P(X>=1) = 1-(0.7)^10.
+	want := 1 - math.Pow(0.7, 10)
+	if got := binomTail(10, 0.3, 1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P(X>=1) = %v, want %v", got, want)
+	}
+}
+
+func TestReliableFilter(t *testing.T) {
+	idx := KmerIndex{K: 5, Counts: map[seq.Kmer]int32{1: 1, 2: 2, 3: 5, 4: 9, 5: 3}}
+	rel := idx.Reliable(2, 5)
+	if len(rel) != 3 {
+		t.Fatalf("reliable = %v", rel)
+	}
+	for i := 1; i < len(rel); i++ {
+		if rel[i] <= rel[i-1] {
+			t.Fatal("reliable list not sorted")
+		}
+	}
+}
+
+func TestBuildMatrixAndSpGEMM(t *testing.T) {
+	rs := smallReadSet(t, 2, 30000, 4, 0.08)
+	idx := CountKmers(rs.Reads, 17, 0)
+	lo, hi := ReliableBounds(4, 0.08, 17, 1e-3)
+	rel := idx.Reliable(lo, hi)
+	if len(rel) == 0 {
+		t.Fatal("no reliable k-mers")
+	}
+	mat := BuildMatrix(rs.Reads, 17, rel)
+	if mat.NNZ == 0 {
+		t.Fatal("empty matrix")
+	}
+	// Column occurrence lists must be sorted and within range, and no
+	// read may appear twice in one column.
+	for c, col := range mat.Cols {
+		seen := map[int32]bool{}
+		for i, occ := range col {
+			if occ.Read < 0 || int(occ.Read) >= len(rs.Reads) {
+				t.Fatalf("col %d: read %d out of range", c, occ.Read)
+			}
+			if seen[occ.Read] {
+				t.Fatalf("col %d: read %d duplicated", c, occ.Read)
+			}
+			seen[occ.Read] = true
+			if i > 0 && col[i-1].Read > occ.Read {
+				t.Fatalf("col %d not sorted", c)
+			}
+		}
+	}
+	cands := mat.SpGEMM(SpGEMMOptions{})
+	if len(cands) == 0 {
+		t.Fatal("no overlap candidates")
+	}
+	for _, c := range cands {
+		if c.I >= c.J {
+			t.Fatalf("candidate not upper-triangular: %d,%d", c.I, c.J)
+		}
+		if len(c.Seeds) == 0 {
+			t.Fatal("candidate without seeds")
+		}
+	}
+	// MinShared=2 must be a subset.
+	strict := mat.SpGEMM(SpGEMMOptions{MinShared: 2})
+	if len(strict) > len(cands) {
+		t.Fatal("stricter MinShared produced more candidates")
+	}
+}
+
+func TestChooseSeedBinning(t *testing.T) {
+	// Three seeds on one diagonal, one stray (repeat-induced): the dense
+	// bin must win and the stray be outvoted.
+	c := Candidate{I: 0, J: 1, Seeds: []SharedSeed{
+		{PosI: 100, PosJ: 90},
+		{PosI: 300, PosJ: 290},
+		{PosI: 500, PosJ: 490},
+		{PosI: 200, PosJ: 2900}, // stray diagonal
+	}}
+	got := ChooseSeed(c, 1000, 1000, 17, 500)
+	if got.BinSupport != 3 {
+		t.Fatalf("bin support = %d, want 3", got.BinSupport)
+	}
+	if got.PosI != 300 {
+		t.Fatalf("median seed PosI = %d, want 300", got.PosI)
+	}
+	if got.Opposite {
+		t.Fatal("orientation flipped")
+	}
+	if got.EstOverlap < 500 || got.EstOverlap > 1000 {
+		t.Fatalf("overlap estimate %d out of range", got.EstOverlap)
+	}
+}
+
+func TestChooseSeedOppositeStrand(t *testing.T) {
+	c := Candidate{I: 0, J: 1, Seeds: []SharedSeed{
+		{PosI: 100, PosJ: 800, Opposite: true},
+		{PosI: 200, PosJ: 700, Opposite: true},
+	}}
+	got := ChooseSeed(c, 1000, 1000, 17, 500)
+	if !got.Opposite {
+		t.Fatal("expected opposite-strand seed")
+	}
+}
+
+func TestAdaptiveThreshold(t *testing.T) {
+	// e=0.15: pair error ~0.2775, phi ~0.445; L=1000, delta=0.25 -> ~334.
+	th := AdaptiveThreshold(0.15, 0.25, 1000)
+	if th < 300 || th > 360 {
+		t.Fatalf("threshold = %d, want ~334", th)
+	}
+	if AdaptiveThreshold(0.15, 0.25, 10) < 1 {
+		t.Fatal("threshold floor violated")
+	}
+	// Threshold grows with overlap length.
+	if AdaptiveThreshold(0.15, 0.25, 2000) <= th {
+		t.Fatal("threshold not monotone in overlap length")
+	}
+	// Degenerate error rate keeps a positive slope.
+	if AdaptiveThreshold(0.5, 0.25, 1000) < 1 {
+		t.Fatal("degenerate error rate broke the threshold")
+	}
+}
+
+func TestPipelineEndToEndCPU(t *testing.T) {
+	rs := smallReadSet(t, 3, 60000, 5, 0.10)
+	cfg := DefaultConfig(5, 0.10, 50)
+	cfg.MinOverlap = 650
+	res, err := Run(rs, cfg, CPUAligner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates == 0 || len(res.Overlaps) == 0 {
+		t.Fatalf("pipeline found %d candidates, %d overlaps", res.Candidates, len(res.Overlaps))
+	}
+	acc := Evaluate(rs, res.Overlaps, 700)
+	if acc.Recall < 0.55 {
+		t.Fatalf("recall %.3f below floor (tp=%d, truth=%d)", acc.Recall, acc.TruePositives, acc.TruePairs)
+	}
+	if acc.Precision < 0.80 {
+		t.Fatalf("precision %.3f below floor", acc.Precision)
+	}
+	if res.Align.Cells == 0 || res.Times.Total() <= 0 {
+		t.Fatal("missing stage accounting")
+	}
+}
+
+func TestPipelineGPUMatchesCPU(t *testing.T) {
+	rs := smallReadSet(t, 4, 40000, 4, 0.10)
+	cfg := DefaultConfig(4, 0.10, 30)
+	cpuRes, err := Run(rs, cfg, CPUAligner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := loadbal.NewV100Pool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuRes, err := Run(rs, cfg, GPUAligner{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: "Our optimized BELLA version with LOGAN integration
+	// produces equivalent results as the original version."
+	if len(cpuRes.Overlaps) != len(gpuRes.Overlaps) {
+		t.Fatalf("overlap counts differ: cpu %d, gpu %d", len(cpuRes.Overlaps), len(gpuRes.Overlaps))
+	}
+	for i := range cpuRes.Overlaps {
+		a, b := cpuRes.Overlaps[i], gpuRes.Overlaps[i]
+		if a != b {
+			t.Fatalf("overlap %d differs: cpu %+v, gpu %+v", i, a, b)
+		}
+	}
+	if gpuRes.Align.DeviceTime <= 0 {
+		t.Fatal("GPU aligner reported no modeled device time")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	rs := smallReadSet(t, 5, 20000, 2, 0.1)
+	cfg := DefaultConfig(2, 0.1, 20)
+	cfg.K = 0
+	if _, err := Run(rs, cfg, CPUAligner{}); err == nil {
+		t.Error("accepted k=0")
+	}
+	cfg = DefaultConfig(2, 0.1, 20)
+	cfg.Scoring.Gap = 1
+	if _, err := Run(rs, cfg, CPUAligner{}); err == nil {
+		t.Error("accepted invalid scoring")
+	}
+	empty, err := Run(genome.ReadSet{}, DefaultConfig(2, 0.1, 20), CPUAligner{})
+	if err != nil || len(empty.Overlaps) != 0 {
+		t.Errorf("empty read set: %+v, %v", empty, err)
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	g := genome.Genome{Name: "toy", Seq: seq.MustNew("ACGTACGTACGTACGTACGTACGT")}
+	rs := genome.ReadSet{Genome: g, Reads: []genome.Read{
+		{ID: 0, Start: 0, End: 10},
+		{ID: 1, Start: 2, End: 12},
+		{ID: 2, Start: 14, End: 24},
+	}}
+	// Truth at minOverlap 5: only (0,1) with 8 bases.
+	preds := []Overlap{
+		{I: 0, J: 1}, // true positive
+		{I: 1, J: 2}, // false positive (no overlap)
+		{I: 1, J: 0}, // duplicate of (0,1), must be deduped
+	}
+	acc := Evaluate(rs, preds, 5)
+	if acc.TruePairs != 1 || acc.TruePositives != 1 || acc.PredictedPairs != 2 {
+		t.Fatalf("accuracy = %+v", acc)
+	}
+	if acc.Recall != 1 || acc.Precision != 0.5 {
+		t.Fatalf("recall/precision = %v/%v", acc.Recall, acc.Precision)
+	}
+	if acc.F1 <= 0.6 || acc.F1 >= 0.7 {
+		t.Fatalf("F1 = %v, want 2/3", acc.F1)
+	}
+}

@@ -1,0 +1,59 @@
+package bella
+
+import (
+	"math/rand"
+	"testing"
+
+	"logan/internal/genome"
+)
+
+func benchReadSet(b *testing.B) genome.ReadSet {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	g := genome.Synthetic(rng, "bench", genome.SyntheticOptions{Length: 60000})
+	return genome.Simulate(rng, g, genome.SimOptions{
+		Coverage: 4, MinLen: 800, MaxLen: 1600, ErrorRate: 0.12,
+	})
+}
+
+// BenchmarkKmerCount measures the counting stage.
+func BenchmarkKmerCount(b *testing.B) {
+	rs := benchReadSet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountKmers(rs.Reads, 17, 0)
+	}
+}
+
+// BenchmarkSpGEMM measures overlap detection (matrix build + multiply).
+func BenchmarkSpGEMM(b *testing.B) {
+	rs := benchReadSet(b)
+	idx := CountKmers(rs.Reads, 17, 0)
+	lo, hi := ReliableBounds(4, 0.12, 17, 1e-3)
+	rel := idx.Reliable(lo, hi)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat := BuildMatrix(rs.Reads, 17, rel)
+		cands := mat.SpGEMM(SpGEMMOptions{})
+		if len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkPipelineCPU measures the whole pipeline with the SeqAn-style
+// aligner — BELLA's 90%-alignment-time profile shows up here.
+func BenchmarkPipelineCPU(b *testing.B) {
+	rs := benchReadSet(b)
+	cfg := DefaultConfig(4, 0.12, 25)
+	b.ResetTimer()
+	var alignFrac float64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(rs, cfg, CPUAligner{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		alignFrac = res.Times.Alignment.Seconds() / res.Times.Total().Seconds()
+	}
+	b.ReportMetric(alignFrac, "align-frac")
+}

@@ -1,0 +1,80 @@
+package bella
+
+import "sort"
+
+// ChosenSeed is the binning outcome for one candidate pair: the seed the
+// extension starts from, the orientation, and the overlap-length estimate
+// used by the adaptive threshold.
+type ChosenSeed struct {
+	PosI, PosJ int32
+	Opposite   bool
+	EstOverlap int // estimated overlap length in bases
+	BinSupport int // k-mers in the winning bin
+}
+
+// ChooseSeed implements BELLA's binning mechanism (paper §V): shared
+// k-mers are grouped by the diagonal they lie on (posI - posJ) within a
+// bin width, separately per orientation; the densest bin wins (a repeat
+// k-mer lands on a stray diagonal and is outvoted), and its median seed is
+// the one the aligner extends. The overlap length is estimated from the
+// winning diagonal and the read lengths.
+func ChooseSeed(c Candidate, lenI, lenJ, k, binWidth int) ChosenSeed {
+	if binWidth <= 0 {
+		binWidth = 500
+	}
+	type bin struct {
+		count int
+		seeds []SharedSeed
+	}
+	bins := make(map[int64]*bin)
+	keyOf := func(s SharedSeed) int64 {
+		pj := int64(s.PosJ)
+		if s.Opposite {
+			// Map the J position onto the reverse strand so the diagonal
+			// is stable for opposite-strand seeds.
+			pj = int64(lenJ-k) - int64(s.PosJ)
+		}
+		diag := int64(s.PosI) - pj
+		b := diag / int64(binWidth)
+		if s.Opposite {
+			b = b*2 + 1
+		} else {
+			b = b * 2
+		}
+		return b
+	}
+	for _, s := range c.Seeds {
+		kb := keyOf(s)
+		if bins[kb] == nil {
+			bins[kb] = &bin{}
+		}
+		bins[kb].count++
+		bins[kb].seeds = append(bins[kb].seeds, s)
+	}
+	// Densest bin, ties broken by key for determinism.
+	var bestKey int64
+	var best *bin
+	for kb, b := range bins {
+		if best == nil || b.count > best.count || (b.count == best.count && kb < bestKey) {
+			best, bestKey = b, kb
+		}
+	}
+	sort.Slice(best.seeds, func(a, b int) bool { return best.seeds[a].PosI < best.seeds[b].PosI })
+	sel := best.seeds[len(best.seeds)/2]
+
+	out := ChosenSeed{PosI: sel.PosI, PosJ: sel.PosJ, Opposite: sel.Opposite, BinSupport: best.count}
+	// Overlap estimate: with the seed at (pi, pj) the overlap extends
+	// min(pi, pj) to the left and min(lenI-pi, lenJ-pj) to the right
+	// (using the orientation-corrected J position).
+	pj := int(sel.PosJ)
+	if sel.Opposite {
+		pj = lenJ - k - pj
+	}
+	left := min(int(sel.PosI), pj)
+	right := min(lenI-int(sel.PosI), lenJ-pj)
+	out.EstOverlap = left + right
+	if out.EstOverlap < k {
+		out.EstOverlap = k
+	}
+	return out
+}

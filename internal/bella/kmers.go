@@ -1,0 +1,165 @@
+// Package bella rebuilds BELLA (Guidi et al.), the long-read many-to-many
+// overlapper and aligner that the paper integrates LOGAN into (§V): k-mer
+// counting over the read set, reliable-k-mer pruning with a binomial
+// occurrence model, sparse-matrix (SpGEMM) overlap detection, k-mer binning
+// to pick the seed each pair extends from, a pluggable pairwise-alignment
+// stage (SeqAn-style CPU threads or batched LOGAN on simulated GPUs), and
+// the adaptive score threshold that separates true overlaps from spurious
+// ones.
+package bella
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"logan/internal/genome"
+	"logan/internal/seq"
+)
+
+// Occurrence is one k-mer hit inside a read. Strand records whether the
+// canonical form equals the forward k-mer at this position (true = the
+// k-mer was seen reverse-complemented).
+type Occurrence struct {
+	Read   int32
+	Pos    int32
+	RevCmp bool
+}
+
+// KmerIndex is the outcome of counting: per-k-mer occurrence lists over
+// the read set, canonical-form keyed.
+type KmerIndex struct {
+	K      int
+	Counts map[seq.Kmer]int32
+}
+
+// countShard is one lock-striped slice of the global k-mer count table.
+type countShard struct {
+	mu sync.Mutex
+	m  map[seq.Kmer]int32
+}
+
+// CountKmers tallies canonical k-mer multiplicities across all reads,
+// sharded across workers. This is BELLA's first pass.
+func CountKmers(reads []genome.Read, k, workers int) KmerIndex {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	codec := seq.MustKmerCodec(k)
+	const shards = 16
+	var sh [shards]countShard
+	for i := range sh {
+		sh[i].m = make(map[seq.Kmer]int32)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []seq.Positioned
+			local := make(map[seq.Kmer]int32)
+			for idx := range ch {
+				buf = codec.Scan(buf[:0], reads[idx].Seq, true)
+				for _, p := range buf {
+					local[p.Kmer]++
+				}
+				if len(local) > 1<<16 {
+					flushCounts(local, &sh)
+				}
+			}
+			flushCounts(local, &sh)
+		}()
+	}
+	for i := range reads {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	total := make(map[seq.Kmer]int32)
+	for i := range sh {
+		for km, c := range sh[i].m {
+			total[km] += c
+		}
+	}
+	return KmerIndex{K: k, Counts: total}
+}
+
+func flushCounts(local map[seq.Kmer]int32, sh *[16]countShard) {
+	for km, c := range local {
+		s := &sh[int(km&15)]
+		s.mu.Lock()
+		s.m[km] += c
+		s.mu.Unlock()
+	}
+	clear(local)
+}
+
+// ReliableBounds computes BELLA's reliable-k-mer multiplicity window for a
+// data set with mean coverage c and per-base error rate e. A k-mer that
+// survives sequencing error-free does so with probability p = (1-e)^k; a
+// unique genomic k-mer therefore appears ~Bin(c, p) times in the reads.
+//
+// The lower bound is fixed at 2 (singletons are overwhelmingly sequencing
+// errors), and the upper bound is the smallest m whose probability under a
+// two-copy (repeat) genomic k-mer, Bin(2c, p), falls below tail: k-mers
+// more frequent than that are repeat-induced and would generate spurious
+// overlap candidates (BELLA's pruning argument).
+func ReliableBounds(coverage, errRate float64, k int, tail float64) (lo, hi int32) {
+	if tail <= 0 {
+		tail = 1e-3
+	}
+	p := math.Pow(1-errRate, float64(k))
+	n := int(math.Round(2 * coverage))
+	if n < 2 {
+		n = 2
+	}
+	lo = 2
+	// Upper bound: smallest m with P(Bin(n,p) >= m) < tail.
+	for m := 1; m <= n; m++ {
+		if binomTail(n, p, m) < tail {
+			hi = int32(m)
+			break
+		}
+	}
+	if hi < lo {
+		hi = lo + 2
+	}
+	return lo, hi
+}
+
+// binomTail returns P(X >= m) for X ~ Bin(n, p).
+func binomTail(n int, p float64, m int) float64 {
+	if m <= 0 {
+		return 1
+	}
+	var tailP float64
+	for x := m; x <= n; x++ {
+		tailP += math.Exp(logChoose(n, x) + float64(x)*math.Log(p) + float64(n-x)*math.Log1p(-p))
+	}
+	if tailP > 1 {
+		tailP = 1
+	}
+	return tailP
+}
+
+func logChoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// Reliable filters the index down to k-mers whose multiplicity falls in
+// [lo, hi] and returns them in deterministic order.
+func (idx KmerIndex) Reliable(lo, hi int32) []seq.Kmer {
+	var out []seq.Kmer
+	for km, c := range idx.Counts {
+		if c >= lo && c <= hi {
+			out = append(out, km)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,140 @@
+package bella
+
+import (
+	"sort"
+
+	"logan/internal/genome"
+	"logan/internal/seq"
+)
+
+// SparseMatrix is the reads-by-reliable-k-mers sparse matrix A of BELLA's
+// formulation, stored CSR by k-mer column id with per-entry positions —
+// the layout the SpGEMM (A * A^T) consumes. Column ids index the reliable
+// k-mer list.
+type SparseMatrix struct {
+	K        int
+	Kmers    []seq.Kmer         // column id -> canonical k-mer
+	ColIndex map[seq.Kmer]int32 // canonical k-mer -> column id
+	// Cols[c] lists the occurrences of k-mer c across all reads, sorted
+	// by read id. This is the transpose view (A^T rows), which is what
+	// the multiply iterates.
+	Cols [][]Occurrence
+	// NNZ is the number of stored entries.
+	NNZ int64
+}
+
+// BuildMatrix scans every read for reliable k-mers and assembles the
+// sparse matrix. Each read records at most one occurrence per k-mer per
+// strand direction (duplicates within a read are skipped, as BELLA does to
+// suppress simple tandem repeats).
+func BuildMatrix(reads []genome.Read, k int, reliable []seq.Kmer) *SparseMatrix {
+	m := &SparseMatrix{
+		K:        k,
+		Kmers:    reliable,
+		ColIndex: make(map[seq.Kmer]int32, len(reliable)),
+		Cols:     make([][]Occurrence, len(reliable)),
+	}
+	for i, km := range reliable {
+		m.ColIndex[km] = int32(i)
+	}
+	codec := seq.MustKmerCodec(k)
+	var buf []seq.Positioned
+	seen := make(map[int32]bool)
+	for ri := range reads {
+		buf = codec.Scan(buf[:0], reads[ri].Seq, false)
+		clear(seen)
+		for _, occ := range buf {
+			canon := codec.Canonical(occ.Kmer)
+			col, ok := m.ColIndex[canon]
+			if !ok || seen[col] {
+				continue
+			}
+			seen[col] = true
+			m.Cols[col] = append(m.Cols[col], Occurrence{
+				Read:   int32(ri),
+				Pos:    int32(occ.Pos),
+				RevCmp: canon != occ.Kmer,
+			})
+			m.NNZ++
+		}
+	}
+	for c := range m.Cols {
+		sort.Slice(m.Cols[c], func(a, b int) bool { return m.Cols[c][a].Read < m.Cols[c][b].Read })
+	}
+	return m
+}
+
+// SharedSeed is one k-mer shared by a candidate read pair: positions of
+// the k-mer in both reads and whether the reads see it on opposite
+// strands (in which case read J must be reverse-complemented to align).
+type SharedSeed struct {
+	PosI, PosJ int32
+	Opposite   bool
+}
+
+// Candidate is an overlap candidate produced by the SpGEMM: a read pair
+// with the seeds they share.
+type Candidate struct {
+	I, J  int32 // read indices, I < J
+	Seeds []SharedSeed
+}
+
+// SpGEMMOptions bounds the multiply.
+type SpGEMMOptions struct {
+	MaxSeedsPerPair int // cap stored seeds per pair (BELLA keeps a handful)
+	MinShared       int // minimum shared k-mers to emit a candidate
+}
+
+// SpGEMM computes the overlap candidates: the nonzero pattern of A * A^T
+// restricted to the strict upper triangle, with the shared k-mer position
+// pairs as values. The multiply walks each k-mer column and emits every
+// read pair in it (outer-product/column formulation of Gustavson's
+// algorithm; identical output to BELLA's row-wise hash SpGEMM). Reliable
+// k-mer pruning bounds the column lengths, which is what keeps this near
+// linear — the point of BELLA's pruning stage.
+func (m *SparseMatrix) SpGEMM(opt SpGEMMOptions) []Candidate {
+	if opt.MaxSeedsPerPair <= 0 {
+		opt.MaxSeedsPerPair = 16
+	}
+	if opt.MinShared <= 0 {
+		opt.MinShared = 1
+	}
+	type key struct{ i, j int32 }
+	acc := make(map[key]*Candidate)
+	for _, col := range m.Cols {
+		for a := 0; a < len(col); a++ {
+			for b := a + 1; b < len(col); b++ {
+				oi, oj := col[a], col[b]
+				if oi.Read == oj.Read {
+					continue
+				}
+				k := key{oi.Read, oj.Read}
+				c, ok := acc[k]
+				if !ok {
+					c = &Candidate{I: k.i, J: k.j}
+					acc[k] = c
+				}
+				if len(c.Seeds) < opt.MaxSeedsPerPair {
+					c.Seeds = append(c.Seeds, SharedSeed{
+						PosI:     oi.Pos,
+						PosJ:     oj.Pos,
+						Opposite: oi.RevCmp != oj.RevCmp,
+					})
+				}
+			}
+		}
+	}
+	out := make([]Candidate, 0, len(acc))
+	for _, c := range acc {
+		if len(c.Seeds) >= opt.MinShared {
+			out = append(out, *c)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}

@@ -1,0 +1,51 @@
+package bella
+
+import "logan/internal/genome"
+
+// Accuracy is the overlap-detection quality against simulator ground
+// truth.
+type Accuracy struct {
+	TruePairs      int
+	PredictedPairs int
+	TruePositives  int
+	Recall         float64
+	Precision      float64
+	F1             float64
+}
+
+// Evaluate compares predicted overlaps to the ground truth at the given
+// minimum genomic overlap (BELLA's evaluation uses 2 kb on real data).
+func Evaluate(rs genome.ReadSet, overlaps []Overlap, minOverlap int) Accuracy {
+	truth := rs.TrueOverlaps(minOverlap)
+	truthSet := make(map[[2]int]bool, len(truth))
+	for _, t := range truth {
+		truthSet[[2]int{t.I, t.J}] = true
+	}
+	acc := Accuracy{TruePairs: len(truth), PredictedPairs: len(overlaps)}
+	seen := make(map[[2]int]bool)
+	for _, o := range overlaps {
+		i, j := int(o.I), int(o.J)
+		if i > j {
+			i, j = j, i
+		}
+		key := [2]int{i, j}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if truthSet[key] {
+			acc.TruePositives++
+		}
+	}
+	acc.PredictedPairs = len(seen)
+	if acc.TruePairs > 0 {
+		acc.Recall = float64(acc.TruePositives) / float64(acc.TruePairs)
+	}
+	if acc.PredictedPairs > 0 {
+		acc.Precision = float64(acc.TruePositives) / float64(acc.PredictedPairs)
+	}
+	if acc.Recall+acc.Precision > 0 {
+		acc.F1 = 2 * acc.Recall * acc.Precision / (acc.Recall + acc.Precision)
+	}
+	return acc
+}

@@ -1,0 +1,60 @@
+package bella
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"logan/internal/genome"
+)
+
+// WritePAF emits the accepted overlaps in PAF (Pairwise mApping Format),
+// the minimap2-ecosystem interchange format, so downstream assemblers and
+// viewers can consume BELLA-Go's output directly.
+//
+// Columns: qname qlen qstart qend strand tname tlen tstart tend matches
+// block mapq, plus the AS:i (score) tag and, when traceback ran, de:f
+// (gap-compressed divergence proxy) and cg:Z (CIGAR) tags.
+func WritePAF(w io.Writer, reads []genome.Read, overlaps []Overlap) error {
+	bw := bufio.NewWriter(w)
+	for _, ov := range overlaps {
+		q, t := reads[ov.I], reads[ov.J]
+		strand := "+"
+		tStart, tEnd := ov.TBegin, ov.TEnd
+		if ov.Opposite {
+			strand = "-"
+			// PAF reports target coordinates on the forward strand.
+			tStart = len(t.Seq) - ov.TEnd
+			tEnd = len(t.Seq) - ov.TBegin
+		}
+		block := max(ov.QEnd-ov.QBegin, ov.TEnd-ov.TBegin)
+		// Without traceback, estimate matches from the +1/-1/-1 score:
+		// score = matches - errors, block ~ matches + errors.
+		matches := (block + int(ov.Score)) / 2
+		if ov.Identity > 0 {
+			matches = int(float64(block) * ov.Identity)
+		}
+		if matches < 0 {
+			matches = 0
+		}
+		if matches > block {
+			matches = block
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\tAS:i:%d",
+			q.Name(), len(q.Seq), ov.QBegin, ov.QEnd,
+			strand,
+			t.Name(), len(t.Seq), tStart, tEnd,
+			matches, block, 255, ov.Score); err != nil {
+			return err
+		}
+		if ov.CIGAR != "" {
+			if _, err := fmt.Fprintf(bw, "\tde:f:%.4f\tcg:Z:%s", 1-ov.Identity, ov.CIGAR); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

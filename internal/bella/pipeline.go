@@ -1,0 +1,216 @@
+package bella
+
+import (
+	"fmt"
+	"time"
+
+	"logan/internal/genome"
+	"logan/internal/seq"
+	"logan/internal/sw"
+	"logan/internal/xdrop"
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	K          int     // k-mer length (BELLA default 17)
+	Coverage   float64 // data set coverage, for the reliable-k-mer model
+	ErrorRate  float64 // per-read error rate
+	X          int32   // X-drop threshold for the alignment stage
+	Scoring    xdrop.Scoring
+	BinWidth   int     // binning diagonal width (default 500)
+	MinShared  int     // min shared reliable k-mers per candidate
+	MaxSeeds   int     // seeds retained per pair
+	Delta      float64 // adaptive-threshold cushion (default 0.25)
+	Workers    int     // CPU workers for counting
+	ReliableLo int32   // override reliable bounds when > 0
+	ReliableHi int32
+	// MinOverlap drops accepted overlaps whose aligned query extent is
+	// shorter than this many bases (BELLA reports >= 2 kb on real data).
+	MinOverlap int
+	// Traceback recovers base-level alignments (CIGAR) for the accepted
+	// overlaps in a CPU post-pass. LOGAN itself is score-only (paper
+	// §IV-A); real pipelines recompute alignments only for survivors,
+	// which is what this does.
+	Traceback bool
+}
+
+// DefaultConfig mirrors BELLA's defaults for a long-read set.
+func DefaultConfig(coverage, errRate float64, x int32) Config {
+	return Config{
+		K: 17, Coverage: coverage, ErrorRate: errRate, X: x,
+		Scoring: xdrop.DefaultScoring(), BinWidth: 500,
+		MinShared: 1, MaxSeeds: 16, Delta: 0.25,
+	}
+}
+
+// Overlap is one accepted read overlap.
+type Overlap struct {
+	I, J     int32
+	Score    int32
+	Opposite bool
+	// Extents of the alignment on both reads.
+	QBegin, QEnd, TBegin, TEnd int
+	EstOverlap                 int
+	// CIGAR and Identity are filled when Config.Traceback is set.
+	CIGAR    string
+	Identity float64
+}
+
+// StageTimes records measured wall time per pipeline stage.
+type StageTimes struct {
+	Count     time.Duration
+	Prune     time.Duration
+	Matrix    time.Duration
+	SpGEMM    time.Duration
+	Binning   time.Duration
+	Alignment time.Duration
+	Filter    time.Duration
+}
+
+// Total sums all stages.
+func (s StageTimes) Total() time.Duration {
+	return s.Count + s.Prune + s.Matrix + s.SpGEMM + s.Binning + s.Alignment + s.Filter
+}
+
+// Result is the pipeline outcome with full stage accounting.
+type Result struct {
+	Overlaps   []Overlap
+	Candidates int
+	Reliable   int
+	NNZ        int64
+	Times      StageTimes
+	Align      AlignerStats
+	Bounds     [2]int32
+}
+
+// Prepared is the outcome of the overlap-detection phase (stages 1-5):
+// everything before the pairwise-alignment stage that LOGAN accelerates.
+// The experiment harness reuses one Prepared across an X sweep, since X
+// only affects alignment.
+type Prepared struct {
+	Cands      []Candidate
+	Seeds      []ChosenSeed
+	Pairs      []seq.Pair
+	Candidates int
+	Reliable   int
+	NNZ        int64
+	Bounds     [2]int32
+	Times      StageTimes // alignment/filter left zero
+}
+
+// Prepare runs k-mer counting, pruning, matrix construction, SpGEMM and
+// binning — BELLA's overlap-detection phase.
+func Prepare(rs genome.ReadSet, cfg Config) (Prepared, error) {
+	var out Prepared
+	if cfg.K <= 0 || cfg.K > seq.MaxK {
+		return out, fmt.Errorf("bella: k=%d outside (0,%d]", cfg.K, seq.MaxK)
+	}
+	if err := cfg.Scoring.Validate(); err != nil {
+		return out, err
+	}
+	if len(rs.Reads) == 0 {
+		return out, nil
+	}
+
+	// Stage 1: k-mer counting.
+	t0 := time.Now()
+	idx := CountKmers(rs.Reads, cfg.K, cfg.Workers)
+	out.Times.Count = time.Since(t0)
+
+	// Stage 2: reliable-k-mer pruning.
+	t0 = time.Now()
+	lo, hi := cfg.ReliableLo, cfg.ReliableHi
+	if lo <= 0 || hi <= 0 {
+		lo, hi = ReliableBounds(cfg.Coverage, cfg.ErrorRate, cfg.K, 1e-3)
+	}
+	out.Bounds = [2]int32{lo, hi}
+	reliable := idx.Reliable(lo, hi)
+	out.Reliable = len(reliable)
+	out.Times.Prune = time.Since(t0)
+
+	// Stage 3: sparse matrix construction.
+	t0 = time.Now()
+	mat := BuildMatrix(rs.Reads, cfg.K, reliable)
+	out.NNZ = mat.NNZ
+	out.Times.Matrix = time.Since(t0)
+
+	// Stage 4: SpGEMM overlap detection.
+	t0 = time.Now()
+	out.Cands = mat.SpGEMM(SpGEMMOptions{MaxSeedsPerPair: cfg.MaxSeeds, MinShared: cfg.MinShared})
+	out.Candidates = len(out.Cands)
+	out.Times.SpGEMM = time.Since(t0)
+
+	// Stage 5: binning and seed choice.
+	t0 = time.Now()
+	out.Seeds = make([]ChosenSeed, len(out.Cands))
+	for i, c := range out.Cands {
+		out.Seeds[i] = ChooseSeed(c, len(rs.Reads[c.I].Seq), len(rs.Reads[c.J].Seq), cfg.K, cfg.BinWidth)
+	}
+	out.Pairs = BuildAlignmentPairs(rs.Reads, out.Cands, out.Seeds, cfg.K)
+	out.Times.Binning = time.Since(t0)
+	return out, nil
+}
+
+// Run executes the full BELLA pipeline over the read set with the given
+// alignment backend.
+func Run(rs genome.ReadSet, cfg Config, aligner Aligner) (Result, error) {
+	var out Result
+	prep, err := Prepare(rs, cfg)
+	if err != nil {
+		return out, err
+	}
+	if len(rs.Reads) == 0 {
+		return out, nil
+	}
+	out.Candidates = prep.Candidates
+	out.Reliable = prep.Reliable
+	out.NNZ = prep.NNZ
+	out.Bounds = prep.Bounds
+	out.Times = prep.Times
+	cands, seeds, pairs := prep.Cands, prep.Seeds, prep.Pairs
+
+	// Stage 6: pairwise alignment (the 90%-of-runtime stage LOGAN moves
+	// to the GPU).
+	t0 := time.Now()
+	aligned, astats, err := aligner.AlignPairs(pairs, cfg.Scoring, cfg.X)
+	if err != nil {
+		return out, fmt.Errorf("bella: alignment stage: %w", err)
+	}
+	out.Align = astats
+	out.Times.Alignment = time.Since(t0)
+
+	// Stage 7: adaptive-threshold filtering, plus the optional traceback
+	// post-pass on survivors.
+	t0 = time.Now()
+	for i, c := range cands {
+		th := AdaptiveThreshold(cfg.ErrorRate, cfg.Delta, seeds[i].EstOverlap)
+		if aligned[i].QEnd-aligned[i].QBegin < cfg.MinOverlap {
+			continue
+		}
+		if aligned[i].Score < th {
+			continue
+		}
+		ov := Overlap{
+			I: c.I, J: c.J,
+			Score:    aligned[i].Score,
+			Opposite: seeds[i].Opposite,
+			QBegin:   aligned[i].QBegin, QEnd: aligned[i].QEnd,
+			TBegin: aligned[i].TBegin, TEnd: aligned[i].TEnd,
+			EstOverlap: seeds[i].EstOverlap,
+		}
+		if cfg.Traceback {
+			p := pairs[i]
+			band := max(64, (aligned[i].Left.MaxBand+aligned[i].Right.MaxBand)/2+16)
+			ga, err := sw.GlobalAlignBanded(
+				p.Query[ov.QBegin:ov.QEnd], p.Target[ov.TBegin:ov.TEnd], cfg.Scoring, band)
+			if err != nil {
+				return out, fmt.Errorf("bella: traceback for pair (%d,%d): %w", c.I, c.J, err)
+			}
+			ov.CIGAR = ga.CIGAR()
+			ov.Identity = ga.Identity()
+		}
+		out.Overlaps = append(out.Overlaps, ov)
+	}
+	out.Times.Filter = time.Since(t0)
+	return out, nil
+}

@@ -1,0 +1,27 @@
+package bella
+
+import "math"
+
+// AdaptiveThreshold implements BELLA's score cutoff: with per-read error
+// rate e, two overlapping reads disagree on a base with probability
+// 1-(1-e)^2, so the expected +1/-1/-1 alignment score per overlap base is
+//
+//	phi = 1 - 2*(1 - (1-e)^2)
+//
+// and an overlap of estimated length L is accepted when its score reaches
+// (1-delta) * phi * L. The cushion delta absorbs the variance of the score
+// around its mean; BELLA's default is 0.2-0.3. Pairs whose alignment
+// cannot reach the threshold are classified as spurious (repeat-induced)
+// overlaps.
+func AdaptiveThreshold(errRate, delta float64, estOverlap int) int32 {
+	pairErr := 1 - (1-errRate)*(1-errRate)
+	phi := 1 - 2*pairErr
+	if phi < 0.05 {
+		phi = 0.05 // degenerate error rates: keep a positive slope
+	}
+	th := (1 - delta) * phi * float64(estOverlap)
+	if th < 1 {
+		th = 1
+	}
+	return int32(math.Round(th))
+}

@@ -1,0 +1,56 @@
+package bella
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPipelineTraceback verifies the optional CIGAR post-pass: every
+// accepted overlap gains a consistent base-level alignment whose identity
+// reflects the pairwise error rate, and the filtering outcome is
+// unchanged by the post-pass.
+func TestPipelineTraceback(t *testing.T) {
+	rs := smallReadSet(t, 11, 50000, 5, 0.10)
+	cfg := DefaultConfig(5, 0.10, 50)
+	cfg.MinOverlap = 600
+
+	plain, err := Run(rs, cfg, CPUAligner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Traceback = true
+	traced, err := Run(rs, cfg, CPUAligner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Overlaps) != len(plain.Overlaps) {
+		t.Fatalf("traceback changed overlap count: %d vs %d", len(traced.Overlaps), len(plain.Overlaps))
+	}
+	if len(traced.Overlaps) == 0 {
+		t.Fatal("no overlaps to trace")
+	}
+	// Pairwise identity for two reads at 10% error each is roughly
+	// (1-0.1)^2 ~ 0.81; the alignment should land in a broad band around
+	// that, and never below the adaptive-threshold floor.
+	for i, ov := range traced.Overlaps {
+		p := plain.Overlaps[i]
+		if ov.I != p.I || ov.J != p.J || ov.Score != p.Score {
+			t.Fatalf("overlap %d differs from plain run", i)
+		}
+		if ov.CIGAR == "" {
+			t.Fatalf("overlap %d missing CIGAR", i)
+		}
+		if !strings.ContainsAny(ov.CIGAR, "=") {
+			t.Fatalf("overlap %d CIGAR %q has no matches", i, ov.CIGAR)
+		}
+		if ov.Identity < 0.70 || ov.Identity > 1.0 {
+			t.Fatalf("overlap %d identity %.3f outside [0.70, 1.0]", i, ov.Identity)
+		}
+	}
+	// The plain run must not carry CIGARs.
+	for _, ov := range plain.Overlaps {
+		if ov.CIGAR != "" {
+			t.Fatal("plain run produced CIGARs")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblations verifies that every §IV design choice pays off in the
+// model: the variant must be slower than LOGAN's design (factor > 1).
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations skipped in -short mode")
+	}
+	abls, err := RunAblations(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abls) != 5 {
+		t.Fatalf("expected 5 ablations, got %d", len(abls))
+	}
+	for _, a := range abls {
+		if a.Factor <= 1.0 {
+			t.Errorf("%s: variant factor %.3f <= 1 — design choice shows no benefit", a.Name, a.Factor)
+		}
+		if a.Baseline <= 0 || a.Variant <= 0 {
+			t.Errorf("%s: missing times %v/%v", a.Name, a.Baseline, a.Variant)
+		}
+	}
+	// The shared-memory occupancy collapse must be the most damaging
+	// design regression (the paper's §IV-B argument).
+	var shared, coalesce float64
+	for _, a := range abls {
+		if strings.Contains(a.Name, "shared memory") {
+			shared = a.Factor
+		}
+		if strings.Contains(a.Name, "uncoalesced") {
+			coalesce = a.Factor
+		}
+	}
+	if shared < 2 {
+		t.Errorf("shared-memory variant only %.2fx slower; expected a heavy occupancy penalty", shared)
+	}
+	if coalesce <= 1 {
+		t.Errorf("uncoalesced variant %.2fx; expected a traffic penalty", coalesce)
+	}
+	tbl := AblationTable(abls)
+	if !strings.Contains(tbl.Render(), "LPT") {
+		t.Error("ablation table missing rows")
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		abls, err := RunAblations(QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range abls {
+			switch {
+			case strings.Contains(a.Name, "threads-for-X"):
+				b.ReportMetric(a.Factor, "threads-factor")
+			case strings.Contains(a.Name, "shared memory"):
+				b.ReportMetric(a.Factor, "shared-factor")
+			case strings.Contains(a.Name, "uncoalesced"):
+				b.ReportMetric(a.Factor, "coalesce-factor")
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"logan/internal/core"
+	"logan/internal/cuda"
+	"logan/internal/roofline"
+	"logan/internal/stats"
+)
+
+// Fig13Result is the Roofline analysis of the LOGAN kernel (paper
+// Fig. 13: 100K alignments, X=100).
+type Fig13Result struct {
+	Report roofline.Report
+	Table  stats.Table
+	Plot   string
+}
+
+// RunFig13 runs the kernel at X=100 (the paper's Fig. 13 operating
+// point), scales the accounting to the paper's 100K-alignment launch, and
+// evaluates the instruction Roofline with the Eq. (1) adapted ceiling.
+func RunFig13(scale Scale) (Fig13Result, error) { return RunFig13At(scale, 100) }
+
+// RunFig13At is RunFig13 at an arbitrary X, for exploring how the kernel
+// moves along the Roofline as the band grows.
+func RunFig13At(scale Scale, x int32) (Fig13Result, error) {
+	var out Fig13Result
+	pairs := scale.PairSet()
+	dev := cuda.MustV100()
+	res, err := core.AlignBatch(dev, pairs, core.DefaultConfig(x))
+	if err != nil {
+		return out, err
+	}
+	platform := POWER9Node()
+	scaled := ScaleStats(res.Stats, scale.Factor())
+	cuda.ApplyCacheModel(platform.Spec, &scaled)
+	kernelTime := platform.Timer.KernelTime(platform.Spec, scaled)
+	model := roofline.ForDevice(platform.Spec)
+	out.Report = roofline.Analyze(model, scaled, kernelTime)
+	out.Plot = out.Report.Render(64, 18)
+
+	t := stats.Table{
+		Title:   fmt.Sprintf("Fig. 13: Roofline analysis, LOGAN kernel, %d alignments, X=%d", scale.PaperPairs, x),
+		Headers: []string{"metric", "value", "paper"},
+	}
+	t.AddRow("operational intensity (warpinstr/B)", out.Report.OI, ">= ridge")
+	t.AddRow("ridge point", out.Report.Ridge, "0.245")
+	t.AddRow("achieved warp GIPS", out.Report.AchievedGIPS, "near ceiling")
+	t.AddRow("adapted ceiling (Eq. 1)", out.Report.AdaptedCeiling, "-")
+	t.AddRow("INT32 ceiling", model.INT32GIPS, "220.8")
+	t.AddRow("compute bound", out.Report.ComputeBound, "true")
+	t.AddRow("fraction of adapted ceiling", out.Report.CeilingFraction, "~1")
+	out.Table = t
+	return out, nil
+}

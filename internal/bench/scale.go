@@ -1,0 +1,123 @@
+// Package bench is the experiment harness: one runner per table and
+// figure of the paper's evaluation (§VI, §VII). Each runner executes the
+// real implementations on a scaled sample of the paper's workload, counts
+// the work exactly, scales the counts to the paper's full workload size,
+// and converts them into modeled platform times with the hardware models
+// of internal/perfmodel. Output tables carry the paper's reference values
+// side by side so the reproduction quality is visible in place.
+//
+// Two kinds of calibration are used and clearly separated:
+//   - global hardware constants (internal/perfmodel), set once from the
+//     architecture and from single anchor rows, and
+//   - per-table two-point anchor fits (first/last row of the paper
+//     table), which pin the axis so that every row in between is a
+//     genuine prediction from measured work. EXPERIMENTS.md records which
+//     rows are anchors.
+package bench
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+
+	"logan/internal/genome"
+	"logan/internal/seq"
+)
+
+// Scale configures how much of the paper's workload the harness actually
+// executes. The paper's sizes (100K pairs, 1.8M / 235M alignments) are
+// retained as modeling targets; Pairs and the BELLA preset control the
+// measured sample.
+type Scale struct {
+	// Pairs is the sample size standing in for the 100K-pair set of
+	// Tables II/III. Lengths and error rate follow §VI-A.
+	Pairs      int
+	PaperPairs int
+	MinLen     int
+	MaxLen     int
+	ErrorRate  float64
+	SeedLen    int
+	Seed       int64
+
+	// XValues is the Table II/III sweep.
+	XValues []int32
+	// BellaXValues is the Table IV/V sweep.
+	BellaXValues []int32
+
+	// EColi / CElegans are the scaled stand-ins for the BELLA data sets.
+	EColi    genome.Preset
+	CElegans genome.Preset
+
+	// GPUCounts for Fig. 12.
+	GPUCounts []int
+}
+
+// DefaultScale is the configuration cmd/logan-bench runs: the paper's
+// read lengths and X sweeps on a sample small enough for a laptop.
+// Environment variables LOGAN_BENCH_PAIRS and LOGAN_BENCH_SEED override
+// the sample size and RNG seed.
+func DefaultScale() Scale {
+	s := Scale{
+		Pairs:      16,
+		PaperPairs: 100000,
+		MinLen:     2500,
+		MaxLen:     7500,
+		ErrorRate:  0.15,
+		SeedLen:    17,
+		Seed:       42,
+		XValues:    []int32{10, 20, 50, 100, 500, 1000, 2500, 5000},
+		BellaXValues: []int32{
+			5, 10, 15, 20, 25, 30, 35, 40, 50, 80, 100,
+		},
+		EColi:     genome.EColiSim(),
+		CElegans:  genome.CElegansSim(),
+		GPUCounts: []int{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	if v, err := strconv.Atoi(os.Getenv("LOGAN_BENCH_PAIRS")); err == nil && v > 0 {
+		s.Pairs = v
+	}
+	if v, err := strconv.ParseInt(os.Getenv("LOGAN_BENCH_SEED"), 10, 64); err == nil {
+		s.Seed = v
+	}
+	return s
+}
+
+// QuickScale is the configuration the Go test/benchmark suite uses:
+// shorter reads, sparser sweeps, tiny BELLA presets — enough to verify
+// every shape criterion in seconds.
+func QuickScale() Scale {
+	s := DefaultScale()
+	s.Pairs = 6
+	s.MinLen = 2000
+	s.MaxLen = 5000
+	s.XValues = []int32{10, 100, 1000, 2500}
+	s.BellaXValues = []int32{5, 20, 100}
+	s.EColi = genome.Preset{
+		Name: "ecoli-quick", GenomeLen: 60_000, Coverage: 5,
+		MinLen: 800, MaxLen: 1800, ErrorRate: 0.15, RepeatFrac: 0.02,
+		PaperAlignments: 1_820_000,
+	}
+	s.CElegans = genome.Preset{
+		Name: "celegans-quick", GenomeLen: 90_000, Coverage: 6,
+		MinLen: 800, MaxLen: 1800, ErrorRate: 0.15, RepeatFrac: 0.05,
+		PaperAlignments: 235_000_000,
+	}
+	s.GPUCounts = []int{1, 2, 4, 8}
+	return s
+}
+
+// PairSet builds (deterministically) the sample standing in for the
+// 100K-pair evaluation set. Seeds are planted near the read starts, the
+// geometry BELLA-style overlap detection feeds to the aligner (and the
+// one under which per-pair DP volumes reproduce the paper's GCUPS
+// accounting).
+func (s Scale) PairSet() []seq.Pair {
+	rng := rand.New(rand.NewSource(s.Seed))
+	return seq.RandPairSet(rng, seq.PairSetOptions{
+		N: s.Pairs, MinLen: s.MinLen, MaxLen: s.MaxLen,
+		ErrorRate: s.ErrorRate, SeedLen: s.SeedLen, SeedPosFrac: 0.05,
+	})
+}
+
+// Factor is the count scale-up from the sample to the paper workload.
+func (s Scale) Factor() float64 { return float64(s.PaperPairs) / float64(s.Pairs) }

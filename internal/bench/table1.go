@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"logan/internal/core"
+	"logan/internal/cuda"
+	"logan/internal/perfmodel"
+	"logan/internal/seq"
+	"logan/internal/stats"
+)
+
+// TableIResult reproduces the parallelism ablation of paper Table I:
+// no parallelism, intra-sequence only (one block), and intra+inter
+// (block per alignment), all at X=100.
+type TableIResult struct {
+	Table stats.Table
+	// SpeedupIntra is row2 vs row1 (paper: 9.3x).
+	SpeedupIntra float64
+	// SpeedupInter is row4 vs row3 (paper: ~22,000x).
+	SpeedupInter float64
+}
+
+// RunTableI executes the three configurations on the simulated device and
+// models their times. Row 3 (100K pairs through a single block) is modeled
+// as the single-pair intra-sequence time multiplied by the batch size —
+// nobody waits 45 hours for the real run. Read lengths follow the paper
+// (2.5-7.5 kb) regardless of the sweep scale: Table I's absolute seconds
+// are length-sensitive and a single pair is cheap.
+func RunTableI(scale Scale) (TableIResult, error) {
+	var out TableIResult
+	paperLen := scale
+	paperLen.MinLen, paperLen.MaxLen = 2500, 7500
+	if paperLen.Pairs > 16 {
+		paperLen.Pairs = 16
+	}
+	pairs := paperLen.PairSet()
+	one := pairs[:1]
+	scale = paperLen
+	const x = 100
+
+	platform := POWER9Node()
+	// The intra-only configurations follow Algorithm 1 literally: the
+	// while loop runs on the host and ComputeAntiDiag is one kernel
+	// launch per anti-diagonal, so each iteration pays the launch
+	// latency. The intra+inter kernel fuses the loop on the device.
+	run := func(threads int, ps []seq.Pair) (time.Duration, error) {
+		dev := cuda.MustV100()
+		dev.Timer = perfmodel.NewV100Timer()
+		cfg := core.DefaultConfig(x)
+		cfg.ThreadsPerBlock = threads
+		res, err := core.AlignBatch(dev, ps, cfg)
+		if err != nil {
+			return 0, err
+		}
+		var launches int64
+		for _, r := range res.Results {
+			launches += int64(r.Left.AntiDiags + r.Right.AntiDiags)
+		}
+		return res.DeviceTime + time.Duration(launches)*platform.Timer.LaunchOverhead, nil
+	}
+
+	serial, err := run(1, one)
+	if err != nil {
+		return out, err
+	}
+	intra, err := run(128, one)
+	if err != nil {
+		return out, err
+	}
+	// Row 3: 100K pairs, still one block at a time.
+	intraBatch := time.Duration(float64(intra) * float64(scale.PaperPairs))
+
+	// Row 4: full inter+intra batch, modeled at paper scale.
+	dev := cuda.MustV100()
+	cfg := core.DefaultConfig(x)
+	cfg.ThreadsPerBlock = 128
+	res, err := core.AlignBatch(dev, pairs, cfg)
+	if err != nil {
+		return out, err
+	}
+	full := platform.LoganTime(ScaleStats(res.Stats, scale.Factor()), int64(float64(res.TransferBytes)*scale.Factor()), scale.PaperPairs, 1, 1)
+
+	out.SpeedupIntra = serial.Seconds() / intra.Seconds()
+	out.SpeedupInter = intraBatch.Seconds() / full.Seconds()
+
+	t := stats.Table{
+		Title:   "Table I: X-drop execution on GPU, X=100, by parallelism level",
+		Headers: []string{"Parallelism", "Pairs", "Threads", "Blocks", "Modeled", "Paper"},
+	}
+	t.AddRow("None", 1, 1, 1, fmtDur(serial), "1.50s")
+	t.AddRow("Intra-sequence", 1, 128, 1, fmtDur(intra), "0.16s")
+	t.AddRow("Intra-sequence", scale.PaperPairs, 128, 1, fmtDur(intraBatch), "45h")
+	t.AddRow("Intra+inter", scale.PaperPairs, 128, scale.PaperPairs, fmtDur(full), "7.35s")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("intra speed-up %.1fx (paper 9.3x); inter speed-up %.0fx (paper 22000x)",
+			out.SpeedupIntra, out.SpeedupInter),
+		"rows 1-3 model Alg. 1 run host-side with one ComputeAntiDiag launch per anti-diagonal;",
+		"row 4 is the fused LOGAN kernel (paper row 3 is internally ~10x off row 2 x 100K)")
+	out.Table = t
+	return out, nil
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.1fms", float64(d)/1e6)
+	}
+}

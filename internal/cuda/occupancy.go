@@ -1,0 +1,53 @@
+package cuda
+
+// Occupancy describes how many blocks of a given shape fit concurrently on
+// one SM, and why the limit binds. LOGAN's design discussion (paper §IV-B)
+// hinges on this calculation: a block that reserves 64 KB of shared memory
+// caps residency at one block per SM, which is why the anti-diagonals live
+// in HBM instead.
+type Occupancy struct {
+	BlocksPerSM   int    // resident blocks per SM
+	WarpsPerSM    int    // resident warps per SM
+	LimitedBy     string // "threads", "blocks", "shared", or "registers"
+	ActiveThreads int    // resident threads per SM
+}
+
+// OccupancyFor computes the residency of blocks with the given thread count
+// and per-block shared-memory reservation on this device.
+func (s DeviceSpec) OccupancyFor(threadsPerBlock, sharedPerBlock int) Occupancy {
+	if threadsPerBlock <= 0 {
+		threadsPerBlock = 1
+	}
+	warpsPerBlock := (threadsPerBlock + s.WarpSize - 1) / s.WarpSize
+	// Thread-count limit.
+	byThreads := s.MaxThreadsPerSM / (warpsPerBlock * s.WarpSize)
+	limit, by := byThreads, "threads"
+	// Hard block-count limit.
+	if s.MaxBlocksPerSM < limit {
+		limit, by = s.MaxBlocksPerSM, "blocks"
+	}
+	// Shared-memory limit.
+	if sharedPerBlock > 0 {
+		byShared := s.SharedPerSM / sharedPerBlock
+		if byShared < limit {
+			limit, by = byShared, "shared"
+		}
+	}
+	// Register-file limit.
+	if s.RegsPerThread > 0 {
+		regsPerBlock := s.RegsPerThread * warpsPerBlock * s.WarpSize
+		byRegs := s.RegistersPerSM / regsPerBlock
+		if byRegs < limit {
+			limit, by = byRegs, "registers"
+		}
+	}
+	if limit < 1 {
+		limit = 0
+	}
+	return Occupancy{
+		BlocksPerSM:   limit,
+		WarpsPerSM:    limit * warpsPerBlock,
+		LimitedBy:     by,
+		ActiveThreads: limit * warpsPerBlock * s.WarpSize,
+	}
+}

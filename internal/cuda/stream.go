@@ -1,0 +1,122 @@
+package cuda
+
+import (
+	"sync"
+	"time"
+)
+
+// Stream is an ordered queue of device operations with a modeled timeline,
+// the analogue of a CUDA stream. Operations execute immediately (the
+// simulator is functional), but their modeled durations are composed with
+// discrete-event semantics: a stream's operations serialize among
+// themselves; across streams, kernels contend for the compute engine and
+// copies for the copy engine, so concurrent streams overlap transfers with
+// compute exactly the way LOGAN's two extension streams do (paper §IV-B).
+type Stream struct {
+	dev *Device
+	now time.Duration
+}
+
+// engine timelines shared by all streams of a device.
+type engines struct {
+	mu      sync.Mutex
+	compute time.Duration
+	copy    time.Duration
+}
+
+var deviceEngines sync.Map // *Device -> *engines
+
+func (d *Device) engines() *engines {
+	e, _ := deviceEngines.LoadOrStore(d, &engines{})
+	return e.(*engines)
+}
+
+// NewStream creates a stream whose timeline starts at the device's origin.
+func (d *Device) NewStream() *Stream { return &Stream{dev: d} }
+
+// ResetTimeline zeroes the device's engine timelines so that a new batch's
+// modeled time starts from zero. Streams created before the reset must not
+// be reused afterwards.
+func (d *Device) ResetTimeline() {
+	e := d.engines()
+	e.mu.Lock()
+	e.compute, e.copy = 0, 0
+	e.mu.Unlock()
+}
+
+// Elapsed returns the stream's modeled completion time for all enqueued
+// work.
+func (s *Stream) Elapsed() time.Duration { return s.now }
+
+// Event marks a point in a stream's modeled timeline.
+type Event struct{ At time.Duration }
+
+// Record returns an event capturing the stream's current modeled time.
+func (s *Stream) Record() Event { return Event{At: s.now} }
+
+// LaunchAsync executes the kernel (synchronously in host terms) and
+// advances the stream's modeled clock by the kernel's modeled duration,
+// serialized on the device's compute engine.
+func (s *Stream) LaunchAsync(cfg LaunchConfig, kernel KernelFunc) (KernelStats, error) {
+	stats, err := s.dev.Launch(cfg, kernel)
+	if err != nil {
+		return stats, err
+	}
+	var dur time.Duration
+	if s.dev.Timer != nil {
+		dur = s.dev.Timer.KernelTime(s.dev.Spec, stats)
+	}
+	e := s.dev.engines()
+	e.mu.Lock()
+	start := s.now
+	if e.compute > start {
+		start = e.compute
+	}
+	end := start + dur
+	e.compute = end
+	e.mu.Unlock()
+	s.now = end
+	return stats, nil
+}
+
+// MemcpyHtoD copies src into the device buffer and advances the stream's
+// clock by the modeled transfer time on the copy engine.
+func MemcpyHtoD[T any](s *Stream, dst *Buffer[T], src []T) {
+	copy(dst.data, src)
+	s.accountCopy(int64(len(src)) * int64(sizeofAny(*new(T))))
+}
+
+// MemcpyDtoH copies the device buffer into dst with the same timing rules.
+func MemcpyDtoH[T any](s *Stream, dst []T, src *Buffer[T]) {
+	copy(dst, src.data)
+	s.accountCopy(int64(min(len(dst), len(src.data))) * int64(sizeofAny(*new(T))))
+}
+
+func (s *Stream) accountCopy(bytes int64) {
+	var dur time.Duration
+	if s.dev.Timer != nil {
+		dur = s.dev.Timer.CopyTime(s.dev.Spec, bytes)
+	}
+	e := s.dev.engines()
+	e.mu.Lock()
+	start := s.now
+	if e.copy > start {
+		start = e.copy
+	}
+	end := start + dur
+	e.copy = end
+	e.mu.Unlock()
+	s.now = end
+}
+
+// SyncAll returns the modeled time at which every given stream has drained,
+// i.e. the device-level completion time of the composed operation.
+func SyncAll(streams ...*Stream) time.Duration {
+	var t time.Duration
+	for _, s := range streams {
+		if s.now > t {
+			t = s.now
+		}
+	}
+	return t
+}

@@ -1,0 +1,234 @@
+// Package genome simulates the inputs of the paper's BELLA experiments:
+// synthetic genomes, long reads sampled from them with a PacBio-like error
+// channel, and the ground-truth overlap relation that lets the harness
+// report recall and precision — the "equivalent accuracy" side of the
+// reproduction that the paper asserts qualitatively.
+//
+// The E. coli and C. elegans data sets of Tables IV/V are replaced by
+// scaled presets (the real data is not redistributable and full-scale runs
+// exceed a laptop); the per-experiment scale factors are recorded in
+// EXPERIMENTS.md.
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"logan/internal/seq"
+)
+
+// Genome is a reference sequence reads are sampled from.
+type Genome struct {
+	Name string
+	Seq  seq.Seq
+}
+
+// SyntheticOptions controls genome generation.
+type SyntheticOptions struct {
+	Length     int     // bases
+	RepeatFrac float64 // fraction of the genome covered by duplicated segments
+	RepeatLen  int     // length of each duplicated segment (default 2000)
+}
+
+// Synthetic generates a random genome. RepeatFrac > 0 copies segments to
+// random positions, planting the genomic repeats that make overlap
+// detection produce false positives — the misalignment scenario the
+// paper's §III uses to motivate X-drop (and BELLA's filtering).
+func Synthetic(rng *rand.Rand, name string, opt SyntheticOptions) Genome {
+	if opt.Length <= 0 {
+		panic("genome: non-positive length")
+	}
+	g := Genome{Name: name, Seq: seq.RandSeq(rng, opt.Length)}
+	if opt.RepeatFrac > 0 {
+		rl := opt.RepeatLen
+		if rl <= 0 {
+			rl = 2000
+		}
+		if rl > opt.Length/4 {
+			rl = opt.Length / 4
+		}
+		if rl > 0 {
+			copies := int(float64(opt.Length) * opt.RepeatFrac / float64(rl))
+			for c := 0; c < copies; c++ {
+				src := rng.Intn(opt.Length - rl)
+				dst := rng.Intn(opt.Length - rl)
+				copy(g.Seq[dst:dst+rl], g.Seq[src:src+rl])
+			}
+		}
+	}
+	return g
+}
+
+// Read is a sampled long read with its provenance.
+type Read struct {
+	ID    int
+	Seq   seq.Seq
+	Start int  // genomic start of the sampled window
+	End   int  // genomic end (exclusive)
+	RC    bool // sampled from the reverse strand
+}
+
+// Name returns a FASTA-style identifier encoding the provenance.
+func (r Read) Name() string {
+	strand := "+"
+	if r.RC {
+		strand = "-"
+	}
+	return fmt.Sprintf("read%d_%d_%d%s", r.ID, r.Start, r.End, strand)
+}
+
+// ReadSet is a simulated sequencing run over one genome.
+type ReadSet struct {
+	Genome Genome
+	Reads  []Read
+	Error  seq.ErrorProfile
+}
+
+// SimOptions controls read simulation.
+type SimOptions struct {
+	Coverage  float64 // mean sequencing depth
+	MinLen    int     // minimum read length
+	MaxLen    int     // maximum read length
+	ErrorRate float64 // total per-base error rate
+	Stranded  bool    // if true, all reads come from the forward strand
+}
+
+// Simulate samples reads uniformly from the genome until the requested
+// coverage is reached. Read lengths are uniform in [MinLen, MaxLen]; each
+// read passes through the PacBio-profile error channel; half the reads are
+// reverse-complemented unless Stranded.
+func Simulate(rng *rand.Rand, g Genome, opt SimOptions) ReadSet {
+	if opt.MinLen <= 0 || opt.MaxLen < opt.MinLen {
+		panic("genome: invalid read length range")
+	}
+	if opt.MaxLen >= len(g.Seq) {
+		panic("genome: reads longer than genome")
+	}
+	prof := seq.PacBioProfile(opt.ErrorRate)
+	rs := ReadSet{Genome: g, Error: prof}
+	var sampled int64
+	target := int64(opt.Coverage * float64(len(g.Seq)))
+	for id := 0; sampled < target; id++ {
+		ln := opt.MinLen
+		if opt.MaxLen > opt.MinLen {
+			ln += rng.Intn(opt.MaxLen - opt.MinLen + 1)
+		}
+		start := rng.Intn(len(g.Seq) - ln)
+		window := g.Seq.Sub(start, start+ln)
+		r := Read{ID: id, Start: start, End: start + ln}
+		if !opt.Stranded && rng.Intn(2) == 1 {
+			r.RC = true
+			window = window.RevComp()
+		}
+		r.Seq = seq.Mutate(rng, window, prof)
+		rs.Reads = append(rs.Reads, r)
+		sampled += int64(ln)
+	}
+	return rs
+}
+
+// Records converts the read set into FASTA records (provenance encoded in
+// the names), for export to standard tools.
+func (rs ReadSet) Records() []seq.Record {
+	recs := make([]seq.Record, len(rs.Reads))
+	for i, r := range rs.Reads {
+		recs[i] = seq.Record{Name: r.Name(), Seq: r.Seq}
+	}
+	return recs
+}
+
+// FromRecords builds a read set from plain FASTA records (no provenance:
+// Start/End are zero and ground-truth evaluation is unavailable). This is
+// the path for running the pipeline on external data.
+func FromRecords(recs []seq.Record) ReadSet {
+	rs := ReadSet{}
+	for i, rec := range recs {
+		rs.Reads = append(rs.Reads, Read{ID: i, Seq: rec.Seq})
+	}
+	return rs
+}
+
+// OverlapTruth is one ground-truth overlapping read pair (I < J).
+type OverlapTruth struct {
+	I, J    int // read indices
+	Overlap int // genomic overlap length in bases
+}
+
+// TrueOverlaps returns every read pair whose genomic windows overlap by at
+// least minOverlap bases, sorted by (I, J). This is the gold standard for
+// recall/precision.
+func (rs ReadSet) TrueOverlaps(minOverlap int) []OverlapTruth {
+	type iv struct{ start, end, idx int }
+	ivs := make([]iv, len(rs.Reads))
+	for i, r := range rs.Reads {
+		ivs[i] = iv{r.Start, r.End, i}
+	}
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].start < ivs[b].start })
+	var out []OverlapTruth
+	for a := 0; a < len(ivs); a++ {
+		for b := a + 1; b < len(ivs); b++ {
+			if ivs[b].start >= ivs[a].end-minOverlap+1 {
+				break
+			}
+			ov := min(ivs[a].end, ivs[b].end) - ivs[b].start
+			if ov >= minOverlap {
+				i, j := ivs[a].idx, ivs[b].idx
+				if i > j {
+					i, j = j, i
+				}
+				out = append(out, OverlapTruth{I: i, J: j, Overlap: ov})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// Preset describes a scaled stand-in for one of the paper's data sets.
+type Preset struct {
+	Name       string
+	GenomeLen  int
+	Coverage   float64
+	MinLen     int
+	MaxLen     int
+	ErrorRate  float64
+	RepeatFrac float64
+	// PaperAlignments is the alignment count of the original data set
+	// (1.82M for E. coli, 235M for C. elegans), used by the harness to
+	// scale modeled pipeline times.
+	PaperAlignments int64
+}
+
+// EColiSim is the scaled stand-in for the paper's real E. coli data set
+// (1.82M alignments at full scale).
+func EColiSim() Preset {
+	return Preset{
+		Name: "ecoli-sim", GenomeLen: 120_000, Coverage: 6,
+		MinLen: 1500, MaxLen: 4500, ErrorRate: 0.15, RepeatFrac: 0.02,
+		PaperAlignments: 1_820_000,
+	}
+}
+
+// CElegansSim is the scaled stand-in for the paper's synthetic C. elegans
+// data set (235M alignments at full scale).
+func CElegansSim() Preset {
+	return Preset{
+		Name: "celegans-sim", GenomeLen: 400_000, Coverage: 8,
+		MinLen: 1500, MaxLen: 4500, ErrorRate: 0.15, RepeatFrac: 0.05,
+		PaperAlignments: 235_000_000,
+	}
+}
+
+// Build materializes a preset into a read set.
+func (p Preset) Build(rng *rand.Rand) ReadSet {
+	g := Synthetic(rng, p.Name, SyntheticOptions{Length: p.GenomeLen, RepeatFrac: p.RepeatFrac})
+	return Simulate(rng, g, SimOptions{
+		Coverage: p.Coverage, MinLen: p.MinLen, MaxLen: p.MaxLen, ErrorRate: p.ErrorRate,
+	})
+}

@@ -1,0 +1,69 @@
+package ksw2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"logan/internal/seq"
+)
+
+// TestExtendZRandomParamsProperty: with Z-drop disabled, the banded code
+// must equal the exhaustive Gotoh DP for arbitrary valid affine
+// parameters; with Z-drop enabled it must never exceed it.
+func TestExtendZRandomParamsProperty(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw, qRaw, eRaw, zRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			Match:    int32(aRaw%4) + 1,
+			Mismatch: int32(bRaw%6) + 1,
+			GapOpen:  int32(qRaw % 8),
+			GapExt:   int32(eRaw%4) + 1,
+		}
+		q := seq.RandSeq(rng, 1+rng.Intn(50))
+		tt := seq.RandSeq(rng, 1+rng.Intn(50))
+
+		p.ZDrop = 0
+		exact := ExtendZ(q, tt, p)
+		want, _, _ := affineExhaustive(q, tt, p)
+		if exact.Score != want {
+			return false
+		}
+		p.ZDrop = int32(zRaw%200) + 1
+		pruned := ExtendZ(q, tt, p)
+		return pruned.Score <= want && pruned.Score >= 0 && pruned.Cells <= exact.Cells
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtendZSymmetry: swapping query and target transposes the DP.
+func TestExtendZSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := MinimapParams(0)
+	for trial := 0; trial < 30; trial++ {
+		q := seq.RandSeq(rng, 1+rng.Intn(60))
+		tt := seq.RandSeq(rng, 1+rng.Intn(60))
+		a := ExtendZ(q, tt, p)
+		b := ExtendZ(tt, q, p)
+		if a.Score != b.Score {
+			t.Fatalf("asymmetric: %d vs %d\nq=%s\nt=%s", a.Score, b.Score, q, tt)
+		}
+	}
+}
+
+// TestExtendZMonotoneInZ: more Z never lowers the score.
+func TestExtendZMonotoneInZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := seq.RandSeq(rng, 400)
+	mut := seq.Mutate(rng, base, seq.PacBioProfile(0.15))
+	prev := int32(-1)
+	for _, z := range []int32{1, 5, 20, 80, 300, 1200, 1 << 22} {
+		r := ExtendZ(base, mut, MinimapParams(z))
+		if r.Score < prev {
+			t.Fatalf("score decreased at z=%d: %d < %d", z, r.Score, prev)
+		}
+		prev = r.Score
+	}
+}

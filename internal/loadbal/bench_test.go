@@ -1,0 +1,37 @@
+package loadbal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPartitionLPT measures the load balancer's partition cost at
+// the paper's 100K-pair workload size — the "load balancing overhead" the
+// paper's future work wants to shrink.
+func BenchmarkPartitionLPT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	weights := make([]int64, 100000)
+	for i := range weights {
+		weights[i] = int64(5000 + rng.Intn(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buckets := PartitionWeights(weights, 6, ByLength)
+		if len(buckets) != 6 {
+			b.Fatal("bad partition")
+		}
+	}
+}
+
+// BenchmarkPartitionRoundRobin is the ablation counterpart.
+func BenchmarkPartitionRoundRobin(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	weights := make([]int64, 100000)
+	for i := range weights {
+		weights[i] = int64(5000 + rng.Intn(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PartitionWeights(weights, 6, RoundRobin)
+	}
+}

@@ -1,0 +1,195 @@
+// Package loadbal implements LOGAN's multi-GPU load balancer (paper §IV-C,
+// Fig. 7): the host divides the alignment batch across devices, weighting
+// by sequence length so each GPU receives a comparable amount of DP work,
+// launches every device's batch, and collects the results. The modeled
+// completion time is the slowest device plus the per-GPU setup overhead —
+// the overhead that makes the paper's multi-GPU scaling sub-linear at
+// small X.
+package loadbal
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"logan/internal/core"
+	"logan/internal/cuda"
+	"logan/internal/perfmodel"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// Pool is a set of simulated devices acting as one multi-GPU node.
+type Pool struct {
+	Devices []*cuda.Device
+	Host    perfmodel.HostModel
+}
+
+// NewV100Pool builds a pool of n Tesla V100s with the calibrated timer
+// installed, mirroring the paper's 6- and 8-GPU test nodes.
+func NewV100Pool(n int) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadbal: pool size %d must be positive", n)
+	}
+	p := &Pool{Host: perfmodel.DefaultHostModel()}
+	for i := 0; i < n; i++ {
+		d, err := cuda.NewDevice(cuda.TeslaV100())
+		if err != nil {
+			return nil, err
+		}
+		d.Timer = perfmodel.NewV100Timer()
+		p.Devices = append(p.Devices, d)
+	}
+	return p, nil
+}
+
+// Result is the outcome of a multi-GPU batch.
+type Result struct {
+	Results   []xdrop.SeedResult // in input order
+	PerDevice []core.BatchResult
+	// DeviceTime is the modeled GPU completion time: the slowest device.
+	DeviceTime time.Duration
+	// TotalTime adds the host-side prep, per-GPU setup and collection.
+	TotalTime time.Duration
+	Cells     int64
+	// Imbalance is maxDeviceWork/meanDeviceWork in cells (1.0 = perfect).
+	Imbalance float64
+}
+
+// Strategy selects how pairs are divided across devices.
+type Strategy int
+
+const (
+	// ByLength is LOGAN's scheme: greedy longest-processing-time
+	// assignment weighted by sequence length.
+	ByLength Strategy = iota
+	// RoundRobin is the naive count-based split, kept as the ablation
+	// baseline for the load-balancing design point.
+	RoundRobin
+)
+
+// Partition splits pair indices across n buckets under the given strategy.
+// Every index appears in exactly one bucket.
+func Partition(pairs []seq.Pair, n int, strat Strategy) [][]int {
+	weights := make([]int64, len(pairs))
+	for i := range pairs {
+		weights[i] = int64(len(pairs[i].Query) + len(pairs[i].Target))
+	}
+	return PartitionWeights(weights, n, strat)
+}
+
+// PartitionWeights is the weight-level core of Partition, also used by the
+// experiment harness to evaluate balance quality at full workload scale
+// without materializing sequences.
+func PartitionWeights(weights []int64, n int, strat Strategy) [][]int {
+	buckets := make([][]int, n)
+	switch strat {
+	case RoundRobin:
+		for i := range weights {
+			b := i % n
+			buckets[b] = append(buckets[b], i)
+		}
+	default: // ByLength: LPT greedy on weight
+		type item struct {
+			idx    int
+			weight int64
+		}
+		items := make([]item, len(weights))
+		for i, w := range weights {
+			items[i] = item{idx: i, weight: w}
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].weight != items[b].weight {
+				return items[a].weight > items[b].weight
+			}
+			return items[a].idx < items[b].idx
+		})
+		loads := make([]int64, n)
+		for _, it := range items {
+			b := 0
+			for k := 1; k < n; k++ {
+				if loads[k] < loads[b] {
+					b = k
+				}
+			}
+			buckets[b] = append(buckets[b], it.idx)
+			loads[b] += it.weight
+		}
+		// Keep input order within a bucket (helps locality and makes the
+		// run deterministic).
+		for b := range buckets {
+			sort.Ints(buckets[b])
+		}
+	}
+	return buckets
+}
+
+// ImbalanceOf evaluates a partition: max bucket weight over mean bucket
+// weight (1.0 = perfect).
+func ImbalanceOf(weights []int64, buckets [][]int) float64 {
+	var total, maxW int64
+	for _, b := range buckets {
+		var w int64
+		for _, idx := range b {
+			w += weights[idx]
+		}
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if total == 0 || len(buckets) == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(buckets))
+	return float64(maxW) / mean
+}
+
+// Align runs the batch across the pool's devices and merges the results in
+// input order.
+func (p *Pool) Align(pairs []seq.Pair, cfg core.Config, strat Strategy) (Result, error) {
+	out := Result{}
+	if len(p.Devices) == 0 {
+		return out, fmt.Errorf("loadbal: empty pool")
+	}
+	if len(pairs) == 0 {
+		return out, nil
+	}
+	buckets := Partition(pairs, len(p.Devices), strat)
+	out.Results = make([]xdrop.SeedResult, len(pairs))
+	out.PerDevice = make([]core.BatchResult, len(p.Devices))
+
+	var maxCells int64
+	for d, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		sub := make([]seq.Pair, len(bucket))
+		for k, idx := range bucket {
+			sub[k] = pairs[idx]
+		}
+		res, err := core.AlignBatch(p.Devices[d], sub, cfg)
+		if err != nil {
+			return out, fmt.Errorf("loadbal: device %d: %w", d, err)
+		}
+		for k, idx := range bucket {
+			out.Results[idx] = res.Results[k]
+		}
+		out.PerDevice[d] = res
+		out.Cells += res.Cells
+		if res.DeviceTime > out.DeviceTime {
+			out.DeviceTime = res.DeviceTime
+		}
+		if res.Cells > maxCells {
+			maxCells = res.Cells
+		}
+	}
+	if mean := float64(out.Cells) / float64(len(p.Devices)); mean > 0 {
+		out.Imbalance = float64(maxCells) / mean
+	}
+	out.TotalTime = p.Host.PrepTime(len(pairs)) +
+		p.Host.SetupTime(len(p.Devices)) +
+		out.DeviceTime +
+		p.Host.CollectTime(len(pairs))
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package loadbal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"logan/internal/core"
+	"logan/internal/cuda"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+func makePairs(seed int64, n int) []seq.Pair {
+	rng := rand.New(rand.NewSource(seed))
+	return seq.RandPairSet(rng, seq.PairSetOptions{
+		N: n, MinLen: 100, MaxLen: 700, ErrorRate: 0.15, SeedLen: 17,
+	})
+}
+
+func TestPartitionCompleteness(t *testing.T) {
+	f := func(nRaw uint8, gRaw uint8, strat bool) bool {
+		n := int(nRaw)%100 + 1
+		g := int(gRaw)%8 + 1
+		pairs := makePairs(int64(nRaw)*31+int64(gRaw), n)
+		s := ByLength
+		if strat {
+			s = RoundRobin
+		}
+		buckets := Partition(pairs, g, s)
+		if len(buckets) != g {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, b := range buckets {
+			for _, idx := range b {
+				if idx < 0 || idx >= n || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionBalanceByLength(t *testing.T) {
+	// Pathological mix: a few giants and many small reads. LPT must beat
+	// round-robin's worst bucket.
+	rng := rand.New(rand.NewSource(7))
+	var pairs []seq.Pair
+	for i := 0; i < 6; i++ {
+		pairs = append(pairs, seq.Pair{
+			Query: seq.RandSeq(rng, 8000), Target: seq.RandSeq(rng, 8000),
+			SeedQPos: 100, SeedTPos: 100, SeedLen: 17, ID: i,
+		})
+	}
+	for i := 0; i < 60; i++ {
+		pairs = append(pairs, seq.Pair{
+			Query: seq.RandSeq(rng, 200), Target: seq.RandSeq(rng, 200),
+			SeedQPos: 50, SeedTPos: 50, SeedLen: 17, ID: 6 + i,
+		})
+	}
+	weightOf := func(buckets [][]int) (maxW int64) {
+		for _, b := range buckets {
+			var w int64
+			for _, idx := range b {
+				w += int64(len(pairs[idx].Query) + len(pairs[idx].Target))
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		return maxW
+	}
+	lpt := weightOf(Partition(pairs, 6, ByLength))
+	rr := weightOf(Partition(pairs, 6, RoundRobin))
+	if lpt > rr {
+		t.Fatalf("LPT worst bucket %d heavier than round-robin %d", lpt, rr)
+	}
+	// LPT should be near-perfect here: each giant on its own device.
+	var total int64
+	for i := range pairs {
+		total += int64(len(pairs[i].Query) + len(pairs[i].Target))
+	}
+	if float64(lpt) > 1.25*float64(total)/6 {
+		t.Fatalf("LPT imbalance: worst %d vs mean %d", lpt, total/6)
+	}
+}
+
+func TestMultiGPUMatchesSingle(t *testing.T) {
+	pairs := makePairs(1, 30)
+	cfg := core.DefaultConfig(50)
+
+	single := cuda.MustV100()
+	want, err := core.AlignBatch(single, pairs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []int{1, 2, 4} {
+		pool, err := NewV100Pool(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pool.Align(pairs, cfg, ByLength)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pairs {
+			if got.Results[i].Score != want.Results[i].Score {
+				t.Fatalf("g=%d pair %d: %d != %d", g, i, got.Results[i].Score, want.Results[i].Score)
+			}
+			if got.Results[i].QEnd != want.Results[i].QEnd {
+				t.Fatalf("g=%d pair %d: extent mismatch", g, i)
+			}
+		}
+		if got.Cells != want.Cells {
+			t.Fatalf("g=%d: cells %d != %d", g, got.Cells, want.Cells)
+		}
+	}
+}
+
+func TestMultiGPUScalesDeviceTime(t *testing.T) {
+	pairs := makePairs(2, 64)
+	cfg := core.DefaultConfig(100)
+	t1pool, _ := NewV100Pool(1)
+	t4pool, _ := NewV100Pool(4)
+	r1, err := t1pool.Align(pairs, cfg, ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := t4pool.Align(pairs, cfg, ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.DeviceTime >= r1.DeviceTime {
+		t.Fatalf("4-GPU device time %v not faster than 1-GPU %v", r4.DeviceTime, r1.DeviceTime)
+	}
+	// Total time includes per-GPU setup: the gap between total and device
+	// time must grow with the pool (the paper's load-balancing overhead).
+	oh1 := r1.TotalTime - r1.DeviceTime
+	oh4 := r4.TotalTime - r4.DeviceTime
+	if oh4 <= oh1 {
+		t.Fatalf("4-GPU host overhead %v not larger than 1-GPU %v", oh4, oh1)
+	}
+	if r1.Imbalance < 0.999 || r1.Imbalance > 1.001 {
+		t.Fatalf("single-device imbalance = %v, want 1", r1.Imbalance)
+	}
+	if r4.Imbalance < 1.0-1e-9 {
+		t.Fatalf("imbalance %v < 1", r4.Imbalance)
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewV100Pool(0); err == nil {
+		t.Error("accepted empty pool")
+	}
+	pool, _ := NewV100Pool(2)
+	if _, err := pool.Align(nil, core.DefaultConfig(10), ByLength); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	empty := &Pool{}
+	if _, err := empty.Align(makePairs(3, 2), core.DefaultConfig(10), ByLength); err == nil {
+		t.Error("accepted pool with no devices")
+	}
+}
+
+func TestMoreGPUsThanPairs(t *testing.T) {
+	pairs := makePairs(4, 3)
+	pool, _ := NewV100Pool(6)
+	res, err := pool.Align(pairs, core.DefaultConfig(20), ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := xdrop.ExtendBatch(pairs, xdrop.DefaultScoring(), 20, 0)
+	for i := range pairs {
+		if res.Results[i].Score != want[i].Score {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}
+
+func TestImbalanceOfEdgeCases(t *testing.T) {
+	if got := ImbalanceOf(nil, nil); got != 1 {
+		t.Fatalf("empty imbalance = %v", got)
+	}
+	if got := ImbalanceOf([]int64{0, 0}, [][]int{{0}, {1}}); got != 1 {
+		t.Fatalf("zero-weight imbalance = %v", got)
+	}
+	w := []int64{10, 10, 10, 30}
+	buckets := [][]int{{0, 1, 2}, {3}}
+	// loads 30/30, mean 30 -> 1.0
+	if got := ImbalanceOf(w, buckets); got != 1 {
+		t.Fatalf("balanced = %v", got)
+	}
+	skewed := [][]int{{0}, {1, 2, 3}}
+	// loads 10/50, mean 30 -> 50/30
+	if got := ImbalanceOf(w, skewed); got < 1.66 || got > 1.67 {
+		t.Fatalf("skewed = %v", got)
+	}
+}
+
+func TestAlignRoundRobinStrategy(t *testing.T) {
+	pairs := makePairs(9, 12)
+	pool, err := NewV100Pool(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := pool.Align(pairs, core.DefaultConfig(25), RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2, _ := NewV100Pool(3)
+	lpt, err := pool2.Align(pairs, core.DefaultConfig(25), ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if rr.Results[i].Score != lpt.Results[i].Score {
+			t.Fatalf("strategy changed scores at pair %d", i)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package perfmodel
+
+import "time"
+
+// HostModel captures the CPU-side costs of driving the GPU: per-pair batch
+// preparation (sequence staging, seed splitting, reversal — paper §IV-B),
+// per-device setup (context switching, allocations — the load-balancer
+// overhead of §IV-C), and per-pair result collection. These costs are what
+// keep LOGAN's small-X rows at ~2 s in Table II and what make the multi-GPU
+// speed-up sub-linear.
+type HostModel struct {
+	PerPairPrep    time.Duration // serial host work per alignment before launch
+	PerGPUSetup    time.Duration // context/alloc cost per device per batch
+	PerPairCollect time.Duration // result retrieval and post-processing per pair
+}
+
+// DefaultHostModel returns the host-cost model calibrated against the
+// X=10 rows of Tables II and III (where kernel time is negligible and the
+// measured 2.2 s / 2.5 s are essentially all host work).
+func DefaultHostModel() HostModel {
+	return HostModel{
+		PerPairPrep:    19 * time.Microsecond,
+		PerGPUSetup:    25 * time.Millisecond,
+		PerPairCollect: 1 * time.Microsecond,
+	}
+}
+
+// PrepTime is the serial host preparation time for a batch.
+func (h HostModel) PrepTime(nPairs int) time.Duration {
+	return time.Duration(nPairs) * h.PerPairPrep
+}
+
+// SetupTime is the device setup time for a batch spread over nGPUs.
+func (h HostModel) SetupTime(nGPUs int) time.Duration {
+	return time.Duration(nGPUs) * h.PerGPUSetup
+}
+
+// CollectTime is the result-collection time for a batch.
+func (h HostModel) CollectTime(nPairs int) time.Duration {
+	return time.Duration(nPairs) * h.PerPairCollect
+}

@@ -1,0 +1,62 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"logan/internal/cuda"
+)
+
+func TestCoreRoundUtilRegimes(t *testing.T) {
+	spec := cuda.TeslaV100()
+	// No iteration data: neutral.
+	var empty cuda.KernelStats
+	if got := coreRoundUtil(spec, empty); got != 1 {
+		t.Fatalf("empty util = %v, want 1", got)
+	}
+	// Unsaturated device: neutral (handled by other terms).
+	s := cuda.KernelStats{Grid: 2, Block: 32, Occupancy: spec.OccupancyFor(32, 0)}
+	s.Iter.SumNop = 10
+	s.Iter.SumNopAct = 10 * 16 // 16 active lanes
+	if got := coreRoundUtil(spec, s); got != 1 {
+		t.Fatalf("unsaturated util = %v, want 1", got)
+	}
+	// Saturated with exact multiples: utilization 1.
+	s = cuda.KernelStats{Grid: 100000, Block: 128, Occupancy: spec.OccupancyFor(128, 0)}
+	s.Iter.SumNop = 10
+	s.Iter.SumNopAct = 10 * 128
+	got := coreRoundUtil(spec, s)
+	if got <= 0 || got > 1 {
+		t.Fatalf("saturated util = %v outside (0,1]", got)
+	}
+	// Just past a round boundary: utilization near 0.5.
+	s.Iter.SumNopAct = 10 * 128.1
+	if got := coreRoundUtil(spec, s); got > 1 {
+		t.Fatalf("past-boundary util = %v", got)
+	}
+}
+
+func TestKernelTimeBarrierOverheadAmortizes(t *testing.T) {
+	tm := NewV100Timer()
+	spec := cuda.TeslaV100()
+	// Same total work and barriers; the low-occupancy shape (1024-thread
+	// blocks, 2 resident) must pay more barrier overhead than the
+	// high-occupancy one (128-thread, 16 resident).
+	mk := func(block int) cuda.KernelStats {
+		s := cuda.KernelStats{
+			Grid: 100000, Block: block,
+			WarpInstrs: 1e10, Barriers: 1e8, AccessEvents: 3e8,
+			MaxBlockWarpInstrs: 1e5, MaxBlockIters: 1e3,
+			Occupancy: spec.OccupancyFor(block, 0),
+		}
+		s.Iter.SumNop = 1e3
+		s.Iter.SumNopAct = 1e3 * 64 // 64 active lanes per iteration
+		return s
+	}
+	low := tm.KernelTime(spec, mk(1024))
+	high := tm.KernelTime(spec, mk(128))
+	if low <= high {
+		t.Fatalf("low-occupancy shape %v not slower than high-occupancy %v", low, high)
+	}
+	_ = time.Second
+}

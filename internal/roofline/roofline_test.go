@@ -1,0 +1,147 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"logan/internal/cuda"
+)
+
+func model() Model { return ForDevice(cuda.TeslaV100()) }
+
+func TestModelFigures(t *testing.T) {
+	m := model()
+	if math.Abs(m.INT32GIPS-220.8) > 0.1 {
+		t.Errorf("INT32 ceiling %.1f, want 220.8", m.INT32GIPS)
+	}
+	if math.Abs(m.PeakGIPS-489.6) > 0.1 {
+		t.Errorf("peak %.1f, want 489.6", m.PeakGIPS)
+	}
+	// Ridge: 220.8e9 / 900e9 = 0.245 warp instr per byte.
+	if r := m.Ridge(); math.Abs(r-0.2453) > 0.001 {
+		t.Errorf("ridge = %v, want ~0.245", r)
+	}
+}
+
+func TestAttainable(t *testing.T) {
+	m := model()
+	// Left of the ridge: memory slope.
+	if got := m.Attainable(0.1); math.Abs(got-90) > 0.5 {
+		t.Errorf("attainable(0.1) = %v, want 90", got)
+	}
+	// Right of the ridge: flat INT32 ceiling.
+	if got := m.Attainable(10); got != m.INT32GIPS {
+		t.Errorf("attainable(10) = %v, want ceiling", got)
+	}
+	// Continuity at the ridge.
+	if got := m.Attainable(m.Ridge()); math.Abs(got-m.INT32GIPS) > 0.5 {
+		t.Errorf("attainable(ridge) = %v", got)
+	}
+}
+
+func saturatedStats(grid, block int, activeLanes float64) cuda.KernelStats {
+	s := cuda.KernelStats{
+		Grid: grid, Block: block,
+		WarpInstrs: 1e9,
+		Occupancy:  cuda.TeslaV100().OccupancyFor(block, 0),
+	}
+	s.Iter.SumNop = 1000
+	s.Iter.SumNopAct = 1000 * activeLanes
+	s.Iter.SumNopFill = 900
+	s.Iter.Count = 100
+	return s
+}
+
+func TestAdaptedCeilingSaturated(t *testing.T) {
+	m := model()
+	// Full blocks everywhere: active lanes per block = 128, resident
+	// blocks = 16*80 = 1280 -> x = 163840 >> 5120 lanes: utilization is
+	// x/(5120*ceil(x/5120)) = 1 (x is a multiple of 5120 here).
+	got := AdaptedCeiling(m, saturatedStats(100000, 128, 128))
+	if got < 0.95*m.INT32GIPS {
+		t.Errorf("saturated adapted ceiling %v << INT32 ceiling %v", got, m.INT32GIPS)
+	}
+}
+
+func TestAdaptedCeilingUnderutilized(t *testing.T) {
+	m := model()
+	// One block with 32 active lanes: x=32 << 5120 -> ceiling collapses.
+	got := AdaptedCeiling(m, saturatedStats(1, 32, 32))
+	want := m.INT32GIPS * 32 / 5120
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("underutilized ceiling %v, want %v", got, want)
+	}
+}
+
+func TestAdaptedCeilingMonotoneInParallelism(t *testing.T) {
+	m := model()
+	prev := 0.0
+	for _, grid := range []int{1, 10, 100, 1000, 100000} {
+		c := AdaptedCeiling(m, saturatedStats(grid, 128, 100))
+		if c < prev-1e-9 {
+			t.Fatalf("adapted ceiling decreased at grid=%d: %v < %v", grid, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	m := model()
+	s := saturatedStats(100000, 128, 120)
+	s.DRAMReadBytes = 1e9 // OI = 1.0
+	rep := Analyze(m, s, 10*time.Millisecond)
+	if !rep.ComputeBound {
+		t.Error("OI=1.0 should be compute-bound (ridge ~0.245)")
+	}
+	// Achieved: 1e9 instr / 10ms = 100 GIPS.
+	if math.Abs(rep.AchievedGIPS-100) > 0.5 {
+		t.Errorf("achieved = %v, want 100", rep.AchievedGIPS)
+	}
+	if rep.CeilingFraction <= 0 || rep.CeilingFraction > 1.2 {
+		t.Errorf("ceiling fraction = %v", rep.CeilingFraction)
+	}
+	if rep.OI != 1.0 {
+		t.Errorf("OI = %v", rep.OI)
+	}
+}
+
+func TestAnalyzeMemoryBoundKernel(t *testing.T) {
+	m := model()
+	s := saturatedStats(100000, 128, 120)
+	s.DRAMReadBytes = 1e11 // OI = 0.01 << ridge
+	rep := Analyze(m, s, 10*time.Millisecond)
+	if rep.ComputeBound {
+		t.Error("OI=0.01 must be memory-bound")
+	}
+}
+
+func TestRender(t *testing.T) {
+	m := model()
+	s := saturatedStats(100000, 128, 120)
+	s.DRAMReadBytes = 1e9
+	rep := Analyze(m, s, 10*time.Millisecond)
+	out := rep.Render(60, 16)
+	if !strings.Contains(out, "K") {
+		t.Error("render missing kernel point")
+	}
+	if !strings.Contains(out, "compute-bound=true") {
+		t.Error("render missing verdict")
+	}
+	if len(strings.Split(out, "\n")) < 16 {
+		t.Error("render too short")
+	}
+}
+
+func TestZeroWorkDefaults(t *testing.T) {
+	m := model()
+	var s cuda.KernelStats
+	if got := AdaptedCeiling(m, s); got != m.INT32GIPS {
+		t.Errorf("empty stats ceiling = %v, want INT32 ceiling", got)
+	}
+	rep := Analyze(m, s, 0)
+	if rep.AchievedGIPS != 0 {
+		t.Errorf("zero-time achieved = %v", rep.AchievedGIPS)
+	}
+}

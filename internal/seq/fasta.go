@@ -1,0 +1,132 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is a named sequence, as parsed from FASTA/FASTQ input.
+type Record struct {
+	Name string
+	Seq  Seq
+	Qual []byte // nil for FASTA
+}
+
+// ReadFasta parses FASTA records from r. Header lines start with '>'; the
+// name is the first whitespace-delimited token. Sequence lines are
+// concatenated and validated against the ACGTN alphabet.
+func ReadFasta(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var recs []Record
+	var cur *Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if b[0] == '>' {
+			name := strings.Fields(string(b[1:]))
+			recs = append(recs, Record{})
+			cur = &recs[len(recs)-1]
+			if len(name) > 0 {
+				cur.Name = name[0]
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seq: line %d: sequence data before first FASTA header", line)
+		}
+		if !Valid(b) {
+			return nil, fmt.Errorf("seq: line %d: %v", line, ErrBadBase)
+		}
+		up := make([]byte, len(b))
+		for i, c := range b {
+			code := encode[c]
+			if code == 0xFE {
+				up[i] = 'N'
+			} else {
+				up[i] = Alphabet[code]
+			}
+		}
+		cur.Seq = append(cur.Seq, up...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// WriteFasta emits the records to w, wrapping sequence lines at 80 columns.
+func WriteFasta(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(Format(rec.Seq, 80)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFastq parses FASTQ records (4-line layout) from r.
+func ReadFastq(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var recs []Record
+	line := 0
+	next := func() ([]byte, bool) {
+		for sc.Scan() {
+			line++
+			b := bytes.TrimSpace(sc.Bytes())
+			if len(b) > 0 {
+				out := make([]byte, len(b))
+				copy(out, b)
+				return out, true
+			}
+		}
+		return nil, false
+	}
+	for {
+		hdr, ok := next()
+		if !ok {
+			break
+		}
+		if hdr[0] != '@' {
+			return nil, fmt.Errorf("seq: line %d: FASTQ header must start with '@'", line)
+		}
+		sq, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("seq: line %d: truncated FASTQ record", line)
+		}
+		if !Valid(sq) {
+			return nil, fmt.Errorf("seq: line %d: %v", line, ErrBadBase)
+		}
+		plus, ok := next()
+		if !ok || plus[0] != '+' {
+			return nil, fmt.Errorf("seq: line %d: missing FASTQ separator", line)
+		}
+		qual, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("seq: line %d: missing FASTQ quality", line)
+		}
+		if len(qual) != len(sq) {
+			return nil, fmt.Errorf("seq: line %d: quality length %d != sequence length %d", line, len(qual), len(sq))
+		}
+		name := strings.Fields(string(hdr[1:]))
+		rec := Record{Qual: qual}
+		if len(name) > 0 {
+			rec.Name = name[0]
+		}
+		rec.Seq, _ = New(string(sq))
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}

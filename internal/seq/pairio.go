@@ -1,0 +1,77 @@
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Pair files are the interchange format of the standalone aligner (the
+// original LOGAN demo reads an equivalent format): one alignment work item
+// per line, tab-separated:
+//
+//	query-sequence  target-sequence  seedQ  seedT  seedLen
+//
+// Lines starting with '#' and blank lines are ignored.
+
+// WritePairs emits the pair set in the interchange format.
+func WritePairs(w io.Writer, pairs []Pair) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# query\ttarget\tseedQ\tseedT\tseedLen")
+	for _, p := range pairs {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%d\t%d\n",
+			p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPairs parses the interchange format, validating sequences and seed
+// geometry.
+func ReadPairs(r io.Reader) ([]Pair, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var pairs []Pair
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("seq: line %d: %d fields, want 5", line, len(fields))
+		}
+		q, err := New(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("seq: line %d query: %w", line, err)
+		}
+		t, err := New(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("seq: line %d target: %w", line, err)
+		}
+		nums := make([]int, 3)
+		for i, f := range fields[2:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("seq: line %d field %d: %w", line, i+3, err)
+			}
+			nums[i] = v
+		}
+		p := Pair{Query: q, Target: t, SeedQPos: nums[0], SeedTPos: nums[1], SeedLen: nums[2], ID: len(pairs)}
+		if p.SeedQPos < 0 || p.SeedTPos < 0 || p.SeedLen <= 0 ||
+			p.SeedQPos+p.SeedLen > len(q) || p.SeedTPos+p.SeedLen > len(t) {
+			return nil, fmt.Errorf("seq: line %d: seed (%d,%d,%d) outside sequences (%d,%d)",
+				line, p.SeedQPos, p.SeedTPos, p.SeedLen, len(q), len(t))
+		}
+		pairs = append(pairs, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}

@@ -1,0 +1,55 @@
+package seq
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPairIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := RandPairSet(rng, PairSetOptions{N: 15, MinLen: 50, MaxLen: 120, ErrorRate: 0.1, SeedLen: 11})
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadPairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip count %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if string(out[i].Query) != string(in[i].Query) ||
+			string(out[i].Target) != string(in[i].Target) ||
+			out[i].SeedQPos != in[i].SeedQPos ||
+			out[i].SeedTPos != in[i].SeedTPos ||
+			out[i].SeedLen != in[i].SeedLen {
+			t.Fatalf("pair %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadPairsErrors(t *testing.T) {
+	cases := map[string]string{
+		"field count":  "ACGT\tACGT\t0\t0\n",
+		"bad base":     "ACXT\tACGT\t0\t0\t2\n",
+		"bad number":   "ACGT\tACGT\tzero\t0\t2\n",
+		"seed range":   "ACGT\tACGT\t3\t0\t4\n",
+		"zero seed":    "ACGT\tACGT\t0\t0\t0\n",
+		"negative pos": "ACGT\tACGT\t-1\t0\t2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadPairs(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# header\n\nACGT\tACGT\t0\t0\t4\n"
+	pairs, err := ReadPairs(strings.NewReader(ok))
+	if err != nil || len(pairs) != 1 {
+		t.Fatalf("comment handling: %v, %d pairs", err, len(pairs))
+	}
+}

@@ -1,0 +1,237 @@
+// Package simd emulates the fixed-width integer SIMD operations that ksw2's
+// SSE2 kernel uses: 128-bit vectors of eight int16 lanes. The emulation is
+// functional (plain Go loops over lanes) but preserves the structural
+// properties that matter for the reproduction — fixed lane count, saturating
+// arithmetic, lane-wise max/compare/blend — so the ksw2 baseline in
+// internal/ksw2 exhibits the same vector-granularity behaviour as the SSE2
+// original, and its operation counts can be fed to the CPU time model.
+//
+// Only the subset of SSE2 intrinsics ksw2's extension kernel needs is
+// provided. Names follow the _mm_* intrinsics they stand in for.
+package simd
+
+// Lanes is the number of int16 lanes per vector (128-bit SSE2 register).
+const Lanes = 8
+
+// I16x8 is a 128-bit vector of eight int16 lanes.
+type I16x8 [Lanes]int16
+
+// Splat returns a vector with every lane set to v (_mm_set1_epi16).
+func Splat(v int16) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Load gathers the first 8 elements of s into a vector (_mm_load_si128).
+// Missing elements (len(s) < 8) are filled with pad.
+func Load(s []int16, pad int16) I16x8 {
+	out := Splat(pad)
+	n := len(s)
+	if n > Lanes {
+		n = Lanes
+	}
+	copy(out[:n], s[:n])
+	return out
+}
+
+// Store scatters v into the first min(8, len(d)) elements of d.
+func Store(d []int16, v I16x8) {
+	n := len(d)
+	if n > Lanes {
+		n = Lanes
+	}
+	copy(d[:n], v[:n])
+}
+
+// Add returns lane-wise a+b with int16 wraparound (_mm_add_epi16).
+func Add(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// AddSat returns lane-wise saturating a+b (_mm_adds_epi16).
+func AddSat(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		s := int32(a[i]) + int32(b[i])
+		out[i] = clamp16(s)
+	}
+	return out
+}
+
+// Sub returns lane-wise a-b with wraparound (_mm_sub_epi16).
+func Sub(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// SubSat returns lane-wise saturating a-b (_mm_subs_epi16).
+func SubSat(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = clamp16(int32(a[i]) - int32(b[i]))
+	}
+	return out
+}
+
+// Max returns the lane-wise maximum (_mm_max_epi16).
+func Max(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		if a[i] > b[i] {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// Min returns the lane-wise minimum (_mm_min_epi16).
+func Min(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		if a[i] < b[i] {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// CmpGT returns all-ones lanes where a>b, zero lanes elsewhere
+// (_mm_cmpgt_epi16).
+func CmpGT(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		if a[i] > b[i] {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// CmpEQ returns all-ones lanes where a==b (_mm_cmpeq_epi16).
+func CmpEQ(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		if a[i] == b[i] {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Blend selects t lanes where mask is non-zero, f lanes elsewhere
+// (_mm_blendv style; mask lanes must be 0 or -1).
+func Blend(mask, t, f I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		if mask[i] != 0 {
+			out[i] = t[i]
+		} else {
+			out[i] = f[i]
+		}
+	}
+	return out
+}
+
+// And returns the bit-wise conjunction (_mm_and_si128).
+func And(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = a[i] & b[i]
+	}
+	return out
+}
+
+// Or returns the bit-wise disjunction (_mm_or_si128).
+func Or(a, b I16x8) I16x8 {
+	var out I16x8
+	for i := range out {
+		out[i] = a[i] | b[i]
+	}
+	return out
+}
+
+// ShiftLanesLeft shifts lanes toward higher indices by n, filling vacated
+// low lanes with fill (_mm_slli_si128 by 2n bytes, plus fill).
+func ShiftLanesLeft(a I16x8, n int, fill int16) I16x8 {
+	out := Splat(fill)
+	for i := Lanes - 1; i >= n; i-- {
+		out[i] = a[i-n]
+	}
+	return out
+}
+
+// ShiftLanesRight shifts lanes toward lower indices by n, filling vacated
+// high lanes with fill (_mm_srli_si128 by 2n bytes, plus fill).
+func ShiftLanesRight(a I16x8, n int, fill int16) I16x8 {
+	out := Splat(fill)
+	for i := 0; i+n < Lanes; i++ {
+		out[i] = a[i+n]
+	}
+	return out
+}
+
+// HMax returns the horizontal maximum across lanes.
+func HMax(a I16x8) int16 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MoveMask returns a bit per lane, set when the lane is negative
+// (_mm_movemask_epi8 folded to lane granularity).
+func MoveMask(a I16x8) uint8 {
+	var m uint8
+	for i, v := range a {
+		if v < 0 {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+func clamp16(v int32) int16 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// OpCounter tallies emulated vector instructions so the CPU time model can
+// convert a vectorised kernel's work into Skylake cycles. Counting is the
+// caller's responsibility (the emulation functions are pure); ksw2's kernel
+// increments the counter once per intrinsic it would have issued.
+type OpCounter struct {
+	VecOps     int64 // 128-bit ALU operations
+	ScalarOps  int64 // scalar bookkeeping operations
+	LoadBytes  int64 // bytes loaded
+	StoreBytes int64 // bytes stored
+}
+
+// Add accumulates other into c.
+func (c *OpCounter) Add(other OpCounter) {
+	c.VecOps += other.VecOps
+	c.ScalarOps += other.ScalarOps
+	c.LoadBytes += other.LoadBytes
+	c.StoreBytes += other.StoreBytes
+}

@@ -1,0 +1,110 @@
+package sw
+
+import (
+	"math/rand"
+	"testing"
+
+	"logan/internal/seq"
+)
+
+func TestGlobalAlignBandedExactWithWideBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		q := seq.RandSeq(rng, 1+rng.Intn(60))
+		tt := seq.RandSeq(rng, 1+rng.Intn(60))
+		a, err := GlobalAlignBanded(q, tt, sc(), len(q)+len(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Global(q, tt, sc())
+		if a.Score != want.Score {
+			t.Fatalf("trial %d: banded global %d != exact %d\nq=%s\nt=%s", trial, a.Score, want.Score, q, tt)
+		}
+	}
+}
+
+func TestGlobalAlignOpsRescore(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		base := seq.RandSeq(rng, 100+rng.Intn(200))
+		mut := seq.Mutate(rng, base, seq.UniformProfile(0.12))
+		a, err := GlobalAlignBanded(base, mut, sc(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rescore int32
+		qi, tj := 0, 0
+		for _, op := range a.Ops {
+			switch op {
+			case OpMatch:
+				if base[qi] != mut[tj] {
+					t.Fatal("match op on differing bases")
+				}
+				rescore += sc().Match
+				qi, tj = qi+1, tj+1
+			case OpMismatch:
+				if base[qi] == mut[tj] {
+					t.Fatal("mismatch op on equal bases")
+				}
+				rescore += sc().Mismatch
+				qi, tj = qi+1, tj+1
+			case OpInsert:
+				rescore += sc().Gap
+				qi++
+			case OpDelete:
+				rescore += sc().Gap
+				tj++
+			}
+		}
+		if qi != len(base) || tj != len(mut) {
+			t.Fatalf("ops consume (%d,%d), want (%d,%d)", qi, tj, len(base), len(mut))
+		}
+		if rescore != a.Score {
+			t.Fatalf("ops rescore %d != score %d", rescore, a.Score)
+		}
+		// Identity should reflect the ~12% error channel (pairwise).
+		if a.Identity() < 0.7 || a.Identity() > 0.98 {
+			t.Fatalf("identity %.3f implausible for 12%% errors", a.Identity())
+		}
+	}
+}
+
+func TestGlobalAlignEmptyAndDegenerate(t *testing.T) {
+	s := seq.MustNew("ACGT")
+	a, err := GlobalAlignBanded(nil, s, sc(), 4)
+	if err != nil || a.Score != -4 || len(a.Ops) != 4 {
+		t.Fatalf("empty query: %+v, %v", a, err)
+	}
+	a, err = GlobalAlignBanded(s, nil, sc(), 4)
+	if err != nil || a.Score != -4 {
+		t.Fatalf("empty target: %+v, %v", a, err)
+	}
+	if _, err := GlobalAlignBanded(s, s, sc(), -1); err == nil {
+		t.Fatal("accepted negative band")
+	}
+	// Length drift beyond the requested band is automatically covered.
+	long := seq.MustNew("ACGTACGTACGTACGTACGT")
+	short := seq.MustNew("ACG")
+	if _, err := GlobalAlignBanded(long, short, sc(), 1); err != nil {
+		t.Fatalf("drift widening failed: %v", err)
+	}
+}
+
+func TestGlobalAlignBandedMemoryScales(t *testing.T) {
+	// A narrow band on long sequences must explore far fewer cells than
+	// the full quadratic DP.
+	rng := rand.New(rand.NewSource(3))
+	base := seq.RandSeq(rng, 3000)
+	mut := seq.Mutate(rng, base, seq.UniformProfile(0.1))
+	a, err := GlobalAlignBanded(base, mut, sc(), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := int64(len(base)) * int64(len(mut))
+	if a.Cells >= full/5 {
+		t.Fatalf("banded explored %d cells of %d", a.Cells, full)
+	}
+	if a.Identity() < 0.75 {
+		t.Fatalf("identity %.3f too low", a.Identity())
+	}
+}

@@ -1,0 +1,135 @@
+package sw
+
+import (
+	"fmt"
+	"strings"
+
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// Op is one alignment operation in a traceback.
+type Op byte
+
+const (
+	OpMatch    Op = '='
+	OpMismatch Op = 'X'
+	OpInsert   Op = 'I' // gap in target (consumes query)
+	OpDelete   Op = 'D' // gap in query (consumes target)
+)
+
+// Alignment is a full local alignment with traceback, produced by
+// LocalAlign for inspection, examples and accuracy checks. LOGAN itself is
+// score-only (paper §IV-A: no traceback on device), so this lives with the
+// CPU baselines.
+type Alignment struct {
+	Result
+	QBegin, TBegin int  // alignment start (0-based)
+	Ops            []Op // operations from (QBegin,TBegin) to (QueryEnd,TargetEnd)
+}
+
+// CIGAR renders the operations run-length encoded, extended CIGAR style.
+func (a Alignment) CIGAR() string {
+	var b strings.Builder
+	i := 0
+	for i < len(a.Ops) {
+		j := i
+		for j < len(a.Ops) && a.Ops[j] == a.Ops[i] {
+			j++
+		}
+		fmt.Fprintf(&b, "%d%c", j-i, a.Ops[i])
+		i = j
+	}
+	return b.String()
+}
+
+// Identity returns matches / alignment columns.
+func (a Alignment) Identity() float64 {
+	if len(a.Ops) == 0 {
+		return 0
+	}
+	m := 0
+	for _, op := range a.Ops {
+		if op == OpMatch {
+			m++
+		}
+	}
+	return float64(m) / float64(len(a.Ops))
+}
+
+// LocalAlign computes the Smith-Waterman alignment with a full traceback.
+// It keeps the whole O(mn) matrix and is meant for modest inputs.
+func LocalAlign(q, t seq.Seq, sc xdrop.Scoring) Alignment {
+	m, n := len(q), len(t)
+	if m == 0 || n == 0 {
+		return Alignment{}
+	}
+	// h[i*(n+1)+j] holds S(i,j).
+	h := make([]int32, (m+1)*(n+1))
+	idx := func(i, j int) int { return i*(n+1) + j }
+	var best int32
+	bi, bj := 0, 0
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			s := h[idx(i-1, j-1)]
+			if q[i-1] == t[j-1] {
+				s += sc.Match
+			} else {
+				s += sc.Mismatch
+			}
+			if v := h[idx(i-1, j)] + sc.Gap; v > s {
+				s = v
+			}
+			if v := h[idx(i, j-1)] + sc.Gap; v > s {
+				s = v
+			}
+			if s < 0 {
+				s = 0
+			}
+			h[idx(i, j)] = s
+			if s > best {
+				best, bi, bj = s, i, j
+			}
+		}
+	}
+	a := Alignment{
+		Result: Result{Score: best, QueryEnd: bi, TargetEnd: bj, Cells: int64(m) * int64(n)},
+	}
+	// Trace back from the best cell to the first zero.
+	var rev []Op
+	i, j := bi, bj
+	for i > 0 && j > 0 && h[idx(i, j)] > 0 {
+		s := h[idx(i, j)]
+		diag := h[idx(i-1, j-1)]
+		var sub int32
+		if q[i-1] == t[j-1] {
+			sub = sc.Match
+		} else {
+			sub = sc.Mismatch
+		}
+		switch {
+		case s == diag+sub:
+			if sub == sc.Match {
+				rev = append(rev, OpMatch)
+			} else {
+				rev = append(rev, OpMismatch)
+			}
+			i, j = i-1, j-1
+		case s == h[idx(i-1, j)]+sc.Gap:
+			rev = append(rev, OpInsert)
+			i--
+		case s == h[idx(i, j-1)]+sc.Gap:
+			rev = append(rev, OpDelete)
+			j--
+		default:
+			// Unreachable if the matrix is consistent.
+			panic("sw: inconsistent traceback")
+		}
+	}
+	a.QBegin, a.TBegin = i, j
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	a.Ops = rev
+	return a
+}

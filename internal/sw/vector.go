@@ -1,0 +1,100 @@
+package sw
+
+import (
+	"logan/internal/seq"
+	"logan/internal/simd"
+	"logan/internal/xdrop"
+)
+
+// LocalSIMD computes the Smith-Waterman score with the anti-diagonal
+// vectorization of Wozniak (1997): cells on one anti-diagonal have no
+// mutual dependencies, so eight of them are updated per 128-bit vector
+// operation. The target is pre-reversed so both sequence streams are read
+// forward — the same memory-linearization trick LOGAN uses on the GPU
+// (paper Fig. 6). Scores are int16; inputs longer than ~16k bases with the
+// default scoring would overflow and are rejected by returning the scalar
+// result instead.
+//
+// If counter is non-nil, emulated vector-instruction counts are
+// accumulated into it.
+func LocalSIMD(q, t seq.Seq, sc xdrop.Scoring, counter *simd.OpCounter) Result {
+	m, n := len(q), len(t)
+	if m == 0 || n == 0 {
+		return Result{}
+	}
+	if int64(min(m, n))*int64(sc.Match) > 30000 {
+		return Local(q, t, sc)
+	}
+
+	// Sequences as int16 lanes; the target reversed for forward streaming.
+	qv := make([]int16, m+2)
+	for i := 0; i < m; i++ {
+		qv[i] = int16(q[i])
+	}
+	tv := make([]int16, n+2)
+	for j := 0; j < n; j++ {
+		tv[j] = int16(t[n-1-j])
+	}
+
+	// Anti-diagonal buffers indexed by absolute i, boundaries hold zeros.
+	a3 := make([]int16, m+2)
+	a2 := make([]int16, m+2)
+	a1 := make([]int16, m+2)
+
+	match := simd.Splat(int16(sc.Match))
+	mismatch := simd.Splat(int16(sc.Mismatch))
+	gap := simd.Splat(int16(sc.Gap))
+	zero := simd.Splat(0)
+
+	var best int16
+	bi, bj := 0, 0
+	var cells int64
+	var ops simd.OpCounter
+
+	for d := 2; d <= m+n; d++ {
+		ilo := max(1, d-n)
+		ihi := min(d-1, m)
+		if ilo > ihi {
+			continue
+		}
+		for i := ilo; i <= ihi; i += simd.Lanes {
+			lanes := min(simd.Lanes, ihi-i+1)
+			// Vector loads: diag source, up/left gap sources, sequences.
+			diag := simd.Load(a3[i-1:], 0)
+			up := simd.Load(a2[i-1:], 0)
+			left := simd.Load(a2[i:], 0)
+			qc := simd.Load(qv[i-1:], -1)
+			// t index: j-1 = d-i-1 reversed -> n-d+i, ascending in i.
+			tc := simd.Load(tv[n-d+i:], -2)
+			eq := simd.CmpEQ(qc, tc)
+			sub := simd.Blend(eq, match, mismatch)
+			s := simd.Add(diag, sub)
+			g := simd.Add(simd.Max(up, left), gap)
+			s = simd.Max(s, g)
+			s = simd.Max(s, zero)
+			simd.Store(a1[i:i+lanes], s)
+			ops.VecOps += 9
+			ops.LoadBytes += 5 * 16
+			ops.StoreBytes += 16
+			// Scalar max scan over the active lanes (the paper's kernel
+			// uses a warp reduction here; 8 lanes hardly warrant one).
+			for l := 0; l < lanes; l++ {
+				if v := s[l]; v > best {
+					best = v
+					bi, bj = i+l, d-(i+l)
+				}
+			}
+			cells += int64(lanes)
+		}
+		// Boundary zeros: cells (d,0) and (0,d) of this anti-diagonal.
+		if d <= m {
+			a1[d] = 0
+		}
+		a1[0] = 0
+		a3, a2, a1 = a2, a1, a3
+	}
+	if counter != nil {
+		counter.Add(ops)
+	}
+	return Result{Score: int32(best), QueryEnd: bi, TargetEnd: bj, Cells: cells}
+}

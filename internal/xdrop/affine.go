@@ -1,0 +1,183 @@
+package xdrop
+
+// Affine-gap X-drop extension. SeqAn's extendSeed supports affine gap
+// costs alongside the linear scheme LOGAN ports to the GPU; this file
+// completes the algorithm family for the CPU engine. The anti-diagonal
+// band machinery is identical — the recurrence carries the Gotoh E/F
+// matrices through the same three-buffer rotation.
+
+import (
+	"fmt"
+
+	"logan/internal/seq"
+)
+
+// AffineScoring is a Gotoh-style scheme: a gap of length l costs
+// GapOpen + l*GapExtend (both negative).
+type AffineScoring struct {
+	Match     int32
+	Mismatch  int32
+	GapOpen   int32 // charged once per gap, on top of the first extend
+	GapExtend int32 // charged per gap base
+}
+
+// Validate rejects non-sensible schemes.
+func (s AffineScoring) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("xdrop: affine match %d must be positive", s.Match)
+	}
+	if s.Mismatch >= 0 || s.GapOpen > 0 || s.GapExtend >= 0 {
+		return fmt.Errorf("xdrop: affine penalties must be negative (mismatch %d, open %d, extend %d)",
+			s.Mismatch, s.GapOpen, s.GapExtend)
+	}
+	return nil
+}
+
+// ExtendAffine computes the highest-scoring semi-global prefix alignment
+// under affine gaps with X-drop pruning, in the same anti-diagonal
+// three-buffer formulation as Extend. H is the match-ending state, E the
+// gap-in-target state (horizontal), F the gap-in-query state (vertical);
+// pruning and band trimming operate on H.
+func ExtendAffine(q, t seq.Seq, sc AffineScoring, x int32) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, n := len(q), len(t)
+	res := Result{}
+	if m == 0 || n == 0 || x < 0 {
+		return res, nil
+	}
+
+	type row struct {
+		h, e, f []int32
+		lo      int
+	}
+	mk := func(w int) row {
+		return row{h: make([]int32, w), e: make([]int32, w), f: make([]int32, w)}
+	}
+	width0 := min(m, n) + 2
+	cur, prev, prev2 := mk(width0), mk(width0), mk(width0)
+	get := func(a []int32, lo, i int, n int) int32 {
+		if i < lo || i >= lo+n {
+			return NegInf
+		}
+		return a[i-lo]
+	}
+
+	// d = 0: H(0,0) = 0.
+	prev.h[0], prev.e[0], prev.f[0] = 0, NegInf, NegInf
+	prevLen := 1
+	prev2Len := 0
+	best := int32(0)
+	bestI, bestJ := 0, 0
+	res.AntiDiags, res.Cells, res.SumBand, res.MaxBand = 1, 1, 1, 1
+
+	lo, hi := 0, 1
+	for d := 1; d <= m+n; d++ {
+		if lo < d-n {
+			lo = d - n
+		}
+		if mh := min(d, m); hi > mh {
+			hi = mh
+		}
+		if lo > hi {
+			break
+		}
+		width := hi - lo + 1
+		if cap(cur.h) < width {
+			cur = mk(width)
+		} else {
+			cur.h = cur.h[:width]
+			cur.e = cur.e[:width]
+			cur.f = cur.f[:width]
+		}
+		cur.lo = lo
+		threshold := best - x
+		newBest := best
+		nbI, nbJ := bestI, bestJ
+
+		for i := lo; i <= hi; i++ {
+			j := d - i
+			// E: gap in target — from the left neighbor (i, j-1) on d-1.
+			e := NegInf
+			if j >= 1 {
+				he := get(prev.h, prev.lo, i, prevLen)
+				if he > NegInf {
+					e = he + sc.GapOpen + sc.GapExtend
+				}
+				if ee := get(prev.e, prev.lo, i, prevLen); ee > NegInf && ee+sc.GapExtend > e {
+					e = ee + sc.GapExtend
+				}
+			}
+			// F: gap in query — from above (i-1, j) on d-1.
+			f := NegInf
+			if i >= 1 {
+				hf := get(prev.h, prev.lo, i-1, prevLen)
+				if hf > NegInf {
+					f = hf + sc.GapOpen + sc.GapExtend
+				}
+				if ff := get(prev.f, prev.lo, i-1, prevLen); ff > NegInf && ff+sc.GapExtend > f {
+					f = ff + sc.GapExtend
+				}
+			}
+			// H: diagonal from (i-1, j-1) on d-2, or close a gap.
+			h := NegInf
+			if i >= 1 && j >= 1 {
+				if hd := get(prev2.h, prev2.lo, i-1, prev2Len); hd > NegInf {
+					if q[i-1] == t[j-1] {
+						h = hd + sc.Match
+					} else {
+						h = hd + sc.Mismatch
+					}
+				}
+			}
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			// X-drop on H; E/F follow (a pruned cell ends all states).
+			if h < threshold {
+				h, e, f = NegInf, NegInf, NegInf
+			} else if h > newBest {
+				newBest = h
+				nbI, nbJ = i, j
+			}
+			cur.h[i-lo], cur.e[i-lo], cur.f[i-lo] = h, e, f
+		}
+		res.Cells += int64(width)
+		res.SumBand += int64(width)
+		res.AntiDiags++
+		if width > res.MaxBand {
+			res.MaxBand = width
+		}
+		best = newBest
+		bestI, bestJ = nbI, nbJ
+
+		first, last := 0, width-1
+		for first <= last && cur.h[first] == NegInf {
+			first++
+		}
+		for last >= first && cur.h[last] == NegInf {
+			last--
+		}
+		if first > last {
+			break
+		}
+		// Rotate, keeping the trimmed bounds logically (storage intact).
+		trimmed := row{
+			h: cur.h[first : last+1], e: cur.e[first : last+1], f: cur.f[first : last+1],
+			lo: cur.lo + first,
+		}
+		prev2, prev, cur = prev, trimmed, row{h: prev2.h[:0], e: prev2.e[:0], f: prev2.f[:0]}
+		prev2Len = prevLen
+		prevLen = last - first + 1
+		lo = prev.lo
+		hi = prev.lo + prevLen
+	}
+	res.Score = best
+	res.QueryEnd = bestI
+	res.TargetEnd = bestJ
+	return res, nil
+}

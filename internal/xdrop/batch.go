@@ -1,0 +1,90 @@
+package xdrop
+
+import (
+	"runtime"
+	"sync"
+
+	"logan/internal/seq"
+)
+
+// BatchStats summarizes the DP work of a batch of seed extensions, the
+// inputs to the CPU time model and the GCUPS metric.
+type BatchStats struct {
+	Pairs     int
+	Cells     int64
+	AntiDiags int64
+	MaxBand   int
+	SumBand   int64 // over all anti-diagonals of all pairs
+}
+
+// MeanBand returns the average anti-diagonal width across the batch.
+func (s BatchStats) MeanBand() float64 {
+	if s.AntiDiags == 0 {
+		return 0
+	}
+	return float64(s.SumBand) / float64(s.AntiDiags)
+}
+
+// Accumulate folds a single seed-extension result into the stats.
+func (s *BatchStats) Accumulate(r SeedResult) {
+	s.Pairs++
+	s.Cells += r.Cells()
+	s.AntiDiags += int64(r.Left.AntiDiags + r.Right.AntiDiags)
+	s.SumBand += r.Left.SumBand + r.Right.SumBand
+	if r.Left.MaxBand > s.MaxBand {
+		s.MaxBand = r.Left.MaxBand
+	}
+	if r.Right.MaxBand > s.MaxBand {
+		s.MaxBand = r.Right.MaxBand
+	}
+}
+
+// ExtendBatch aligns every pair with ExtendSeed in parallel over `workers`
+// goroutines (0 = GOMAXPROCS). This mirrors BELLA's use of SeqAn under
+// OpenMP: one independent pairwise alignment per CPU thread (paper §V).
+// Results are positionally aligned with the input; the error of the first
+// failing pair (invalid seed) is returned with a nil result slice.
+func ExtendBatch(pairs []seq.Pair, sc Scoring, x int32, workers int) ([]SeedResult, BatchStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) && len(pairs) > 0 {
+		workers = len(pairs)
+	}
+	results := make([]SeedResult, len(pairs))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for idx := range chunk {
+				p := &pairs[idx]
+				r, err := ExtendSeed(p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen, sc, x)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = err
+					}
+					continue
+				}
+				results[idx] = r
+			}
+		}(w)
+	}
+	for i := range pairs {
+		chunk <- i
+	}
+	close(chunk)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, BatchStats{}, err
+		}
+	}
+	var stats BatchStats
+	for i := range results {
+		stats.Accumulate(results[i])
+	}
+	return results, stats, nil
+}

@@ -1,0 +1,99 @@
+package xdrop
+
+import (
+	"testing"
+
+	"logan/internal/seq"
+)
+
+// sanitizeDNA maps arbitrary bytes onto the ACGT alphabet.
+func sanitizeDNA(raw []byte) seq.Seq {
+	out := make(seq.Seq, len(raw))
+	for i, b := range raw {
+		out[i] = seq.Alphabet[int(b)%4]
+	}
+	return out
+}
+
+// FuzzExtend hammers the X-drop core with arbitrary sequences and X
+// values, checking the structural invariants that must hold for any
+// input: score bounds, end positions inside the matrix, work counters
+// consistent, and never exceeding the exhaustive optimum.
+func FuzzExtend(f *testing.F) {
+	f.Add([]byte("ACGTACGT"), []byte("ACGAACGT"), int32(10))
+	f.Add([]byte(""), []byte("A"), int32(0))
+	f.Add([]byte("TTTTTTTT"), []byte("AAAAAAAA"), int32(3))
+	f.Add([]byte("ACACACACACAC"), []byte("CACACACACACA"), int32(100))
+	f.Fuzz(func(t *testing.T, qRaw, tRaw []byte, x int32) {
+		if len(qRaw) > 300 || len(tRaw) > 300 {
+			return
+		}
+		if x < 0 {
+			x = -x
+		}
+		if x > 1<<20 {
+			x %= 1 << 20
+		}
+		q := sanitizeDNA(qRaw)
+		tt := sanitizeDNA(tRaw)
+		sc := DefaultScoring()
+		r := Extend(q, tt, sc, x)
+		if r.Score < 0 {
+			t.Fatalf("negative score %d", r.Score)
+		}
+		if r.QueryEnd < 0 || r.QueryEnd > len(q) || r.TargetEnd < 0 || r.TargetEnd > len(tt) {
+			t.Fatalf("ends (%d,%d) outside matrix (%d,%d)", r.QueryEnd, r.TargetEnd, len(q), len(tt))
+		}
+		if r.Score > int32(min(len(q), len(tt))) {
+			t.Fatalf("score %d exceeds min length", r.Score)
+		}
+		if r.Cells != r.SumBand {
+			t.Fatalf("cells %d != band sum %d", r.Cells, r.SumBand)
+		}
+		if len(q) > 0 && len(tt) > 0 && len(q) <= 64 && len(tt) <= 64 {
+			exact := ExtendExhaustive(q, tt, sc)
+			if r.Score > exact.Score {
+				t.Fatalf("pruned score %d beats exhaustive %d", r.Score, exact.Score)
+			}
+		}
+	})
+}
+
+// FuzzExtendMatrix does the same for the protein path.
+func FuzzExtendMatrix(f *testing.F) {
+	f.Add([]byte("MKVL"), []byte("MKVL"), int32(20))
+	f.Add([]byte("W"), []byte("W"), int32(0))
+	m := Blosum62(-6)
+	const residues = "ARNDCQEGHILKMFPSTWYV"
+	f.Fuzz(func(t *testing.T, qRaw, tRaw []byte, x int32) {
+		if len(qRaw) > 200 || len(tRaw) > 200 {
+			return
+		}
+		if x < 0 {
+			x = -x
+		}
+		x %= 1 << 16
+		q := make([]byte, len(qRaw))
+		for i, b := range qRaw {
+			q[i] = residues[int(b)%len(residues)]
+		}
+		tt := make([]byte, len(tRaw))
+		for i, b := range tRaw {
+			tt[i] = residues[int(b)%len(residues)]
+		}
+		r, err := ExtendMatrix(q, tt, m, x)
+		if err != nil {
+			t.Fatalf("sanitized protein rejected: %v", err)
+		}
+		if r.Score < 0 {
+			t.Fatalf("negative protein score %d", r.Score)
+		}
+		if r.QueryEnd > len(q) || r.TargetEnd > len(tt) {
+			t.Fatal("protein ends outside matrix")
+		}
+		// 11 is the largest BLOSUM62 entry (W/W).
+		if r.Score > 11*int32(min(len(q), len(tt))) {
+			t.Fatalf("score %d exceeds matrix maximum", r.Score)
+		}
+	})
+}

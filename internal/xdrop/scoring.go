@@ -1,0 +1,39 @@
+// Package xdrop implements the X-drop pairwise alignment algorithm of
+// Zhang, Schwartz, Wagner and Miller (J. Comp. Biol. 2000) in the
+// anti-diagonal, three-buffer formulation that SeqAn ships and that LOGAN
+// ports to the GPU (paper §III). The serial implementation here is the
+// correctness oracle for every other aligner in the repository, and the
+// batch runner is the "SeqAn on 168 threads" baseline of Table II.
+package xdrop
+
+import (
+	"fmt"
+	"math"
+)
+
+// NegInf is the pruned-cell sentinel. It is far enough from MinInt32 that
+// adding scores to it cannot wrap around.
+const NegInf int32 = math.MinInt32 / 2
+
+// Scoring is a linear-gap scoring scheme. LOGAN and BELLA use +1/-1/-1;
+// Zhang et al. prove X-drop optimality guarantees for schemes of this form.
+type Scoring struct {
+	Match    int32 // reward for a base match (> 0)
+	Mismatch int32 // penalty for a substitution (< 0)
+	Gap      int32 // penalty for an insertion or deletion (< 0)
+}
+
+// DefaultScoring returns the +1/-1/-1 scheme used throughout the paper's
+// evaluation.
+func DefaultScoring() Scoring { return Scoring{Match: 1, Mismatch: -1, Gap: -1} }
+
+// Validate rejects schemes that break the algorithm's assumptions.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("xdrop: match score %d must be positive", s.Match)
+	}
+	if s.Mismatch >= 0 || s.Gap >= 0 {
+		return fmt.Errorf("xdrop: mismatch %d and gap %d must be negative", s.Mismatch, s.Gap)
+	}
+	return nil
+}

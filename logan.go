@@ -1,0 +1,181 @@
+// Package logan is a Go reproduction of LOGAN (Zeni et al., IPDPS 2020):
+// high-performance batched X-drop pairwise alignment for long reads. The
+// package front-ends the repository's engine: the X-drop seed-and-extend
+// algorithm of Zhang et al. with a SeqAn-compatible CPU path and a
+// simulated-GPU path that reproduces the paper's kernel design
+// (block-per-alignment, anti-diagonal thread segments, warp max-reduction,
+// adaptive band, multi-GPU load balancing).
+//
+// Quick start:
+//
+//	res, err := logan.AlignPair(q, t, 100, 100, 17, logan.DefaultOptions(100))
+//	batch, stats, err := logan.Align(pairs, logan.DefaultOptions(100))
+//
+// Both backends produce bit-identical scores; the GPU backend additionally
+// reports the modeled device time of the batch on NVIDIA Tesla V100s.
+package logan
+
+import (
+	"fmt"
+	"time"
+
+	"logan/internal/core"
+	"logan/internal/loadbal"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// Backend selects the execution engine.
+type Backend int
+
+const (
+	// CPU runs the SeqAn-style multi-threaded X-drop (the paper's
+	// baseline).
+	CPU Backend = iota
+	// GPU runs the LOGAN kernel on simulated Tesla V100 devices.
+	GPU
+)
+
+// Options configures an alignment batch.
+type Options struct {
+	// X is the X-drop threshold: extension stops when the score falls
+	// more than X below the best seen (paper §III-A).
+	X int32
+	// Match, Mismatch, Gap form the linear scoring scheme. The zero
+	// value selects the paper's +1/-1/-1.
+	Match, Mismatch, Gap int32
+	// Backend selects CPU or GPU execution (default CPU).
+	Backend Backend
+	// GPUs is the simulated device count for the GPU backend (default 1).
+	GPUs int
+	// Threads is the CPU worker count (default GOMAXPROCS).
+	Threads int
+}
+
+// DefaultOptions returns the paper's configuration for a given X.
+func DefaultOptions(x int32) Options {
+	return Options{X: x, Match: 1, Mismatch: -1, Gap: -1}
+}
+
+func (o Options) scoring() xdrop.Scoring {
+	s := xdrop.Scoring{Match: o.Match, Mismatch: o.Mismatch, Gap: o.Gap}
+	if s == (xdrop.Scoring{}) {
+		s = xdrop.DefaultScoring()
+	}
+	return s
+}
+
+// Pair is one alignment work item: two sequences and an exact seed match
+// (positions and length), as produced by an overlapper such as BELLA.
+type Pair struct {
+	Query, Target []byte
+	SeedQ, SeedT  int
+	SeedLen       int
+}
+
+// Alignment is the outcome for one pair: the combined seed-and-extend
+// score and the aligned intervals on both sequences. LOGAN is score-only
+// (no traceback), exactly like the original.
+type Alignment struct {
+	Score        int32
+	QBegin, QEnd int   // aligned query interval [QBegin, QEnd)
+	TBegin, TEnd int   // aligned target interval [TBegin, TEnd)
+	Cells        int64 // DP cells the extension explored
+}
+
+// Stats summarizes a batch.
+type Stats struct {
+	Pairs      int
+	Cells      int64
+	WallTime   time.Duration // measured host time
+	DeviceTime time.Duration // modeled GPU time (GPU backend only)
+	GCUPS      float64       // cells per modeled/wall second, in billions
+}
+
+// AlignPair aligns a single pair with the CPU engine.
+func AlignPair(query, target []byte, seedQ, seedT, seedLen int, opt Options) (Alignment, error) {
+	q, err := seq.New(string(query))
+	if err != nil {
+		return Alignment{}, fmt.Errorf("logan: query: %w", err)
+	}
+	t, err := seq.New(string(target))
+	if err != nil {
+		return Alignment{}, fmt.Errorf("logan: target: %w", err)
+	}
+	r, err := xdrop.ExtendSeed(q, t, seedQ, seedT, seedLen, opt.scoring(), opt.X)
+	if err != nil {
+		return Alignment{}, err
+	}
+	return toAlignment(r), nil
+}
+
+// Align aligns a batch of pairs on the selected backend. Results are
+// positionally aligned with the input.
+func Align(pairs []Pair, opt Options) ([]Alignment, Stats, error) {
+	start := time.Now()
+	in := make([]seq.Pair, len(pairs))
+	for i, p := range pairs {
+		q, err := seq.New(string(p.Query))
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("logan: pair %d query: %w", i, err)
+		}
+		t, err := seq.New(string(p.Target))
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("logan: pair %d target: %w", i, err)
+		}
+		in[i] = seq.Pair{
+			Query: q, Target: t,
+			SeedQPos: p.SeedQ, SeedTPos: p.SeedT, SeedLen: p.SeedLen, ID: i,
+		}
+	}
+
+	var results []xdrop.SeedResult
+	st := Stats{Pairs: len(pairs)}
+	switch opt.Backend {
+	case GPU:
+		gpus := opt.GPUs
+		if gpus <= 0 {
+			gpus = 1
+		}
+		pool, err := loadbal.NewV100Pool(gpus)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		res, err := pool.Align(in, core.Config{Scoring: opt.scoring(), X: opt.X}, loadbal.ByLength)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		results = res.Results
+		st.DeviceTime = res.TotalTime
+	default:
+		var err error
+		results, _, err = xdrop.ExtendBatch(in, opt.scoring(), opt.X, opt.Threads)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+	}
+
+	out := make([]Alignment, len(results))
+	for i, r := range results {
+		out[i] = toAlignment(r)
+		st.Cells += r.Cells()
+	}
+	st.WallTime = time.Since(start)
+	denom := st.WallTime
+	if opt.Backend == GPU && st.DeviceTime > 0 {
+		denom = st.DeviceTime
+	}
+	if denom > 0 {
+		st.GCUPS = float64(st.Cells) / denom.Seconds() / 1e9
+	}
+	return out, st, nil
+}
+
+func toAlignment(r xdrop.SeedResult) Alignment {
+	return Alignment{
+		Score:  r.Score,
+		QBegin: r.QBegin, QEnd: r.QEnd,
+		TBegin: r.TBegin, TEnd: r.TEnd,
+		Cells: r.Cells(),
+	}
+}

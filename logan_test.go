@@ -1,0 +1,123 @@
+package logan
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"logan/internal/seq"
+)
+
+func TestAlignPairIdentical(t *testing.T) {
+	s := []byte("ACGTACGTACGTACGTACGT")
+	a, err := AlignPair(s, s, 0, 0, 5, DefaultOptions(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != int32(len(s)) {
+		t.Fatalf("score = %d, want %d", a.Score, len(s))
+	}
+	if a.QBegin != 0 || a.QEnd != len(s) || a.TBegin != 0 || a.TEnd != len(s) {
+		t.Fatalf("extents %+v", a)
+	}
+}
+
+func TestAlignPairValidation(t *testing.T) {
+	if _, err := AlignPair([]byte("ACGX"), []byte("ACGT"), 0, 0, 2, DefaultOptions(10)); err == nil {
+		t.Error("accepted invalid query base")
+	}
+	if _, err := AlignPair([]byte("ACGT"), []byte("AC!T"), 0, 0, 2, DefaultOptions(10)); err == nil {
+		t.Error("accepted invalid target base")
+	}
+	if _, err := AlignPair([]byte("ACGT"), []byte("ACGT"), 3, 0, 4, DefaultOptions(10)); err == nil {
+		t.Error("accepted out-of-range seed")
+	}
+}
+
+func makePairs(n int) []Pair {
+	rng := rand.New(rand.NewSource(7))
+	raw := seq.RandPairSet(rng, seq.PairSetOptions{
+		N: n, MinLen: 200, MaxLen: 600, ErrorRate: 0.15, SeedLen: 17,
+	})
+	out := make([]Pair, n)
+	for i, p := range raw {
+		out[i] = Pair{
+			Query: []byte(p.Query), Target: []byte(p.Target),
+			SeedQ: p.SeedQPos, SeedT: p.SeedTPos, SeedLen: p.SeedLen,
+		}
+	}
+	return out
+}
+
+func TestAlignBackendsAgree(t *testing.T) {
+	pairs := makePairs(24)
+	opt := DefaultOptions(50)
+	cpu, cpuStats, err := Align(pairs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Backend = GPU
+	opt.GPUs = 2
+	gpu, gpuStats, err := Align(pairs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if cpu[i] != gpu[i] {
+			t.Fatalf("pair %d: cpu %+v != gpu %+v", i, cpu[i], gpu[i])
+		}
+	}
+	if cpuStats.Cells != gpuStats.Cells {
+		t.Fatalf("cells: cpu %d, gpu %d", cpuStats.Cells, gpuStats.Cells)
+	}
+	if gpuStats.DeviceTime <= 0 {
+		t.Fatal("GPU backend reported no modeled device time")
+	}
+	if cpuStats.GCUPS <= 0 || gpuStats.GCUPS <= 0 {
+		t.Fatal("GCUPS not reported")
+	}
+}
+
+func TestAlignEmptyBatch(t *testing.T) {
+	out, stats, err := Align(nil, DefaultOptions(10))
+	if err != nil || len(out) != 0 || stats.Pairs != 0 {
+		t.Fatalf("empty batch: %v %v %v", out, stats, err)
+	}
+}
+
+func TestAlignScoreMeaning(t *testing.T) {
+	// A mutated pair must score below the identical pair but well above
+	// zero at moderate X.
+	rng := rand.New(rand.NewSource(8))
+	base := seq.RandSeq(rng, 500)
+	mut := seq.Mutate(rng, base, seq.UniformProfile(0.1))
+	// Plant the seed.
+	copy(mut[250:267], base[250:267])
+	a, err := AlignPair([]byte(base), []byte(mut), 250, 250, 17, DefaultOptions(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score <= 17 || a.Score > 500 {
+		t.Fatalf("mutated score = %d", a.Score)
+	}
+	ident, _ := AlignPair([]byte(base), []byte(base), 250, 250, 17, DefaultOptions(100))
+	if a.Score >= ident.Score {
+		t.Fatalf("mutated %d >= identical %d", a.Score, ident.Score)
+	}
+	if !bytes.Equal(base[a.QBegin:a.QBegin+1], base[a.QBegin:a.QBegin+1]) {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestDefaultScoringFallback(t *testing.T) {
+	// Zero-valued scoring fields select +1/-1/-1.
+	opt := Options{X: 10}
+	s := []byte("ACGTACGTAC")
+	a, err := AlignPair(s, s, 0, 0, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != int32(len(s)) {
+		t.Fatalf("default scoring score = %d", a.Score)
+	}
+}
