@@ -1,0 +1,297 @@
+package logan
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logan/internal/core"
+	"logan/internal/loadbal"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// ErrClosed reports use of an Aligner after Close.
+var ErrClosed = errors.New("logan: aligner is closed")
+
+// Aligner is a long-lived alignment engine: create it once, feed it batch
+// after batch. It holds the resources that the one-shot Align function
+// would otherwise rebuild per call — a persistent CPU worker pool with
+// per-worker DP workspaces, or a persistent simulated V100 pool for the
+// GPU backend — plus pooled staging buffers, so steady-state batches are
+// allocation-free on the hot path. This is the host-side discipline of
+// LOGAN's own pipeline, which keeps device pools and buffers alive across
+// the many batches of a real assembly workload.
+//
+// An Aligner is safe for concurrent use. CPU batches interleave across the
+// shared worker pool; GPU batches serialize on the device pool.
+type Aligner struct {
+	opt    Options
+	cpu    *xdrop.Pool
+	gpu    *loadbal.Pool
+	gpuMu  sync.Mutex
+	closed atomic.Bool
+	// scratch pools the per-batch conversion and result staging.
+	scratch sync.Pool
+}
+
+// batchScratch is the reusable per-batch staging: the validated sequence
+// pairs handed to the backend and the raw seed-extension results.
+type batchScratch struct {
+	in  []seq.Pair
+	res []xdrop.SeedResult
+}
+
+// NewAligner builds an engine for the given options. X, Match/Mismatch/Gap
+// are the engine defaults used by Align; Backend, GPUs and Threads choose
+// the resources the engine keeps alive.
+func NewAligner(opt Options) (*Aligner, error) {
+	a := &Aligner{opt: opt}
+	a.scratch.New = func() any { return new(batchScratch) }
+	switch opt.Backend {
+	case GPU:
+		gpus := opt.GPUs
+		if gpus <= 0 {
+			gpus = 1
+		}
+		pool, err := loadbal.NewV100Pool(gpus)
+		if err != nil {
+			return nil, err
+		}
+		a.gpu = pool
+	case CPU:
+		a.cpu = xdrop.NewPool(opt.Threads)
+	default:
+		return nil, fmt.Errorf("logan: unknown backend %d", opt.Backend)
+	}
+	return a, nil
+}
+
+// Options returns the engine's configured defaults.
+func (a *Aligner) Options() Options { return a.opt }
+
+// Close releases the engine's workers. In-flight batches finish; further
+// calls fail with ErrClosed.
+func (a *Aligner) Close() error {
+	if a.closed.Swap(true) {
+		return nil
+	}
+	if a.cpu != nil {
+		a.cpu.Close()
+	}
+	return nil
+}
+
+// Align aligns one batch on the engine, like the package-level Align but
+// with every per-call setup cost already paid.
+func (a *Aligner) Align(pairs []Pair) ([]Alignment, Stats, error) {
+	return a.align(nil, pairs, a.opt)
+}
+
+// AlignInto is Align reusing dst for the results when it has capacity;
+// callers looping over batches can hand the previous slice back and keep
+// the steady state allocation-free.
+func (a *Aligner) AlignInto(dst []Alignment, pairs []Pair) ([]Alignment, Stats, error) {
+	return a.align(dst, pairs, a.opt)
+}
+
+// align runs one batch using the engine's resources and opt's scoring
+// parameters (the legacy entry points pass per-call options).
+func (a *Aligner) align(dst []Alignment, pairs []Pair, opt Options) ([]Alignment, Stats, error) {
+	if a.closed.Load() {
+		return nil, Stats{}, ErrClosed
+	}
+	start := time.Now()
+
+	sc := a.scratch.Get().(*batchScratch)
+	defer func() {
+		// Drop sequence references so pooled scratch does not pin caller
+		// buffers between batches.
+		clear(sc.in[:cap(sc.in)])
+		a.scratch.Put(sc)
+	}()
+	if cap(sc.in) < len(pairs) {
+		sc.in = make([]seq.Pair, len(pairs))
+	}
+	in := sc.in[:len(pairs)]
+	sc.in = in
+	for i := range pairs {
+		p := &pairs[i]
+		q, err := seq.FromBytes(p.Query)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("logan: pair %d query: %w", i, err)
+		}
+		t, err := seq.FromBytes(p.Target)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("logan: pair %d target: %w", i, err)
+		}
+		in[i] = seq.Pair{
+			Query: q, Target: t,
+			SeedQPos: p.SeedQ, SeedTPos: p.SeedT, SeedLen: p.SeedLen, ID: i,
+		}
+	}
+
+	st := Stats{Pairs: len(pairs)}
+	var results []xdrop.SeedResult
+	switch opt.Backend {
+	case GPU:
+		a.gpuMu.Lock()
+		res, err := a.gpu.Align(in, core.Config{Scoring: opt.scoring(), X: opt.X}, loadbal.ByLength)
+		a.gpuMu.Unlock()
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		results = res.Results
+		st.DeviceTime = res.DeviceTime
+	default:
+		if cap(sc.res) < len(pairs) {
+			sc.res = make([]xdrop.SeedResult, len(pairs))
+		}
+		results = sc.res[:len(pairs)]
+		sc.res = results
+		if _, err := a.cpu.ExtendBatch(in, results, opt.scoring(), opt.X); err != nil {
+			if errors.Is(err, xdrop.ErrPoolClosed) {
+				err = ErrClosed
+			}
+			return nil, Stats{}, err
+		}
+	}
+
+	if cap(dst) < len(results) {
+		dst = make([]Alignment, len(results))
+	}
+	dst = dst[:len(results)]
+	for i := range results {
+		dst[i] = toAlignment(results[i])
+		st.Cells += results[i].Cells()
+	}
+	st.WallTime = time.Since(start)
+	denom := st.WallTime
+	if opt.Backend == GPU && st.DeviceTime > 0 {
+		denom = st.DeviceTime
+	}
+	if denom > 0 {
+		st.GCUPS = float64(st.Cells) / denom.Seconds() / 1e9
+	}
+	return dst, st, nil
+}
+
+// Batch is one unit of streaming work: a caller-chosen ID and its pairs.
+type Batch struct {
+	ID    int64
+	Pairs []Pair
+}
+
+// BatchResult is the outcome of one streamed batch, delivered in
+// submission order.
+type BatchResult struct {
+	ID         int64
+	Alignments []Alignment
+	Stats      Stats
+	Err        error
+}
+
+// Stream pipelines batches through an Aligner: Submit enqueues (ingest),
+// a dedicated goroutine aligns, and Results delivers outcomes in
+// submission order (emit). At most `inflight` batches buffer at each end,
+// so a fast producer cannot outrun the engine unboundedly.
+type Stream struct {
+	jobs chan Batch
+	out  chan BatchResult
+	once sync.Once
+}
+
+// NewStream starts a stream over the engine with the given in-flight bound
+// (0 selects 2). Close the stream to flush; Results closes once drained.
+func (a *Aligner) NewStream(inflight int) *Stream {
+	if inflight <= 0 {
+		inflight = 2
+	}
+	s := &Stream{
+		jobs: make(chan Batch, inflight),
+		out:  make(chan BatchResult, inflight),
+	}
+	go func() {
+		for b := range s.jobs {
+			al, st, err := a.Align(b.Pairs)
+			s.out <- BatchResult{ID: b.ID, Alignments: al, Stats: st, Err: err}
+		}
+		close(s.out)
+	}()
+	return s
+}
+
+// Submit enqueues a batch, blocking while the in-flight bound is reached.
+// Safe for concurrent use; submissions after Close panic. The batch's
+// sequence buffers are aliased, not copied (see Pair): do not overwrite
+// them until the batch's BatchResult arrives.
+func (s *Stream) Submit(b Batch) { s.jobs <- b }
+
+// Results returns the ordered result channel. It closes after Close once
+// every submitted batch has been delivered.
+func (s *Stream) Results() <-chan BatchResult { return s.out }
+
+// Close ends submission. Pending batches still flow to Results.
+func (s *Stream) Close() { s.once.Do(func() { close(s.jobs) }) }
+
+// engineKey identifies the resources a default engine holds; scoring and X
+// are per-call parameters, not part of the key.
+type engineKey struct {
+	backend Backend
+	gpus    int
+	threads int
+}
+
+// defaultEngines caches one engine per distinct resource shape for the
+// package-level Align/AlignPair, so legacy callers also stop paying pool
+// construction per call. The cache is capped: callers that sweep Threads
+// or GPUs per call get a transient engine beyond the cap instead of
+// leaking worker pools for the process lifetime.
+var (
+	defaultEnginesMu sync.Mutex
+	defaultEngines   = map[engineKey]*Aligner{}
+)
+
+const maxDefaultEngines = 8
+
+// defaultEngine returns an engine for opt's resource shape and a release
+// function the caller must invoke when the batch is done (a no-op for
+// cached engines, Close for transient overflow engines).
+func defaultEngine(opt Options) (*Aligner, func(), error) {
+	key := engineKey{backend: opt.Backend}
+	switch opt.Backend {
+	case GPU:
+		key.gpus = opt.GPUs
+		if key.gpus <= 0 {
+			key.gpus = 1
+		}
+	default:
+		key.threads = opt.Threads
+	}
+	defaultEnginesMu.Lock()
+	if a, ok := defaultEngines[key]; ok {
+		defaultEnginesMu.Unlock()
+		return a, func() {}, nil
+	}
+	cache := len(defaultEngines) < maxDefaultEngines
+	defaultEnginesMu.Unlock()
+
+	a, err := NewAligner(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cache {
+		return a, func() { a.Close() }, nil
+	}
+	defaultEnginesMu.Lock()
+	defer defaultEnginesMu.Unlock()
+	if prior, ok := defaultEngines[key]; ok {
+		// Lost a construction race: keep the cached one.
+		go a.Close()
+		return prior, func() {}, nil
+	}
+	defaultEngines[key] = a
+	return a, func() {}, nil
+}

@@ -1,0 +1,113 @@
+package logan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// benchPairs builds the 10k-pair workload of the engine acceptance
+// benchmark: read-scale fragments with a planted seed, BELLA-style.
+func benchPairs(n int) []Pair {
+	rng := rand.New(rand.NewSource(11))
+	raw := seq.RandPairSet(rng, seq.PairSetOptions{
+		N: n, MinLen: 200, MaxLen: 600, ErrorRate: 0.15, SeedLen: 17,
+	})
+	out := make([]Pair, n)
+	for i, p := range raw {
+		out[i] = Pair{Query: []byte(p.Query), Target: []byte(p.Target),
+			SeedQ: p.SeedQPos, SeedT: p.SeedTPos, SeedLen: p.SeedLen}
+	}
+	return out
+}
+
+// BenchmarkAlignerReused10k is the engine path: one Aligner serving
+// repeated 10k-pair batches with recycled result storage. Compare against
+// BenchmarkSeedPerCall10k.
+func BenchmarkAlignerReused10k(b *testing.B) {
+	pairs := benchPairs(10000)
+	eng, err := NewAligner(DefaultOptions(100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	var dst []Alignment
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _, err = eng.AlignInto(dst, pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSeedPerCall10k replicates the pre-engine per-call path on the
+// same workload: every batch re-validates and double-copies the sequences
+// ([]byte -> string -> Seq) and spins up a fresh worker team, exactly as
+// the original logan.Align did.
+func BenchmarkSeedPerCall10k(b *testing.B) {
+	pairs := benchPairs(10000)
+	opt := DefaultOptions(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		in := make([]seq.Pair, len(pairs))
+		for i, p := range pairs {
+			q, err := seq.New(string(p.Query))
+			if err != nil {
+				b.Fatal(err)
+			}
+			t, err := seq.New(string(p.Target))
+			if err != nil {
+				b.Fatal(err)
+			}
+			in[i] = seq.Pair{Query: q, Target: t,
+				SeedQPos: p.SeedQ, SeedTPos: p.SeedT, SeedLen: p.SeedLen, ID: i}
+		}
+		results, _, err := xdrop.ExtendBatch(in, opt.scoring(), opt.X, opt.Threads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]Alignment, len(results))
+		var st Stats
+		for i, r := range results {
+			out[i] = toAlignment(r)
+			st.Cells += r.Cells()
+		}
+		st.WallTime = time.Since(start)
+		_ = fmt.Sprint(st.WallTime > 0)
+	}
+}
+
+// BenchmarkAlignerStream10k drives the same workload through the
+// streaming API in 10 batches of 1k with 4 in flight.
+func BenchmarkAlignerStream10k(b *testing.B) {
+	pairs := benchPairs(10000)
+	eng, err := NewAligner(DefaultOptions(100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := eng.NewStream(4)
+		go func() {
+			for off := 0; off < len(pairs); off += 1000 {
+				s.Submit(Batch{ID: int64(off), Pairs: pairs[off : off+1000]})
+			}
+			s.Close()
+		}()
+		for r := range s.Results() {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

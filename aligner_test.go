@@ -1,0 +1,295 @@
+package logan
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAlignerBackendsAgree(t *testing.T) {
+	pairs := makePairs(32)
+	cpuEng, err := NewAligner(DefaultOptions(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpuEng.Close()
+	gpuOpt := DefaultOptions(60)
+	gpuOpt.Backend = GPU
+	gpuOpt.GPUs = 2
+	gpuEng, err := NewAligner(gpuOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpuEng.Close()
+
+	cpu, cpuStats, err := cpuEng.Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, gpuStats, err := gpuEng.Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if cpu[i] != gpu[i] {
+			t.Fatalf("pair %d: cpu %+v != gpu %+v", i, cpu[i], gpu[i])
+		}
+	}
+	if cpuStats.Cells != gpuStats.Cells {
+		t.Fatalf("cells: cpu %d, gpu %d", cpuStats.Cells, gpuStats.Cells)
+	}
+	if gpuStats.DeviceTime <= 0 || gpuStats.GCUPS <= 0 {
+		t.Fatalf("gpu stats %+v", gpuStats)
+	}
+}
+
+func TestAlignerMatchesLegacyAlign(t *testing.T) {
+	pairs := makePairs(16)
+	opt := DefaultOptions(40)
+	want, _, err := Align(pairs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewAligner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	got, _, err := eng.Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("pair %d: legacy %+v != engine %+v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestAlignerRepeatedGPUStatsStable(t *testing.T) {
+	// The satellite fix: DeviceTime must come from the reusable pool's
+	// modeled batch time, so identical batches report identical DeviceTime
+	// (and hence stable GCUPS) no matter how often the engine is reused.
+	pairs := makePairs(12)
+	opt := DefaultOptions(50)
+	opt.Backend = GPU
+	eng, err := NewAligner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, first, err := eng.Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		_, st, err := eng.Align(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DeviceTime != first.DeviceTime {
+			t.Fatalf("rep %d: DeviceTime %v != first %v", rep, st.DeviceTime, first.DeviceTime)
+		}
+	}
+}
+
+func TestAlignerEmptyBatch(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	out, st, err := eng.Align(nil)
+	if err != nil || len(out) != 0 || st.Pairs != 0 {
+		t.Fatalf("empty batch: %v %v %v", out, st, err)
+	}
+}
+
+func TestAlignerEmptySequenceRejected(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, _, err = eng.Align([]Pair{{Query: nil, Target: []byte("ACGT"), SeedLen: 2}})
+	if err == nil {
+		t.Fatal("accepted a seed outside an empty query")
+	}
+}
+
+func TestAlignerSeedAtBoundary(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	s := []byte("ACGTACGTACGTACGTACGT")
+	// Seed flush with the sequence start: no left extension.
+	out, _, err := eng.Align([]Pair{{Query: s, Target: s, SeedQ: 0, SeedT: 0, SeedLen: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Score != int32(len(s)) || out[0].QBegin != 0 {
+		t.Fatalf("start seed: %+v", out[0])
+	}
+	// Seed flush with the sequence end: no right extension.
+	off := len(s) - 4
+	out, _, err = eng.Align([]Pair{{Query: s, Target: s, SeedQ: off, SeedT: off, SeedLen: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Score != int32(len(s)) || out[0].QEnd != len(s) {
+		t.Fatalf("end seed: %+v", out[0])
+	}
+}
+
+func TestAlignerAlignIntoReusesDst(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pairs := makePairs(8)
+	dst, _, err := eng.AlignInto(nil, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst2, _, err := eng.AlignInto(dst, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dst[0] != &dst2[0] {
+		t.Fatal("AlignInto reallocated despite sufficient capacity")
+	}
+}
+
+func TestAlignerClosed(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, _, err := eng.Align(makePairs(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Align after Close: %v", err)
+	}
+}
+
+func TestAlignerInvalidBase(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	_, _, err = eng.Align([]Pair{{Query: []byte("ACGX"), Target: []byte("ACGT"), SeedLen: 2}})
+	if err == nil {
+		t.Fatal("accepted invalid base")
+	}
+}
+
+func TestStreamOrderedResults(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	s := eng.NewStream(3)
+	const batches = 10
+	go func() {
+		for b := 0; b < batches; b++ {
+			s.Submit(Batch{ID: int64(b), Pairs: makePairs(4)})
+		}
+		s.Close()
+	}()
+	got := 0
+	for r := range s.Results() {
+		if r.Err != nil {
+			t.Errorf("batch %d: %v", r.ID, r.Err)
+		}
+		if r.ID != int64(got) {
+			t.Fatalf("result %d has ID %d: out of order", got, r.ID)
+		}
+		if len(r.Alignments) != 4 || r.Stats.Pairs != 4 {
+			t.Fatalf("batch %d: %d alignments, stats %+v", r.ID, len(r.Alignments), r.Stats)
+		}
+		got++
+	}
+	if got != batches {
+		t.Fatalf("received %d of %d batches", got, batches)
+	}
+}
+
+func TestStreamConcurrentSubmit(t *testing.T) {
+	// Many producers share one stream; every batch must come back exactly
+	// once. Run under -race this also vets the engine's internal pooling.
+	eng, err := NewAligner(DefaultOptions(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	s := eng.NewStream(4)
+	const producers, perProducer = 4, 5
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for b := 0; b < perProducer; b++ {
+				s.Submit(Batch{ID: int64(p*perProducer + b), Pairs: makePairs(3)})
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		s.Close()
+	}()
+	seen := make(map[int64]bool)
+	for r := range s.Results() {
+		if r.Err != nil {
+			t.Errorf("batch %d: %v", r.ID, r.Err)
+		}
+		if seen[r.ID] {
+			t.Fatalf("batch %d delivered twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("received %d of %d batches", len(seen), producers*perProducer)
+	}
+}
+
+func TestAlignerConcurrentAlign(t *testing.T) {
+	for _, backend := range []Backend{CPU, GPU} {
+		opt := DefaultOptions(30)
+		opt.Backend = backend
+		eng, err := NewAligner(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := makePairs(10)
+		want, _, err := eng.Align(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got, _, err := eng.Align(pairs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("concurrent result diverged at %d", i)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		eng.Close()
+	}
+}

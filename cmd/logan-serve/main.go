@@ -1,0 +1,72 @@
+// Command logan-serve exposes a long-lived logan.Aligner engine over HTTP:
+// the serve-mode proof that the engine sustains concurrent batch traffic
+// without per-call setup. One engine is built at startup and shared by
+// every request.
+//
+// Endpoints:
+//
+//	POST /align    {"pairs":[{"query","target","seedQ","seedT","seedLen"}]}
+//	GET  /healthz  liveness
+//	GET  /statz    process-lifetime totals (requests, pairs, cells, errors)
+//
+// Usage:
+//
+//	logan-serve [-addr :8080] [-x 100] [-backend cpu] [-gpus 1]
+//	            [-threads 0] [-max-pairs 100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"logan"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		x        = flag.Int("x", 100, "X-drop threshold")
+		backend  = flag.String("backend", "cpu", "alignment backend: cpu or gpu")
+		gpus     = flag.Int("gpus", 1, "simulated GPU count (gpu backend)")
+		threads  = flag.Int("threads", 0, "CPU worker count (0 = GOMAXPROCS)")
+		maxPairs = flag.Int("max-pairs", 100_000, "largest accepted batch")
+	)
+	flag.Parse()
+
+	opt := logan.DefaultOptions(int32(*x))
+	opt.Threads = *threads
+	switch *backend {
+	case "cpu":
+	case "gpu":
+		opt.Backend = logan.GPU
+		opt.GPUs = *gpus
+	default:
+		fmt.Fprintf(os.Stderr, "logan-serve: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+	eng, err := logan.NewAligner(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logan-serve: %v\n", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(eng, *maxPairs),
+		// Large batches upload slowly, but headers and idle keep-alives
+		// must not let slow clients pin connections forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Printf("logan-serve: listening on %s (backend %s, X=%d)\n", *addr, *backend, *x)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "logan-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

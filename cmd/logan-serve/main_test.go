@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"logan"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *logan.Aligner) {
+	t.Helper()
+	eng, err := logan.NewAligner(logan.DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(eng, 1000))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, eng
+}
+
+func postAlign(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/align", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestServeAlign(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, data := postAlign(t, srv.URL,
+		`{"pairs":[{"query":"ACGTACGTACGTACGT","target":"ACGTACGTACGTACGT","seedQ":4,"seedT":4,"seedLen":4}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out alignResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Alignments) != 1 {
+		t.Fatalf("alignments: %+v", out)
+	}
+	want, err := logan.AlignPair(
+		[]byte("ACGTACGTACGTACGT"), []byte("ACGTACGTACGTACGT"), 4, 4, 4,
+		logan.DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Alignments[0]
+	if got.Score != want.Score || got.QBegin != want.QBegin || got.QEnd != want.QEnd {
+		t.Fatalf("served %+v, want %+v", got, want)
+	}
+	if out.Stats.Pairs != 1 || out.Stats.WallNS <= 0 {
+		t.Fatalf("stats %+v", out.Stats)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"malformed json", `{"pairs":`, http.StatusBadRequest},
+		{"invalid base", `{"pairs":[{"query":"AXGT","target":"ACGT","seedLen":2}]}`, http.StatusUnprocessableEntity},
+		{"seed out of range", `{"pairs":[{"query":"ACGT","target":"ACGT","seedQ":3,"seedLen":4}]}`, http.StatusUnprocessableEntity},
+		{"oversized batch", func() string {
+			var b strings.Builder
+			b.WriteString(`{"pairs":[`)
+			for i := 0; i < 1001; i++ {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(`{"query":"ACGT","target":"ACGT","seedLen":2}`)
+			}
+			b.WriteString(`]}`)
+			return b.String()
+		}(), http.StatusRequestEntityTooLarge},
+	} {
+		resp, data := postAlign(t, srv.URL, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, resp.StatusCode, tc.status, data)
+		}
+	}
+}
+
+func TestServeHealthAndStatz(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	postAlign(t, srv.URL, `{"pairs":[{"query":"ACGTACGT","target":"ACGTACGT","seedLen":4}]}`)
+	resp, err = http.Get(srv.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var totals map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&totals); err != nil {
+		t.Fatal(err)
+	}
+	if totals["requests"] < 1 || totals["pairs"] < 1 || totals["cells"] < 1 {
+		t.Fatalf("statz %+v", totals)
+	}
+}
+
+// TestServeConcurrentRequests hammers the shared engine from many client
+// goroutines; run with -race this is the serve-mode acceptance check. Each
+// request's response must match the equivalent direct AlignPair call.
+func TestServeConcurrentRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	query := "ACGTACGTACGTACGTACGTACGTACGTACGT"
+	want, err := logan.AlignPair([]byte(query), []byte(query), 8, 8, 8, logan.DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(
+		`{"pairs":[{"query":%q,"target":%q,"seedQ":8,"seedT":8,"seedLen":8}]}`, query, query)
+
+	const clients, perClient = 8, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(srv.URL+"/align", "application/json",
+					bytes.NewReader([]byte(body)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out alignResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(out.Alignments) != 1 || out.Alignments[0].Score != want.Score {
+					errs <- fmt.Errorf("got %+v, want score %d", out.Alignments, want.Score)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

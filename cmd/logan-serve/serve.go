@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"logan"
+)
+
+// alignRequest is the POST /align payload: a batch of seeded pairs.
+type alignRequest struct {
+	Pairs []pairJSON `json:"pairs"`
+}
+
+type pairJSON struct {
+	Query   string `json:"query"`
+	Target  string `json:"target"`
+	SeedQ   int    `json:"seedQ"`
+	SeedT   int    `json:"seedT"`
+	SeedLen int    `json:"seedLen"`
+}
+
+// alignResponse mirrors logan.Align's results and stats.
+type alignResponse struct {
+	Alignments []alignmentJSON `json:"alignments"`
+	Stats      statsJSON       `json:"stats"`
+}
+
+type alignmentJSON struct {
+	Score  int32 `json:"score"`
+	QBegin int   `json:"qBegin"`
+	QEnd   int   `json:"qEnd"`
+	TBegin int   `json:"tBegin"`
+	TEnd   int   `json:"tEnd"`
+	Cells  int64 `json:"cells"`
+}
+
+type statsJSON struct {
+	Pairs    int     `json:"pairs"`
+	Cells    int64   `json:"cells"`
+	WallNS   int64   `json:"wallNs"`
+	DeviceNS int64   `json:"deviceNs,omitempty"`
+	GCUPS    float64 `json:"gcups"`
+}
+
+// serverTotals are the process-lifetime counters behind GET /statz.
+type serverTotals struct {
+	Requests atomic.Int64
+	Pairs    atomic.Int64
+	Cells    atomic.Int64
+	Errors   atomic.Int64
+}
+
+// server wires one shared Aligner engine into the HTTP surface. Handler
+// goroutines call the engine directly: CPU batches interleave across its
+// worker pool, GPU batches serialize on the device pool.
+type server struct {
+	eng       *logan.Aligner
+	totals    serverTotals
+	maxPairs  int
+	bodyLimit int64
+}
+
+// newServer returns the HTTP handler for an engine. maxPairs bounds the
+// batch size of one request (0 selects 100k pairs).
+func newServer(eng *logan.Aligner, maxPairs int) http.Handler {
+	if maxPairs <= 0 {
+		maxPairs = 100_000
+	}
+	s := &server{eng: eng, maxPairs: maxPairs, bodyLimit: 256 << 20}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /align", s.handleAlign)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.totals.Errors.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	s.totals.Requests.Add(1)
+	var req alignRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if len(req.Pairs) > s.maxPairs {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			"batch of %d pairs exceeds the %d-pair limit", len(req.Pairs), s.maxPairs)
+		return
+	}
+	pairs := make([]logan.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = logan.Pair{
+			Query:  []byte(p.Query),
+			Target: []byte(p.Target),
+			SeedQ:  p.SeedQ, SeedT: p.SeedT, SeedLen: p.SeedLen,
+		}
+	}
+	out, st, err := s.eng.Align(pairs)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, logan.ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		s.fail(w, code, "align: %v", err)
+		return
+	}
+	s.totals.Pairs.Add(int64(st.Pairs))
+	s.totals.Cells.Add(st.Cells)
+
+	resp := alignResponse{
+		Alignments: make([]alignmentJSON, len(out)),
+		Stats: statsJSON{
+			Pairs: st.Pairs, Cells: st.Cells,
+			WallNS: st.WallTime.Nanoseconds(), DeviceNS: st.DeviceTime.Nanoseconds(),
+			GCUPS: st.GCUPS,
+		},
+	}
+	for i, a := range out {
+		resp.Alignments[i] = alignmentJSON{
+			Score: a.Score, QBegin: a.QBegin, QEnd: a.QEnd,
+			TBegin: a.TBegin, TEnd: a.TEnd, Cells: a.Cells,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int64{
+		"requests": s.totals.Requests.Load(),
+		"pairs":    s.totals.Pairs.Load(),
+		"cells":    s.totals.Cells.Load(),
+		"errors":   s.totals.Errors.Load(),
+	})
+}

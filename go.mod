@@ -1,0 +1,3 @@
+module logan
+
+go 1.24

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"logan/internal/cuda"
@@ -110,6 +111,27 @@ func AlignBatch(dev *cuda.Device, pairs []seq.Pair, cfg Config) (BatchResult, er
 	return out, nil
 }
 
+// hostScratch is the reusable host-side staging of one extension side:
+// the sequence arena, its offset tables and the result records. Pooled so
+// that repeated batches on a long-lived device stage without allocating.
+type hostScratch struct {
+	arena                  []byte
+	qOff, qLen, tOff, tLen []int32
+	hostRes                []int64
+	exts                   []extResult
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(hostScratch) }}
+
+// growInt32 returns *p resized to n, reusing the backing array when wide
+// enough.
+func growInt32(p *[]int32, n int) []int32 {
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	return (*p)[:n]
+}
+
 // alignChunk stages one memory-sized chunk and runs the two extension
 // grids.
 func alignChunk(dev *cuda.Device, left, right *cuda.Stream, pairs []seq.Pair, results []xdrop.SeedResult,
@@ -118,33 +140,53 @@ func alignChunk(dev *cuda.Device, left, right *cuda.Stream, pairs []seq.Pair, re
 
 	// Host-side staging: left extensions reversed (Figs. 5-6), then right
 	// extensions, all in one arena per side with offset tables.
-	type offsets struct{ qOff, qLen, tOff, tLen []int32 }
-	stage := func(leftSide bool) ([]byte, offsets) {
-		o := offsets{
-			qOff: make([]int32, n), qLen: make([]int32, n),
-			tOff: make([]int32, n), tLen: make([]int32, n),
+	stage := func(sc *hostScratch, leftSide bool) {
+		sc.qOff = growInt32(&sc.qOff, n)
+		sc.qLen = growInt32(&sc.qLen, n)
+		sc.tOff = growInt32(&sc.tOff, n)
+		sc.tLen = growInt32(&sc.tLen, n)
+		total := 0
+		for i := range pairs {
+			p := &pairs[i]
+			if leftSide {
+				total += p.SeedQPos + p.SeedTPos
+			} else {
+				total += len(p.Query) + len(p.Target) - 2*p.SeedLen - p.SeedQPos - p.SeedTPos
+			}
 		}
-		var arena []byte
+		if cap(sc.arena) < total {
+			sc.arena = make([]byte, 0, total)
+		}
+		arena := sc.arena[:0]
 		for i := range pairs {
 			p := &pairs[i]
 			var q, t seq.Seq
 			if leftSide {
-				q = p.Query.Sub(0, p.SeedQPos).Reverse()
-				t = p.Target.Sub(0, p.SeedTPos).Reverse()
+				q = p.Query.Sub(0, p.SeedQPos)
+				t = p.Target.Sub(0, p.SeedTPos)
 			} else {
 				q = p.Query.Sub(p.SeedQPos+p.SeedLen, len(p.Query))
 				t = p.Target.Sub(p.SeedTPos+p.SeedLen, len(p.Target))
 			}
-			o.qOff[i], o.qLen[i] = int32(len(arena)), int32(len(q))
-			arena = append(arena, q...)
-			o.tOff[i], o.tLen[i] = int32(len(arena)), int32(len(t))
-			arena = append(arena, t...)
+			sc.qOff[i], sc.qLen[i] = int32(len(arena)), int32(len(q))
+			if leftSide {
+				arena = seq.AppendReverse(arena, q)
+			} else {
+				arena = append(arena, q...)
+			}
+			sc.tOff[i], sc.tLen[i] = int32(len(arena)), int32(len(t))
+			if leftSide {
+				arena = seq.AppendReverse(arena, t)
+			} else {
+				arena = append(arena, t...)
+			}
 		}
-		return arena, o
+		sc.arena = arena
 	}
 
-	runSide := func(stream *cuda.Stream, leftSide bool) ([]extResult, error) {
-		arena, off := stage(leftSide)
+	runSide := func(sc *hostScratch, stream *cuda.Stream, leftSide bool) error {
+		stage(sc, leftSide)
+		arena, off := sc.arena, sc
 		name := "logan-right-ext"
 		if leftSide {
 			name = "logan-left-ext"
@@ -163,17 +205,17 @@ func alignChunk(dev *cuda.Device, left, right *cuda.Stream, pairs []seq.Pair, re
 		}
 		seqBuf, err := cuda.Alloc[byte](dev, max(len(arena), 1))
 		if err != nil {
-			return nil, fmt.Errorf("core: %s sequences: %w", name, err)
+			return fmt.Errorf("core: %s sequences: %w", name, err)
 		}
 		defer seqBuf.Free()
 		scratch, err := cuda.Alloc[int32](dev, n*3*bandAlloc)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s anti-diagonals: %w", name, err)
+			return fmt.Errorf("core: %s anti-diagonals: %w", name, err)
 		}
 		defer scratch.Free()
 		resBuf, err := cuda.Alloc[int64](dev, n*extFields)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s results: %w", name, err)
+			return fmt.Errorf("core: %s results: %w", name, err)
 		}
 		defer resBuf.Free()
 
@@ -204,16 +246,22 @@ func alignChunk(dev *cuda.Device, left, right *cuda.Stream, pairs []seq.Pair, re
 			b.GlobalWrite(cuda.TrafficStream, extFields*8, true)
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out.Stats.Accumulate(stats)
 		out.Launches++
 
-		hostRes := make([]int64, n*extFields)
+		if cap(sc.hostRes) < n*extFields {
+			sc.hostRes = make([]int64, n*extFields)
+		}
+		hostRes := sc.hostRes[:n*extFields]
 		cuda.MemcpyDtoH(stream, hostRes, resBuf)
 		out.TransferBytes += int64(n * extFields * 8)
 
-		exts := make([]extResult, n)
+		if cap(sc.exts) < n {
+			sc.exts = make([]extResult, n)
+		}
+		exts := sc.exts[:n]
 		for i := range exts {
 			rec := hostRes[i*extFields : (i+1)*extFields]
 			exts[i] = extResult{
@@ -222,23 +270,28 @@ func alignChunk(dev *cuda.Device, left, right *cuda.Stream, pairs []seq.Pair, re
 				sumBand: rec[6], overflow: rec[7] != 0,
 			}
 		}
-		return exts, nil
+		sc.exts = exts
+		return nil
 	}
 
 	// The two sides run on their own streams; kernels contend for the
-	// compute engine in the model, transfers for the copy engine.
-	leftExts, err := runSide(left, true)
-	if err != nil {
+	// compute engine in the model, transfers for the copy engine. Each
+	// side's staging scratch is pooled and returned once the results have
+	// been merged.
+	ls := scratchPool.Get().(*hostScratch)
+	rs := scratchPool.Get().(*hostScratch)
+	defer scratchPool.Put(ls)
+	defer scratchPool.Put(rs)
+	if err := runSide(ls, left, true); err != nil {
 		return err
 	}
-	rightExts, err := runSide(right, false)
-	if err != nil {
+	if err := runSide(rs, right, false); err != nil {
 		return err
 	}
 
 	for i := range pairs {
 		p := &pairs[i]
-		l, r := leftExts[i], rightExts[i]
+		l, r := ls.exts[i], rs.exts[i]
 		sr := xdrop.SeedResult{
 			Left:    toXdropResult(l),
 			Right:   toXdropResult(r),

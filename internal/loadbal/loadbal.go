@@ -10,6 +10,7 @@ package loadbal
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"logan/internal/core"
@@ -18,6 +19,11 @@ import (
 	"logan/internal/seq"
 	"logan/internal/xdrop"
 )
+
+// subPool recycles the per-device sub-batch staging across Align calls, so
+// a long-lived Pool serves batch after batch without reallocating it. The
+// slices are cleared before pooling so they don't pin caller sequences.
+var subPool = sync.Pool{New: func() any { return new([]seq.Pair) }}
 
 // Pool is a set of simulated devices acting as one multi-GPU node.
 type Pool struct {
@@ -160,11 +166,20 @@ func (p *Pool) Align(pairs []seq.Pair, cfg core.Config, strat Strategy) (Result,
 	out.PerDevice = make([]core.BatchResult, len(p.Devices))
 
 	var maxCells int64
+	subp := subPool.Get().(*[]seq.Pair)
+	defer func() {
+		clear((*subp)[:cap(*subp)])
+		subPool.Put(subp)
+	}()
 	for d, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
 		}
-		sub := make([]seq.Pair, len(bucket))
+		if cap(*subp) < len(bucket) {
+			*subp = make([]seq.Pair, len(bucket))
+		}
+		sub := (*subp)[:len(bucket)]
+		*subp = sub
 		for k, idx := range bucket {
 			sub[k] = pairs[idx]
 		}

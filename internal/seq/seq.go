@@ -38,6 +38,10 @@ var encode [256]byte
 // complementTab maps an ASCII base to its complement.
 var complementTab [256]byte
 
+// canonical marks the bytes a normalized Seq may contain (upper-case
+// ACGTN), the fast path of FromBytes.
+var canonical [256]bool
+
 func init() {
 	for i := range encode {
 		encode[i] = 0xFF
@@ -52,6 +56,9 @@ func init() {
 	set('T', BaseT)
 	encode['N'] = 0xFE
 	encode['n'] = 0xFE
+	for _, c := range []byte("ACGTN") {
+		canonical[c] = true
+	}
 
 	for i := range complementTab {
 		complementTab[i] = 'N'
@@ -78,6 +85,42 @@ func New(s string) (Seq, error) {
 		}
 	}
 	return out, nil
+}
+
+// FromBytes validates b and returns it as a Seq without copying when every
+// base is already canonical (upper-case ACGTN): the returned Seq aliases b,
+// and the caller must not mutate b while the Seq is in use. Inputs holding
+// lower-case bases are normalized into a fresh copy, so FromBytes never
+// mutates b. This is the zero-copy ingestion path of the batch engine,
+// which would otherwise copy every sequence twice per call.
+func FromBytes(b []byte) (Seq, error) {
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if canonical[c] {
+			continue
+		}
+		code := encode[c]
+		if code == 0xFF {
+			return nil, fmt.Errorf("%w: %q at offset %d", ErrBadBase, c, i)
+		}
+		// Lower-case tail: fall back to the normalizing copy. The prefix
+		// b[:i] is already canonical.
+		out := make(Seq, len(b))
+		copy(out, b[:i])
+		for ; i < len(b); i++ {
+			code := encode[b[i]]
+			switch {
+			case code == 0xFF:
+				return nil, fmt.Errorf("%w: %q at offset %d", ErrBadBase, b[i], i)
+			case code == 0xFE:
+				out[i] = 'N'
+			default:
+				out[i] = Alphabet[code]
+			}
+		}
+		return out, nil
+	}
+	return Seq(b), nil
 }
 
 // MustNew is New that panics on invalid input; for tests and literals.
@@ -147,6 +190,16 @@ func (s Seq) RevComp() Seq {
 // Sub returns the subsequence [lo, hi). It panics if the range is invalid,
 // matching Go slice semantics.
 func (s Seq) Sub(lo, hi int) Seq { return s[lo:hi:hi] }
+
+// AppendReverse appends s to dst in reverse base order (no complement):
+// the Fig. 6 staging reversal, shared by the CPU workspace and the GPU
+// host pipeline so neither allocates an intermediate sequence.
+func AppendReverse(dst, s []byte) []byte {
+	for i := len(s) - 1; i >= 0; i-- {
+		dst = append(dst, s[i])
+	}
+	return dst
+}
 
 // Identity returns the fraction of equal bases at equal offsets of a and b
 // over the shorter length. It is a cheap similarity proxy used by tests.

@@ -323,3 +323,55 @@ func TestFormatWrap(t *testing.T) {
 		t.Fatalf("Format(width=0) = %q", got)
 	}
 }
+
+func TestFromBytesZeroCopy(t *testing.T) {
+	b := []byte("ACGTNACGT")
+	s, err := FromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s[0] != &b[0] {
+		t.Fatal("canonical input was copied")
+	}
+	if s.String() != "ACGTNACGT" {
+		t.Fatalf("FromBytes = %q", s)
+	}
+}
+
+func TestFromBytesNormalizesCopy(t *testing.T) {
+	b := []byte("ACgtnACGT")
+	s, err := FromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "ACGTNACGT" {
+		t.Fatalf("FromBytes = %q", s)
+	}
+	if &s[0] == &b[0] {
+		t.Fatal("normalized result aliases the input")
+	}
+	if string(b) != "ACgtnACGT" {
+		t.Fatalf("input mutated to %q", b)
+	}
+}
+
+func TestFromBytesRejectsBadBase(t *testing.T) {
+	for _, in := range []string{"ACGX", "acg!", "AC GT"} {
+		if _, err := FromBytes([]byte(in)); err == nil {
+			t.Errorf("FromBytes(%q) accepted invalid base", in)
+		}
+	}
+}
+
+func TestFromBytesMatchesNew(t *testing.T) {
+	for _, in := range []string{"", "A", "acgtn", "ACGTacgtNn"} {
+		want, werr := New(in)
+		got, gerr := FromBytes([]byte(in))
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("FromBytes(%q) err = %v, New err = %v", in, gerr, werr)
+		}
+		if werr == nil && got.String() != want.String() {
+			t.Fatalf("FromBytes(%q) = %q, New = %q", in, got, want)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package xdrop
 
 import (
 	"runtime"
-	"sync"
 
 	"logan/internal/seq"
 )
@@ -51,40 +50,12 @@ func ExtendBatch(pairs []seq.Pair, sc Scoring, x int32, workers int) ([]SeedResu
 	if workers > len(pairs) && len(pairs) > 0 {
 		workers = len(pairs)
 	}
+	p := NewPool(workers)
+	defer p.Close()
 	results := make([]SeedResult, len(pairs))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	chunk := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for idx := range chunk {
-				p := &pairs[idx]
-				r, err := ExtendSeed(p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen, sc, x)
-				if err != nil {
-					if errs[w] == nil {
-						errs[w] = err
-					}
-					continue
-				}
-				results[idx] = r
-			}
-		}(w)
-	}
-	for i := range pairs {
-		chunk <- i
-	}
-	close(chunk)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, BatchStats{}, err
-		}
-	}
-	var stats BatchStats
-	for i := range results {
-		stats.Accumulate(results[i])
+	stats, err := p.ExtendBatch(pairs, results, sc, x)
+	if err != nil {
+		return nil, BatchStats{}, err
 	}
 	return results, stats, nil
 }

@@ -1,0 +1,131 @@
+package xdrop
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"logan/internal/seq"
+)
+
+// ErrPoolClosed reports a batch submitted to a closed Pool.
+var ErrPoolClosed = errors.New("xdrop: pool is closed")
+
+// Pool is a persistent team of CPU alignment workers. Each worker owns a
+// Workspace, so batch after batch runs without goroutine spin-up or DP
+// buffer allocation — the reusable-thread-buffer discipline of minimap2
+// applied to the SeqAn-style OpenMP loop the paper benchmarks against.
+//
+// A Pool is safe for concurrent use: batches submitted from multiple
+// goroutines interleave across the workers.
+type Pool struct {
+	workers int
+	jobs    chan *poolJob
+	// mu guards closed and the job-channel sends: submissions hold the
+	// read side, Close takes the write side, so a close can never race a
+	// blocked send (in-flight batches always finish).
+	mu     sync.RWMutex
+	closed bool
+}
+
+// poolJob is one batch traversing the pool: workers claim pair indices
+// from the shared cursor until the batch is exhausted.
+type poolJob struct {
+	pairs   []seq.Pair
+	results []SeedResult
+	sc      Scoring
+	x       int32
+	cursor  atomic.Int64
+	wg      sync.WaitGroup
+
+	errMu  sync.Mutex
+	err    error
+	errIdx int
+}
+
+// NewPool starts a pool of `workers` goroutines (0 = GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, jobs: make(chan *poolJob)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			ws := NewWorkspace()
+			for j := range p.jobs {
+				j.run(ws)
+				j.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers once in-flight batches drain. Later submissions
+// fail with ErrPoolClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+}
+
+func (j *poolJob) run(ws *Workspace) {
+	for {
+		idx := int(j.cursor.Add(1)) - 1
+		if idx >= len(j.pairs) {
+			return
+		}
+		p := &j.pairs[idx]
+		r, err := ws.ExtendSeed(p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen, j.sc, j.x)
+		if err != nil {
+			j.errMu.Lock()
+			if j.err == nil || idx < j.errIdx {
+				j.err, j.errIdx = err, idx
+			}
+			j.errMu.Unlock()
+			continue
+		}
+		j.results[idx] = r
+	}
+}
+
+// ExtendBatch aligns every pair into results (len(results) must equal
+// len(pairs)), reusing the pool's workers and their workspaces. On error
+// (the lowest-index invalid seed) the surviving entries of results are
+// still valid but the batch must be considered failed.
+func (p *Pool) ExtendBatch(pairs []seq.Pair, results []SeedResult, sc Scoring, x int32) (BatchStats, error) {
+	if len(results) != len(pairs) {
+		panic("xdrop: results length does not match pairs")
+	}
+	if len(pairs) == 0 {
+		return BatchStats{}, nil
+	}
+	j := &poolJob{pairs: pairs, results: results, sc: sc, x: x}
+	fan := min(p.workers, len(pairs))
+	j.wg.Add(fan)
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return BatchStats{}, ErrPoolClosed
+	}
+	for i := 0; i < fan; i++ {
+		p.jobs <- j
+	}
+	p.mu.RUnlock()
+	j.wg.Wait()
+	if j.err != nil {
+		return BatchStats{}, j.err
+	}
+	var stats BatchStats
+	for i := range results {
+		stats.Accumulate(results[i])
+	}
+	return stats, nil
+}

@@ -1,10 +1,6 @@
 package xdrop
 
-import (
-	"fmt"
-
-	"logan/internal/seq"
-)
+import "logan/internal/seq"
 
 // SeedResult is the outcome of a seed-and-extend alignment: the seed is
 // assumed exact, the left and right extensions are X-drop extensions away
@@ -27,20 +23,8 @@ func (r SeedResult) Cells() int64 { return r.Left.Cells + r.Right.Cells }
 // for coalescing (paper Fig. 6); here it also keeps the semantics of
 // "extend leftwards from the seed start".
 func ExtendSeed(q, t seq.Seq, qPos, tPos, seedLen int, sc Scoring, x int32) (SeedResult, error) {
-	if err := sc.Validate(); err != nil {
-		return SeedResult{}, err
-	}
-	if qPos < 0 || tPos < 0 || seedLen <= 0 || qPos+seedLen > len(q) || tPos+seedLen > len(t) {
-		return SeedResult{}, fmt.Errorf("xdrop: seed (%d,%d,len %d) outside sequences (%d, %d)",
-			qPos, tPos, seedLen, len(q), len(t))
-	}
-	r := SeedResult{SeedLen: seedLen}
-	r.Left = Extend(q.Sub(0, qPos).Reverse(), t.Sub(0, tPos).Reverse(), sc, x)
-	r.Right = Extend(q.Sub(qPos+seedLen, len(q)), t.Sub(tPos+seedLen, len(t)), sc, x)
-	r.Score = r.Left.Score + r.Right.Score + int32(seedLen)*sc.Match
-	r.QBegin = qPos - r.Left.QueryEnd
-	r.TBegin = tPos - r.Left.TargetEnd
-	r.QEnd = qPos + seedLen + r.Right.QueryEnd
-	r.TEnd = tPos + seedLen + r.Right.TargetEnd
-	return r, nil
+	w := wsPool.Get().(*Workspace)
+	r, err := w.ExtendSeed(q, t, qPos, tPos, seedLen, sc, x)
+	wsPool.Put(w)
+	return r, err
 }

@@ -11,6 +11,13 @@
 //	res, err := logan.AlignPair(q, t, 100, 100, 17, logan.DefaultOptions(100))
 //	batch, stats, err := logan.Align(pairs, logan.DefaultOptions(100))
 //
+// High-throughput callers should create one Aligner engine and reuse it:
+//
+//	eng, err := logan.NewAligner(logan.DefaultOptions(100))
+//	defer eng.Close()
+//	out, stats, err := eng.Align(pairs)          // or AlignInto to recycle out
+//	s := eng.NewStream(4)                        // pipelined ingest→align→emit
+//
 // Both backends produce bit-identical scores; the GPU backend additionally
 // reports the modeled device time of the batch on NVIDIA Tesla V100s.
 package logan
@@ -19,8 +26,6 @@ import (
 	"fmt"
 	"time"
 
-	"logan/internal/core"
-	"logan/internal/loadbal"
 	"logan/internal/seq"
 	"logan/internal/xdrop"
 )
@@ -67,6 +72,11 @@ func (o Options) scoring() xdrop.Scoring {
 
 // Pair is one alignment work item: two sequences and an exact seed match
 // (positions and length), as produced by an overlapper such as BELLA.
+//
+// Ingestion is zero-copy: canonical sequences (upper-case ACGTN) are
+// aliased, not copied, so the caller must not mutate Query or Target until
+// the call that received the Pair has returned — or, for Stream.Submit,
+// until the batch's result has been delivered.
 type Pair struct {
 	Query, Target []byte
 	SeedQ, SeedT  int
@@ -85,20 +95,28 @@ type Alignment struct {
 
 // Stats summarizes a batch.
 type Stats struct {
-	Pairs      int
-	Cells      int64
-	WallTime   time.Duration // measured host time
-	DeviceTime time.Duration // modeled GPU time (GPU backend only)
-	GCUPS      float64       // cells per modeled/wall second, in billions
+	Pairs int
+	Cells int64
+	// WallTime is the measured host time of the batch itself; engine
+	// setup (worker pools, device pools) is paid at NewAligner and never
+	// counted here, so the figure is stable across repeated batches.
+	WallTime time.Duration
+	// DeviceTime is the modeled GPU completion time of the batch (GPU
+	// backend only): kernels and transfers on the device timeline,
+	// excluding one-off pool construction and host-side prep.
+	DeviceTime time.Duration
+	// GCUPS is billions of DP cells per second: over DeviceTime for the
+	// GPU backend, over WallTime for the CPU backend.
+	GCUPS float64
 }
 
 // AlignPair aligns a single pair with the CPU engine.
 func AlignPair(query, target []byte, seedQ, seedT, seedLen int, opt Options) (Alignment, error) {
-	q, err := seq.New(string(query))
+	q, err := seq.FromBytes(query)
 	if err != nil {
 		return Alignment{}, fmt.Errorf("logan: query: %w", err)
 	}
-	t, err := seq.New(string(target))
+	t, err := seq.FromBytes(target)
 	if err != nil {
 		return Alignment{}, fmt.Errorf("logan: target: %w", err)
 	}
@@ -111,64 +129,18 @@ func AlignPair(query, target []byte, seedQ, seedT, seedLen int, opt Options) (Al
 
 // Align aligns a batch of pairs on the selected backend. Results are
 // positionally aligned with the input.
+//
+// Align is a thin wrapper over a cached default Aligner engine: the first
+// call for a given backend/device/thread shape builds the engine, later
+// calls reuse it. Callers with steady batch traffic should hold their own
+// engine (NewAligner) to control its lifetime and use AlignInto/NewStream.
 func Align(pairs []Pair, opt Options) ([]Alignment, Stats, error) {
-	start := time.Now()
-	in := make([]seq.Pair, len(pairs))
-	for i, p := range pairs {
-		q, err := seq.New(string(p.Query))
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("logan: pair %d query: %w", i, err)
-		}
-		t, err := seq.New(string(p.Target))
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("logan: pair %d target: %w", i, err)
-		}
-		in[i] = seq.Pair{
-			Query: q, Target: t,
-			SeedQPos: p.SeedQ, SeedTPos: p.SeedT, SeedLen: p.SeedLen, ID: i,
-		}
+	a, release, err := defaultEngine(opt)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-
-	var results []xdrop.SeedResult
-	st := Stats{Pairs: len(pairs)}
-	switch opt.Backend {
-	case GPU:
-		gpus := opt.GPUs
-		if gpus <= 0 {
-			gpus = 1
-		}
-		pool, err := loadbal.NewV100Pool(gpus)
-		if err != nil {
-			return nil, Stats{}, err
-		}
-		res, err := pool.Align(in, core.Config{Scoring: opt.scoring(), X: opt.X}, loadbal.ByLength)
-		if err != nil {
-			return nil, Stats{}, err
-		}
-		results = res.Results
-		st.DeviceTime = res.TotalTime
-	default:
-		var err error
-		results, _, err = xdrop.ExtendBatch(in, opt.scoring(), opt.X, opt.Threads)
-		if err != nil {
-			return nil, Stats{}, err
-		}
-	}
-
-	out := make([]Alignment, len(results))
-	for i, r := range results {
-		out[i] = toAlignment(r)
-		st.Cells += r.Cells()
-	}
-	st.WallTime = time.Since(start)
-	denom := st.WallTime
-	if opt.Backend == GPU && st.DeviceTime > 0 {
-		denom = st.DeviceTime
-	}
-	if denom > 0 {
-		st.GCUPS = float64(st.Cells) / denom.Seconds() / 1e9
-	}
-	return out, st, nil
+	defer release()
+	return a.align(nil, pairs, opt)
 }
 
 func toAlignment(r xdrop.SeedResult) Alignment {
