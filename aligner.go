@@ -7,8 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"logan/internal/backend"
 	"logan/internal/core"
-	"logan/internal/loadbal"
 	"logan/internal/seq"
 	"logan/internal/xdrop"
 )
@@ -16,22 +16,27 @@ import (
 // ErrClosed reports use of an Aligner after Close.
 var ErrClosed = errors.New("logan: aligner is closed")
 
+// ErrStreamClosed reports a submission to a Stream after its Close.
+var ErrStreamClosed = errors.New("logan: stream is closed")
+
 // Aligner is a long-lived alignment engine: create it once, feed it batch
 // after batch. It holds the resources that the one-shot Align function
 // would otherwise rebuild per call — a persistent CPU worker pool with
-// per-worker DP workspaces, or a persistent simulated V100 pool for the
-// GPU backend — plus pooled staging buffers, so steady-state batches are
-// allocation-free on the hot path. This is the host-side discipline of
-// LOGAN's own pipeline, which keeps device pools and buffers alive across
-// the many batches of a real assembly workload.
+// per-worker DP workspaces, a persistent simulated V100 pool, or both for
+// the Hybrid scheduler — plus pooled staging buffers, so steady-state
+// batches are allocation-lean on the hot path. This is the host-side
+// discipline of LOGAN's own pipeline, which keeps device pools and buffers
+// alive across the many batches of a real assembly workload.
 //
-// An Aligner is safe for concurrent use. CPU batches interleave across the
-// shared worker pool; GPU batches serialize on the device pool.
+// Execution is delegated to an internal backend chosen by Options.Backend;
+// the engine itself only validates, stages and converts. An Aligner is
+// safe for concurrent use, and concurrency is per resource, not per
+// engine: CPU batches interleave across the shared worker pool, GPU
+// batches serialize per device (two concurrent batches on a multi-GPU
+// engine proceed on different devices), and Hybrid batches do both.
 type Aligner struct {
 	opt    Options
-	cpu    *xdrop.Pool
-	gpu    *loadbal.Pool
-	gpuMu  sync.Mutex
+	be     backend.Backend
 	closed atomic.Bool
 	// scratch pools the per-batch conversion and result staging.
 	scratch sync.Pool
@@ -48,25 +53,35 @@ type batchScratch struct {
 // are the engine defaults used by Align; Backend, GPUs and Threads choose
 // the resources the engine keeps alive.
 func NewAligner(opt Options) (*Aligner, error) {
-	a := &Aligner{opt: opt}
+	be, err := newBackend(opt)
+	if err != nil {
+		return nil, err
+	}
+	a := &Aligner{opt: opt, be: be}
 	a.scratch.New = func() any { return new(batchScratch) }
+	return a, nil
+}
+
+// newBackend maps Options onto the execution layer: the pluggable
+// dispatch that replaced the hard-coded CPU/GPU switch in align.
+func newBackend(opt Options) (backend.Backend, error) {
+	gpus := opt.GPUs
+	if gpus <= 0 {
+		gpus = 1
+	}
 	switch opt.Backend {
-	case GPU:
-		gpus := opt.GPUs
-		if gpus <= 0 {
-			gpus = 1
-		}
-		pool, err := loadbal.NewV100Pool(gpus)
-		if err != nil {
-			return nil, err
-		}
-		a.gpu = pool
 	case CPU:
-		a.cpu = xdrop.NewPool(opt.Threads)
+		return backend.NewCPU(opt.Threads), nil
+	case GPU:
+		if gpus == 1 {
+			return backend.NewV100("gpu0")
+		}
+		return backend.NewV100MultiGPU(gpus)
+	case Hybrid:
+		return backend.NewHybrid(opt.Threads, gpus)
 	default:
 		return nil, fmt.Errorf("logan: unknown backend %d", opt.Backend)
 	}
-	return a, nil
 }
 
 // Options returns the engine's configured defaults.
@@ -78,10 +93,7 @@ func (a *Aligner) Close() error {
 	if a.closed.Swap(true) {
 		return nil
 	}
-	if a.cpu != nil {
-		a.cpu.Close()
-	}
-	return nil
+	return a.be.Close()
 }
 
 // Align aligns one batch on the engine, like the package-level Align but
@@ -92,7 +104,7 @@ func (a *Aligner) Align(pairs []Pair) ([]Alignment, Stats, error) {
 
 // AlignInto is Align reusing dst for the results when it has capacity;
 // callers looping over batches can hand the previous slice back and keep
-// the steady state allocation-free.
+// the steady state allocation-lean.
 func (a *Aligner) AlignInto(dst []Alignment, pairs []Pair) ([]Alignment, Stats, error) {
 	return a.align(dst, pairs, a.opt)
 }
@@ -133,30 +145,24 @@ func (a *Aligner) align(dst []Alignment, pairs []Pair, opt Options) ([]Alignment
 		}
 	}
 
-	st := Stats{Pairs: len(pairs)}
-	var results []xdrop.SeedResult
-	switch opt.Backend {
-	case GPU:
-		a.gpuMu.Lock()
-		res, err := a.gpu.Align(in, core.Config{Scoring: opt.scoring(), X: opt.X}, loadbal.ByLength)
-		a.gpuMu.Unlock()
-		if err != nil {
-			return nil, Stats{}, err
+	if cap(sc.res) < len(pairs) {
+		sc.res = make([]xdrop.SeedResult, len(pairs))
+	}
+	results := sc.res[:len(pairs)]
+	sc.res = results
+	bst, err := a.be.ExtendBatch(in, results, core.Config{Scoring: opt.scoring(), X: opt.X})
+	if err != nil {
+		if errors.Is(err, xdrop.ErrPoolClosed) || errors.Is(err, backend.ErrClosed) {
+			err = ErrClosed
 		}
-		results = res.Results
-		st.DeviceTime = res.DeviceTime
-	default:
-		if cap(sc.res) < len(pairs) {
-			sc.res = make([]xdrop.SeedResult, len(pairs))
-		}
-		results = sc.res[:len(pairs)]
-		sc.res = results
-		if _, err := a.cpu.ExtendBatch(in, results, opt.scoring(), opt.X); err != nil {
-			if errors.Is(err, xdrop.ErrPoolClosed) {
-				err = ErrClosed
-			}
-			return nil, Stats{}, err
-		}
+		return nil, Stats{}, err
+	}
+
+	st := Stats{Pairs: len(pairs), Cells: bst.Cells, DeviceTime: bst.DeviceTime}
+	for _, sh := range bst.Shards {
+		st.PerBackend = append(st.PerBackend, BackendStats{
+			Name: sh.Backend, Pairs: sh.Pairs, Cells: sh.Cells, Time: sh.Time,
+		})
 	}
 
 	if cap(dst) < len(results) {
@@ -165,17 +171,24 @@ func (a *Aligner) align(dst []Alignment, pairs []Pair, opt Options) ([]Alignment
 	dst = dst[:len(results)]
 	for i := range results {
 		dst[i] = toAlignment(results[i])
-		st.Cells += results[i].Cells()
 	}
 	st.WallTime = time.Since(start)
-	denom := st.WallTime
-	if opt.Backend == GPU && st.DeviceTime > 0 {
-		denom = st.DeviceTime
-	}
-	if denom > 0 {
-		st.GCUPS = float64(st.Cells) / denom.Seconds() / 1e9
-	}
+	st.GCUPS = st.gcups(opt.Backend)
 	return dst, st, nil
+}
+
+// gcups applies the per-backend denominator contract documented on
+// Stats.GCUPS: device time for GPU, wall time for CPU and Hybrid, 0 when
+// the denominator is zero (never NaN or Inf).
+func (s *Stats) gcups(b Backend) float64 {
+	denom := s.WallTime
+	if b == GPU {
+		denom = s.DeviceTime
+	}
+	if denom <= 0 {
+		return 0
+	}
+	return float64(s.Cells) / denom.Seconds() / 1e9
 }
 
 // Batch is one unit of streaming work: a caller-chosen ID and its pairs.
@@ -200,7 +213,12 @@ type BatchResult struct {
 type Stream struct {
 	jobs chan Batch
 	out  chan BatchResult
-	once sync.Once
+	// mu guards closed and the job-channel sends the same way xdrop.Pool
+	// guards its submissions: Submit holds the read side for the send,
+	// Close takes the write side, so a close can never race a blocked
+	// send and a post-Close Submit fails cleanly instead of panicking.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewStream starts a stream over the engine with the given in-flight bound
@@ -224,17 +242,59 @@ func (a *Aligner) NewStream(inflight int) *Stream {
 }
 
 // Submit enqueues a batch, blocking while the in-flight bound is reached.
-// Safe for concurrent use; submissions after Close panic. The batch's
-// sequence buffers are aliased, not copied (see Pair): do not overwrite
-// them until the batch's BatchResult arrives.
-func (s *Stream) Submit(b Batch) { s.jobs <- b }
+// Safe for concurrent use; submissions after Close return ErrStreamClosed.
+// The batch's sequence buffers are aliased, not copied (see Pair): do not
+// overwrite them until the batch's BatchResult arrives.
+func (s *Stream) Submit(b Batch) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrStreamClosed
+	}
+	s.jobs <- b
+	return nil
+}
+
+// TrySubmit is the non-blocking Submit: it reports false when the
+// in-flight bound is reached, letting producers shed load instead of
+// stalling, and returns ErrStreamClosed after Close. Unlike Submit it
+// never waits, not even for the close lock: if a Close is in progress
+// (which would make any later submission fail anyway), it fails fast
+// with ErrStreamClosed.
+func (s *Stream) TrySubmit(b Batch) (bool, error) {
+	if !s.mu.TryRLock() {
+		// The only writer is Close, so a held write lock (or a pending
+		// writer blocking new readers) means the stream is closing.
+		return false, ErrStreamClosed
+	}
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false, ErrStreamClosed
+	}
+	select {
+	case s.jobs <- b:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
 
 // Results returns the ordered result channel. It closes after Close once
 // every submitted batch has been delivered.
 func (s *Stream) Results() <-chan BatchResult { return s.out }
 
-// Close ends submission. Pending batches still flow to Results.
-func (s *Stream) Close() { s.once.Do(func() { close(s.jobs) }) }
+// Close ends submission; it is idempotent. Pending batches still flow to
+// Results. Close waits for concurrently blocked Submits to enqueue first,
+// so a producer stalled on a full stream must be unblocked (keep draining
+// Results) before Close returns.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.jobs)
+	}
+}
 
 // engineKey identifies the resources a default engine holds; scoring and X
 // are per-call parameters, not part of the key.
@@ -263,10 +323,10 @@ func defaultEngine(opt Options) (*Aligner, func(), error) {
 	key := engineKey{backend: opt.Backend}
 	switch opt.Backend {
 	case GPU:
-		key.gpus = opt.GPUs
-		if key.gpus <= 0 {
-			key.gpus = 1
-		}
+		key.gpus = max(opt.GPUs, 1)
+	case Hybrid:
+		key.gpus = max(opt.GPUs, 1)
+		key.threads = opt.Threads
 	default:
 		key.threads = opt.Threads
 	}
@@ -294,4 +354,19 @@ func defaultEngine(opt Options) (*Aligner, func(), error) {
 	}
 	defaultEngines[key] = a
 	return a, func() {}, nil
+}
+
+// CloseDefaultEngines closes and discards every engine cached behind the
+// package-level Align, releasing their worker pools. Long-running
+// processes that used the package-level entry points (or hosted code that
+// did) call this at shutdown; the next Align after it simply rebuilds its
+// engine.
+func CloseDefaultEngines() {
+	defaultEnginesMu.Lock()
+	engines := defaultEngines
+	defaultEngines = map[engineKey]*Aligner{}
+	defaultEnginesMu.Unlock()
+	for _, a := range engines {
+		a.Close()
+	}
 }

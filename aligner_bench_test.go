@@ -111,3 +111,40 @@ func BenchmarkAlignerStream10k(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBackends2k compares the execution backends on one 2k-pair
+// batch through the same engine path: the CPU pool, single- and dual-GPU
+// simulated devices, and the hybrid CPU+GPU scheduler.
+func BenchmarkBackends2k(b *testing.B) {
+	pairs := benchPairs(2000)
+	for _, tc := range []struct {
+		name    string
+		backend Backend
+		gpus    int
+	}{
+		{"cpu", CPU, 0},
+		{"gpu1", GPU, 1},
+		{"gpu2", GPU, 2},
+		{"hybrid2", Hybrid, 2},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			opt := DefaultOptions(100)
+			opt.Backend = tc.backend
+			opt.GPUs = tc.gpus
+			eng, err := NewAligner(opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			var dst []Alignment
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst, _, err = eng.AlignInto(dst, pairs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,7 +3,11 @@ package logan
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"logan/internal/loadbal"
 )
 
 func TestAlignerBackendsAgree(t *testing.T) {
@@ -197,7 +201,9 @@ func TestStreamOrderedResults(t *testing.T) {
 	const batches = 10
 	go func() {
 		for b := 0; b < batches; b++ {
-			s.Submit(Batch{ID: int64(b), Pairs: makePairs(4)})
+			if err := s.Submit(Batch{ID: int64(b), Pairs: makePairs(4)}); err != nil {
+				t.Error(err)
+			}
 		}
 		s.Close()
 	}()
@@ -235,7 +241,9 @@ func TestStreamConcurrentSubmit(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for b := 0; b < perProducer; b++ {
-				s.Submit(Batch{ID: int64(p*perProducer + b), Pairs: makePairs(3)})
+				if err := s.Submit(Batch{ID: int64(p*perProducer + b), Pairs: makePairs(3)}); err != nil {
+					t.Error(err)
+				}
 			}
 		}(p)
 	}
@@ -259,7 +267,7 @@ func TestStreamConcurrentSubmit(t *testing.T) {
 }
 
 func TestAlignerConcurrentAlign(t *testing.T) {
-	for _, backend := range []Backend{CPU, GPU} {
+	for _, backend := range []Backend{CPU, GPU, Hybrid} {
 		opt := DefaultOptions(30)
 		opt.Backend = backend
 		eng, err := NewAligner(opt)
@@ -292,4 +300,303 @@ func TestAlignerConcurrentAlign(t *testing.T) {
 		wg.Wait()
 		eng.Close()
 	}
+}
+
+// TestHybridBitIdenticalToCPUAndGPU is the tentpole acceptance test: the
+// Hybrid scheduler must produce bit-identical alignments (and cell
+// counts) to both single-backend engines on the same batch.
+func TestHybridBitIdenticalToCPUAndGPU(t *testing.T) {
+	pairs := makePairs(64)
+	newEng := func(b Backend, gpus int) *Aligner {
+		t.Helper()
+		opt := DefaultOptions(60)
+		opt.Backend = b
+		opt.GPUs = gpus
+		opt.Threads = 2
+		eng, err := NewAligner(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		return eng
+	}
+	cpu, cpuStats, err := newEng(CPU, 0).Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, gpuStats, err := newEng(GPU, 2).Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, hybStats, err := newEng(Hybrid, 2).Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if cpu[i] != gpu[i] || cpu[i] != hyb[i] {
+			t.Fatalf("pair %d: cpu %+v gpu %+v hybrid %+v", i, cpu[i], gpu[i], hyb[i])
+		}
+	}
+	if cpuStats.Cells != gpuStats.Cells || cpuStats.Cells != hybStats.Cells {
+		t.Fatalf("cells diverge: cpu %d gpu %d hybrid %d",
+			cpuStats.Cells, gpuStats.Cells, hybStats.Cells)
+	}
+}
+
+// TestPerBackendStats: every engine must report the per-worker breakdown,
+// and it must cover the batch exactly.
+func TestPerBackendStats(t *testing.T) {
+	for _, tc := range []struct {
+		backend Backend
+		gpus    int
+	}{{CPU, 0}, {GPU, 1}, {GPU, 2}, {Hybrid, 2}} {
+		opt := DefaultOptions(40)
+		opt.Backend = tc.backend
+		opt.GPUs = tc.gpus
+		eng, err := NewAligner(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := makePairs(12)
+		_, st, err := eng.Align(pairs)
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.PerBackend) == 0 {
+			t.Fatalf("backend %v: no PerBackend breakdown", tc.backend)
+		}
+		var pairsSum int
+		var cellsSum int64
+		for _, b := range st.PerBackend {
+			if b.Name == "" {
+				t.Fatalf("backend %v: unnamed shard %+v", tc.backend, b)
+			}
+			pairsSum += b.Pairs
+			cellsSum += b.Cells
+		}
+		if pairsSum != st.Pairs || cellsSum != st.Cells {
+			t.Fatalf("backend %v: shards cover %d pairs/%d cells, batch has %d/%d",
+				tc.backend, pairsSum, cellsSum, st.Pairs, st.Cells)
+		}
+	}
+}
+
+// TestConcurrentAlignNotSerializedAcrossDevices is the scheduler
+// acceptance check (run under -race in CI): two concurrent Align calls on
+// a 2-GPU engine must both be inside the device pool at the same time —
+// impossible under the old engine-wide gpuMu, which admitted one batch at
+// a time. The loadbal test hook acts as a 2-party barrier with a timeout:
+// if either call held an engine-wide lock across its batch, the other
+// could never arrive and the barrier would time out.
+func TestConcurrentAlignNotSerializedAcrossDevices(t *testing.T) {
+	opt := DefaultOptions(30)
+	opt.Backend = GPU
+	opt.GPUs = 2
+	eng, err := NewAligner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const callers = 2
+	arrived := make(chan struct{}, callers)
+	proceed := make(chan struct{})
+	var barrierOnce sync.Once
+	var timedOut atomic.Bool
+	loadbal.TestHookAlignStart = func() {
+		arrived <- struct{}{}
+		barrierOnce.Do(func() {
+			go func() {
+				// Release everyone once both calls are in the pool; fail
+				// them out (rather than deadlocking the test) if the
+				// second never shows up.
+				for i := 0; i < callers; i++ {
+					select {
+					case <-arrived:
+					case <-time.After(30 * time.Second):
+						timedOut.Store(true)
+					}
+				}
+				close(proceed)
+			}()
+		})
+		<-proceed
+	}
+	defer func() { loadbal.TestHookAlignStart = nil }()
+
+	pairs := makePairs(8)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := eng.Align(pairs); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if timedOut.Load() {
+		t.Fatal("second Align call never entered the device pool: batches serialized on an engine-wide lock")
+	}
+}
+
+// TestHybridConcurrentAlign exercises the hybrid scheduler under
+// concurrent traffic (and -race): results must stay bit-identical.
+func TestHybridConcurrentAlign(t *testing.T) {
+	opt := DefaultOptions(30)
+	opt.Backend = Hybrid
+	opt.GPUs = 2
+	opt.Threads = 2
+	eng, err := NewAligner(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pairs := makePairs(16)
+	want, _, err := eng.Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := eng.Align(pairs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("hybrid concurrent result diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStreamSubmitAfterClose: the satellite fix — submissions after Close
+// must fail with ErrStreamClosed instead of panicking on a closed
+// channel, and TrySubmit must shed load without blocking.
+func TestStreamSubmitAfterClose(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	s := eng.NewStream(1)
+	if err := s.Submit(Batch{ID: 1, Pairs: makePairs(2)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if err := s.Submit(Batch{ID: 2, Pairs: makePairs(2)}); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrStreamClosed", err)
+	}
+	if ok, err := s.TrySubmit(Batch{ID: 3}); ok || !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("TrySubmit after Close: ok=%v err=%v", ok, err)
+	}
+	// The pre-Close batch still flows to Results, which then closes.
+	n := 0
+	for r := range s.Results() {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("drained %d batches, want 1", n)
+	}
+}
+
+func TestStreamTrySubmitShedsLoad(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	s := eng.NewStream(1)
+	defer s.Close()
+	// Saturate the in-flight bound: with a 1-deep queue, repeated
+	// non-blocking submissions must eventually report a full queue
+	// rather than blocking forever.
+	shed := false
+	for i := 0; i < 1000 && !shed; i++ {
+		ok, err := s.TrySubmit(Batch{ID: int64(i), Pairs: makePairs(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shed = !ok
+	}
+	if !shed {
+		t.Fatal("TrySubmit never reported a full queue at inflight=1")
+	}
+	go func() {
+		for range s.Results() {
+		}
+	}()
+}
+
+// TestStatsGCUPSSemantics pins the per-backend denominator contract
+// documented on Stats.GCUPS, including the zero-duration edge: GCUPS must
+// be 0 (never NaN or Inf) when the selected denominator is zero.
+func TestStatsGCUPSSemantics(t *testing.T) {
+	st := Stats{Cells: 1e9, WallTime: time.Second, DeviceTime: 100 * time.Millisecond}
+	if got := st.gcups(CPU); got != 1 {
+		t.Fatalf("CPU gcups over wall: %v, want 1", got)
+	}
+	if got := st.gcups(GPU); got != 10 {
+		t.Fatalf("GPU gcups over device: %v, want 10", got)
+	}
+	if got := st.gcups(Hybrid); got != 1 {
+		t.Fatalf("Hybrid gcups over wall: %v, want 1", got)
+	}
+	// Zero-duration edges: no denominator, no GCUPS — and no NaN/Inf.
+	zero := Stats{Cells: 1e9}
+	for _, b := range []Backend{CPU, GPU, Hybrid} {
+		got := zero.gcups(b)
+		if got != 0 {
+			t.Fatalf("backend %v: zero-duration gcups = %v, want 0", b, got)
+		}
+	}
+	// A GPU batch that launched nothing has DeviceTime 0 even with
+	// nonzero wall time: still 0 by the contract.
+	gpuZero := Stats{Cells: 5, WallTime: time.Second}
+	if got := gpuZero.gcups(GPU); got != 0 {
+		t.Fatalf("GPU with zero device time: gcups %v, want 0", got)
+	}
+}
+
+// TestCloseDefaultEngines: the cached package-level engines must be
+// releasable, and the package-level Align must transparently rebuild
+// afterwards.
+func TestCloseDefaultEngines(t *testing.T) {
+	pairs := makePairs(4)
+	opt := DefaultOptions(25)
+	if _, _, err := Align(pairs, opt); err != nil {
+		t.Fatal(err)
+	}
+	defaultEnginesMu.Lock()
+	cached := len(defaultEngines)
+	defaultEnginesMu.Unlock()
+	if cached == 0 {
+		t.Fatal("Align did not cache a default engine")
+	}
+	CloseDefaultEngines()
+	defaultEnginesMu.Lock()
+	left := len(defaultEngines)
+	defaultEnginesMu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d engines still cached after CloseDefaultEngines", left)
+	}
+	// Next call rebuilds and still answers correctly.
+	if _, _, err := Align(pairs, opt); err != nil {
+		t.Fatal(err)
+	}
+	CloseDefaultEngines()
 }

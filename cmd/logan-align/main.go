@@ -24,8 +24,8 @@ func main() {
 	var (
 		nPairs  = flag.Int("pairs", 1000, "number of read pairs to align")
 		x       = flag.Int("x", 100, "X-drop threshold")
-		backend = flag.String("backend", "cpu", "alignment backend: cpu or gpu")
-		gpus    = flag.Int("gpus", 1, "simulated GPU count (gpu backend)")
+		backend = flag.String("backend", "cpu", "alignment backend: cpu, gpu or hybrid")
+		gpus    = flag.Int("gpus", 1, "simulated GPU count (gpu and hybrid backends)")
 		seed    = flag.Int64("seed", 42, "workload RNG seed")
 		minLen  = flag.Int("minlen", 2500, "minimum read length")
 		maxLen  = flag.Int("maxlen", 7500, "maximum read length")
@@ -79,11 +79,15 @@ func main() {
 	}
 
 	opt := logan.DefaultOptions(int32(*x))
-	if *backend == "gpu" {
+	opt.GPUs = *gpus
+	switch *backend {
+	case "cpu":
+	case "gpu":
 		opt.Backend = logan.GPU
-		opt.GPUs = *gpus
-	} else if *backend != "cpu" {
-		fmt.Fprintf(os.Stderr, "unknown backend %q (want cpu or gpu)\n", *backend)
+	case "hybrid":
+		opt.Backend = logan.Hybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q (want cpu, gpu or hybrid)\n", *backend)
 		os.Exit(2)
 	}
 

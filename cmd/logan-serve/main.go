@@ -8,18 +8,26 @@
 //	POST /align    {"pairs":[{"query","target","seedQ","seedT","seedLen"}]}
 //	GET  /healthz  liveness
 //	GET  /statz    process-lifetime totals (requests, pairs, cells, errors)
+//	               plus the per-backend breakdown (cpu, gpu0, ...)
 //
 // Usage:
 //
-//	logan-serve [-addr :8080] [-x 100] [-backend cpu] [-gpus 1]
+//	logan-serve [-addr :8080] [-x 100] [-backend cpu|gpu|hybrid] [-gpus 1]
 //	            [-threads 0] [-max-pairs 100000]
+//
+// SIGINT/SIGTERM drain in-flight requests, then release the engine and
+// every cached default engine before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"logan"
@@ -29,8 +37,8 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		x        = flag.Int("x", 100, "X-drop threshold")
-		backend  = flag.String("backend", "cpu", "alignment backend: cpu or gpu")
-		gpus     = flag.Int("gpus", 1, "simulated GPU count (gpu backend)")
+		backend  = flag.String("backend", "cpu", "alignment backend: cpu, gpu or hybrid")
+		gpus     = flag.Int("gpus", 1, "simulated GPU count (gpu and hybrid backends)")
 		threads  = flag.Int("threads", 0, "CPU worker count (0 = GOMAXPROCS)")
 		maxPairs = flag.Int("max-pairs", 100_000, "largest accepted batch")
 	)
@@ -38,11 +46,13 @@ func main() {
 
 	opt := logan.DefaultOptions(int32(*x))
 	opt.Threads = *threads
+	opt.GPUs = *gpus
 	switch *backend {
 	case "cpu":
 	case "gpu":
 		opt.Backend = logan.GPU
-		opt.GPUs = *gpus
+	case "hybrid":
+		opt.Backend = logan.Hybrid
 	default:
 		fmt.Fprintf(os.Stderr, "logan-serve: unknown backend %q\n", *backend)
 		os.Exit(2)
@@ -52,7 +62,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "logan-serve: %v\n", err)
 		os.Exit(1)
 	}
-	defer eng.Close()
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -64,9 +73,28 @@ func main() {
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
 	fmt.Printf("logan-serve: listening on %s (backend %s, X=%d)\n", *addr, *backend, *x)
-	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintf(os.Stderr, "logan-serve: %v\n", err)
+
+	var exitErr error
+	select {
+	case exitErr = <-done:
+	case <-ctx.Done():
+		// Drain in-flight requests, then release the engine's worker
+		// pools and any engines cached behind the package-level Align so
+		// the process exits with nothing still running.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		exitErr = srv.Shutdown(shutdownCtx)
+		cancel()
+	}
+	eng.Close()
+	logan.CloseDefaultEngines()
+	if exitErr != nil && !errors.Is(exitErr, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "logan-serve: %v\n", exitErr)
 		os.Exit(1)
 	}
 }

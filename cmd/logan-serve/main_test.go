@@ -117,12 +117,18 @@ func TestServeHealthAndStatz(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var totals map[string]int64
+	var totals statzJSON
 	if err := json.NewDecoder(resp.Body).Decode(&totals); err != nil {
 		t.Fatal(err)
 	}
-	if totals["requests"] < 1 || totals["pairs"] < 1 || totals["cells"] < 1 {
+	if totals.Requests < 1 || totals.Pairs < 1 || totals.Cells < 1 {
 		t.Fatalf("statz %+v", totals)
+	}
+	// The per-backend breakdown must cover the served pairs: the test
+	// engine is CPU-backed, so everything lands on the "cpu" worker.
+	cpu, ok := totals.Backends["cpu"]
+	if !ok || cpu.Pairs < 1 || cpu.Cells < 1 {
+		t.Fatalf("statz backends %+v", totals.Backends)
 	}
 }
 

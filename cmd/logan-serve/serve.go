@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"logan"
@@ -52,11 +53,57 @@ type serverTotals struct {
 	Pairs    atomic.Int64
 	Cells    atomic.Int64
 	Errors   atomic.Int64
+
+	// per-backend breakdown, keyed by the worker name ("cpu", "gpu0"...)
+	// reported in Stats.PerBackend.
+	mu         sync.Mutex
+	perBackend map[string]*backendTotals
+}
+
+// backendTotals accumulates one execution worker's lifetime share.
+type backendTotals struct {
+	Pairs  int64
+	Cells  int64
+	TimeNS int64
+}
+
+// addBatch folds one batch's per-backend stats into the totals.
+func (t *serverTotals) addBatch(per []logan.BackendStats) {
+	if len(per) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.perBackend == nil {
+		t.perBackend = make(map[string]*backendTotals)
+	}
+	for _, b := range per {
+		bt := t.perBackend[b.Name]
+		if bt == nil {
+			bt = &backendTotals{}
+			t.perBackend[b.Name] = bt
+		}
+		bt.Pairs += int64(b.Pairs)
+		bt.Cells += b.Cells
+		bt.TimeNS += b.Time.Nanoseconds()
+	}
+}
+
+// backendSnapshot copies the per-backend totals for /statz.
+func (t *serverTotals) backendSnapshot() map[string]backendStatzJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]backendStatzJSON, len(t.perBackend))
+	for name, bt := range t.perBackend {
+		out[name] = backendStatzJSON{Pairs: bt.Pairs, Cells: bt.Cells, TimeNS: bt.TimeNS}
+	}
+	return out
 }
 
 // server wires one shared Aligner engine into the HTTP surface. Handler
 // goroutines call the engine directly: CPU batches interleave across its
-// worker pool, GPU batches serialize on the device pool.
+// worker pool, GPU batches serialize per device (concurrent requests
+// proceed on different devices), and hybrid batches shard across both.
 type server struct {
 	eng       *logan.Aligner
 	totals    serverTotals
@@ -115,6 +162,7 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	}
 	s.totals.Pairs.Add(int64(st.Pairs))
 	s.totals.Cells.Add(st.Cells)
+	s.totals.addBatch(st.PerBackend)
 
 	resp := alignResponse{
 		Alignments: make([]alignmentJSON, len(out)),
@@ -139,12 +187,30 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
+// statzJSON is the GET /statz payload: process-lifetime totals plus the
+// per-backend breakdown (which execution workers — CPU pool, each GPU —
+// served how much of the traffic).
+type statzJSON struct {
+	Requests int64                       `json:"requests"`
+	Pairs    int64                       `json:"pairs"`
+	Cells    int64                       `json:"cells"`
+	Errors   int64                       `json:"errors"`
+	Backends map[string]backendStatzJSON `json:"backends"`
+}
+
+type backendStatzJSON struct {
+	Pairs  int64 `json:"pairs"`
+	Cells  int64 `json:"cells"`
+	TimeNS int64 `json:"timeNs"`
+}
+
 func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]int64{
-		"requests": s.totals.Requests.Load(),
-		"pairs":    s.totals.Pairs.Load(),
-		"cells":    s.totals.Cells.Load(),
-		"errors":   s.totals.Errors.Load(),
+	json.NewEncoder(w).Encode(statzJSON{
+		Requests: s.totals.Requests.Load(),
+		Pairs:    s.totals.Pairs.Load(),
+		Cells:    s.totals.Cells.Load(),
+		Errors:   s.totals.Errors.Load(),
+		Backends: s.totals.backendSnapshot(),
 	})
 }

@@ -1,0 +1,122 @@
+// Package backend defines the pluggable execution layer of the alignment
+// engine: a Backend turns a validated batch of seeded pairs into seed
+// extension results, and the engine (package logan) dispatches over the
+// interface instead of hard-coding the execution substrates. Adapters wrap
+// the existing substrates — the CPU worker pool (internal/xdrop.Pool), a
+// single simulated GPU (internal/cuda.Device via internal/core), and the
+// multi-GPU load-balancing pool (internal/loadbal.Pool) — and Hybrid
+// composes a CPU pool with every GPU as one heterogeneous worker set,
+// split by the capacity-weighted LPT scheduler of internal/loadbal.
+//
+// Contract shared by all implementations:
+//
+//   - ExtendBatch writes exactly len(pairs) results into out (which must
+//     have the same length), positionally aligned with the input, and the
+//     scores are bit-identical across every Backend — the reproduction's
+//     "equivalent accuracy" guarantee extended to scheduling.
+//   - Input pairs are aliased, not copied; the caller must not mutate the
+//     sequences until ExtendBatch returns.
+//   - Every Backend is safe for concurrent ExtendBatch calls. Concurrency
+//     is per resource, not per backend: CPU batches interleave across the
+//     shared worker pool, GPU batches serialize per device (never on the
+//     backend as a whole), so independent batches proceed on independent
+//     devices.
+//   - Throughput is a scheduling hint, not a measurement guarantee: it
+//     starts from a perfmodel-derived estimate and is corrected online
+//     from observed batches.
+package backend
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"logan/internal/core"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// ErrClosed reports an ExtendBatch on a closed Backend.
+var ErrClosed = errors.New("backend: closed")
+
+// ShardStats is the per-worker breakdown of one batch: which backend
+// worker ran how much of it, and for how long. Time is the modeled device
+// time for GPU shards and measured wall time for CPU shards (see the GCUPS
+// contract in package logan).
+type ShardStats struct {
+	Backend string
+	Pairs   int
+	Cells   int64
+	Time    time.Duration
+}
+
+// BatchStats summarizes one ExtendBatch call.
+type BatchStats struct {
+	Pairs int
+	Cells int64
+	// DeviceTime is the modeled GPU completion time of the batch: the
+	// slowest device shard. Zero for pure-CPU execution.
+	DeviceTime time.Duration
+	// Shards is the per-worker breakdown in worker order. Single-worker
+	// backends report one shard; Hybrid reports the CPU pool plus every
+	// device that received pairs.
+	Shards []ShardStats
+}
+
+// Backend executes batches of seed extensions.
+type Backend interface {
+	// Name identifies the backend ("cpu", "gpu0", "gpu[2]", "hybrid"...).
+	Name() string
+	// ExtendBatch aligns pairs into out (len(out) must equal len(pairs)).
+	ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error)
+	// Throughput returns the backend's current DP-cell rate estimate in
+	// cells per wall-second of this process, the weight the hybrid
+	// scheduler partitions on. All backends report the same currency —
+	// host wall time, even for simulated devices — so the estimates are
+	// directly comparable.
+	Throughput() float64
+	// Close releases the backend's resources. Further ExtendBatch calls
+	// fail; Close is idempotent.
+	Close() error
+}
+
+// rate is a concurrency-safe exponentially-weighted throughput estimate:
+// seeded from a model-derived prior, corrected by observed (cells, time)
+// samples. Observations always use host wall time — the one clock every
+// backend shares — so CPU and (simulated) GPU estimates stay in the same
+// unit and the hybrid split converges to this machine's real balance;
+// the priors only shape the first batches. The EWMA keeps the split
+// adaptive without letting one anomalous batch (e.g. a cold cache) swing
+// the schedule.
+type rate struct {
+	bits atomic.Uint64
+}
+
+const rateAlpha = 0.3
+
+func newRate(seed float64) *rate {
+	r := &rate{}
+	r.bits.Store(math.Float64bits(seed))
+	return r
+}
+
+// estimate returns the current cells/second estimate.
+func (r *rate) estimate() float64 { return math.Float64frombits(r.bits.Load()) }
+
+// observe folds one batch sample into the estimate. Samples too small to
+// time reliably are ignored.
+func (r *rate) observe(cells int64, d time.Duration) {
+	if cells <= 0 || d <= 0 {
+		return
+	}
+	sample := float64(cells) / d.Seconds()
+	for {
+		old := r.bits.Load()
+		cur := math.Float64frombits(old)
+		next := cur + rateAlpha*(sample-cur)
+		if r.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"logan/internal/core"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+func testPairs(t *testing.T, n int) []seq.Pair {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	return seq.RandPairSet(rng, seq.PairSetOptions{
+		N: n, MinLen: 150, MaxLen: 400, ErrorRate: 0.15, SeedLen: 17, FracRelated: 0.8,
+	})
+}
+
+// equalizeHybridRates resets every worker estimate to the same value so
+// tests can force a genuinely heterogeneous split on small batches.
+func equalizeHybridRates(h *Hybrid) {
+	for _, w := range h.workers {
+		switch be := w.(type) {
+		case *CPU:
+			be.rate = newRate(1e8)
+		case *GPU:
+			be.rate = newRate(1e8)
+		}
+	}
+}
+
+func runBackend(t *testing.T, be Backend, pairs []seq.Pair, cfg core.Config) ([]xdrop.SeedResult, BatchStats) {
+	t.Helper()
+	out := make([]xdrop.SeedResult, len(pairs))
+	st, err := be.ExtendBatch(pairs, out, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", be.Name(), err)
+	}
+	return out, st
+}
+
+// TestBackendsBitIdentical is the differential acceptance test of the
+// backend layer: every implementation — CPU pool, single GPU, multi-GPU
+// pool, and the hybrid scheduler — must produce bit-identical results on
+// the same batch.
+func TestBackendsBitIdentical(t *testing.T) {
+	pairs := testPairs(t, 48)
+	cfg := core.DefaultConfig(60)
+
+	cpu := NewCPU(2)
+	defer cpu.Close()
+	gpu, err := NewV100("gpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpu.Close()
+	multi, err := NewV100MultiGPU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	hybrid, err := NewHybrid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hybrid.Close()
+
+	ref, refStats := runBackend(t, cpu, pairs, cfg)
+	for _, be := range []Backend{gpu, multi, hybrid} {
+		got, st := runBackend(t, be, pairs, cfg)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%s: pair %d: %+v != cpu %+v", be.Name(), i, got[i], ref[i])
+			}
+		}
+		if st.Cells != refStats.Cells {
+			t.Fatalf("%s: cells %d != cpu %d", be.Name(), st.Cells, refStats.Cells)
+		}
+	}
+}
+
+// TestHybridShardBreakdown checks the scheduler's accounting: the shard
+// breakdown must cover every pair and cell exactly once, and DeviceTime
+// must be the slowest GPU shard.
+func TestHybridShardBreakdown(t *testing.T) {
+	pairs := testPairs(t, 40)
+	cfg := core.DefaultConfig(50)
+	h, err := NewHybrid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	// Equalize the worker estimates so the LPT split actually spreads
+	// this small batch across the CPU pool and both devices (with the
+	// realistic priors the V100s would swallow everything).
+	equalizeHybridRates(h)
+
+	_, st := runBackend(t, h, pairs, cfg)
+	if st.Pairs != len(pairs) {
+		t.Fatalf("Pairs %d != %d", st.Pairs, len(pairs))
+	}
+	if len(st.Shards) < 2 {
+		t.Fatalf("expected a heterogeneous split, got shards %+v", st.Shards)
+	}
+	var pairsSum int
+	var cellsSum int64
+	var maxGPU time.Duration
+	seen := map[string]bool{}
+	for _, sh := range st.Shards {
+		if seen[sh.Backend] {
+			t.Fatalf("shard %q reported twice", sh.Backend)
+		}
+		seen[sh.Backend] = true
+		if sh.Pairs <= 0 {
+			t.Fatalf("empty shard reported: %+v", sh)
+		}
+		pairsSum += sh.Pairs
+		cellsSum += sh.Cells
+		if sh.Backend != "cpu" && sh.Time > maxGPU {
+			maxGPU = sh.Time
+		}
+	}
+	if pairsSum != len(pairs) {
+		t.Fatalf("shards cover %d pairs, want %d", pairsSum, len(pairs))
+	}
+	if cellsSum != st.Cells {
+		t.Fatalf("shards cover %d cells, batch says %d", cellsSum, st.Cells)
+	}
+	if st.DeviceTime != maxGPU {
+		t.Fatalf("DeviceTime %v != slowest GPU shard %v", st.DeviceTime, maxGPU)
+	}
+}
+
+// TestHybridAdaptiveThroughput: observed batches must move the worker
+// estimates, so the split adapts to measured rates rather than staying on
+// the perfmodel priors forever.
+func TestHybridAdaptiveThroughput(t *testing.T) {
+	h, err := NewHybrid(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	equalizeHybridRates(h)
+	cpu := h.workers[0].(*CPU)
+	before := cpu.Throughput()
+	pairs := testPairs(t, 24)
+	out := make([]xdrop.SeedResult, len(pairs))
+	if _, err := h.ExtendBatch(pairs, out, core.DefaultConfig(40)); err != nil {
+		t.Fatal(err)
+	}
+	// The CPU shard ran for real, so the EWMA must have folded in at
+	// least one observation (the prior is a round constant; any real
+	// sample perturbs it).
+	if cpu.Throughput() == before {
+		t.Fatalf("CPU throughput estimate did not adapt from prior %v", before)
+	}
+	if h.Throughput() <= 0 {
+		t.Fatalf("aggregate throughput %v", h.Throughput())
+	}
+}
+
+func TestBackendThroughputHintsPositive(t *testing.T) {
+	cpu := NewCPU(1)
+	defer cpu.Close()
+	gpu, err := NewV100("gpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewV100MultiGPU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Throughput() <= 0 || gpu.Throughput() <= 0 || multi.Throughput() <= 0 {
+		t.Fatalf("non-positive throughput hint: cpu %v gpu %v multi %v",
+			cpu.Throughput(), gpu.Throughput(), multi.Throughput())
+	}
+	// A 3-GPU pool's prior must exceed a single device's.
+	if multi.Throughput() <= gpu.Throughput() {
+		t.Fatalf("multi-GPU prior %v not above single-GPU %v", multi.Throughput(), gpu.Throughput())
+	}
+	// The scheduler seeds are host-wall estimates, deliberately far below
+	// the modeled-device ceiling (a different clock entirely): seeding
+	// with PeakCellRate would starve the CPU worker of the hybrid split.
+	if peak := core.PeakCellRate(gpu.Device().Spec); peak <= 100*gpu.Throughput() {
+		t.Fatalf("modeled ceiling %v suspiciously close to wall seed %v", peak, gpu.Throughput())
+	}
+}
+
+func TestBackendEmptyBatch(t *testing.T) {
+	h, err := NewHybrid(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for _, be := range []Backend{NewCPU(1), h} {
+		st, err := be.ExtendBatch(nil, nil, core.DefaultConfig(20))
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name(), err)
+		}
+		if st.Pairs != 0 || st.Cells != 0 || len(st.Shards) != 0 {
+			t.Fatalf("%s: empty batch stats %+v", be.Name(), st)
+		}
+	}
+}
+
+func TestBackendLengthMismatch(t *testing.T) {
+	gpu, err := NewV100("gpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := testPairs(t, 3)
+	if _, err := gpu.ExtendBatch(pairs, make([]xdrop.SeedResult, 2), core.DefaultConfig(20)); err == nil {
+		t.Fatal("accepted mismatched out length")
+	}
+	h, err := NewHybrid(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.ExtendBatch(pairs, make([]xdrop.SeedResult, 2), core.DefaultConfig(20)); err == nil {
+		t.Fatal("hybrid accepted mismatched out length")
+	}
+}
+
+// TestBackendsClosed: after Close, every implementation must reject
+// further batches — the shared interface contract.
+func TestBackendsClosed(t *testing.T) {
+	gpu, err := NewV100("gpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewV100MultiGPU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := NewHybrid(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := testPairs(t, 2)
+	for _, be := range []Backend{NewCPU(1), gpu, multi, hyb} {
+		be.Close()
+		be.Close() // idempotent
+		if _, err := be.ExtendBatch(pairs, make([]xdrop.SeedResult, 2), core.DefaultConfig(20)); err == nil {
+			t.Fatalf("closed %s backend accepted a batch", be.Name())
+		}
+	}
+}
+
+func TestRateEWMA(t *testing.T) {
+	r := newRate(100)
+	r.observe(0, time.Second) // ignored: no cells
+	r.observe(10, 0)          // ignored: no duration
+	if got := r.estimate(); got != 100 {
+		t.Fatalf("degenerate samples moved the estimate to %v", got)
+	}
+	r.observe(200, time.Second) // sample rate 200
+	got := r.estimate()
+	if got <= 100 || got >= 200 {
+		t.Fatalf("EWMA estimate %v not between prior and sample", got)
+	}
+}

@@ -1,0 +1,66 @@
+package backend
+
+import (
+	"fmt"
+	"time"
+
+	"logan/internal/core"
+	"logan/internal/perfmodel"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// CPU executes batches on a persistent internal/xdrop worker pool, the
+// SeqAn-style multi-threaded baseline. Concurrent batches interleave
+// across the shared workers.
+type CPU struct {
+	pool *xdrop.Pool
+	rate *rate
+}
+
+// NewCPU builds a CPU backend with the given worker count (0 =
+// GOMAXPROCS).
+func NewCPU(threads int) *CPU {
+	p := xdrop.NewPool(threads)
+	return &CPU{
+		pool: p,
+		rate: newRate(perfmodel.LocalCPUThroughput(p.Workers())),
+	}
+}
+
+// Name implements Backend.
+func (c *CPU) Name() string { return "cpu" }
+
+// ExtendBatch implements Backend. GCUPS accounting: the shard time is
+// measured host wall time, the only meaningful denominator for real CPU
+// execution.
+func (c *CPU) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
+	if len(out) != len(pairs) {
+		return BatchStats{}, fmt.Errorf("backend: cpu: out length %d != pairs %d", len(out), len(pairs))
+	}
+	if len(pairs) == 0 {
+		return BatchStats{}, nil
+	}
+	start := time.Now()
+	st, err := c.pool.ExtendBatch(pairs, out, cfg.Scoring, cfg.X)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	wall := time.Since(start)
+	c.rate.observe(st.Cells, wall)
+	return BatchStats{
+		Pairs:  len(pairs),
+		Cells:  st.Cells,
+		Shards: []ShardStats{{Backend: c.Name(), Pairs: len(pairs), Cells: st.Cells, Time: wall}},
+	}, nil
+}
+
+// Throughput implements Backend.
+func (c *CPU) Throughput() float64 { return c.rate.estimate() }
+
+// Close implements Backend. The pool's own Close is idempotent and
+// race-safe; ExtendBatch after Close fails with xdrop.ErrPoolClosed.
+func (c *CPU) Close() error {
+	c.pool.Close()
+	return nil
+}

@@ -1,0 +1,178 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logan/internal/core"
+	"logan/internal/cuda"
+	"logan/internal/loadbal"
+	"logan/internal/perfmodel"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// GPU executes batches on one simulated device via the LOGAN kernel
+// pipeline of internal/core. The device's batch timeline is single-use,
+// so concurrent batches serialize on this one device — per-device
+// ownership, not an engine-wide lock (a second GPU backend over a second
+// device proceeds independently).
+type GPU struct {
+	dev    *cuda.Device
+	name   string
+	mu     sync.Mutex
+	rate   *rate
+	closed atomic.Bool
+}
+
+// NewGPU wraps a single device. name distinguishes devices in per-shard
+// stats ("gpu0", "gpu1", ...). The throughput seed is the wall-clock
+// estimate of the simulator on this host (perfmodel.LocalSimGPUThroughput),
+// not the modeled-device ceiling core.PeakCellRate: the scheduler's
+// currency is host wall time, and a modeled-seconds seed would be ~1000x
+// off in the wrong unit.
+func NewGPU(dev *cuda.Device, name string) *GPU {
+	if name == "" {
+		name = "gpu"
+	}
+	return &GPU{dev: dev, name: name, rate: newRate(perfmodel.LocalSimGPUThroughput())}
+}
+
+// NewV100 builds a GPU backend over a fresh Tesla V100 with the
+// calibrated timer installed.
+func NewV100(name string) (*GPU, error) {
+	dev, err := cuda.NewDevice(cuda.TeslaV100())
+	if err != nil {
+		return nil, err
+	}
+	dev.Timer = perfmodel.NewV100Timer()
+	return NewGPU(dev, name), nil
+}
+
+// Name implements Backend.
+func (g *GPU) Name() string { return g.name }
+
+// Device exposes the wrapped device.
+func (g *GPU) Device() *cuda.Device { return g.dev }
+
+// ExtendBatch implements Backend. GCUPS accounting: the shard time is the
+// modeled device completion time of the batch, matching the paper's
+// device-side throughput metric.
+func (g *GPU) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
+	if len(out) != len(pairs) {
+		return BatchStats{}, fmt.Errorf("backend: %s: out length %d != pairs %d", g.name, len(out), len(pairs))
+	}
+	if g.closed.Load() {
+		return BatchStats{}, ErrClosed
+	}
+	if len(pairs) == 0 {
+		return BatchStats{}, nil
+	}
+	start := time.Now()
+	g.mu.Lock()
+	res, err := core.AlignBatch(g.dev, pairs, cfg)
+	g.mu.Unlock()
+	if err != nil {
+		return BatchStats{}, err
+	}
+	copy(out, res.Results)
+	// The scheduling estimate observes wall time — the currency shared
+	// with the CPU backend — not the modeled device time reported below.
+	g.rate.observe(res.Cells, time.Since(start))
+	return BatchStats{
+		Pairs:      len(pairs),
+		Cells:      res.Cells,
+		DeviceTime: res.DeviceTime,
+		Shards:     []ShardStats{{Backend: g.name, Pairs: len(pairs), Cells: res.Cells, Time: res.DeviceTime}},
+	}, nil
+}
+
+// Throughput implements Backend.
+func (g *GPU) Throughput() float64 { return g.rate.estimate() }
+
+// Close implements Backend. Simulated devices hold no host resources
+// beyond their ledgers, so Close only bars further use.
+func (g *GPU) Close() error {
+	g.closed.Store(true)
+	return nil
+}
+
+// MultiGPU executes batches across a loadbal.Pool, LOGAN's §IV-C
+// multi-GPU node: each batch is length-weight partitioned across the
+// devices and the per-device shards run concurrently, serialized only on
+// their own device's lock. Two concurrent batches therefore interleave
+// across devices instead of queueing behind the backend.
+type MultiGPU struct {
+	pool   *loadbal.Pool
+	strat  loadbal.Strategy
+	rate   *rate
+	closed atomic.Bool
+}
+
+// NewMultiGPU wraps an existing pool with the given partition strategy.
+func NewMultiGPU(pool *loadbal.Pool, strat loadbal.Strategy) *MultiGPU {
+	seed := float64(len(pool.Devices)) * perfmodel.LocalSimGPUThroughput()
+	return &MultiGPU{pool: pool, strat: strat, rate: newRate(seed)}
+}
+
+// NewV100MultiGPU builds a MultiGPU backend over n fresh Tesla V100s with
+// LOGAN's by-length partitioning.
+func NewV100MultiGPU(n int) (*MultiGPU, error) {
+	pool, err := loadbal.NewV100Pool(n)
+	if err != nil {
+		return nil, err
+	}
+	return NewMultiGPU(pool, loadbal.ByLength), nil
+}
+
+// Name implements Backend.
+func (m *MultiGPU) Name() string { return fmt.Sprintf("gpu[%d]", len(m.pool.Devices)) }
+
+// ExtendBatch implements Backend. GCUPS accounting: DeviceTime is the
+// slowest device shard, the multi-GPU completion time of §IV-C.
+func (m *MultiGPU) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
+	if len(out) != len(pairs) {
+		return BatchStats{}, fmt.Errorf("backend: %s: out length %d != pairs %d", m.Name(), len(out), len(pairs))
+	}
+	if m.closed.Load() {
+		return BatchStats{}, ErrClosed
+	}
+	if len(pairs) == 0 {
+		return BatchStats{}, nil
+	}
+	start := time.Now()
+	res, err := m.pool.AlignInto(out, pairs, cfg, m.strat)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	st := BatchStats{
+		Pairs:      len(pairs),
+		Cells:      res.Cells,
+		DeviceTime: res.DeviceTime,
+	}
+	for d := range res.PerDevice {
+		pd := &res.PerDevice[d]
+		if len(pd.Results) == 0 && pd.Cells == 0 {
+			continue
+		}
+		st.Shards = append(st.Shards, ShardStats{
+			Backend: fmt.Sprintf("gpu%d", d),
+			Pairs:   len(pd.Results),
+			Cells:   pd.Cells,
+			Time:    pd.DeviceTime,
+		})
+	}
+	m.rate.observe(res.Cells, time.Since(start))
+	return st, nil
+}
+
+// Throughput implements Backend.
+func (m *MultiGPU) Throughput() float64 { return m.rate.estimate() }
+
+// Close implements Backend.
+func (m *MultiGPU) Close() error {
+	m.closed.Store(true)
+	return nil
+}

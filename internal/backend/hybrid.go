@@ -1,0 +1,194 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"logan/internal/core"
+	"logan/internal/loadbal"
+	"logan/internal/seq"
+	"logan/internal/xdrop"
+)
+
+// Hybrid schedules each batch across a heterogeneous worker set — by
+// construction the CPU worker pool plus one single-device GPU backend per
+// simulated V100, though any Backend mix composes. It generalizes LOGAN's
+// length-weighted LPT split (paper §IV-C) via
+// loadbal.PartitionCapacities, weighting each worker by its current
+// Throughput estimate, runs all shards concurrently through the workers'
+// own ExtendBatch (the CPU shard interleaves on the shared pool, each GPU
+// shard serializes on its own device), and merges the results in input
+// order. Scores are bit-identical to single-backend execution because
+// partitioning never changes per-pair results.
+//
+// Concurrent ExtendBatch calls are safe and do not serialize on the
+// Hybrid: every worker's own concurrency contract applies shard-wise.
+type Hybrid struct {
+	workers []Backend
+	closed  atomic.Bool
+	scratch sync.Pool // *hybridScratch
+}
+
+// hybridScratch recycles the per-batch staging of one ExtendBatch call:
+// the capacity and weight vectors, the per-shard outcomes, and each
+// shard's gathered pairs and results.
+type hybridScratch struct {
+	caps    []float64
+	weights []int64
+	outs    []shardOut
+	subs    []shardScratch
+}
+
+type shardScratch struct {
+	pairs []seq.Pair
+	res   []xdrop.SeedResult
+}
+
+// shardOut is one worker's outcome within a hybrid batch.
+type shardOut struct {
+	stats BatchStats
+	err   error
+}
+
+// NewHybrid builds a hybrid backend over a fresh CPU pool of the given
+// width (0 = GOMAXPROCS) and gpus simulated V100s (minimum 1).
+func NewHybrid(threads, gpus int) (*Hybrid, error) {
+	if gpus <= 0 {
+		gpus = 1
+	}
+	workers := []Backend{NewCPU(threads)}
+	for d := 0; d < gpus; d++ {
+		g, err := NewV100(fmt.Sprintf("gpu%d", d))
+		if err != nil {
+			return nil, err
+		}
+		workers = append(workers, g)
+	}
+	return NewHybridOver(workers...)
+}
+
+// NewHybridOver composes existing backends into one scheduled worker set.
+// The Hybrid takes ownership: its Close closes every worker.
+func NewHybridOver(workers ...Backend) (*Hybrid, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("backend: hybrid needs at least one worker")
+	}
+	h := &Hybrid{workers: workers}
+	h.scratch.New = func() any {
+		return &hybridScratch{
+			caps: make([]float64, len(workers)),
+			outs: make([]shardOut, len(workers)),
+			subs: make([]shardScratch, len(workers)),
+		}
+	}
+	return h, nil
+}
+
+// Name implements Backend.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// ExtendBatch implements Backend. GCUPS accounting: shard times mix
+// denominators (measured wall for the CPU shard, modeled device time for
+// GPU shards), so batch-level throughput must be taken over wall time —
+// see the Stats.GCUPS contract in package logan. DeviceTime reports the
+// slowest GPU shard.
+func (h *Hybrid) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
+	if len(out) != len(pairs) {
+		return BatchStats{}, fmt.Errorf("backend: hybrid: out length %d != pairs %d", len(out), len(pairs))
+	}
+	if h.closed.Load() {
+		return BatchStats{}, ErrClosed
+	}
+	st := BatchStats{Pairs: len(pairs)}
+	if len(pairs) == 0 {
+		return st, nil
+	}
+
+	sc := h.scratch.Get().(*hybridScratch)
+	defer func() {
+		for i := range sc.subs {
+			clear(sc.subs[i].pairs[:cap(sc.subs[i].pairs)])
+		}
+		h.scratch.Put(sc)
+	}()
+	for w, worker := range h.workers {
+		sc.caps[w] = worker.Throughput()
+	}
+	sc.weights = loadbal.PairWeights(pairs, sc.weights)
+	buckets := loadbal.PartitionCapacities(sc.weights, sc.caps, loadbal.ByLength)
+
+	outs := sc.outs
+	clear(outs)
+	var wg sync.WaitGroup
+	for w, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, bucket []int) {
+			defer wg.Done()
+			sub := &sc.subs[w]
+			if cap(sub.pairs) < len(bucket) {
+				sub.pairs = make([]seq.Pair, len(bucket))
+			}
+			sub.pairs = sub.pairs[:len(bucket)]
+			for k, idx := range bucket {
+				sub.pairs[k] = pairs[idx]
+			}
+			if cap(sub.res) < len(bucket) {
+				sub.res = make([]xdrop.SeedResult, len(bucket))
+			}
+			sub.res = sub.res[:len(bucket)]
+			bst, err := h.workers[w].ExtendBatch(sub.pairs, sub.res, cfg)
+			if err != nil {
+				outs[w].err = fmt.Errorf("backend: hybrid %s shard: %w", h.workers[w].Name(), err)
+				return
+			}
+			for k, idx := range bucket {
+				out[idx] = sub.res[k]
+			}
+			outs[w].stats = bst
+		}(w, bucket)
+	}
+	wg.Wait()
+
+	for w := range outs {
+		if outs[w].err != nil {
+			return BatchStats{}, outs[w].err
+		}
+		sh := &outs[w].stats
+		if sh.Pairs == 0 {
+			continue
+		}
+		st.Cells += sh.Cells
+		if sh.DeviceTime > st.DeviceTime {
+			st.DeviceTime = sh.DeviceTime
+		}
+		st.Shards = append(st.Shards, sh.Shards...)
+	}
+	return st, nil
+}
+
+// Throughput implements Backend: the worker set's aggregate estimate.
+func (h *Hybrid) Throughput() float64 {
+	var t float64
+	for _, w := range h.workers {
+		t += w.Throughput()
+	}
+	return t
+}
+
+// Close implements Backend.
+func (h *Hybrid) Close() error {
+	if h.closed.Swap(true) {
+		return nil
+	}
+	var firstErr error
+	for _, w := range h.workers {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"logan/internal/cuda"
 	"logan/internal/xdrop"
 )
 
@@ -57,6 +58,20 @@ type Config struct {
 	// query backwards, so their sequence accesses are uncoalesced (8x
 	// sector traffic). Results are identical; memory traffic is not.
 	NoQueryReversal bool
+}
+
+// PeakCellRate returns the device's DP-cell throughput ceiling in
+// cells/second: every INT32 lane busy at base clock, divided by the
+// per-cell lane-operation cost of the kernel inner loop (~320 GCUPS for
+// the Tesla V100 — the ideal-utilization bound above the paper's ~181
+// GCUPS measured peak, which pays reduction and partial-warp overheads;
+// see the adapted ceiling in internal/roofline). Note this is modeled
+// device time, a different clock from the host-wall priors the hybrid
+// scheduler seeds with (perfmodel.LocalSimGPUThroughput) — the backend
+// tests assert the two stay orders of magnitude apart so the units are
+// never conflated.
+func PeakCellRate(spec cuda.DeviceSpec) float64 {
+	return float64(spec.INT32Lanes()) * spec.BaseClockGHz * 1e9 / CellOps
 }
 
 // DefaultBandSlack covers the band's score-fluctuation transient: `best`

@@ -5,6 +5,11 @@
 // completion time is the slowest device plus the per-GPU setup overhead —
 // the overhead that makes the paper's multi-GPU scaling sub-linear at
 // small X.
+//
+// Beyond the paper's equal-device split, PartitionCapacities generalizes
+// the length-weighted LPT assignment to workers of unequal throughput
+// (e.g. a CPU pool sharing a batch with a set of GPUs), the core of the
+// hybrid scheduler in internal/backend.
 package loadbal
 
 import (
@@ -20,15 +25,30 @@ import (
 	"logan/internal/xdrop"
 )
 
+// TestHookAlignStart, when non-nil, is invoked at the start of every
+// Pool.Align/AlignInto call, after the call has entered the pool but
+// before any device work. Tests use it to prove that concurrent batches
+// enter the pool simultaneously (no engine-wide mutex) and interleave on
+// per-device locks. Must only be set while no batches are in flight.
+var TestHookAlignStart func()
+
 // subPool recycles the per-device sub-batch staging across Align calls, so
 // a long-lived Pool serves batch after batch without reallocating it. The
 // slices are cleared before pooling so they don't pin caller sequences.
 var subPool = sync.Pool{New: func() any { return new([]seq.Pair) }}
 
 // Pool is a set of simulated devices acting as one multi-GPU node.
+//
+// Ownership is per device, not per pool: each device has its own lock, so
+// two concurrent batches interleave across the devices (batch A on device
+// 0 while batch B is on device 1) instead of serializing on the pool.
+// Devices must not be mutated after the first Align/AlignDevice call.
 type Pool struct {
 	Devices []*cuda.Device
 	Host    perfmodel.HostModel
+
+	lockInit sync.Once
+	devLocks []sync.Mutex
 }
 
 // NewV100Pool builds a pool of n Tesla V100s with the calibrated timer
@@ -47,6 +67,12 @@ func NewV100Pool(n int) (*Pool, error) {
 		p.Devices = append(p.Devices, d)
 	}
 	return p, nil
+}
+
+// lock returns the mutex owning device d.
+func (p *Pool) lock(d int) *sync.Mutex {
+	p.lockInit.Do(func() { p.devLocks = make([]sync.Mutex, len(p.Devices)) })
+	return &p.devLocks[d]
 }
 
 // Result is the outcome of a multi-GPU batch.
@@ -77,25 +103,99 @@ const (
 // Partition splits pair indices across n buckets under the given strategy.
 // Every index appears in exactly one bucket.
 func Partition(pairs []seq.Pair, n int, strat Strategy) [][]int {
-	weights := make([]int64, len(pairs))
-	for i := range pairs {
-		weights[i] = int64(len(pairs[i].Query) + len(pairs[i].Target))
+	return PartitionWeights(PairWeights(pairs, nil), n, strat)
+}
+
+// PairWeights returns the DP-work proxy LOGAN partitions on — the summed
+// sequence length of each pair — reusing dst's backing array when it has
+// capacity (existing contents are overwritten).
+func PairWeights(pairs []seq.Pair, dst []int64) []int64 {
+	if cap(dst) < len(pairs) {
+		dst = make([]int64, len(pairs))
 	}
-	return PartitionWeights(weights, n, strat)
+	dst = dst[:len(pairs)]
+	for i := range pairs {
+		dst[i] = int64(len(pairs[i].Query) + len(pairs[i].Target))
+	}
+	return dst
 }
 
 // PartitionWeights is the weight-level core of Partition, also used by the
 // experiment harness to evaluate balance quality at full workload scale
-// without materializing sequences.
+// without materializing sequences. All buckets have equal capacity.
 func PartitionWeights(weights []int64, n int, strat Strategy) [][]int {
+	return PartitionCapacities(weights, equalCaps(n), strat)
+}
+
+func equalCaps(n int) []float64 {
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 1
+	}
+	return caps
+}
+
+// PartitionCapacities splits item indices across len(caps) buckets whose
+// relative throughputs are caps[i] (cells/second, or any consistent unit).
+// Every index appears in exactly one bucket.
+//
+// ByLength generalizes LOGAN's LPT greedy to heterogeneous workers: items
+// are assigned heaviest-first to the bucket that would finish its load
+// soonest, i.e. minimizing (load_b + w) / caps_b. With equal capacities
+// this reduces exactly to the paper's scheme. RoundRobin deals items out
+// proportionally to capacity (a worker with twice the throughput receives
+// roughly twice the items), degenerating to the naive count split when
+// capacities are equal.
+//
+// Non-positive capacities are treated as unusable: those buckets receive
+// no items (unless every capacity is non-positive, in which case all
+// buckets are treated as equal so no work is dropped). A nonempty item
+// set with no buckets at all cannot satisfy the exactly-once contract and
+// panics rather than silently dropping the batch.
+func PartitionCapacities(weights []int64, caps []float64, strat Strategy) [][]int {
+	n := len(caps)
 	buckets := make([][]int, n)
+	if n == 0 {
+		if len(weights) > 0 {
+			panic("loadbal: PartitionCapacities with items but no buckets")
+		}
+		return buckets
+	}
+	usable := make([]int, 0, n)
+	for b, c := range caps {
+		if c > 0 {
+			usable = append(usable, b)
+		}
+	}
+	if len(usable) == 0 {
+		caps = equalCaps(n)
+		for b := range buckets {
+			usable = append(usable, b)
+		}
+	}
 	switch strat {
 	case RoundRobin:
-		for i := range weights {
-			b := i % n
-			buckets[b] = append(buckets[b], i)
+		// Smooth weighted round-robin: item i goes to the usable bucket
+		// with the largest deficit between its capacity share of the
+		// first i+1 items and what it has already received. With equal
+		// capacities this is exactly the naive i-mod-n deal.
+		var total float64
+		for _, b := range usable {
+			total += caps[b]
 		}
-	default: // ByLength: LPT greedy on weight
+		assigned := make([]float64, n)
+		for i := range weights {
+			target := usable[0]
+			bestDeficit := caps[target]/total*float64(i+1) - assigned[target]
+			for _, b := range usable[1:] {
+				if d := caps[b]/total*float64(i+1) - assigned[b]; d > bestDeficit {
+					target, bestDeficit = b, d
+				}
+			}
+			buckets[target] = append(buckets[target], i)
+			assigned[target]++
+		}
+	default: // ByLength: LPT greedy on normalized completion time
 		type item struct {
 			idx    int
 			weight int64
@@ -112,14 +212,15 @@ func PartitionWeights(weights []int64, n int, strat Strategy) [][]int {
 		})
 		loads := make([]int64, n)
 		for _, it := range items {
-			b := 0
-			for k := 1; k < n; k++ {
-				if loads[k] < loads[b] {
-					b = k
+			best := usable[0]
+			bestT := (float64(loads[best]) + float64(it.weight)) / caps[best]
+			for _, b := range usable[1:] {
+				if t := (float64(loads[b]) + float64(it.weight)) / caps[b]; t < bestT {
+					best, bestT = b, t
 				}
 			}
-			buckets[b] = append(buckets[b], it.idx)
-			loads[b] += it.weight
+			buckets[best] = append(buckets[best], it.idx)
+			loads[best] += it.weight
 		}
 		// Keep input order within a bucket (helps locality and makes the
 		// run deterministic).
@@ -151,9 +252,35 @@ func ImbalanceOf(weights []int64, buckets [][]int) float64 {
 	return float64(maxW) / mean
 }
 
+// AlignDevice runs one sub-batch on device d alone, serialized on that
+// device's lock (never on the pool). It is the per-device primitive the
+// hybrid scheduler in internal/backend composes with a CPU shard.
+func (p *Pool) AlignDevice(d int, pairs []seq.Pair, cfg core.Config) (core.BatchResult, error) {
+	if d < 0 || d >= len(p.Devices) {
+		return core.BatchResult{}, fmt.Errorf("loadbal: device %d outside pool of %d", d, len(p.Devices))
+	}
+	mu := p.lock(d)
+	mu.Lock()
+	defer mu.Unlock()
+	return core.AlignBatch(p.Devices[d], pairs, cfg)
+}
+
 // Align runs the batch across the pool's devices and merges the results in
 // input order.
 func (p *Pool) Align(pairs []seq.Pair, cfg core.Config, strat Strategy) (Result, error) {
+	return p.AlignInto(nil, pairs, cfg, strat)
+}
+
+// AlignInto is Align writing the merged results into dst when it has
+// capacity, so a long-lived caller can keep the steady state free of
+// result allocations. The per-device shards run concurrently, each
+// serialized only on its own device's lock: independent batches submitted
+// by different goroutines interleave across devices instead of queueing
+// behind one pool-wide mutex.
+func (p *Pool) AlignInto(dst []xdrop.SeedResult, pairs []seq.Pair, cfg core.Config, strat Strategy) (Result, error) {
+	if hook := TestHookAlignStart; hook != nil {
+		hook()
+	}
 	out := Result{}
 	if len(p.Devices) == 0 {
 		return out, fmt.Errorf("loadbal: empty pool")
@@ -162,35 +289,60 @@ func (p *Pool) Align(pairs []seq.Pair, cfg core.Config, strat Strategy) (Result,
 		return out, nil
 	}
 	buckets := Partition(pairs, len(p.Devices), strat)
-	out.Results = make([]xdrop.SeedResult, len(pairs))
+	if cap(dst) < len(pairs) {
+		dst = make([]xdrop.SeedResult, len(pairs))
+	}
+	out.Results = dst[:len(pairs)]
 	out.PerDevice = make([]core.BatchResult, len(p.Devices))
 
-	var maxCells int64
-	subp := subPool.Get().(*[]seq.Pair)
-	defer func() {
-		clear((*subp)[:cap(*subp)])
-		subPool.Put(subp)
-	}()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
 	for d, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
 		}
-		if cap(*subp) < len(bucket) {
-			*subp = make([]seq.Pair, len(bucket))
-		}
-		sub := (*subp)[:len(bucket)]
-		*subp = sub
-		for k, idx := range bucket {
-			sub[k] = pairs[idx]
-		}
-		res, err := core.AlignBatch(p.Devices[d], sub, cfg)
-		if err != nil {
-			return out, fmt.Errorf("loadbal: device %d: %w", d, err)
-		}
-		for k, idx := range bucket {
-			out.Results[idx] = res.Results[k]
-		}
-		out.PerDevice[d] = res
+		wg.Add(1)
+		go func(d int, bucket []int) {
+			defer wg.Done()
+			subp := subPool.Get().(*[]seq.Pair)
+			defer func() {
+				clear((*subp)[:cap(*subp)])
+				subPool.Put(subp)
+			}()
+			if cap(*subp) < len(bucket) {
+				*subp = make([]seq.Pair, len(bucket))
+			}
+			sub := (*subp)[:len(bucket)]
+			*subp = sub
+			for k, idx := range bucket {
+				sub[k] = pairs[idx]
+			}
+			res, err := p.AlignDevice(d, sub, cfg)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("loadbal: device %d: %w", d, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			for k, idx := range bucket {
+				out.Results[idx] = res.Results[k]
+			}
+			out.PerDevice[d] = res
+		}(d, bucket)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return out, firstErr
+	}
+
+	var maxCells int64
+	for d := range out.PerDevice {
+		res := &out.PerDevice[d]
 		out.Cells += res.Cells
 		if res.DeviceTime > out.DeviceTime {
 			out.DeviceTime = res.DeviceTime

@@ -2,6 +2,7 @@ package loadbal
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -223,4 +224,196 @@ func TestAlignRoundRobinStrategy(t *testing.T) {
 			t.Fatalf("strategy changed scores at pair %d", i)
 		}
 	}
+}
+
+// TestPartitionExactlyOnceProperty is the satellite coverage for the
+// partitioner: for arbitrary weight vectors, bucket counts (including more
+// buckets than items) and capacity vectors (including unusable workers),
+// every index must land in exactly one bucket, under both strategies.
+func TestPartitionExactlyOnceProperty(t *testing.T) {
+	f := func(wRaw []uint16, gRaw uint8, capsRaw []int8, strat bool) bool {
+		weights := make([]int64, len(wRaw))
+		for i, w := range wRaw {
+			weights[i] = int64(w)
+		}
+		g := int(gRaw)%12 + 1
+		caps := make([]float64, g)
+		for i := range caps {
+			if i < len(capsRaw) {
+				caps[i] = float64(capsRaw[i]) // may be zero or negative
+			} else {
+				caps[i] = 1
+			}
+		}
+		s := ByLength
+		if strat {
+			s = RoundRobin
+		}
+		for _, buckets := range [][][]int{
+			PartitionWeights(weights, g, s),
+			PartitionCapacities(weights, caps, s),
+		} {
+			if len(buckets) != g {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, b := range buckets {
+				for _, idx := range b {
+					if idx < 0 || idx >= len(weights) || seen[idx] {
+						return false
+					}
+					seen[idx] = true
+				}
+			}
+			if len(seen) != len(weights) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartitionEdgeCases pins the explicit boundary shapes the property
+// test might not draw: empty batches, more buckets than items, and a
+// single bucket.
+func TestPartitionEdgeCases(t *testing.T) {
+	for _, s := range []Strategy{ByLength, RoundRobin} {
+		if got := Partition(nil, 4, s); len(got) != 4 {
+			t.Fatalf("strat %v: empty batch buckets %v", s, got)
+		}
+		pairs := makePairs(11, 3)
+		buckets := Partition(pairs, 8, s)
+		if len(buckets) != 8 {
+			t.Fatalf("strat %v: %d buckets", s, len(buckets))
+		}
+		seen := map[int]int{}
+		nonEmpty := 0
+		for _, b := range buckets {
+			if len(b) > 0 {
+				nonEmpty++
+			}
+			for _, idx := range b {
+				seen[idx]++
+			}
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Fatalf("strat %v: index %d assigned %d times", s, idx, c)
+			}
+		}
+		if len(seen) != 3 || nonEmpty > 3 {
+			t.Fatalf("strat %v: %d indices over %d buckets", s, len(seen), nonEmpty)
+		}
+		one := Partition(pairs, 1, s)
+		if len(one) != 1 || len(one[0]) != 3 {
+			t.Fatalf("strat %v: single bucket got %v", s, one)
+		}
+	}
+}
+
+// TestPartitionCapacitiesSkew: a worker with 3x the throughput must
+// receive roughly 3x the weight under the heterogeneous LPT split.
+func TestPartitionCapacitiesSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	weights := make([]int64, 400)
+	for i := range weights {
+		weights[i] = int64(rng.Intn(900) + 100)
+	}
+	buckets := PartitionCapacities(weights, []float64{3, 1}, ByLength)
+	var w0, w1 int64
+	for _, idx := range buckets[0] {
+		w0 += weights[idx]
+	}
+	for _, idx := range buckets[1] {
+		w1 += weights[idx]
+	}
+	ratio := float64(w0) / float64(w1)
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("capacity-3 worker holds %d vs %d (ratio %.2f, want ~3)", w0, w1, ratio)
+	}
+	// Unusable workers receive nothing; all work lands on the live one.
+	buckets = PartitionCapacities(weights, []float64{0, 1, -2}, ByLength)
+	if len(buckets[0]) != 0 || len(buckets[2]) != 0 || len(buckets[1]) != len(weights) {
+		t.Fatalf("dead workers received work: %d/%d/%d", len(buckets[0]), len(buckets[1]), len(buckets[2]))
+	}
+	// All-dead capacity vectors degrade to an equal split, never drop work.
+	buckets = PartitionCapacities(weights, []float64{0, 0}, RoundRobin)
+	if len(buckets[0])+len(buckets[1]) != len(weights) {
+		t.Fatal("all-dead capacities dropped work")
+	}
+	// RoundRobin deals item counts proportionally to capacity: a 9:1
+	// split must not starve the slow worker (regression: the first
+	// implementation handed it zero items).
+	buckets = PartitionCapacities(weights, []float64{9, 1}, RoundRobin)
+	if n := len(buckets[1]); n < len(weights)/20 || n > len(weights)/5 {
+		t.Fatalf("capacity-1 worker got %d of %d items under 9:1 round-robin", n, len(weights))
+	}
+}
+
+// TestPartitionNoBucketsPanics: items with zero buckets cannot satisfy
+// the exactly-once contract; the partitioner must refuse loudly instead
+// of silently dropping the batch.
+func TestPartitionNoBucketsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PartitionCapacities with items but no buckets did not panic")
+		}
+	}()
+	PartitionCapacities([]int64{1, 2}, nil, ByLength)
+}
+
+// TestAlignDeviceBounds: the per-device primitive must reject indexes
+// outside the pool.
+func TestAlignDeviceBounds(t *testing.T) {
+	pool, err := NewV100Pool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.AlignDevice(2, makePairs(5, 2), core.DefaultConfig(20)); err == nil {
+		t.Fatal("accepted out-of-range device")
+	}
+	if _, err := pool.AlignDevice(-1, makePairs(5, 2), core.DefaultConfig(20)); err == nil {
+		t.Fatal("accepted negative device")
+	}
+}
+
+// TestPoolConcurrentBatches drives one pool from several goroutines; with
+// per-device locks this interleaves shards across devices, and under
+// -race it vets the pool's concurrent staging and merge paths.
+func TestPoolConcurrentBatches(t *testing.T) {
+	pool, err := NewV100Pool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := makePairs(21, 24)
+	cfg := core.DefaultConfig(40)
+	want, err := pool.Align(pairs, cfg, ByLength)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := pool.Align(pairs, cfg, ByLength)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range pairs {
+				if got.Results[i] != want.Results[i] {
+					t.Errorf("concurrent result diverged at %d", i)
+					return
+				}
+			}
+			if got.DeviceTime != want.DeviceTime {
+				t.Errorf("DeviceTime not stable: %v vs %v", got.DeviceTime, want.DeviceTime)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -2,6 +2,7 @@ package perfmodel
 
 import (
 	"math"
+	"runtime"
 	"time"
 )
 
@@ -105,6 +106,36 @@ func (p CPUPlatform) cachePenalty(workingSetBytes int) float64 {
 func (p CPUPlatform) AggregateRate(workingSetBytes int) float64 {
 	base := p.CellRatePerThread * float64(p.Threads) * p.ParallelEff
 	return base / p.cachePenalty(workingSetBytes)
+}
+
+// LocalCellRatePerWorker is a conservative prior for the DP-cell
+// throughput of one worker of this repository's own Go X-drop pool
+// (internal/xdrop.Pool) on a contemporary core. It seeds the hybrid
+// scheduler's CPU throughput estimate before the first batch has been
+// observed; the estimate is then corrected online from measured batch
+// rates, so this constant only shapes the very first split.
+const LocalCellRatePerWorker = 5e7
+
+// LocalCPUThroughput returns the seed throughput estimate (cells/second)
+// for a local Go worker pool of the given width.
+func LocalCPUThroughput(workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	return LocalCellRatePerWorker * float64(workers)
+}
+
+// LocalSimGPUThroughput returns the seed wall-clock throughput estimate
+// for one simulated device executing on this host. The scheduler compares
+// workers in one currency — host wall time — and a simulated GPU's blocks
+// run on a GOMAXPROCS-wide host pool through the counting simulator,
+// whose accounting roughly halves the plain kernel rate. Deliberately in
+// the same unit (and order of magnitude) as LocalCPUThroughput, unlike
+// the modeled-device ceiling core.PeakCellRate: seeding the scheduler
+// with modeled device seconds would starve the CPU pool for the dozens of
+// batches the EWMA needs to unwind a ~1000x unit mismatch.
+func LocalSimGPUThroughput() float64 {
+	return LocalCPUThroughput(runtime.GOMAXPROCS(0)) / 2
 }
 
 // BatchTime models aligning nPairs with the given total DP-cell count and

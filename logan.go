@@ -18,8 +18,10 @@
 //	out, stats, err := eng.Align(pairs)          // or AlignInto to recycle out
 //	s := eng.NewStream(4)                        // pipelined ingest→align→emit
 //
-// Both backends produce bit-identical scores; the GPU backend additionally
-// reports the modeled device time of the batch on NVIDIA Tesla V100s.
+// Execution is pluggable (internal/backend): CPU worker pool, simulated
+// multi-GPU node, or the Hybrid scheduler that shards each batch across
+// both. All backends produce bit-identical scores; GPU-backed batches
+// additionally report the modeled device time on NVIDIA Tesla V100s.
 package logan
 
 import (
@@ -39,6 +41,11 @@ const (
 	CPU Backend = iota
 	// GPU runs the LOGAN kernel on simulated Tesla V100 devices.
 	GPU
+	// Hybrid shards every batch across the CPU worker pool and every
+	// simulated GPU at once: a heterogeneous LPT split weighted by each
+	// worker's throughput estimate, run concurrently and merged in input
+	// order. Scores are bit-identical to CPU and GPU execution.
+	Hybrid
 )
 
 // Options configures an alignment batch.
@@ -49,11 +56,13 @@ type Options struct {
 	// Match, Mismatch, Gap form the linear scoring scheme. The zero
 	// value selects the paper's +1/-1/-1.
 	Match, Mismatch, Gap int32
-	// Backend selects CPU or GPU execution (default CPU).
+	// Backend selects CPU, GPU or Hybrid execution (default CPU).
 	Backend Backend
-	// GPUs is the simulated device count for the GPU backend (default 1).
+	// GPUs is the simulated device count for the GPU and Hybrid backends
+	// (default 1).
 	GPUs int
-	// Threads is the CPU worker count (default GOMAXPROCS).
+	// Threads is the CPU worker count for the CPU and Hybrid backends
+	// (default GOMAXPROCS).
 	Threads int
 }
 
@@ -93,6 +102,18 @@ type Alignment struct {
 	Cells        int64 // DP cells the extension explored
 }
 
+// BackendStats is the per-worker share of one batch: which execution
+// backend ran how many pairs, how many DP cells they cost, and how long
+// that shard took. Time follows the same denominator convention as GCUPS:
+// modeled device time for GPU shards, measured wall time for CPU shards.
+type BackendStats struct {
+	// Name identifies the worker: "cpu", "gpu0", "gpu1", ...
+	Name  string
+	Pairs int
+	Cells int64
+	Time  time.Duration
+}
+
 // Stats summarizes a batch.
 type Stats struct {
 	Pairs int
@@ -101,13 +122,28 @@ type Stats struct {
 	// setup (worker pools, device pools) is paid at NewAligner and never
 	// counted here, so the figure is stable across repeated batches.
 	WallTime time.Duration
-	// DeviceTime is the modeled GPU completion time of the batch (GPU
-	// backend only): kernels and transfers on the device timeline,
-	// excluding one-off pool construction and host-side prep.
+	// DeviceTime is the modeled GPU completion time of the batch (GPU and
+	// Hybrid backends): kernels and transfers on the device timeline of
+	// the slowest device, excluding one-off pool construction and
+	// host-side prep. Zero for pure-CPU execution.
 	DeviceTime time.Duration
-	// GCUPS is billions of DP cells per second: over DeviceTime for the
-	// GPU backend, over WallTime for the CPU backend.
+	// GCUPS is billions of DP cells per second. The denominator depends
+	// on the backend, because the two clocks measure different things:
+	//
+	//   - CPU: WallTime — real host execution has only the wall clock.
+	//   - GPU: DeviceTime — the paper's device-side throughput metric;
+	//     modeled kernel+transfer time, independent of simulator speed.
+	//   - Hybrid: WallTime — shards mix the two clocks (CPU wall, GPU
+	//     device), so only end-to-end wall time is meaningful; per-shard
+	//     rates live in PerBackend.
+	//
+	// When the selected denominator is zero (e.g. an empty batch), GCUPS
+	// is 0, never NaN or Inf.
 	GCUPS float64
+	// PerBackend is the per-worker breakdown of the batch in worker
+	// order: one entry for the CPU pool and/or each device that received
+	// pairs. Single-backend batches report a single entry.
+	PerBackend []BackendStats
 }
 
 // AlignPair aligns a single pair with the CPU engine.
