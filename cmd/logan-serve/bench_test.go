@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"logan"
+	"logan/internal/seq"
+)
+
+// benchServe measures aggregate serve-path throughput under the workload
+// the coalescer exists for: 64 concurrent clients, each keeping one small
+// 16-pair request in flight at all times (closed-loop per client, open
+// queue overall). Requests are driven straight through the handler
+// (ServeHTTP, no sockets) so the comparison isolates the serve path —
+// JSON decode, batching policy, engine, JSON encode — from network
+// jitter. The backend is the hybrid CPU+2×GPU scheduler, where every
+// per-request 16-pair batch pays its own partition/staging round; with
+// coalescing on, the flusher merges whatever accumulates while the
+// previous engine batch runs, so the engine sees hundreds-of-pairs
+// batches instead of 64 independent 16-pair ones.
+//
+// The pairs/s metric is the comparison that matters between the two
+// benchmarks below.
+func benchServe(b *testing.B, coalesce bool) {
+	opt := logan.DefaultOptions(50)
+	opt.Backend = logan.Hybrid
+	opt.GPUs = 2
+	eng, err := logan.NewAligner(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	cfg := defaultServeConfig()
+	cfg.coalesce = coalesce
+	cfg.coalescePairs = 512
+	cfg.maxWait = time.Millisecond
+	s := newServer(eng, cfg)
+	defer s.Close()
+
+	const clients, pairsPer = 64, 16
+	rng := rand.New(rand.NewSource(11))
+	raw := seq.RandPairSet(rng, seq.PairSetOptions{
+		N: pairsPer, MinLen: 40, MaxLen: 80, ErrorRate: 0.15, SeedLen: 17,
+	})
+	js := make([]string, len(raw))
+	for i, p := range raw {
+		js[i] = fmt.Sprintf(`{"query":%q,"target":%q,"seedQ":%d,"seedT":%d,"seedLen":%d}`,
+			p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen)
+	}
+	body := `{"pairs":[` + strings.Join(js, ",") + `]}`
+
+	// Warm the engine before timing: the hybrid scheduler's throughput
+	// estimates converge over the first batches, and the staging pools
+	// grow to steady-state size.
+	warm := make([]logan.Pair, 0, 512)
+	for len(warm) < 512 {
+		for _, p := range raw {
+			warm = append(warm, logan.Pair{Query: []byte(p.Query), Target: []byte(p.Target),
+				SeedQ: p.SeedQPos, SeedT: p.SeedTPos, SeedLen: p.SeedLen})
+		}
+	}
+	warm = warm[:512]
+	for i := 0; i < 8; i++ {
+		if _, _, err := eng.Align(warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// RunParallel(p) spins p*GOMAXPROCS goroutines: pin the in-flight
+	// request count to `clients` regardless of the host's core count.
+	b.SetParallelism((clients + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", "/align", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Errorf("status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*pairsPer)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+// BenchmarkServePerRequest is the pre-coalescer serve path: every request
+// becomes its own engine batch.
+func BenchmarkServePerRequest(b *testing.B) { benchServe(b, false) }
+
+// BenchmarkServeCoalesced routes the same traffic through the coalescing
+// layer: concurrent requests merge into engine-sized batches.
+func BenchmarkServeCoalesced(b *testing.B) { benchServe(b, true) }

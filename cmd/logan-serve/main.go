@@ -3,20 +3,29 @@
 // without per-call setup. One engine is built at startup and shared by
 // every request.
 //
+// By default concurrent /align requests are coalesced: a logan.Coalescer
+// merges them into engine-sized batches (higher aggregate throughput, up
+// to -max-wait of added latency per request) and sheds overload with
+// HTTP 429 + Retry-After once -max-pending pairs are queued. -coalesce=false
+// restores the direct per-request path.
+//
 // Endpoints:
 //
 //	POST /align    {"pairs":[{"query","target","seedQ","seedT","seedLen"}]}
 //	GET  /healthz  liveness
-//	GET  /statz    process-lifetime totals (requests, pairs, cells, errors)
-//	               plus the per-backend breakdown (cpu, gpu0, ...)
+//	GET  /statz    process-lifetime totals (requests, pairs, cells, errors,
+//	               shed, writeErrors), the per-backend breakdown
+//	               (cpu, gpu0, ...) and the coalescer counters
 //
 // Usage:
 //
 //	logan-serve [-addr :8080] [-x 100] [-backend cpu|gpu|hybrid] [-gpus 1]
 //	            [-threads 0] [-max-pairs 100000]
+//	            [-coalesce] [-coalesce-pairs 4096] [-max-wait 2ms]
+//	            [-max-pending 16384]
 //
-// SIGINT/SIGTERM drain in-flight requests, then release the engine and
-// every cached default engine before exiting.
+// SIGINT/SIGTERM drain in-flight requests and the coalescer queue, then
+// release the engine and every cached default engine before exiting.
 package main
 
 import (
@@ -41,6 +50,15 @@ func main() {
 		gpus     = flag.Int("gpus", 1, "simulated GPU count (gpu and hybrid backends)")
 		threads  = flag.Int("threads", 0, "CPU worker count (0 = GOMAXPROCS)")
 		maxPairs = flag.Int("max-pairs", 100_000, "largest accepted batch")
+
+		coalesce = flag.Bool("coalesce", true,
+			"merge concurrent requests into engine-sized batches")
+		coalescePairs = flag.Int("coalesce-pairs", 0,
+			"merged-batch pair target (0 = 4096)")
+		maxWait = flag.Duration("max-wait", 0,
+			"longest a request may wait for its merged batch to fill (0 = 2ms)")
+		maxPending = flag.Int("max-pending", 0,
+			"pending-pair budget before requests shed with 429 (0 = 4x coalesce-pairs)")
 	)
 	flag.Parse()
 
@@ -63,9 +81,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	cfg := defaultServeConfig()
+	cfg.maxPairs = *maxPairs
+	cfg.coalesce = *coalesce
+	cfg.coalescePairs = *coalescePairs
+	cfg.maxWait = *maxWait
+	cfg.maxPending = *maxPending
+	handler := newServer(eng, cfg)
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(eng, *maxPairs),
+		Handler: handler,
 		// Large batches upload slowly, but headers and idle keep-alives
 		// must not let slow clients pin connections forever.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -78,7 +104,8 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
-	fmt.Printf("logan-serve: listening on %s (backend %s, X=%d)\n", *addr, *backend, *x)
+	fmt.Printf("logan-serve: listening on %s (backend %s, X=%d, coalesce %v)\n",
+		*addr, *backend, *x, *coalesce)
 
 	var exitErr error
 	select {
@@ -91,6 +118,9 @@ func main() {
 		exitErr = srv.Shutdown(shutdownCtx)
 		cancel()
 	}
+	// In-flight handlers have returned; flush the coalescer's residual
+	// queue before the engine goes away.
+	handler.Close()
 	eng.Close()
 	logan.CloseDefaultEngines()
 	if exitErr != nil && !errors.Is(exitErr, http.ErrServerClosed) {

@@ -3,28 +3,45 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"logan"
+	"logan/internal/seq"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *logan.Aligner) {
+// testServerCfg builds a serve stack with the given config; cleanup order
+// matters: the coalescer must drain before the listener and engine close.
+func testServerCfg(t *testing.T, cfg serveConfig) (*httptest.Server, *server, *logan.Aligner) {
 	t.Helper()
 	eng, err := logan.NewAligner(logan.DefaultOptions(50))
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(eng, 1000))
+	s := newServer(eng, cfg)
+	srv := httptest.NewServer(s)
 	t.Cleanup(func() {
+		s.Close()
 		srv.Close()
 		eng.Close()
 	})
+	return srv, s, eng
+}
+
+func testServer(t *testing.T) (*httptest.Server, *logan.Aligner) {
+	t.Helper()
+	cfg := defaultServeConfig()
+	cfg.maxPairs = 1000
+	cfg.maxWait = time.Millisecond
+	srv, _, eng := testServerCfg(t, cfg)
 	return srv, eng
 }
 
@@ -78,8 +95,11 @@ func TestServeErrors(t *testing.T) {
 		status     int
 	}{
 		{"malformed json", `{"pairs":`, http.StatusBadRequest},
+		{"trailing garbage", `{"pairs":[]} GARBAGE`, http.StatusBadRequest},
+		{"second json document", `{"pairs":[]} {"pairs":[]}`, http.StatusBadRequest},
 		{"invalid base", `{"pairs":[{"query":"AXGT","target":"ACGT","seedLen":2}]}`, http.StatusUnprocessableEntity},
 		{"seed out of range", `{"pairs":[{"query":"ACGT","target":"ACGT","seedQ":3,"seedLen":4}]}`, http.StatusUnprocessableEntity},
+		{"seed position overflow", `{"pairs":[{"query":"ACGT","target":"ACGT","seedQ":9223372036854775806,"seedLen":4}]}`, http.StatusUnprocessableEntity},
 		{"oversized batch", func() string {
 			var b strings.Builder
 			b.WriteString(`{"pairs":[`)
@@ -97,6 +117,165 @@ func TestServeErrors(t *testing.T) {
 		if resp.StatusCode != tc.status {
 			t.Errorf("%s: status %d (want %d): %s", tc.name, resp.StatusCode, tc.status, data)
 		}
+	}
+	// Trailing whitespace after the document is not garbage.
+	resp, data := postAlign(t, srv.URL, `{"pairs":[]}`+"\n  \n")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("trailing whitespace: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestServeOversizedBody pins the 413 contract: a body over the wire limit
+// must not surface as a generic 400 decode error.
+func TestServeOversizedBody(t *testing.T) {
+	cfg := defaultServeConfig()
+	cfg.bodyLimit = 128
+	cfg.maxWait = time.Millisecond
+	srv, _, _ := testServerCfg(t, cfg)
+
+	big := fmt.Sprintf(`{"pairs":[{"query":%q,"target":%q,"seedLen":4}]}`,
+		strings.Repeat("ACGT", 100), strings.Repeat("ACGT", 100))
+	resp, data := postAlign(t, srv.URL, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d (want 413): %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "128-byte limit") {
+		t.Fatalf("413 body does not name the limit: %s", data)
+	}
+	// A body under the limit still works.
+	resp, data = postAlign(t, srv.URL, `{"pairs":[]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body after big: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// failingWriter is a ResponseWriter whose client is gone: every write
+// fails. It drives the WriteErrors accounting deterministically.
+type failingWriter struct {
+	h    http.Header
+	code int
+}
+
+func (f *failingWriter) Header() http.Header       { return f.h }
+func (f *failingWriter) WriteHeader(code int)      { f.code = code }
+func (f *failingWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+// TestServeWriteErrors checks that response-encoding failures are counted
+// and surfaced in /statz rather than silently dropped.
+func TestServeWriteErrors(t *testing.T) {
+	eng, err := logan.NewAligner(logan.DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cfg := defaultServeConfig()
+	cfg.maxWait = time.Millisecond
+	s := newServer(eng, cfg)
+	defer s.Close()
+
+	req := httptest.NewRequest("POST", "/align",
+		strings.NewReader(`{"pairs":[{"query":"ACGTACGT","target":"ACGTACGT","seedLen":4}]}`))
+	fw := &failingWriter{h: make(http.Header)}
+	s.ServeHTTP(fw, req)
+	if got := s.totals.WriteErrors.Load(); got != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", got)
+	}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/statz", nil))
+	var totals statzJSON
+	if err := json.NewDecoder(rec.Body).Decode(&totals); err != nil {
+		t.Fatal(err)
+	}
+	if totals.WriteErrors != 1 {
+		t.Fatalf("statz writeErrors = %d, want 1: %+v", totals.WriteErrors, totals)
+	}
+	// The alignment itself ran; only delivery failed.
+	if totals.Pairs != 1 {
+		t.Fatalf("statz pairs = %d, want 1", totals.Pairs)
+	}
+}
+
+// TestServeShed pins the admission-control contract: once the pending
+// budget is full, requests get 429 with a Retry-After header, and the
+// queued requests still complete when the coalescer drains.
+func TestServeShed(t *testing.T) {
+	cfg := defaultServeConfig()
+	cfg.coalescePairs = 1000 // never size-flush
+	cfg.maxWait = 10 * time.Second
+	cfg.maxPending = 4
+	srv, s, _ := testServerCfg(t, cfg)
+
+	pairBody := func(n int) string {
+		var b strings.Builder
+		b.WriteString(`{"pairs":[`)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`{"query":"ACGTACGTACGTACGT","target":"ACGTACGTACGTACGT","seedQ":4,"seedT":4,"seedLen":4}`)
+		}
+		b.WriteString(`]}`)
+		return b.String()
+	}
+
+	type result struct {
+		status int
+		body   string
+	}
+	queued := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/align", "application/json",
+			strings.NewReader(pairBody(3)))
+		if err != nil {
+			queued <- result{status: -1, body: err.Error()}
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		queued <- result{status: resp.StatusCode, body: string(data)}
+	}()
+
+	// Wait until the 3 pairs are visibly queued before overflowing.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.coal.Metrics().QueuedPairs != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("request never queued: %+v", s.coal.Metrics())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(srv.URL+"/align", "application/json", strings.NewReader(pairBody(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d (want 429): %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "10" {
+		t.Fatalf("Retry-After %q, want %q", ra, "10")
+	}
+
+	// Draining the coalescer completes the queued request with 200.
+	s.Close()
+	r := <-queued
+	if r.status != http.StatusOK {
+		t.Fatalf("queued request: status %d: %s", r.status, r.body)
+	}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/statz", nil))
+	var totals statzJSON
+	if err := json.NewDecoder(rec.Body).Decode(&totals); err != nil {
+		t.Fatal(err)
+	}
+	if totals.Shed != 1 || totals.Coalescer == nil || totals.Coalescer.Shed != 1 {
+		t.Fatalf("statz shed accounting: %+v (coalescer %+v)", totals, totals.Coalescer)
+	}
+	if totals.Coalescer.DrainFlushes == 0 {
+		t.Fatalf("statz drain flush missing: %+v", totals.Coalescer)
 	}
 }
 
@@ -130,31 +309,62 @@ func TestServeHealthAndStatz(t *testing.T) {
 	if !ok || cpu.Pairs < 1 || cpu.Cells < 1 {
 		t.Fatalf("statz backends %+v", totals.Backends)
 	}
+	// Coalescing is on in the test server, so the merged-batch counters
+	// must account for the aligned request.
+	c := totals.Coalescer
+	if c == nil || c.MergedBatches < 1 || c.MergedPairs < 1 {
+		t.Fatalf("statz coalescer %+v", c)
+	}
 }
 
 // TestServeConcurrentRequests hammers the shared engine from many client
 // goroutines; run with -race this is the serve-mode acceptance check. Each
-// request's response must match the equivalent direct AlignPair call.
+// client posts a distinct pair set and must get exactly its own alignments
+// back, bit-identical to a direct engine call — the HTTP-level scatter
+// correctness check for the coalescing layer.
 func TestServeConcurrentRequests(t *testing.T) {
-	srv, _ := testServer(t)
-	query := "ACGTACGTACGTACGTACGTACGTACGTACGT"
-	want, err := logan.AlignPair([]byte(query), []byte(query), 8, 8, 8, logan.DefaultOptions(50))
-	if err != nil {
-		t.Fatal(err)
-	}
-	body := fmt.Sprintf(
-		`{"pairs":[{"query":%q,"target":%q,"seedQ":8,"seedT":8,"seedLen":8}]}`, query, query)
+	srv, eng := testServer(t)
 
 	const clients, perClient = 8, 10
+	type workload struct {
+		body string
+		want []logan.Alignment
+	}
+	loads := make([]workload, clients)
+	for c := range loads {
+		rng := rand.New(rand.NewSource(int64(100 + c)))
+		raw := seq.RandPairSet(rng, seq.PairSetOptions{
+			N: 2 + c%3, MinLen: 80, MaxLen: 200, ErrorRate: 0.15, SeedLen: 17,
+		})
+		pairs := make([]logan.Pair, len(raw))
+		js := make([]string, len(raw))
+		for i, p := range raw {
+			pairs[i] = logan.Pair{
+				Query: []byte(p.Query), Target: []byte(p.Target),
+				SeedQ: p.SeedQPos, SeedT: p.SeedTPos, SeedLen: p.SeedLen,
+			}
+			js[i] = fmt.Sprintf(`{"query":%q,"target":%q,"seedQ":%d,"seedT":%d,"seedLen":%d}`,
+				p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen)
+		}
+		want, _, err := eng.Align(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads[c] = workload{
+			body: `{"pairs":[` + strings.Join(js, ",") + `]}`,
+			want: want,
+		}
+	}
+
 	var wg sync.WaitGroup
 	errs := make(chan error, clients*perClient)
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
 				resp, err := http.Post(srv.URL+"/align", "application/json",
-					bytes.NewReader([]byte(body)))
+					bytes.NewReader([]byte(loads[c].body)))
 				if err != nil {
 					errs <- err
 					return
@@ -166,16 +376,70 @@ func TestServeConcurrentRequests(t *testing.T) {
 					errs <- err
 					return
 				}
-				if len(out.Alignments) != 1 || out.Alignments[0].Score != want.Score {
-					errs <- fmt.Errorf("got %+v, want score %d", out.Alignments, want.Score)
+				if len(out.Alignments) != len(loads[c].want) {
+					errs <- fmt.Errorf("client %d: %d alignments, want %d",
+						c, len(out.Alignments), len(loads[c].want))
 					return
 				}
+				for j, a := range out.Alignments {
+					w := loads[c].want[j]
+					if a.Score != w.Score || a.QBegin != w.QBegin || a.QEnd != w.QEnd ||
+						a.TBegin != w.TBegin || a.TEnd != w.TEnd || a.Cells != w.Cells {
+						errs <- fmt.Errorf("client %d pair %d: served %+v, want %+v", c, j, a, w)
+						return
+					}
+				}
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var totals statzJSON
+	if err := json.NewDecoder(resp.Body).Decode(&totals); err != nil {
+		t.Fatal(err)
+	}
+	if totals.Errors != 0 {
+		t.Fatalf("statz errors %d: %+v", totals.Errors, totals)
+	}
+	c := totals.Coalescer
+	if c == nil || c.MergedRequests != clients*perClient || c.QueuedPairs != 0 {
+		t.Fatalf("statz coalescer %+v: want %d merged requests, empty queue", c, clients*perClient)
+	}
+}
+
+// TestServePerRequestPath checks the -coalesce=false escape hatch still
+// serves correctly and reports per-backend stats from the handler path.
+func TestServePerRequestPath(t *testing.T) {
+	cfg := defaultServeConfig()
+	cfg.coalesce = false
+	srv, _, _ := testServerCfg(t, cfg)
+	resp, data := postAlign(t, srv.URL,
+		`{"pairs":[{"query":"ACGTACGTACGTACGT","target":"ACGTACGTACGTACGT","seedQ":4,"seedT":4,"seedLen":4}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var totals statzJSON
+	r2, err := http.Get(srv.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&totals); err != nil {
+		t.Fatal(err)
+	}
+	if totals.Coalescer != nil {
+		t.Fatalf("coalescer stats present with coalescing off: %+v", totals.Coalescer)
+	}
+	if cpu, ok := totals.Backends["cpu"]; !ok || cpu.Pairs < 1 {
+		t.Fatalf("per-request backend stats missing: %+v", totals.Backends)
 	}
 }

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"logan"
 )
@@ -53,6 +58,13 @@ type serverTotals struct {
 	Pairs    atomic.Int64
 	Cells    atomic.Int64
 	Errors   atomic.Int64
+	// Shed counts requests rejected by admission control (HTTP 429); they
+	// are also included in Errors.
+	Shed atomic.Int64
+	// WriteErrors counts responses that failed to encode to the client
+	// (connection gone mid-response). The alignment work was already done
+	// and is counted in Pairs/Cells; only the delivery failed.
+	WriteErrors atomic.Int64
 
 	// per-backend breakdown, keyed by the worker name ("cpu", "gpu0"...)
 	// reported in Stats.PerBackend.
@@ -100,29 +112,85 @@ func (t *serverTotals) backendSnapshot() map[string]backendStatzJSON {
 	return out
 }
 
-// server wires one shared Aligner engine into the HTTP surface. Handler
-// goroutines call the engine directly: CPU batches interleave across its
-// worker pool, GPU batches serialize per device (concurrent requests
-// proceed on different devices), and hybrid batches shard across both.
-type server struct {
-	eng       *logan.Aligner
-	totals    serverTotals
+// serveConfig tunes the HTTP surface; defaultServeConfig gives the
+// production defaults that main's flags override.
+type serveConfig struct {
+	// maxPairs bounds one request's batch; bodyLimit bounds its wire size.
 	maxPairs  int
 	bodyLimit int64
+	// coalesce enables the cross-request batching layer; maxWait,
+	// coalescePairs and maxPending map onto logan.CoalescerOptions
+	// (zero values select that type's defaults).
+	coalesce      bool
+	maxWait       time.Duration
+	coalescePairs int
+	maxPending    int
 }
 
-// newServer returns the HTTP handler for an engine. maxPairs bounds the
-// batch size of one request (0 selects 100k pairs).
-func newServer(eng *logan.Aligner, maxPairs int) http.Handler {
-	if maxPairs <= 0 {
-		maxPairs = 100_000
+func defaultServeConfig() serveConfig {
+	return serveConfig{
+		maxPairs:  100_000,
+		bodyLimit: 256 << 20,
+		coalesce:  true,
 	}
-	s := &server{eng: eng, maxPairs: maxPairs, bodyLimit: 256 << 20}
+}
+
+// server wires one shared Aligner engine into the HTTP surface. With
+// coalescing on (the default), handler goroutines enqueue into a shared
+// logan.Coalescer that merges concurrent requests into engine-sized
+// batches and sheds overload with 429; with it off, each handler calls
+// the engine directly and concurrency is per resource (CPU batches
+// interleave across the worker pool, GPU batches serialize per device).
+type server struct {
+	eng        *logan.Aligner
+	coal       *logan.Coalescer // nil when coalescing is disabled
+	mux        *http.ServeMux
+	totals     serverTotals
+	maxPairs   int
+	bodyLimit  int64
+	retryAfter string // Retry-After seconds advertised on 429
+}
+
+// newServer builds the HTTP surface for an engine. Callers must Close the
+// returned server (after the HTTP listener has drained) to stop the
+// coalescer's flusher; Close does not close the engine.
+func newServer(eng *logan.Aligner, cfg serveConfig) *server {
+	def := defaultServeConfig()
+	if cfg.maxPairs <= 0 {
+		cfg.maxPairs = def.maxPairs
+	}
+	if cfg.bodyLimit <= 0 {
+		cfg.bodyLimit = def.bodyLimit
+	}
+	s := &server{eng: eng, maxPairs: cfg.maxPairs, bodyLimit: cfg.bodyLimit}
+	if cfg.coalesce {
+		s.coal = eng.NewCoalescer(logan.CoalescerOptions{
+			MaxBatchPairs: cfg.coalescePairs,
+			MaxWait:       cfg.maxWait,
+			MaxPending:    cfg.maxPending,
+			// Per-backend accounting is batch-scoped: one merged batch
+			// serves many requests, so the flusher reports it once here
+			// instead of each handler double-counting it.
+			OnFlush: func(st logan.Stats, _ int) { s.totals.addBatch(st.PerBackend) },
+		})
+		s.retryAfter = strconv.Itoa(max(1, int(math.Ceil(s.coal.Options().MaxWait.Seconds()))))
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /align", s.handleAlign)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statz", s.handleStatz)
-	return mux
+	s.mux = mux
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the coalescer after flushing queued requests. Call it after
+// the HTTP server has stopped accepting work.
+func (s *server) Close() {
+	if s.coal != nil {
+		s.coal.Close()
+	}
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, format string, args ...any) {
@@ -135,7 +203,21 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	var req alignRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit))
 	if err := dec.Decode(&req); err != nil {
+		// A body over the wire limit surfaces as a decode error; report it
+		// as 413 naming the limit, not a generic 400.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+			return
+		}
 		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	// Exactly one JSON document: trailing garbage after it is a client bug
+	// that must not be silently accepted.
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		s.fail(w, http.StatusBadRequest, "bad request: trailing data after JSON document")
 		return
 	}
 	if len(req.Pairs) > s.maxPairs {
@@ -151,18 +233,43 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 			SeedQ:  p.SeedQ, SeedT: p.SeedT, SeedLen: p.SeedLen,
 		}
 	}
-	out, st, err := s.eng.Align(pairs)
+
+	var (
+		out []logan.Alignment
+		st  logan.Stats
+		err error
+	)
+	if s.coal != nil {
+		out, st, err = s.coal.AlignContext(r.Context(), pairs)
+	} else {
+		out, st, err = s.eng.Align(pairs)
+	}
 	if err != nil {
-		code := http.StatusUnprocessableEntity
-		if errors.Is(err, logan.ErrClosed) {
-			code = http.StatusServiceUnavailable
+		switch {
+		case errors.Is(err, logan.ErrOverloaded):
+			// Shed, don't queue: the pending budget is full. The client
+			// should retry once the current batches drain.
+			s.totals.Shed.Add(1)
+			w.Header().Set("Retry-After", s.retryAfter)
+			s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
+		case errors.Is(err, logan.ErrClosed):
+			s.fail(w, http.StatusServiceUnavailable, "align: %v", err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client abandoned the request mid-queue; the status is
+			// for the books — nobody is left to read it.
+			s.fail(w, http.StatusRequestTimeout, "align: %v", err)
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, "align: %v", err)
 		}
-		s.fail(w, code, "align: %v", err)
 		return
 	}
 	s.totals.Pairs.Add(int64(st.Pairs))
 	s.totals.Cells.Add(st.Cells)
-	s.totals.addBatch(st.PerBackend)
+	if s.coal == nil {
+		// With coalescing on, batch-scoped per-backend stats arrive via
+		// the OnFlush hook instead.
+		s.totals.addBatch(st.PerBackend)
+	}
 
 	resp := alignResponse{
 		Alignments: make([]alignmentJSON, len(out)),
@@ -179,7 +286,9 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.totals.WriteErrors.Add(1)
+	}
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -187,15 +296,19 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// statzJSON is the GET /statz payload: process-lifetime totals plus the
+// statzJSON is the GET /statz payload: process-lifetime totals, the
 // per-backend breakdown (which execution workers — CPU pool, each GPU —
-// served how much of the traffic).
+// served how much of the traffic), and the coalescer's counters when
+// cross-request batching is enabled.
 type statzJSON struct {
-	Requests int64                       `json:"requests"`
-	Pairs    int64                       `json:"pairs"`
-	Cells    int64                       `json:"cells"`
-	Errors   int64                       `json:"errors"`
-	Backends map[string]backendStatzJSON `json:"backends"`
+	Requests    int64                       `json:"requests"`
+	Pairs       int64                       `json:"pairs"`
+	Cells       int64                       `json:"cells"`
+	Errors      int64                       `json:"errors"`
+	Shed        int64                       `json:"shed"`
+	WriteErrors int64                       `json:"writeErrors"`
+	Backends    map[string]backendStatzJSON `json:"backends"`
+	Coalescer   *coalescerStatzJSON         `json:"coalescer,omitempty"`
 }
 
 type backendStatzJSON struct {
@@ -204,13 +317,53 @@ type backendStatzJSON struct {
 	TimeNS int64 `json:"timeNs"`
 }
 
+// coalescerStatzJSON mirrors logan.CoalescerMetrics on the wire.
+type coalescerStatzJSON struct {
+	Enqueued        int64 `json:"enqueued"`
+	Shed            int64 `json:"shed"`
+	Direct          int64 `json:"direct"`
+	MergedBatches   int64 `json:"mergedBatches"`
+	SizeFlushes     int64 `json:"sizeFlushes"`
+	DeadlineFlushes int64 `json:"deadlineFlushes"`
+	DrainFlushes    int64 `json:"drainFlushes"`
+	MergedPairs     int64 `json:"mergedPairs"`
+	MergedRequests  int64 `json:"mergedRequests"`
+	MaxMergedPairs  int64 `json:"maxMergedPairs"`
+	WaitNS          int64 `json:"waitNs"`
+	QueuedRequests  int   `json:"queuedRequests"`
+	QueuedPairs     int   `json:"queuedPairs"`
+}
+
 func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	out := statzJSON{
+		Requests:    s.totals.Requests.Load(),
+		Pairs:       s.totals.Pairs.Load(),
+		Cells:       s.totals.Cells.Load(),
+		Errors:      s.totals.Errors.Load(),
+		Shed:        s.totals.Shed.Load(),
+		WriteErrors: s.totals.WriteErrors.Load(),
+		Backends:    s.totals.backendSnapshot(),
+	}
+	if s.coal != nil {
+		m := s.coal.Metrics()
+		out.Coalescer = &coalescerStatzJSON{
+			Enqueued:        m.Enqueued,
+			Shed:            m.Shed,
+			Direct:          m.Direct,
+			MergedBatches:   m.MergedBatches,
+			SizeFlushes:     m.SizeFlushes,
+			DeadlineFlushes: m.DeadlineFlushes,
+			DrainFlushes:    m.DrainFlushes,
+			MergedPairs:     m.MergedPairs,
+			MergedRequests:  m.MergedRequests,
+			MaxMergedPairs:  m.MaxMergedPairs,
+			WaitNS:          m.WaitNS,
+			QueuedRequests:  m.QueuedRequests,
+			QueuedPairs:     m.QueuedPairs,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(statzJSON{
-		Requests: s.totals.Requests.Load(),
-		Pairs:    s.totals.Pairs.Load(),
-		Cells:    s.totals.Cells.Load(),
-		Errors:   s.totals.Errors.Load(),
-		Backends: s.totals.backendSnapshot(),
-	})
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		s.totals.WriteErrors.Add(1)
+	}
 }

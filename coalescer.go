@@ -1,0 +1,491 @@
+package logan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logan/internal/seq"
+)
+
+// ErrOverloaded reports a Coalescer submission rejected by admission
+// control: the pending-pair budget (CoalescerOptions.MaxPending) is
+// exhausted. The request was not queued and did no alignment work; callers
+// should retry after roughly MaxWait (an HTTP front end translates this to
+// 429 with a Retry-After header, as cmd/logan-serve does).
+var ErrOverloaded = errors.New("logan: coalescer overloaded: pending pair budget exhausted")
+
+// CoalescerOptions tunes a Coalescer. The zero value selects the defaults
+// documented on each field.
+type CoalescerOptions struct {
+	// MaxBatchPairs is the merged-batch target: the flusher submits as
+	// soon as at least this many pairs are queued, taking whole requests
+	// until the target is reached (a merged batch can exceed it by at most
+	// one request). Requests carrying MaxBatchPairs or more pairs bypass
+	// the queue entirely — they are already engine-sized. Default 4096.
+	MaxBatchPairs int
+
+	// MaxWait bounds the queueing latency: a merged batch is flushed no
+	// later than MaxWait after its oldest request enqueued, full or not.
+	// Smaller values favor latency, larger values favor merged-batch size
+	// and therefore throughput. Default 2ms.
+	MaxWait time.Duration
+
+	// MaxPending is the admission budget in pairs: a request whose pairs
+	// would push the queued total beyond it is rejected with ErrOverloaded
+	// instead of queueing unboundedly. Default 4*MaxBatchPairs.
+	MaxPending int
+
+	// OnFlush, when non-nil, observes every engine batch the Coalescer
+	// submits — merged flushes and large-request bypasses alike — with the
+	// batch-level Stats (including Stats.PerBackend, which per-request
+	// results omit) and the number of requests it served. It is called
+	// synchronously from the flusher (or, for bypasses, the caller)
+	// goroutine; keep it fast.
+	OnFlush func(st Stats, requests int)
+}
+
+// Coalescer merges concurrent small Align requests into engine-sized
+// batches. LOGAN's kernel only saturates the hardware when thousands of
+// alignments are in flight at once, but service traffic arrives as many
+// small independent requests; the Coalescer is the traffic-shaping layer
+// between the two. Concurrent callers enqueue their pairs into a shared
+// accumulator; a single flusher goroutine submits one merged engine batch
+// when either MaxBatchPairs pairs are waiting or the oldest request has
+// waited MaxWait (deadline-bounded flush), then scatters the results and
+// per-request stats back to each caller in submission order.
+//
+// The tradeoff is explicit: each request may wait up to MaxWait for the
+// batch to fill, buying aggregate throughput (one partition/staging round
+// and one backend dispatch for the whole batch) at the cost of bounded
+// per-request latency. Scores are bit-identical to per-request execution —
+// every pair is aligned independently, so batch composition never changes
+// results.
+//
+// Admission control bounds the queue: when MaxPending pairs are already
+// waiting, further requests fail fast with ErrOverloaded instead of
+// growing the queue unboundedly (shed load is visible to callers, queued
+// load is not).
+//
+// A Coalescer is safe for concurrent use. Close flushes the remaining
+// queue and stops the flusher; it does not close the underlying Aligner.
+type Coalescer struct {
+	eng *Aligner
+	opt CoalescerOptions
+
+	mu      sync.Mutex
+	queue   []*coalesceWaiter
+	pending int // pairs queued, admission-controlled by MaxPending
+	closed  bool
+
+	kick chan struct{} // nudges the flusher after an enqueue
+	done chan struct{} // closed by Close; flusher drains and exits
+	wg   sync.WaitGroup
+
+	m coalescerCounters
+
+	// flusher-goroutine scratch: the merged input batch. Only the flusher
+	// touches it. (Results are not pooled: each flush allocates one
+	// exact-size slice whose subranges are handed to the waiters, so the
+	// scatter is copy-free.)
+	mergeBuf []Pair
+}
+
+// coalesceWaiter is one queued request: its pairs, enqueue time, and the
+// buffered channel its result is delivered on (buffered so the flusher
+// never blocks on an abandoned caller).
+type coalesceWaiter struct {
+	pairs []Pair
+	enq   time.Time
+	ch    chan coalesceResult
+}
+
+type coalesceResult struct {
+	out []Alignment
+	st  Stats
+	err error
+}
+
+// coalescerCounters are the Coalescer's lifetime counters (atomics; the
+// gauges in CoalescerMetrics are read under c.mu instead).
+type coalescerCounters struct {
+	enqueued        atomic.Int64
+	shed            atomic.Int64
+	direct          atomic.Int64
+	mergedBatches   atomic.Int64
+	sizeFlushes     atomic.Int64
+	deadlineFlushes atomic.Int64
+	drainFlushes    atomic.Int64
+	mergedPairs     atomic.Int64
+	mergedRequests  atomic.Int64
+	maxMergedPairs  atomic.Int64 // written only by the flusher
+	waitNS          atomic.Int64
+}
+
+// CoalescerMetrics is a snapshot of a Coalescer's lifetime counters and
+// current queue gauges, the observability surface behind logan-serve's
+// /statz "coalescer" block.
+type CoalescerMetrics struct {
+	// Enqueued counts requests admitted to the queue; Shed counts requests
+	// rejected with ErrOverloaded; Direct counts large requests that
+	// bypassed the queue (>= MaxBatchPairs pairs).
+	Enqueued, Shed, Direct int64
+
+	// MergedBatches counts engine batches submitted by the flusher,
+	// broken down by trigger: SizeFlushes reached MaxBatchPairs,
+	// DeadlineFlushes hit the oldest request's MaxWait deadline, and
+	// DrainFlushes happened during Close.
+	MergedBatches, SizeFlushes, DeadlineFlushes, DrainFlushes int64
+
+	// MergedPairs and MergedRequests total the pairs and requests across
+	// all merged batches; MaxMergedPairs is the largest single merged
+	// batch. MergedPairs/MergedBatches is the realized batching factor.
+	MergedPairs, MergedRequests, MaxMergedPairs int64
+
+	// WaitNS totals the enqueue-to-flush wait across admitted requests;
+	// WaitNS/Enqueued approximates the mean coalescing latency.
+	WaitNS int64
+
+	// QueuedRequests and QueuedPairs are current-depth gauges.
+	QueuedRequests, QueuedPairs int
+}
+
+// NewCoalescer starts a coalescing layer over the engine. Zero fields of
+// opt select the defaults documented on CoalescerOptions. Close the
+// Coalescer to flush the residual queue and stop its flusher goroutine.
+func (a *Aligner) NewCoalescer(opt CoalescerOptions) *Coalescer {
+	if opt.MaxBatchPairs <= 0 {
+		opt.MaxBatchPairs = 4096
+	}
+	if opt.MaxWait <= 0 {
+		opt.MaxWait = 2 * time.Millisecond
+	}
+	if opt.MaxPending <= 0 {
+		opt.MaxPending = 4 * opt.MaxBatchPairs
+	}
+	c := &Coalescer{
+		eng:  a,
+		opt:  opt,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.run()
+	return c
+}
+
+// Options returns the Coalescer's resolved configuration (zero fields
+// replaced by their defaults).
+func (c *Coalescer) Options() CoalescerOptions { return c.opt }
+
+// Align submits pairs and blocks until their merged batch has run,
+// returning exactly this request's alignments in input order. It is
+// AlignContext with a background context.
+func (c *Coalescer) Align(pairs []Pair) ([]Alignment, Stats, error) {
+	return c.AlignContext(context.Background(), pairs)
+}
+
+// AlignContext submits pairs and blocks until their merged batch has run
+// or ctx is done. Results are positionally aligned with pairs and
+// bit-identical to a direct Aligner.Align of the same pairs.
+//
+// The returned Stats describe this request's share of the merged batch:
+// Pairs and Cells are the request's own, while WallTime and DeviceTime
+// cover the whole merged batch the request rode in (the request's pairs
+// were not separately timed). Stats.PerBackend is batch-scoped and
+// therefore omitted here; observe it via CoalescerOptions.OnFlush.
+//
+// Error contract: pairs are validated at admission, so an invalid pair
+// fails only its own request and never the batch it would have merged
+// into. ErrOverloaded reports admission-control shedding (retry later),
+// ErrClosed reports a closed Coalescer or engine. A ctx error abandons
+// the wait, not the work: the pairs still run with their batch, and the
+// result is discarded.
+func (c *Coalescer) AlignContext(ctx context.Context, pairs []Pair) ([]Alignment, Stats, error) {
+	if len(pairs) == 0 {
+		return []Alignment{}, Stats{}, nil
+	}
+	// Engine-sized requests gain nothing from merging: run them directly,
+	// keeping the queue (and its MaxPending budget) for the small requests
+	// coalescing exists to serve.
+	if len(pairs) >= c.opt.MaxBatchPairs {
+		if c.isClosed() {
+			return nil, Stats{}, ErrClosed
+		}
+		c.m.direct.Add(1)
+		out, st, err := c.eng.Align(pairs)
+		if err == nil && c.opt.OnFlush != nil {
+			c.opt.OnFlush(st, 1)
+		}
+		return out, st, err
+	}
+	if err := validatePairs(pairs); err != nil {
+		return nil, Stats{}, err
+	}
+
+	w := &coalesceWaiter{pairs: pairs, ch: make(chan coalesceResult, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, Stats{}, ErrClosed
+	}
+	if c.pending+len(pairs) > c.opt.MaxPending {
+		c.mu.Unlock()
+		c.m.shed.Add(1)
+		return nil, Stats{}, ErrOverloaded
+	}
+	w.enq = time.Now()
+	c.queue = append(c.queue, w)
+	c.pending += len(pairs)
+	c.mu.Unlock()
+	c.m.enqueued.Add(1)
+
+	// Nudge the flusher: it re-reads queue state on every wake, so a
+	// dropped send (buffer already full) is never a lost update.
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+
+	select {
+	case r := <-w.ch:
+		return r.out, r.st, r.err
+	case <-ctx.Done():
+		return nil, Stats{}, ctx.Err()
+	}
+}
+
+// Metrics snapshots the Coalescer's counters and queue gauges.
+func (c *Coalescer) Metrics() CoalescerMetrics {
+	c.mu.Lock()
+	qr, qp := len(c.queue), c.pending
+	c.mu.Unlock()
+	return CoalescerMetrics{
+		Enqueued:        c.m.enqueued.Load(),
+		Shed:            c.m.shed.Load(),
+		Direct:          c.m.direct.Load(),
+		MergedBatches:   c.m.mergedBatches.Load(),
+		SizeFlushes:     c.m.sizeFlushes.Load(),
+		DeadlineFlushes: c.m.deadlineFlushes.Load(),
+		DrainFlushes:    c.m.drainFlushes.Load(),
+		MergedPairs:     c.m.mergedPairs.Load(),
+		MergedRequests:  c.m.mergedRequests.Load(),
+		MaxMergedPairs:  c.m.maxMergedPairs.Load(),
+		WaitNS:          c.m.waitNS.Load(),
+		QueuedRequests:  qr,
+		QueuedPairs:     qp,
+	}
+}
+
+// Close stops admission, flushes every queued request, and waits for the
+// flusher goroutine to exit. Idempotent. The underlying Aligner stays
+// open — the Coalescer is a layer over it, not an owner.
+func (c *Coalescer) Close() error {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !already {
+		close(c.done)
+	}
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Coalescer) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// flushReason tags what triggered a merged batch, for the metrics split.
+type flushReason int
+
+const (
+	flushSize flushReason = iota
+	flushDeadline
+	flushDrain
+)
+
+// run is the flusher goroutine: it sleeps until kicked by an enqueue, the
+// oldest request's deadline fires, or Close drains it; on every wake it
+// submits merged batches while the queue is flushable and re-arms the
+// deadline timer for whatever remains.
+func (c *Coalescer) run() {
+	defer c.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.kick:
+		case <-timer.C:
+		case <-c.done:
+			for {
+				ws, npairs, reason, ok := c.take(true)
+				if !ok {
+					return
+				}
+				c.execute(ws, npairs, reason)
+			}
+		}
+		for {
+			ws, npairs, reason, ok := c.take(false)
+			if ok {
+				c.execute(ws, npairs, reason)
+				continue
+			}
+			if delay := c.nextDeadline(); delay > 0 {
+				// Stop-then-reset is safe on Go 1.23+ timers even if the
+				// timer already fired; a stale wake just re-reads state.
+				timer.Stop()
+				timer.Reset(delay)
+			}
+			break
+		}
+	}
+}
+
+// take pops the next merged batch under the lock: whole requests in FIFO
+// order until MaxBatchPairs is covered. Without force it only pops when a
+// flush trigger holds — the size target is reached or the oldest request
+// has waited MaxWait.
+func (c *Coalescer) take(force bool) ([]*coalesceWaiter, int, flushReason, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return nil, 0, 0, false
+	}
+	now := time.Now()
+	reason := flushDrain
+	if !force {
+		switch {
+		case c.pending >= c.opt.MaxBatchPairs:
+			reason = flushSize
+		case now.Sub(c.queue[0].enq) >= c.opt.MaxWait:
+			reason = flushDeadline
+		default:
+			return nil, 0, 0, false
+		}
+	}
+	n, npairs := 0, 0
+	for n < len(c.queue) && npairs < c.opt.MaxBatchPairs {
+		npairs += len(c.queue[n].pairs)
+		n++
+	}
+	ws := make([]*coalesceWaiter, n)
+	copy(ws, c.queue)
+	rest := copy(c.queue, c.queue[n:])
+	clear(c.queue[rest:]) // drop waiter refs so the queue array doesn't pin them
+	c.queue = c.queue[:rest]
+	c.pending -= npairs
+
+	var wait int64
+	for _, w := range ws {
+		wait += now.Sub(w.enq).Nanoseconds()
+	}
+	c.m.waitNS.Add(wait)
+	return ws, npairs, reason, true
+}
+
+// execute runs one merged batch on the engine and scatters the results
+// back to each waiting request in submission order. Engine errors at this
+// point are systemic (e.g. ErrClosed) — per-pair problems were rejected at
+// admission — so they fan out to every request in the batch.
+func (c *Coalescer) execute(ws []*coalesceWaiter, npairs int, reason flushReason) {
+	merged := c.mergeBuf[:0]
+	for _, w := range ws {
+		merged = append(merged, w.pairs...)
+	}
+	// One exact-size result allocation per flush: AlignInto fills it, and
+	// the scatter below hands each waiter its capped subrange instead of
+	// copying. The array is shared but the ranges are disjoint, and the
+	// Coalescer never touches it again after the scatter.
+	out, st, err := c.eng.AlignInto(make([]Alignment, 0, npairs), merged)
+	clear(merged) // drop sequence refs so the scratch doesn't pin callers
+	c.mergeBuf = merged[:0]
+
+	c.m.mergedBatches.Add(1)
+	switch reason {
+	case flushSize:
+		c.m.sizeFlushes.Add(1)
+	case flushDeadline:
+		c.m.deadlineFlushes.Add(1)
+	default:
+		c.m.drainFlushes.Add(1)
+	}
+	c.m.mergedPairs.Add(int64(npairs))
+	c.m.mergedRequests.Add(int64(len(ws)))
+	if int64(npairs) > c.m.maxMergedPairs.Load() { // flusher is the only writer
+		c.m.maxMergedPairs.Store(int64(npairs))
+	}
+
+	// Report the batch before scattering results: a caller must not be
+	// able to see its response while the flush is still unaccounted.
+	if err == nil && c.opt.OnFlush != nil {
+		c.opt.OnFlush(st, len(ws))
+	}
+	off := 0
+	for _, w := range ws {
+		n := len(w.pairs)
+		if err != nil {
+			w.ch <- coalesceResult{err: err}
+			continue
+		}
+		res := out[off : off+n : off+n]
+		off += n
+		var cells int64
+		for i := range res {
+			cells += res[i].Cells
+		}
+		rst := Stats{
+			Pairs: n, Cells: cells,
+			WallTime: st.WallTime, DeviceTime: st.DeviceTime,
+		}
+		rst.GCUPS = rst.gcups(c.eng.opt.Backend)
+		w.ch <- coalesceResult{out: res, st: rst}
+	}
+}
+
+// nextDeadline returns how long until the oldest queued request's MaxWait
+// deadline, or 0 when the queue is empty.
+func (c *Coalescer) nextDeadline() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return 0
+	}
+	return max(c.opt.MaxWait-time.Since(c.queue[0].enq), time.Nanosecond)
+}
+
+// validatePairs applies the engine's per-pair checks (sequence alphabet,
+// seed bounds) before a request may merge with others, so one bad pair
+// fails its own request instead of the whole merged batch. The messages
+// mirror Aligner.Align's, with request-relative pair indices.
+func validatePairs(pairs []Pair) error {
+	for i := range pairs {
+		p := &pairs[i]
+		q, err := seq.FromBytes(p.Query)
+		if err != nil {
+			return fmt.Errorf("logan: pair %d query: %w", i, err)
+		}
+		t, err := seq.FromBytes(p.Target)
+		if err != nil {
+			return fmt.Errorf("logan: pair %d target: %w", i, err)
+		}
+		// Overflow-safe bounds: SeedQ+SeedLen can wrap for adversarial
+		// inputs, and a pair that slips through here would panic in the
+		// flusher goroutine, not the caller's.
+		if p.SeedQ < 0 || p.SeedT < 0 || p.SeedLen <= 0 ||
+			p.SeedQ > len(q)-p.SeedLen || p.SeedT > len(t)-p.SeedLen {
+			return fmt.Errorf("logan: pair %d: seed (%d,%d,len %d) outside sequences (%d, %d)",
+				i, p.SeedQ, p.SeedT, p.SeedLen, len(q), len(t))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,364 @@
+package logan
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"logan/internal/seq"
+)
+
+// makePairsSeed is makePairs with a caller-chosen seed, so concurrent
+// clients in the coalescer tests carry distinct workloads.
+func makePairsSeed(n int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	raw := seq.RandPairSet(rng, seq.PairSetOptions{
+		N: n, MinLen: 100, MaxLen: 300, ErrorRate: 0.15, SeedLen: 17,
+	})
+	out := make([]Pair, n)
+	for i, p := range raw {
+		out[i] = Pair{
+			Query: []byte(p.Query), Target: []byte(p.Target),
+			SeedQ: p.SeedQPos, SeedT: p.SeedTPos, SeedLen: p.SeedLen,
+		}
+	}
+	return out
+}
+
+// TestCoalescerBitIdentical is the scatter-correctness acceptance test:
+// N concurrent clients with distinct pair sets must each get exactly
+// their own alignments back, bit-identical to a direct engine call of the
+// same pairs, on every backend. Run with -race this also exercises the
+// enqueue/flush/scatter paths for data races.
+func TestCoalescerBitIdentical(t *testing.T) {
+	for _, bk := range []struct {
+		name string
+		opt  Options
+	}{
+		{"CPU", DefaultOptions(50)},
+		{"GPU", func() Options { o := DefaultOptions(50); o.Backend = GPU; o.GPUs = 2; return o }()},
+		{"Hybrid", func() Options { o := DefaultOptions(50); o.Backend = Hybrid; o.GPUs = 2; return o }()},
+	} {
+		t.Run(bk.name, func(t *testing.T) {
+			eng, err := NewAligner(bk.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			const clients = 12
+			inputs := make([][]Pair, clients)
+			want := make([][]Alignment, clients)
+			for c := range inputs {
+				inputs[c] = makePairsSeed(3+c%5, int64(1000+c))
+				w, _, err := eng.Align(inputs[c])
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[c] = w
+			}
+
+			coal := eng.NewCoalescer(CoalescerOptions{
+				MaxBatchPairs: 16, MaxWait: time.Millisecond,
+			})
+			defer coal.Close()
+
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for round := 0; round < 4; round++ {
+						got, st, err := coal.Align(inputs[c])
+						if err != nil {
+							errs <- err
+							return
+						}
+						if len(got) != len(want[c]) {
+							t.Errorf("client %d: %d alignments, want %d", c, len(got), len(want[c]))
+							return
+						}
+						var cells int64
+						for i := range got {
+							if got[i] != want[c][i] {
+								t.Errorf("client %d pair %d: coalesced %+v != direct %+v",
+									c, i, got[i], want[c][i])
+								return
+							}
+							cells += got[i].Cells
+						}
+						if st.Pairs != len(inputs[c]) || st.Cells != cells {
+							t.Errorf("client %d: stats %+v, want pairs %d cells %d",
+								c, st, len(inputs[c]), cells)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			m := coal.Metrics()
+			if m.MergedBatches == 0 || m.MergedRequests != clients*4 {
+				t.Fatalf("metrics %+v: want %d requests over >0 merged batches", m, clients*4)
+			}
+			if m.QueuedRequests != 0 || m.QueuedPairs != 0 {
+				t.Fatalf("queue not drained: %+v", m)
+			}
+		})
+	}
+}
+
+// TestCoalescerSizeFlush checks the size trigger: two 4-pair requests
+// against an 8-pair target must merge into one batch and return long
+// before the (deliberately huge) deadline.
+func TestCoalescerSizeFlush(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	coal := eng.NewCoalescer(CoalescerOptions{MaxBatchPairs: 8, MaxWait: time.Hour})
+	defer coal.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, _, err := coal.Align(makePairsSeed(4, int64(c))); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("size-triggered flush took %v; deadline flush must not be the trigger", elapsed)
+	}
+	m := coal.Metrics()
+	if m.SizeFlushes == 0 || m.DeadlineFlushes != 0 {
+		t.Fatalf("metrics %+v: want a size flush and no deadline flush", m)
+	}
+	if m.MaxMergedPairs != 8 || m.MergedRequests != 2 {
+		t.Fatalf("metrics %+v: want one 8-pair merge of 2 requests", m)
+	}
+}
+
+// TestCoalescerDeadlineFlush checks the deadline trigger: a lone request
+// far below the size target must still flush about MaxWait after enqueue.
+func TestCoalescerDeadlineFlush(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const wait = 50 * time.Millisecond
+	coal := eng.NewCoalescer(CoalescerOptions{MaxBatchPairs: 1 << 20, MaxWait: wait})
+	defer coal.Close()
+
+	start := time.Now()
+	if _, _, err := coal.Align(makePairsSeed(2, 42)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Allow generous scheduler skew on both sides, but the request must
+	// have waited for the deadline, not returned immediately.
+	if elapsed < wait/2 {
+		t.Fatalf("flushed after %v, before the %v deadline", elapsed, wait)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("deadline flush took %v", elapsed)
+	}
+	m := coal.Metrics()
+	if m.DeadlineFlushes != 1 || m.MergedBatches != 1 {
+		t.Fatalf("metrics %+v: want exactly one deadline flush", m)
+	}
+	if m.WaitNS < (wait / 2).Nanoseconds() {
+		t.Fatalf("metrics %+v: wait latency not recorded", m)
+	}
+}
+
+// TestCoalescerShed checks admission control: once MaxPending pairs are
+// queued, further requests fail fast with ErrOverloaded, and Close still
+// drains the queued ones.
+func TestCoalescerShed(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	coal := eng.NewCoalescer(CoalescerOptions{
+		MaxBatchPairs: 100, MaxWait: time.Hour, MaxPending: 4,
+	})
+
+	queued := make(chan error, 1)
+	go func() {
+		_, _, err := coal.Align(makePairsSeed(3, 1))
+		queued <- err
+	}()
+	waitFor(t, func() bool { return coal.Metrics().QueuedPairs == 3 })
+
+	if _, _, err := coal.Align(makePairsSeed(2, 2)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-budget request: err %v, want ErrOverloaded", err)
+	}
+	// A request that still fits the budget is admitted; it rides the
+	// drain flush below.
+	fits := make(chan error, 1)
+	go func() {
+		_, _, err := coal.Align(makePairsSeed(1, 3))
+		fits <- err
+	}()
+	waitFor(t, func() bool { return coal.Metrics().QueuedPairs == 4 })
+
+	coal.Close()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request not drained on Close: %v", err)
+	}
+	if err := <-fits; err != nil {
+		t.Fatalf("fitting request not drained on Close: %v", err)
+	}
+	m := coal.Metrics()
+	if m.Shed != 1 || m.DrainFlushes == 0 {
+		t.Fatalf("metrics %+v: want 1 shed and a drain flush", m)
+	}
+	if _, _, err := coal.Align(makePairsSeed(1, 4)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("align after Close: err %v, want ErrClosed", err)
+	}
+}
+
+// TestCoalescerValidation checks that admission-time validation confines a
+// bad pair to its own request: a concurrent valid request in the same
+// flush window still succeeds.
+func TestCoalescerValidation(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	coal := eng.NewCoalescer(CoalescerOptions{MaxBatchPairs: 1 << 20, MaxWait: 20 * time.Millisecond})
+	defer coal.Close()
+
+	good := make(chan error, 1)
+	go func() {
+		_, _, err := coal.Align(makePairsSeed(2, 9))
+		good <- err
+	}()
+
+	bad := []Pair{{Query: []byte("AXGT"), Target: []byte("ACGT"), SeedLen: 2}}
+	if _, _, err := coal.Align(bad); err == nil || !strings.Contains(err.Error(), "pair 0 query") {
+		t.Fatalf("invalid base: err %v", err)
+	}
+	badSeed := []Pair{{Query: []byte("ACGT"), Target: []byte("ACGT"), SeedQ: 3, SeedLen: 4}}
+	if _, _, err := coal.Align(badSeed); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("out-of-range seed: err %v", err)
+	}
+	// SeedQ+SeedLen overflows int: must be rejected at admission, not
+	// panic the flusher.
+	overflow := []Pair{{Query: []byte("ACGT"), Target: []byte("ACGT"),
+		SeedQ: math.MaxInt - 1, SeedLen: 4}}
+	if _, _, err := coal.Align(overflow); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("overflowing seed: err %v", err)
+	}
+	if err := <-good; err != nil {
+		t.Fatalf("valid request failed alongside invalid ones: %v", err)
+	}
+}
+
+// TestCoalescerDirectBypass checks that engine-sized requests skip the
+// queue: they must return promptly despite an hour-long deadline, and be
+// counted as direct.
+func TestCoalescerDirectBypass(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	coal := eng.NewCoalescer(CoalescerOptions{MaxBatchPairs: 4, MaxWait: time.Hour})
+	defer coal.Close()
+
+	pairs := makePairsSeed(4, 5)
+	want, _, err := eng.Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := coal.Align(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if st.Pairs != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	m := coal.Metrics()
+	if m.Direct != 1 || m.Enqueued != 0 {
+		t.Fatalf("metrics %+v: want a direct bypass, no enqueue", m)
+	}
+}
+
+// TestCoalescerContextCancel checks that a caller can abandon the wait: a
+// canceled context returns immediately even though the pairs are queued
+// behind an hour-long deadline.
+func TestCoalescerContextCancel(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	coal := eng.NewCoalescer(CoalescerOptions{MaxBatchPairs: 1 << 20, MaxWait: time.Hour})
+	defer coal.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel once the request is visibly queued (or after a long
+		// fallback so the test can't hang).
+		deadline := time.Now().Add(10 * time.Second)
+		for coal.Metrics().QueuedPairs == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	if _, _, err := coal.AlignContext(ctx, makePairsSeed(1, 6)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+}
+
+// TestCoalescerEmptyRequest checks the zero-pair fast path.
+func TestCoalescerEmptyRequest(t *testing.T) {
+	eng, err := NewAligner(DefaultOptions(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	coal := eng.NewCoalescer(CoalescerOptions{})
+	defer coal.Close()
+	out, st, err := coal.Align(nil)
+	if err != nil || len(out) != 0 || st.Pairs != 0 {
+		t.Fatalf("empty request: out %v, st %+v, err %v", out, st, err)
+	}
+}
+
+// waitFor polls cond until it holds or a long deadline expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -53,8 +53,11 @@ func AlignBatch(dev *cuda.Device, pairs []seq.Pair, cfg Config) (BatchResult, er
 	}
 	for i := range pairs {
 		p := &pairs[i]
+		// SeedQPos > len-SeedLen rather than SeedQPos+SeedLen > len: the
+		// sum can overflow for adversarial positions, which would pass the
+		// check and panic in the kernel.
 		if p.SeedQPos < 0 || p.SeedTPos < 0 || p.SeedLen <= 0 ||
-			p.SeedQPos+p.SeedLen > len(p.Query) || p.SeedTPos+p.SeedLen > len(p.Target) {
+			p.SeedQPos > len(p.Query)-p.SeedLen || p.SeedTPos > len(p.Target)-p.SeedLen {
 			return out, fmt.Errorf("core: pair %d: seed (%d,%d,len %d) outside sequences (%d,%d)",
 				i, p.SeedQPos, p.SeedTPos, p.SeedLen, len(p.Query), len(p.Target))
 		}

@@ -63,8 +63,9 @@ func ReadPairs(r io.Reader) ([]Pair, error) {
 			nums[i] = v
 		}
 		p := Pair{Query: q, Target: t, SeedQPos: nums[0], SeedTPos: nums[1], SeedLen: nums[2], ID: len(pairs)}
+		// Overflow-safe form: the sum of two parsed ints can wrap.
 		if p.SeedQPos < 0 || p.SeedTPos < 0 || p.SeedLen <= 0 ||
-			p.SeedQPos+p.SeedLen > len(q) || p.SeedTPos+p.SeedLen > len(t) {
+			p.SeedQPos > len(q)-p.SeedLen || p.SeedTPos > len(t)-p.SeedLen {
 			return nil, fmt.Errorf("seq: line %d: seed (%d,%d,%d) outside sequences (%d,%d)",
 				line, p.SeedQPos, p.SeedTPos, p.SeedLen, len(q), len(t))
 		}

@@ -240,7 +240,8 @@ func extendMatrix(q, t []byte, m *Matrix, x int32) Result {
 // (protein seeds are rarely exact matches, so the seed contributes its
 // actual matrix score, not length x match).
 func ExtendSeedMatrix(q, t []byte, qPos, tPos, seedLen int, m *Matrix, x int32) (SeedResult, error) {
-	if qPos < 0 || tPos < 0 || seedLen <= 0 || qPos+seedLen > len(q) || tPos+seedLen > len(t) {
+	// Overflow-safe bounds (qPos+seedLen can wrap); see Workspace.ExtendSeed.
+	if qPos < 0 || tPos < 0 || seedLen <= 0 || qPos > len(q)-seedLen || tPos > len(t)-seedLen {
 		return SeedResult{}, fmt.Errorf("xdrop: seed (%d,%d,len %d) outside sequences (%d, %d)",
 			qPos, tPos, seedLen, len(q), len(t))
 	}

@@ -1,6 +1,7 @@
 package xdrop
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -84,6 +85,10 @@ func TestExtendMatrixValidation(t *testing.T) {
 	}
 	if _, err := ExtendMatrix([]byte("MKV"), []byte("MO"), m, 10); err == nil {
 		t.Error("accepted residue O outside alphabet")
+	}
+	// qPos+seedLen overflows int; the bounds check must not wrap.
+	if _, err := ExtendSeedMatrix([]byte("MKVL"), []byte("MKVL"), math.MaxInt-1, 0, 3, m, 10); err == nil {
+		t.Error("accepted overflowing seed position")
 	}
 }
 

@@ -42,7 +42,10 @@ func (w *Workspace) ExtendSeed(q, t seq.Seq, qPos, tPos, seedLen int, sc Scoring
 	if err := sc.Validate(); err != nil {
 		return SeedResult{}, err
 	}
-	if qPos < 0 || tPos < 0 || seedLen <= 0 || qPos+seedLen > len(q) || tPos+seedLen > len(t) {
+	// qPos > len(q)-seedLen rather than qPos+seedLen > len(q): the sum can
+	// overflow for adversarial positions (e.g. MaxInt from a JSON payload),
+	// which would pass the check and panic on the slice below.
+	if qPos < 0 || tPos < 0 || seedLen <= 0 || qPos > len(q)-seedLen || tPos > len(t)-seedLen {
 		return SeedResult{}, fmt.Errorf("xdrop: seed (%d,%d,len %d) outside sequences (%d, %d)",
 			qPos, tPos, seedLen, len(q), len(t))
 	}

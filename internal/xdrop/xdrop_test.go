@@ -1,6 +1,7 @@
 package xdrop
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -223,6 +224,8 @@ func TestExtendSeedValidation(t *testing.T) {
 	sc := DefaultScoring()
 	cases := []struct{ qp, tp, l int }{
 		{-1, 0, 3}, {0, -1, 3}, {0, 0, 0}, {8, 0, 3}, {0, 8, 3},
+		// qp+l and tp+l overflow int; the bounds check must not wrap.
+		{math.MaxInt - 1, 0, 3}, {0, math.MaxInt - 1, 3},
 	}
 	for _, c := range cases {
 		if _, err := ExtendSeed(s, s, c.qp, c.tp, c.l, sc, 10); err == nil {

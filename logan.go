@@ -17,6 +17,7 @@
 //	defer eng.Close()
 //	out, stats, err := eng.Align(pairs)          // or AlignInto to recycle out
 //	s := eng.NewStream(4)                        // pipelined ingest→align→emit
+//	c := eng.NewCoalescer(logan.CoalescerOptions{}) // merge concurrent callers
 //
 // Execution is pluggable (internal/backend): CPU worker pool, simulated
 // multi-GPU node, or the Hybrid scheduler that shards each batch across

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Serve-level smoke test: boot logan-serve with coalescing on, fire 50
+# concurrent small /align requests, and assert that every request
+# succeeded and that the coalescer actually merged cross-request batches
+# (non-zero mergedBatches in /statz). Run from the repo root; CI runs it
+# after the unit tests.
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+BIN="$(mktemp -d)/logan-serve"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/logan-serve
+# A generous max-wait keeps the merge window open long enough that the
+# 50-request burst reliably coalesces even on a slow CI runner.
+"$BIN" -addr "$ADDR" -backend cpu -coalesce -max-wait 50ms &
+SERVER_PID=$!
+
+# Wait for liveness.
+for _ in $(seq 1 100); do
+  if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve-smoke: server exited before becoming healthy" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+BODY='{"pairs":[{"query":"ACGTACGTACGTACGTACGTACGTACGTACGT","target":"ACGTACGTACGTACGTACGTACGTACGTACGT","seedQ":8,"seedT":8,"seedLen":8}]}'
+
+# 50 concurrent clients; curl -f makes any non-2xx a non-zero exit.
+CURL_PIDS=()
+for _ in $(seq 1 50); do
+  curl -sf -o /dev/null -X POST -H 'Content-Type: application/json' \
+    -d "$BODY" "http://$ADDR/align" &
+  CURL_PIDS+=($!)
+done
+FAILED=0
+for pid in "${CURL_PIDS[@]}"; do
+  wait "$pid" || FAILED=$((FAILED + 1))
+done
+if [ "$FAILED" -ne 0 ]; then
+  echo "serve-smoke: $FAILED of 50 requests failed" >&2
+  exit 1
+fi
+
+STATZ=$(curl -sf "http://$ADDR/statz")
+echo "serve-smoke: statz: $STATZ"
+
+merged=$(echo "$STATZ" | grep -o '"mergedBatches":[0-9]*' | cut -d: -f2)
+requests=$(echo "$STATZ" | grep -o '"requests":[0-9]*' | head -1 | cut -d: -f2)
+errors=$(echo "$STATZ" | grep -o '"errors":[0-9]*' | head -1 | cut -d: -f2)
+
+if [ -z "$merged" ] || [ "$merged" -eq 0 ]; then
+  echo "serve-smoke: no merged batches recorded (mergedBatches=${merged:-missing})" >&2
+  exit 1
+fi
+if [ -z "$requests" ] || [ "$requests" -lt 50 ]; then
+  echo "serve-smoke: expected >=50 requests, statz says ${requests:-missing}" >&2
+  exit 1
+fi
+if [ -z "$errors" ] || [ "$errors" -ne 0 ]; then
+  echo "serve-smoke: expected 0 errors, statz says ${errors:-missing}" >&2
+  exit 1
+fi
+
+# Graceful shutdown must drain cleanly.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "serve-smoke: OK (50/50 requests, $merged merged batches)"
