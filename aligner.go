@@ -1,6 +1,7 @@
 package logan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -19,6 +20,22 @@ var ErrClosed = errors.New("logan: aligner is closed")
 // ErrStreamClosed reports a submission to a Stream after its Close.
 var ErrStreamClosed = errors.New("logan: stream is closed")
 
+// EngineOptions configures the resources an Aligner keeps alive — the
+// engine's shape, fixed for its lifetime. Per-request parameters (X and
+// the scoring scheme) live in Config instead and are chosen per Align
+// call, so one engine of a given shape serves arbitrarily many scoring
+// configurations concurrently.
+type EngineOptions struct {
+	// Backend selects CPU, GPU or Hybrid execution (default CPU).
+	Backend Backend
+	// GPUs is the simulated device count for the GPU and Hybrid backends
+	// (default 1).
+	GPUs int
+	// Threads is the CPU worker count for the CPU and Hybrid backends
+	// (default GOMAXPROCS).
+	Threads int
+}
+
 // Aligner is a long-lived alignment engine: create it once, feed it batch
 // after batch. It holds the resources that the one-shot Align function
 // would otherwise rebuild per call — a persistent CPU worker pool with
@@ -28,14 +45,23 @@ var ErrStreamClosed = errors.New("logan: stream is closed")
 // discipline of LOGAN's own pipeline, which keeps device pools and buffers
 // alive across the many batches of a real assembly workload.
 //
-// Execution is delegated to an internal backend chosen by Options.Backend;
-// the engine itself only validates, stages and converts. An Aligner is
-// safe for concurrent use, and concurrency is per resource, not per
-// engine: CPU batches interleave across the shared worker pool, GPU
-// batches serialize per device (two concurrent batches on a multi-GPU
-// engine proceed on different devices), and Hybrid batches do both.
+// The engine is request-scoped: every Align call carries its own Config
+// (X, scoring scheme) and context, and concurrent calls may use different
+// configs — linear, affine and substitution-matrix batches interleave on
+// one engine with results bit-identical to dedicated engines. Affine and
+// matrix configs are CPU-engine families: a Hybrid engine routes them to
+// its CPU shards, a pure-GPU engine rejects them with
+// ErrUnsupportedConfig (the kernel is linear-DNA, as in the paper).
+//
+// Execution is delegated to an internal backend chosen by
+// EngineOptions.Backend; the engine itself only validates, stages and
+// converts. An Aligner is safe for concurrent use, and concurrency is per
+// resource, not per engine: CPU batches interleave across the shared
+// worker pool, GPU batches serialize per device (two concurrent batches
+// on a multi-GPU engine proceed on different devices), and Hybrid batches
+// do both.
 type Aligner struct {
-	opt    Options
+	opt    EngineOptions
 	be     backend.Backend
 	closed atomic.Bool
 	// scratch pools the per-batch conversion and result staging.
@@ -49,10 +75,10 @@ type batchScratch struct {
 	res []xdrop.SeedResult
 }
 
-// NewAligner builds an engine for the given options. X, Match/Mismatch/Gap
-// are the engine defaults used by Align; Backend, GPUs and Threads choose
-// the resources the engine keeps alive.
-func NewAligner(opt Options) (*Aligner, error) {
+// NewAligner builds an engine of the given shape. The options carry only
+// resources (Backend, GPUs, Threads); alignment parameters are supplied
+// per call via Config.
+func NewAligner(opt EngineOptions) (*Aligner, error) {
 	be, err := newBackend(opt)
 	if err != nil {
 		return nil, err
@@ -62,9 +88,9 @@ func NewAligner(opt Options) (*Aligner, error) {
 	return a, nil
 }
 
-// newBackend maps Options onto the execution layer: the pluggable
+// newBackend maps EngineOptions onto the execution layer: the pluggable
 // dispatch that replaced the hard-coded CPU/GPU switch in align.
-func newBackend(opt Options) (backend.Backend, error) {
+func newBackend(opt EngineOptions) (backend.Backend, error) {
 	gpus := opt.GPUs
 	if gpus <= 0 {
 		gpus = 1
@@ -84,8 +110,17 @@ func newBackend(opt Options) (backend.Backend, error) {
 	}
 }
 
-// Options returns the engine's configured defaults.
-func (a *Aligner) Options() Options { return a.opt }
+// Engine returns the engine's configured shape.
+func (a *Aligner) Engine() EngineOptions { return a.opt }
+
+// Supports reports whether this engine's backend can execute cfg's
+// scoring mode: always true on CPU and Hybrid engines, false for affine
+// and matrix configs on a pure-GPU engine (which Align rejects with
+// ErrUnsupportedConfig). Callers multiplexing mixed traffic can probe
+// this to route requests instead of paying a failed call.
+func (a *Aligner) Supports(cfg Config) bool {
+	return a.be.Supports(cfg.schemeKind())
+}
 
 // Close releases the engine's workers. In-flight batches finish; further
 // calls fail with ErrClosed.
@@ -96,24 +131,34 @@ func (a *Aligner) Close() error {
 	return a.be.Close()
 }
 
-// Align aligns one batch on the engine, like the package-level Align but
-// with every per-call setup cost already paid.
-func (a *Aligner) Align(pairs []Pair) ([]Alignment, Stats, error) {
-	return a.align(nil, pairs, a.opt)
+// Align aligns one batch on the engine under the given context and
+// per-request configuration. Results are positionally aligned with the
+// input. Cancelling ctx abandons the batch promptly (per pair on the CPU
+// pool, per memory chunk on a device) and returns the context's error.
+func (a *Aligner) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alignment, Stats, error) {
+	return a.align(ctx, nil, pairs, cfg)
 }
 
 // AlignInto is Align reusing dst for the results when it has capacity;
 // callers looping over batches can hand the previous slice back and keep
 // the steady state allocation-lean.
-func (a *Aligner) AlignInto(dst []Alignment, pairs []Pair) ([]Alignment, Stats, error) {
-	return a.align(dst, pairs, a.opt)
+func (a *Aligner) AlignInto(ctx context.Context, dst []Alignment, pairs []Pair, cfg Config) ([]Alignment, Stats, error) {
+	return a.align(ctx, dst, pairs, cfg)
 }
 
-// align runs one batch using the engine's resources and opt's scoring
-// parameters (the legacy entry points pass per-call options).
-func (a *Aligner) align(dst []Alignment, pairs []Pair, opt Options) ([]Alignment, Stats, error) {
+// align runs one batch using the engine's resources and cfg's parameters.
+func (a *Aligner) align(ctx context.Context, dst []Alignment, pairs []Pair, cfg Config) ([]Alignment, Stats, error) {
 	if a.closed.Load() {
 		return nil, Stats{}, ErrClosed
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
 	}
 	start := time.Now()
 
@@ -130,35 +175,58 @@ func (a *Aligner) align(dst []Alignment, pairs []Pair, opt Options) ([]Alignment
 	in := sc.in[:len(pairs)]
 	sc.in = in
 	for i := range pairs {
-		p := &pairs[i]
-		q, err := seq.FromBytes(p.Query)
+		p, err := cfg.ingestPair(&pairs[i], i)
 		if err != nil {
-			return nil, Stats{}, fmt.Errorf("logan: pair %d query: %w", i, err)
+			return nil, Stats{}, err
 		}
-		t, err := seq.FromBytes(p.Target)
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("logan: pair %d target: %w", i, err)
-		}
-		in[i] = seq.Pair{
-			Query: q, Target: t,
-			SeedQPos: p.SeedQ, SeedTPos: p.SeedT, SeedLen: p.SeedLen, ID: i,
-		}
+		in[i] = p
 	}
+	return a.run(ctx, dst, sc, in, cfg, start)
+}
 
-	if cap(sc.res) < len(pairs) {
-		sc.res = make([]xdrop.SeedResult, len(pairs))
+// alignPrepared runs one batch whose pairs were already validated and
+// converted under cfg (the coalescer converts at admission, so the flush
+// does not re-scan every sequence byte). cfg must already be validated.
+func (a *Aligner) alignPrepared(ctx context.Context, dst []Alignment, in []seq.Pair, cfg Config) ([]Alignment, Stats, error) {
+	if a.closed.Load() {
+		return nil, Stats{}, ErrClosed
 	}
-	results := sc.res[:len(pairs)]
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	sc := a.scratch.Get().(*batchScratch)
+	defer a.scratch.Put(sc) // sc.in untouched on this path
+	return a.run(ctx, dst, sc, in, cfg, start)
+}
+
+// run is the execution half of a batch: dispatch to the backend using
+// sc's pooled result staging, then convert results into dst and assemble
+// the stats.
+func (a *Aligner) run(ctx context.Context, dst []Alignment, sc *batchScratch, in []seq.Pair, cfg Config, start time.Time) ([]Alignment, Stats, error) {
+	for i := range in {
+		in[i].ID = i
+	}
+	if cap(sc.res) < len(in) {
+		sc.res = make([]xdrop.SeedResult, len(in))
+	}
+	results := sc.res[:len(in)]
 	sc.res = results
-	bst, err := a.be.ExtendBatch(in, results, core.Config{Scoring: opt.scoring(), X: opt.X})
+	bst, err := a.be.ExtendBatch(ctx, in, results, cfg.coreConfig())
 	if err != nil {
-		if errors.Is(err, xdrop.ErrPoolClosed) || errors.Is(err, backend.ErrClosed) {
+		switch {
+		case errors.Is(err, xdrop.ErrPoolClosed) || errors.Is(err, backend.ErrClosed):
 			err = ErrClosed
+		case errors.Is(err, core.ErrUnsupportedScheme):
+			err = ErrUnsupportedConfig
 		}
 		return nil, Stats{}, err
 	}
 
-	st := Stats{Pairs: len(pairs), Cells: bst.Cells, DeviceTime: bst.DeviceTime}
+	st := Stats{Pairs: len(in), Cells: bst.Cells, DeviceTime: bst.DeviceTime}
 	for _, sh := range bst.Shards {
 		st.PerBackend = append(st.PerBackend, BackendStats{
 			Name: sh.Backend, Pairs: sh.Pairs, Cells: sh.Cells, Time: sh.Time,
@@ -173,7 +241,7 @@ func (a *Aligner) align(dst []Alignment, pairs []Pair, opt Options) ([]Alignment
 		dst[i] = toAlignment(results[i])
 	}
 	st.WallTime = time.Since(start)
-	st.GCUPS = st.gcups(opt.Backend)
+	st.GCUPS = st.gcups(a.opt.Backend)
 	return dst, st, nil
 }
 
@@ -191,10 +259,16 @@ func (s *Stats) gcups(b Backend) float64 {
 	return float64(s.Cells) / denom.Seconds() / 1e9
 }
 
-// Batch is one unit of streaming work: a caller-chosen ID and its pairs.
+// Batch is one unit of streaming work: a caller-chosen ID, its pairs, and
+// the per-batch alignment configuration. Batches on one stream may carry
+// different configs. Config is required: a zero Config fails the batch's
+// BatchResult with a Scoring-unset validation error — v1 code that still
+// constructs Batch{ID, Pairs} compiles (TrySubmit's signature is
+// unchanged) but must be updated to set Config.
 type Batch struct {
-	ID    int64
-	Pairs []Pair
+	ID     int64
+	Pairs  []Pair
+	Config Config
 }
 
 // BatchResult is the outcome of one streamed batch, delivered in
@@ -233,7 +307,9 @@ func (a *Aligner) NewStream(inflight int) *Stream {
 	}
 	go func() {
 		for b := range s.jobs {
-			al, st, err := a.Align(b.Pairs)
+			// An accepted batch always runs to completion: the Submit
+			// context governed only the enqueue wait.
+			al, st, err := a.align(context.Background(), nil, b.Pairs, b.Config)
 			s.out <- BatchResult{ID: b.ID, Alignments: al, Stats: st, Err: err}
 		}
 		close(s.out)
@@ -241,18 +317,33 @@ func (a *Aligner) NewStream(inflight int) *Stream {
 	return s
 }
 
-// Submit enqueues a batch, blocking while the in-flight bound is reached.
-// Safe for concurrent use; submissions after Close return ErrStreamClosed.
-// The batch's sequence buffers are aliased, not copied (see Pair): do not
-// overwrite them until the batch's BatchResult arrives.
-func (s *Stream) Submit(b Batch) error {
+// Submit enqueues a batch, blocking while the in-flight bound is reached;
+// a canceled ctx abandons the enqueue wait and returns the context's
+// error. Safe for concurrent use; submissions after Close return
+// ErrStreamClosed. The batch's sequence buffers are aliased, not copied
+// (see Pair): do not overwrite them until the batch's BatchResult
+// arrives.
+func (s *Stream) Submit(ctx context.Context, b Batch) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrStreamClosed
 	}
-	s.jobs <- b
-	return nil
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Check upfront: with both select cases ready (free queue slot and a
+	// canceled ctx) Go picks randomly, and an already-canceled submission
+	// must never enqueue.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case s.jobs <- b:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // TrySubmit is the non-blocking Submit: it reports false when the
@@ -296,8 +387,8 @@ func (s *Stream) Close() {
 	}
 }
 
-// engineKey identifies the resources a default engine holds; scoring and X
-// are per-call parameters, not part of the key.
+// engineKey identifies the resources a default engine holds; the
+// per-request Config is never part of the key.
 type engineKey struct {
 	backend Backend
 	gpus    int
@@ -319,7 +410,7 @@ const maxDefaultEngines = 8
 // defaultEngine returns an engine for opt's resource shape and a release
 // function the caller must invoke when the batch is done (a no-op for
 // cached engines, Close for transient overflow engines).
-func defaultEngine(opt Options) (*Aligner, func(), error) {
+func defaultEngine(opt EngineOptions) (*Aligner, func(), error) {
 	key := engineKey{backend: opt.Backend}
 	switch opt.Backend {
 	case GPU:

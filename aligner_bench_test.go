@@ -1,6 +1,7 @@
 package logan
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -30,7 +31,8 @@ func benchPairs(n int) []Pair {
 // BenchmarkSeedPerCall10k.
 func BenchmarkAlignerReused10k(b *testing.B) {
 	pairs := benchPairs(10000)
-	eng, err := NewAligner(DefaultOptions(100))
+	cfg := DefaultConfig(100)
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func BenchmarkAlignerReused10k(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dst, _, err = eng.AlignInto(dst, pairs)
+		dst, _, err = eng.AlignInto(context.Background(), dst, pairs, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +91,8 @@ func BenchmarkSeedPerCall10k(b *testing.B) {
 // streaming API in 10 batches of 1k with 4 in flight.
 func BenchmarkAlignerStream10k(b *testing.B) {
 	pairs := benchPairs(10000)
-	eng, err := NewAligner(DefaultOptions(100))
+	cfg := DefaultConfig(100)
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -100,7 +103,7 @@ func BenchmarkAlignerStream10k(b *testing.B) {
 		s := eng.NewStream(4)
 		go func() {
 			for off := 0; off < len(pairs); off += 1000 {
-				s.Submit(Batch{ID: int64(off), Pairs: pairs[off : off+1000]})
+				s.Submit(context.Background(), Batch{ID: int64(off), Pairs: pairs[off : off+1000], Config: cfg})
 			}
 			s.Close()
 		}()
@@ -128,10 +131,8 @@ func BenchmarkBackends2k(b *testing.B) {
 		{"hybrid2", Hybrid, 2},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			opt := DefaultOptions(100)
-			opt.Backend = tc.backend
-			opt.GPUs = tc.gpus
-			eng, err := NewAligner(opt)
+			cfg := DefaultConfig(100)
+			eng, err := NewAligner(EngineOptions{Backend: tc.backend, GPUs: tc.gpus})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -140,7 +141,7 @@ func BenchmarkBackends2k(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				dst, _, err = eng.AlignInto(dst, pairs)
+				dst, _, err = eng.AlignInto(context.Background(), dst, pairs, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,6 +1,7 @@
 package logan
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -10,27 +11,28 @@ import (
 	"logan/internal/loadbal"
 )
 
+// ctxb is the background context used throughout the engine tests.
+var ctxb = context.Background()
+
 func TestAlignerBackendsAgree(t *testing.T) {
 	pairs := makePairs(32)
-	cpuEng, err := NewAligner(DefaultOptions(60))
+	cfg := DefaultConfig(60)
+	cpuEng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cpuEng.Close()
-	gpuOpt := DefaultOptions(60)
-	gpuOpt.Backend = GPU
-	gpuOpt.GPUs = 2
-	gpuEng, err := NewAligner(gpuOpt)
+	gpuEng, err := NewAligner(EngineOptions{Backend: GPU, GPUs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer gpuEng.Close()
 
-	cpu, cpuStats, err := cpuEng.Align(pairs)
+	cpu, cpuStats, err := cpuEng.Align(ctxb, pairs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gpu, gpuStats, err := gpuEng.Align(pairs)
+	gpu, gpuStats, err := gpuEng.Align(ctxb, pairs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,12 +56,12 @@ func TestAlignerMatchesLegacyAlign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := NewAligner(opt)
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	got, _, err := eng.Align(pairs)
+	got, _, err := eng.Align(ctxb, pairs, DefaultConfig(40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,23 +73,22 @@ func TestAlignerMatchesLegacyAlign(t *testing.T) {
 }
 
 func TestAlignerRepeatedGPUStatsStable(t *testing.T) {
-	// The satellite fix: DeviceTime must come from the reusable pool's
-	// modeled batch time, so identical batches report identical DeviceTime
-	// (and hence stable GCUPS) no matter how often the engine is reused.
+	// DeviceTime must come from the reusable pool's modeled batch time, so
+	// identical batches report identical DeviceTime (and hence stable
+	// GCUPS) no matter how often the engine is reused.
 	pairs := makePairs(12)
-	opt := DefaultOptions(50)
-	opt.Backend = GPU
-	eng, err := NewAligner(opt)
+	cfg := DefaultConfig(50)
+	eng, err := NewAligner(EngineOptions{Backend: GPU})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	_, first, err := eng.Align(pairs)
+	_, first, err := eng.Align(ctxb, pairs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for rep := 0; rep < 3; rep++ {
-		_, st, err := eng.Align(pairs)
+		_, st, err := eng.Align(ctxb, pairs, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,39 +98,67 @@ func TestAlignerRepeatedGPUStatsStable(t *testing.T) {
 	}
 }
 
-func TestAlignerEmptyBatch(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(10))
+// TestAlignerPerRequestX is the request-scoping acceptance check for X:
+// one engine must serve different X values per call, each bit-identical
+// to a dedicated engine built for that X.
+func TestAlignerPerRequestX(t *testing.T) {
+	pairs := makePairs(16)
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	out, st, err := eng.Align(nil)
+	for _, x := range []int32{10, 60, 200} {
+		got, _, err := eng.Align(ctxb, pairs, DefaultConfig(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := Align(pairs, DefaultOptions(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("X=%d pair %d: shared-engine %+v != dedicated %+v", x, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAlignerEmptyBatch(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	out, st, err := eng.Align(ctxb, nil, DefaultConfig(10))
 	if err != nil || len(out) != 0 || st.Pairs != 0 {
 		t.Fatalf("empty batch: %v %v %v", out, st, err)
 	}
 }
 
 func TestAlignerEmptySequenceRejected(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(10))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	_, _, err = eng.Align([]Pair{{Query: nil, Target: []byte("ACGT"), SeedLen: 2}})
+	_, _, err = eng.Align(ctxb, []Pair{{Query: nil, Target: []byte("ACGT"), SeedLen: 2}}, DefaultConfig(10))
 	if err == nil {
 		t.Fatal("accepted a seed outside an empty query")
 	}
 }
 
 func TestAlignerSeedAtBoundary(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(30))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	cfg := DefaultConfig(30)
 	s := []byte("ACGTACGTACGTACGTACGT")
 	// Seed flush with the sequence start: no left extension.
-	out, _, err := eng.Align([]Pair{{Query: s, Target: s, SeedQ: 0, SeedT: 0, SeedLen: 4}})
+	out, _, err := eng.Align(ctxb, []Pair{{Query: s, Target: s, SeedQ: 0, SeedT: 0, SeedLen: 4}}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +167,7 @@ func TestAlignerSeedAtBoundary(t *testing.T) {
 	}
 	// Seed flush with the sequence end: no right extension.
 	off := len(s) - 4
-	out, _, err = eng.Align([]Pair{{Query: s, Target: s, SeedQ: off, SeedT: off, SeedLen: 4}})
+	out, _, err = eng.Align(ctxb, []Pair{{Query: s, Target: s, SeedQ: off, SeedT: off, SeedLen: 4}}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,17 +177,18 @@ func TestAlignerSeedAtBoundary(t *testing.T) {
 }
 
 func TestAlignerAlignIntoReusesDst(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(20))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	cfg := DefaultConfig(20)
 	pairs := makePairs(8)
-	dst, _, err := eng.AlignInto(nil, pairs)
+	dst, _, err := eng.AlignInto(ctxb, nil, pairs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dst2, _, err := eng.AlignInto(dst, pairs)
+	dst2, _, err := eng.AlignInto(ctxb, dst, pairs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,40 +198,69 @@ func TestAlignerAlignIntoReusesDst(t *testing.T) {
 }
 
 func TestAlignerClosed(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(10))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng.Close()
 	eng.Close() // idempotent
-	if _, _, err := eng.Align(makePairs(1)); !errors.Is(err, ErrClosed) {
+	if _, _, err := eng.Align(ctxb, makePairs(1), DefaultConfig(10)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Align after Close: %v", err)
 	}
 }
 
 func TestAlignerInvalidBase(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(10))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	_, _, err = eng.Align([]Pair{{Query: []byte("ACGX"), Target: []byte("ACGT"), SeedLen: 2}})
+	_, _, err = eng.Align(ctxb, []Pair{{Query: []byte("ACGX"), Target: []byte("ACGT"), SeedLen: 2}}, DefaultConfig(10))
 	if err == nil {
 		t.Fatal("accepted invalid base")
 	}
 }
 
-func TestStreamOrderedResults(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(40))
+// TestAlignerRejectsInvalidConfig pins the zero-value footgun fix: an
+// unset or explicitly nonsensical scheme must be rejected, never silently
+// replaced with defaults.
+func TestAlignerRejectsInvalidConfig(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	pairs := makePairs(1)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero config", Config{}},
+		{"unset scoring", Config{X: 10}},
+		{"explicit zero linear", Config{X: 10, Scoring: LinearScoring(0, 0, 0)}},
+		{"positive gap", Config{X: 10, Scoring: LinearScoring(1, -1, 1)}},
+		{"negative X", Config{X: -1, Scoring: LinearScoring(1, -1, -1)}},
+		{"zero affine", Config{X: 10, Scoring: AffineScoring(0, 0, 0, 0)}},
+		{"nil matrix", Config{X: 10, Scoring: MatrixScoring(nil)}},
+	} {
+		if _, _, err := eng.Align(ctxb, pairs, tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestStreamOrderedResults(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cfg := DefaultConfig(40)
 	s := eng.NewStream(3)
 	const batches = 10
 	go func() {
 		for b := 0; b < batches; b++ {
-			if err := s.Submit(Batch{ID: int64(b), Pairs: makePairs(4)}); err != nil {
+			if err := s.Submit(ctxb, Batch{ID: int64(b), Pairs: makePairs(4), Config: cfg}); err != nil {
 				t.Error(err)
 			}
 		}
@@ -228,11 +287,12 @@ func TestStreamOrderedResults(t *testing.T) {
 func TestStreamConcurrentSubmit(t *testing.T) {
 	// Many producers share one stream; every batch must come back exactly
 	// once. Run under -race this also vets the engine's internal pooling.
-	eng, err := NewAligner(DefaultOptions(30))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	cfg := DefaultConfig(30)
 	s := eng.NewStream(4)
 	const producers, perProducer = 4, 5
 	var wg sync.WaitGroup
@@ -241,7 +301,7 @@ func TestStreamConcurrentSubmit(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for b := 0; b < perProducer; b++ {
-				if err := s.Submit(Batch{ID: int64(p*perProducer + b), Pairs: makePairs(3)}); err != nil {
+				if err := s.Submit(ctxb, Batch{ID: int64(p*perProducer + b), Pairs: makePairs(3), Config: cfg}); err != nil {
 					t.Error(err)
 				}
 			}
@@ -266,16 +326,60 @@ func TestStreamConcurrentSubmit(t *testing.T) {
 	}
 }
 
-func TestAlignerConcurrentAlign(t *testing.T) {
-	for _, backend := range []Backend{CPU, GPU, Hybrid} {
-		opt := DefaultOptions(30)
-		opt.Backend = backend
-		eng, err := NewAligner(opt)
+// TestStreamMixedConfigs: batches on one stream may carry different
+// configs, and each result must match a dedicated-engine run of that
+// batch's config.
+func TestStreamMixedConfigs(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pairs := makePairs(6)
+	configs := []Config{
+		DefaultConfig(30),
+		{X: 30, Scoring: AffineScoring(1, -1, -2, -1)},
+		{X: 80, Scoring: LinearScoring(2, -3, -2)},
+	}
+	want := make([][]Alignment, len(configs))
+	for i, cfg := range configs {
+		w, _, err := eng.Align(ctxb, pairs, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
+		want[i] = w
+	}
+	s := eng.NewStream(2)
+	go func() {
+		for i, cfg := range configs {
+			if err := s.Submit(ctxb, Batch{ID: int64(i), Pairs: pairs, Config: cfg}); err != nil {
+				t.Error(err)
+			}
+		}
+		s.Close()
+	}()
+	for r := range s.Results() {
+		if r.Err != nil {
+			t.Fatalf("batch %d: %v", r.ID, r.Err)
+		}
+		for i := range r.Alignments {
+			if r.Alignments[i] != want[r.ID][i] {
+				t.Fatalf("config %d pair %d: stream %+v != dedicated %+v",
+					r.ID, i, r.Alignments[i], want[r.ID][i])
+			}
+		}
+	}
+}
+
+func TestAlignerConcurrentAlign(t *testing.T) {
+	for _, backend := range []Backend{CPU, GPU, Hybrid} {
+		eng, err := NewAligner(EngineOptions{Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(30)
 		pairs := makePairs(10)
-		want, _, err := eng.Align(pairs)
+		want, _, err := eng.Align(ctxb, pairs, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,7 +388,7 @@ func TestAlignerConcurrentAlign(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				got, _, err := eng.Align(pairs)
+				got, _, err := eng.Align(ctxb, pairs, cfg)
 				if err != nil {
 					t.Error(err)
 					return
@@ -302,33 +406,30 @@ func TestAlignerConcurrentAlign(t *testing.T) {
 	}
 }
 
-// TestHybridBitIdenticalToCPUAndGPU is the tentpole acceptance test: the
-// Hybrid scheduler must produce bit-identical alignments (and cell
-// counts) to both single-backend engines on the same batch.
+// TestHybridBitIdenticalToCPUAndGPU: the Hybrid scheduler must produce
+// bit-identical alignments (and cell counts) to both single-backend
+// engines on the same batch.
 func TestHybridBitIdenticalToCPUAndGPU(t *testing.T) {
 	pairs := makePairs(64)
+	cfg := DefaultConfig(60)
 	newEng := func(b Backend, gpus int) *Aligner {
 		t.Helper()
-		opt := DefaultOptions(60)
-		opt.Backend = b
-		opt.GPUs = gpus
-		opt.Threads = 2
-		eng, err := NewAligner(opt)
+		eng, err := NewAligner(EngineOptions{Backend: b, GPUs: gpus, Threads: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { eng.Close() })
 		return eng
 	}
-	cpu, cpuStats, err := newEng(CPU, 0).Align(pairs)
+	cpu, cpuStats, err := newEng(CPU, 0).Align(ctxb, pairs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gpu, gpuStats, err := newEng(GPU, 2).Align(pairs)
+	gpu, gpuStats, err := newEng(GPU, 2).Align(ctxb, pairs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hyb, hybStats, err := newEng(Hybrid, 2).Align(pairs)
+	hyb, hybStats, err := newEng(Hybrid, 2).Align(ctxb, pairs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,15 +451,12 @@ func TestPerBackendStats(t *testing.T) {
 		backend Backend
 		gpus    int
 	}{{CPU, 0}, {GPU, 1}, {GPU, 2}, {Hybrid, 2}} {
-		opt := DefaultOptions(40)
-		opt.Backend = tc.backend
-		opt.GPUs = tc.gpus
-		eng, err := NewAligner(opt)
+		eng, err := NewAligner(EngineOptions{Backend: tc.backend, GPUs: tc.gpus})
 		if err != nil {
 			t.Fatal(err)
 		}
 		pairs := makePairs(12)
-		_, st, err := eng.Align(pairs)
+		_, st, err := eng.Align(ctxb, pairs, DefaultConfig(40))
 		eng.Close()
 		if err != nil {
 			t.Fatal(err)
@@ -390,10 +488,7 @@ func TestPerBackendStats(t *testing.T) {
 // if either call held an engine-wide lock across its batch, the other
 // could never arrive and the barrier would time out.
 func TestConcurrentAlignNotSerializedAcrossDevices(t *testing.T) {
-	opt := DefaultOptions(30)
-	opt.Backend = GPU
-	opt.GPUs = 2
-	eng, err := NewAligner(opt)
+	eng, err := NewAligner(EngineOptions{Backend: GPU, GPUs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +526,7 @@ func TestConcurrentAlignNotSerializedAcrossDevices(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, _, err := eng.Align(pairs); err != nil {
+			if _, _, err := eng.Align(ctxb, pairs, DefaultConfig(30)); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -445,17 +540,14 @@ func TestConcurrentAlignNotSerializedAcrossDevices(t *testing.T) {
 // TestHybridConcurrentAlign exercises the hybrid scheduler under
 // concurrent traffic (and -race): results must stay bit-identical.
 func TestHybridConcurrentAlign(t *testing.T) {
-	opt := DefaultOptions(30)
-	opt.Backend = Hybrid
-	opt.GPUs = 2
-	opt.Threads = 2
-	eng, err := NewAligner(opt)
+	eng, err := NewAligner(EngineOptions{Backend: Hybrid, GPUs: 2, Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	cfg := DefaultConfig(30)
 	pairs := makePairs(16)
-	want, _, err := eng.Align(pairs)
+	want, _, err := eng.Align(ctxb, pairs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +556,7 @@ func TestHybridConcurrentAlign(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, _, err := eng.Align(pairs)
+			got, _, err := eng.Align(ctxb, pairs, cfg)
 			if err != nil {
 				t.Error(err)
 				return
@@ -480,22 +572,23 @@ func TestHybridConcurrentAlign(t *testing.T) {
 	wg.Wait()
 }
 
-// TestStreamSubmitAfterClose: the satellite fix — submissions after Close
-// must fail with ErrStreamClosed instead of panicking on a closed
-// channel, and TrySubmit must shed load without blocking.
+// TestStreamSubmitAfterClose: submissions after Close must fail with
+// ErrStreamClosed instead of panicking on a closed channel, and TrySubmit
+// must shed load without blocking.
 func TestStreamSubmitAfterClose(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(20))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	cfg := DefaultConfig(20)
 	s := eng.NewStream(1)
-	if err := s.Submit(Batch{ID: 1, Pairs: makePairs(2)}); err != nil {
+	if err := s.Submit(ctxb, Batch{ID: 1, Pairs: makePairs(2), Config: cfg}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
 	s.Close() // idempotent
-	if err := s.Submit(Batch{ID: 2, Pairs: makePairs(2)}); !errors.Is(err, ErrStreamClosed) {
+	if err := s.Submit(ctxb, Batch{ID: 2, Pairs: makePairs(2), Config: cfg}); !errors.Is(err, ErrStreamClosed) {
 		t.Fatalf("Submit after Close: %v, want ErrStreamClosed", err)
 	}
 	if ok, err := s.TrySubmit(Batch{ID: 3}); ok || !errors.Is(err, ErrStreamClosed) {
@@ -515,11 +608,12 @@ func TestStreamSubmitAfterClose(t *testing.T) {
 }
 
 func TestStreamTrySubmitShedsLoad(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(20))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	cfg := DefaultConfig(20)
 	s := eng.NewStream(1)
 	defer s.Close()
 	// Saturate the in-flight bound: with a 1-deep queue, repeated
@@ -527,7 +621,7 @@ func TestStreamTrySubmitShedsLoad(t *testing.T) {
 	// rather than blocking forever.
 	shed := false
 	for i := 0; i < 1000 && !shed; i++ {
-		ok, err := s.TrySubmit(Batch{ID: int64(i), Pairs: makePairs(2)})
+		ok, err := s.TrySubmit(Batch{ID: int64(i), Pairs: makePairs(2), Config: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -540,6 +634,45 @@ func TestStreamTrySubmitShedsLoad(t *testing.T) {
 		for range s.Results() {
 		}
 	}()
+}
+
+// TestStreamSubmitContextCanceled: a canceled context must abandon the
+// enqueue wait on a full stream instead of blocking forever.
+func TestStreamSubmitContextCanceled(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cfg := DefaultConfig(20)
+	s := eng.NewStream(1)
+	// Fill the queue without draining results.
+	for i := 0; i < 3; i++ {
+		if ok, _ := s.TrySubmit(Batch{ID: int64(i), Pairs: makePairs(2), Config: cfg}); !ok {
+			break
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	// Keep submitting until one blocks and the cancel releases it.
+	for {
+		err := s.Submit(ctx, Batch{ID: 99, Pairs: makePairs(2), Config: cfg})
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked Submit returned %v, want context.Canceled", err)
+		}
+		break
+	}
+	go func() {
+		for range s.Results() {
+		}
+	}()
+	s.Close()
 }
 
 // TestStatsGCUPSSemantics pins the per-backend denominator contract

@@ -1,0 +1,91 @@
+package logan
+
+// API-compatibility guard: every deprecated v1 entry point must keep
+// compiling and keep its documented behavior, and must agree with the v2
+// surface it wraps. CI runs this alongside building examples/ as the
+// API-compat gate; if a future change breaks the v1 wrappers, this file
+// is the tripwire.
+
+import (
+	"testing"
+)
+
+// TestAPICompatV1Wrappers exercises the full deprecated surface: Options,
+// DefaultOptions, package-level Align and AlignPair.
+func TestAPICompatV1Wrappers(t *testing.T) {
+	defer CloseDefaultEngines()
+
+	// DefaultOptions carries the paper's scheme.
+	opt := DefaultOptions(60)
+	if opt.X != 60 || opt.Match != 1 || opt.Mismatch != -1 || opt.Gap != -1 {
+		t.Fatalf("DefaultOptions(60) = %+v", opt)
+	}
+
+	// Options fields are all assignable (compile-time shape check).
+	opt = Options{X: 60, Match: 1, Mismatch: -1, Gap: -1, Backend: CPU, GPUs: 1, Threads: 2}
+
+	pairs := makePairs(8)
+
+	// Package-level Align on every backend, equal to the v2 engine path.
+	for _, b := range []Backend{CPU, GPU, Hybrid} {
+		opt.Backend = b
+		got, st, err := Align(pairs, opt)
+		if err != nil {
+			t.Fatalf("backend %v: %v", b, err)
+		}
+		if st.Pairs != len(pairs) {
+			t.Fatalf("backend %v: stats %+v", b, st)
+		}
+		eng, err := NewAligner(EngineOptions{Backend: b, GPUs: 1, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := eng.Align(ctxb, pairs, Config{X: 60, Scoring: LinearScoring(1, -1, -1)})
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("backend %v pair %d: v1 %+v != v2 %+v", b, i, got[i], want[i])
+			}
+		}
+	}
+
+	// AlignPair agrees with a one-pair batch.
+	p := pairs[0]
+	a, err := AlignPair(p.Query, p.Target, p.SeedQ, p.SeedT, p.SeedLen, DefaultOptions(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Backend = CPU
+	batch, _, err := Align([]Pair{p}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != batch[0] {
+		t.Fatalf("AlignPair %+v != Align batch %+v", a, batch[0])
+	}
+}
+
+// TestAPICompatZeroValueOptions pins the documented v1 zero-value
+// behavior: an all-zero scoring in Options still selects +1/-1/-1 (the
+// compat wrappers must not inherit the v2 strictness retroactively).
+func TestAPICompatZeroValueOptions(t *testing.T) {
+	defer CloseDefaultEngines()
+	s := []byte("ACGTACGTACGTACGT")
+	a, err := AlignPair(s, s, 4, 4, 4, Options{X: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != int32(len(s)) {
+		t.Fatalf("zero-value Options score %d, want %d", a.Score, len(s))
+	}
+	out, _, err := Align([]Pair{{Query: s, Target: s, SeedQ: 4, SeedT: 4, SeedLen: 4}}, Options{X: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Score != int32(len(s)) {
+		t.Fatalf("zero-value Options batch score %d", out[0].Score)
+	}
+}

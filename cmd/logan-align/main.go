@@ -7,9 +7,13 @@
 //
 //	logan-align [-pairs 1000] [-x 100] [-backend gpu] [-gpus 2] [-seed 1]
 //	            [-minlen 2500] [-maxlen 7500] [-err 0.15] [-v]
+//	            [-match 1 -mismatch -1 -gap -1]
+//	            [-gap-open -2 -gap-extend -1]   (affine; CPU/Hybrid only)
+//	            [-matrix blosum62]              (matrix; CPU/Hybrid only)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -33,8 +37,36 @@ func main() {
 		input   = flag.String("input", "", "pair file to align instead of a generated workload (TSV: query, target, seedQ, seedT, seedLen)")
 		dump    = flag.String("dump", "", "write the generated workload to this pair file and exit")
 		verbose = flag.Bool("v", false, "print per-pair results")
+
+		match    = flag.Int("match", 1, "linear/affine match reward (> 0)")
+		mismatch = flag.Int("mismatch", -1, "linear/affine mismatch penalty (< 0)")
+		gap      = flag.Int("gap", -1, "linear gap penalty, or the matrix gap with -matrix (< 0)")
+		gapOpen  = flag.Int("gap-open", 0, "affine gap-open penalty (< 0); with -gap-extend selects affine scoring (CPU and hybrid backends only)")
+		gapExt   = flag.Int("gap-extend", 0, "affine gap-extend penalty (< 0)")
+		matrix   = flag.String("matrix", "", `substitution matrix ("blosum62"); scores with the matrix and -gap as its gap penalty (CPU and hybrid backends only)`)
 	)
 	flag.Parse()
+
+	cfg := logan.Config{X: int32(*x)}
+	switch {
+	case *matrix == "blosum62":
+		if *gap >= 0 {
+			fmt.Fprintf(os.Stderr, "logan-align: -matrix needs a negative -gap (got %d)\n", *gap)
+			os.Exit(2)
+		}
+		cfg.Scoring = logan.MatrixScoring(logan.Blosum62(int32(*gap)))
+	case *matrix != "":
+		fmt.Fprintf(os.Stderr, "logan-align: unknown matrix %q (want blosum62)\n", *matrix)
+		os.Exit(2)
+	case *gapOpen != 0 || *gapExt != 0:
+		cfg.Scoring = logan.AffineScoring(int32(*match), int32(*mismatch), int32(*gapOpen), int32(*gapExt))
+	default:
+		cfg.Scoring = logan.LinearScoring(int32(*match), int32(*mismatch), int32(*gap))
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "logan-align: %v\n", err)
+		os.Exit(2)
+	}
 
 	var raw []seq.Pair
 	if *input != "" {
@@ -43,7 +75,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "logan-align: %v\n", err)
 			os.Exit(1)
 		}
-		raw, err = seq.ReadPairs(f)
+		if *matrix != "" {
+			// Matrix workloads are not DNA (protein residues would fail
+			// the ACGTN check); the engine validates them against the
+			// matrix alphabet instead.
+			raw, err = seq.ReadPairsAnyAlphabet(f)
+		} else {
+			raw, err = seq.ReadPairs(f)
+		}
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "logan-align: %v\n", err)
@@ -78,8 +117,7 @@ func main() {
 		}
 	}
 
-	opt := logan.DefaultOptions(int32(*x))
-	opt.GPUs = *gpus
+	opt := logan.EngineOptions{GPUs: *gpus}
 	switch *backend {
 	case "cpu":
 	case "gpu":
@@ -90,9 +128,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown backend %q (want cpu, gpu or hybrid)\n", *backend)
 		os.Exit(2)
 	}
+	eng, err := logan.NewAligner(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logan-align: %v\n", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
 
 	start := time.Now()
-	results, stats, err := logan.Align(pairs, opt)
+	results, stats, err := eng.Align(context.Background(), pairs, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "logan-align: %v\n", err)
 		os.Exit(1)
@@ -103,7 +147,8 @@ func main() {
 				i, r.Score, r.QBegin, r.QEnd, r.TBegin, r.TEnd, r.Cells)
 		}
 	}
-	fmt.Printf("aligned %d pairs with X=%d on %s backend\n", stats.Pairs, *x, *backend)
+	fmt.Printf("aligned %d pairs with X=%d (%s scoring) on %s backend\n",
+		stats.Pairs, *x, cfg.Scoring.Mode(), *backend)
 	fmt.Printf("  DP cells:     %d\n", stats.Cells)
 	fmt.Printf("  wall time:    %v\n", time.Since(start).Round(time.Millisecond))
 	if stats.DeviceTime > 0 {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -29,15 +30,13 @@ import (
 // The pairs/s metric is the comparison that matters between the two
 // benchmarks below.
 func benchServe(b *testing.B, coalesce bool) {
-	opt := logan.DefaultOptions(50)
-	opt.Backend = logan.Hybrid
-	opt.GPUs = 2
-	eng, err := logan.NewAligner(opt)
+	eng, err := logan.NewAligner(logan.EngineOptions{Backend: logan.Hybrid, GPUs: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer eng.Close()
 	cfg := defaultServeConfig()
+	cfg.defCfg = logan.DefaultConfig(50)
 	cfg.coalesce = coalesce
 	cfg.coalescePairs = 512
 	cfg.maxWait = time.Millisecond
@@ -68,7 +67,7 @@ func benchServe(b *testing.B, coalesce bool) {
 	}
 	warm = warm[:512]
 	for i := 0; i < 8; i++ {
-		if _, _, err := eng.Align(warm); err != nil {
+		if _, _, err := eng.Align(context.Background(), warm, logan.DefaultConfig(50)); err != nil {
 			b.Fatal(err)
 		}
 	}

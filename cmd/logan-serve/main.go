@@ -9,9 +9,19 @@
 // HTTP 429 + Retry-After once -max-pending pairs are queued. -coalesce=false
 // restores the direct per-request path.
 //
+// Requests are request-scoped: the optional top-level "x" and "scoring"
+// fields override the server defaults per request, so one server process
+// serves mixed X / linear / affine / BLOSUM62 traffic on a single engine
+// (the coalescer merges same-config requests). "scoring" selects
+// {"mode":"linear","match","mismatch","gap"},
+// {"mode":"affine","match","mismatch","gapOpen","gapExtend"} or
+// {"mode":"blosum62","gap"}. Invalid schemes get 400; affine/blosum62 on
+// a pure-GPU server get 422 (the kernel is linear-DNA only).
+//
 // Endpoints:
 //
-//	POST /align    {"pairs":[{"query","target","seedQ","seedT","seedLen"}]}
+//	POST /align    {"pairs":[{"query","target","seedQ","seedT","seedLen"}],
+//	               "x":..., "scoring":{...}}
 //	GET  /healthz  liveness
 //	GET  /statz    process-lifetime totals (requests, pairs, cells, errors,
 //	               shed, writeErrors), the per-backend breakdown
@@ -50,6 +60,7 @@ func main() {
 		gpus     = flag.Int("gpus", 1, "simulated GPU count (gpu and hybrid backends)")
 		threads  = flag.Int("threads", 0, "CPU worker count (0 = GOMAXPROCS)")
 		maxPairs = flag.Int("max-pairs", 100_000, "largest accepted batch")
+		maxX     = flag.Int("max-x", 10_000, "largest per-request X (caps client-controlled DP work)")
 
 		coalesce = flag.Bool("coalesce", true,
 			"merge concurrent requests into engine-sized batches")
@@ -62,9 +73,7 @@ func main() {
 	)
 	flag.Parse()
 
-	opt := logan.DefaultOptions(int32(*x))
-	opt.Threads = *threads
-	opt.GPUs = *gpus
+	opt := logan.EngineOptions{Threads: *threads, GPUs: *gpus}
 	switch *backend {
 	case "cpu":
 	case "gpu":
@@ -82,7 +91,22 @@ func main() {
 	}
 
 	cfg := defaultServeConfig()
+	cfg.defCfg = logan.DefaultConfig(int32(*x))
+	// Fail fast on a misconfigured default: without this a -x -5 server
+	// boots healthy and turns the operator error into per-request 400s.
+	if err := cfg.defCfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "logan-serve: -x %d: %v\n", *x, err)
+		os.Exit(2)
+	}
+	// The default must sit inside the per-request cap, or a client
+	// explicitly sending the server's own X would be rejected while the
+	// identical implicit config is served.
+	if *x > *maxX {
+		fmt.Fprintf(os.Stderr, "logan-serve: -x %d exceeds -max-x %d\n", *x, *maxX)
+		os.Exit(2)
+	}
 	cfg.maxPairs = *maxPairs
+	cfg.maxX = int32(*maxX)
 	cfg.coalesce = *coalesce
 	cfg.coalescePairs = *coalescePairs
 	cfg.maxWait = *maxWait

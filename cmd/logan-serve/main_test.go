@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,9 +23,12 @@ import (
 // matters: the coalescer must drain before the listener and engine close.
 func testServerCfg(t *testing.T, cfg serveConfig) (*httptest.Server, *server, *logan.Aligner) {
 	t.Helper()
-	eng, err := logan.NewAligner(logan.DefaultOptions(50))
+	eng, err := logan.NewAligner(logan.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if cfg.defCfg == (logan.Config{}) {
+		cfg.defCfg = logan.DefaultConfig(50)
 	}
 	s := newServer(eng, cfg)
 	srv := httptest.NewServer(s)
@@ -39,6 +43,7 @@ func testServerCfg(t *testing.T, cfg serveConfig) (*httptest.Server, *server, *l
 func testServer(t *testing.T) (*httptest.Server, *logan.Aligner) {
 	t.Helper()
 	cfg := defaultServeConfig()
+	cfg.defCfg = logan.DefaultConfig(50)
 	cfg.maxPairs = 1000
 	cfg.maxWait = time.Millisecond
 	srv, _, eng := testServerCfg(t, cfg)
@@ -163,12 +168,13 @@ func (f *failingWriter) Write([]byte) (int, error) { return 0, errors.New("clien
 // TestServeWriteErrors checks that response-encoding failures are counted
 // and surfaced in /statz rather than silently dropped.
 func TestServeWriteErrors(t *testing.T) {
-	eng, err := logan.NewAligner(logan.DefaultOptions(50))
+	eng, err := logan.NewAligner(logan.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
 	cfg := defaultServeConfig()
+	cfg.defCfg = logan.DefaultConfig(50)
 	cfg.maxWait = time.Millisecond
 	s := newServer(eng, cfg)
 	defer s.Close()
@@ -346,7 +352,7 @@ func TestServeConcurrentRequests(t *testing.T) {
 			js[i] = fmt.Sprintf(`{"query":%q,"target":%q,"seedQ":%d,"seedT":%d,"seedLen":%d}`,
 				p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen)
 		}
-		want, _, err := eng.Align(pairs)
+		want, _, err := eng.Align(context.Background(), pairs, logan.DefaultConfig(50))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -441,5 +447,168 @@ func TestServePerRequestPath(t *testing.T) {
 	}
 	if cpu, ok := totals.Backends["cpu"]; !ok || cpu.Pairs < 1 {
 		t.Fatalf("per-request backend stats missing: %+v", totals.Backends)
+	}
+}
+
+// TestServePerRequestConfig pins the request-scoped parameters end to
+// end: "x" and "scoring" must reach the engine (scores change
+// accordingly), with exact known values. The pair has 4 substitutions
+// between two exact runs, so the right extension recovers +4 only when X
+// allows crossing the mismatch trough.
+func TestServePerRequestConfig(t *testing.T) {
+	srv, _ := testServer(t)
+	const pairQ = `"query":"AAAAAAAACCCCAAAAAAAA","target":"AAAAAAAAGGGGAAAAAAAA","seedQ":0,"seedT":0,"seedLen":8`
+
+	score := func(body string) (int32, int, string) {
+		t.Helper()
+		resp, data := postAlign(t, srv.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			return 0, resp.StatusCode, string(data)
+		}
+		var out alignResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Alignments[0].Score, resp.StatusCode, ""
+	}
+
+	// Server default (X=50, linear +1/-1/-1): recovers past the trough.
+	if got, code, body := score(`{"pairs":[{` + pairQ + `}]}`); code != 200 || got != 12 {
+		t.Fatalf("default config: score %d code %d %s, want 12", got, code, body)
+	}
+	// Per-request X=2: the trough prunes the extension, score drops to 8.
+	if got, code, body := score(`{"pairs":[{` + pairQ + `}],"x":2}`); code != 200 || got != 8 {
+		t.Fatalf("x=2: score %d code %d %s, want 8", got, code, body)
+	}
+	// Per-request affine scoring: substitutions still beat gaps, 12.
+	if got, code, body := score(`{"pairs":[{` + pairQ + `}],"scoring":{"mode":"affine","match":1,"mismatch":-1,"gapOpen":-2,"gapExtend":-1}}`); code != 200 || got != 12 {
+		t.Fatalf("affine: score %d code %d %s, want 12", got, code, body)
+	}
+	// Per-request doubled linear scheme: 8*2 + 4*(recover 4*2-4*3... )
+	// keep it simple — match 2 doubles the all-match seed+recovery arm:
+	// seed 8*2=16, trough -4*3=-12 then +8*2=16 nets +4 at X=50.
+	if got, code, body := score(`{"pairs":[{` + pairQ + `}],"scoring":{"mode":"linear","match":2,"mismatch":-3,"gap":-2}}`); code != 200 || got != 20 {
+		t.Fatalf("linear 2/-3/-2: score %d code %d %s, want 20", got, code, body)
+	}
+	// Per-request BLOSUM62 over DNA letters (all in the amino alphabet):
+	// identical 16-mers score 2*(A4+C9+G6+T5)*2 = 96.
+	if got, code, body := score(`{"pairs":[{"query":"ACGTACGTACGTACGT","target":"ACGTACGTACGTACGT","seedQ":0,"seedT":0,"seedLen":8}],"scoring":{"mode":"blosum62","gap":-6}}`); code != 200 || got != 96 {
+		t.Fatalf("blosum62: score %d code %d %s, want 96", got, code, body)
+	}
+	// Protein sequences are accepted under a matrix config...
+	if got, code, body := score(`{"pairs":[{"query":"MKWVTFISLL","target":"MKWVTFISLL","seedQ":2,"seedT":2,"seedLen":4}],"scoring":{"mode":"blosum62","gap":-6}}`); code != 200 || got <= 0 {
+		t.Fatalf("protein blosum62: score %d code %d %s", got, code, body)
+	}
+	// ...and rejected by the default DNA path.
+	if _, code, _ := score(`{"pairs":[{"query":"MKWVTFISLL","target":"MKWVTFISLL","seedQ":2,"seedT":2,"seedLen":4}]}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("protein under DNA config: code %d, want 422", code)
+	}
+}
+
+// TestServeInvalidScoring pins the error semantics for bad schemes: 400
+// before any pair queues, with nothing aligned.
+func TestServeInvalidScoring(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, tc := range []struct{ name, body string }{
+		{"unknown mode", `{"pairs":[],"scoring":{"mode":"smith-waterman"}}`},
+		{"zero linear", `{"pairs":[],"scoring":{"mode":"linear"}}`},
+		{"positive gap", `{"pairs":[],"scoring":{"mode":"linear","match":1,"mismatch":-1,"gap":1}}`},
+		{"affine missing extend", `{"pairs":[],"scoring":{"mode":"affine","match":1,"mismatch":-1,"gapOpen":-2}}`},
+		{"blosum62 bad gap", `{"pairs":[],"scoring":{"mode":"blosum62","gap":0}}`},
+		{"negative x", `{"pairs":[],"x":-5}`},
+		{"x over the server cap", `{"pairs":[],"x":2147483647}`},
+		{"score parameter over the bound", `{"pairs":[],"scoring":{"mode":"linear","match":16777216,"mismatch":-1,"gap":-1}}`},
+	} {
+		resp, data := postAlign(t, srv.URL, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (want 400): %s", tc.name, resp.StatusCode, data)
+		}
+	}
+	// The per-pair score-overflow budget is enforced by the engine's
+	// ingest (shared with library/CLI callers) and surfaces as 422.
+	overflow := fmt.Sprintf(`{"pairs":[{"query":%q,"target":%q,"seedLen":4}],"scoring":{"mode":"linear","match":1048576,"mismatch":-1,"gap":-1}}`,
+		strings.Repeat("ACGT", 1024), strings.Repeat("ACGT", 1024))
+	resp, data := postAlign(t, srv.URL, overflow)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("score overflow budget: status %d (want 422): %s", resp.StatusCode, data)
+	}
+}
+
+// TestServeGPURejectsNonLinear: a pure-GPU server answers affine and
+// matrix requests with 422 — the documented backend restriction.
+func TestServeGPURejectsNonLinear(t *testing.T) {
+	eng, err := logan.NewAligner(logan.EngineOptions{Backend: logan.GPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := defaultServeConfig()
+	cfg.defCfg = logan.DefaultConfig(50)
+	cfg.maxWait = time.Millisecond
+	s := newServer(eng, cfg)
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() { s.Close(); srv.Close(); eng.Close() })
+
+	body := `{"pairs":[{"query":"ACGTACGT","target":"ACGTACGT","seedLen":4}],"scoring":{"mode":"affine","match":1,"mismatch":-1,"gapOpen":-2,"gapExtend":-1}}`
+	resp, data := postAlign(t, srv.URL, body)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("affine on GPU: status %d (want 422): %s", resp.StatusCode, data)
+	}
+	// Linear traffic on the same server still works.
+	resp, data = postAlign(t, srv.URL, `{"pairs":[{"query":"ACGTACGT","target":"ACGTACGT","seedLen":4}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("linear on GPU after 422: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestServeMixedConfigCoalescing drives concurrent mixed-config traffic
+// through the HTTP layer: every response must be correct and the
+// coalescer must still merge (mergedBatches < requests).
+func TestServeMixedConfigCoalescing(t *testing.T) {
+	cfg := defaultServeConfig()
+	cfg.defCfg = logan.DefaultConfig(50)
+	cfg.maxWait = 20 * time.Millisecond
+	srv, s, _ := testServerCfg(t, cfg)
+
+	bodies := []struct {
+		body string
+		want int32
+	}{
+		{`{"pairs":[{"query":"AAAAAAAACCCCAAAAAAAA","target":"AAAAAAAAGGGGAAAAAAAA","seedQ":0,"seedT":0,"seedLen":8}]}`, 12},
+		{`{"pairs":[{"query":"AAAAAAAACCCCAAAAAAAA","target":"AAAAAAAAGGGGAAAAAAAA","seedQ":0,"seedT":0,"seedLen":8}],"x":2}`, 8},
+		{`{"pairs":[{"query":"AAAAAAAACCCCAAAAAAAA","target":"AAAAAAAAGGGGAAAAAAAA","seedQ":0,"seedT":0,"seedLen":8}],"scoring":{"mode":"affine","match":1,"mismatch":-1,"gapOpen":-2,"gapExtend":-1}}`, 12},
+		{`{"pairs":[{"query":"ACGTACGTACGTACGT","target":"ACGTACGTACGTACGT","seedQ":0,"seedT":0,"seedLen":8}],"scoring":{"mode":"blosum62","gap":-6}}`, 96},
+	}
+	const perBody = 8
+	var wg sync.WaitGroup
+	for i := range bodies {
+		for j := 0; j < perBody; j++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, data := postAlign(t, srv.URL, bodies[i].body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("body %d: status %d: %s", i, resp.StatusCode, data)
+					return
+				}
+				var out alignResponse
+				if err := json.Unmarshal(data, &out); err != nil {
+					t.Error(err)
+					return
+				}
+				if out.Alignments[0].Score != bodies[i].want {
+					t.Errorf("body %d: score %d, want %d", i, out.Alignments[0].Score, bodies[i].want)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+
+	m := s.coal.Metrics()
+	total := int64(len(bodies) * perBody)
+	if m.MergedRequests != total {
+		t.Fatalf("metrics %+v: want %d merged requests", m, total)
+	}
+	if m.MergedBatches == 0 || m.MergedBatches >= total {
+		t.Fatalf("mixed-config HTTP traffic did not merge: %d batches / %d requests", m.MergedBatches, total)
 	}
 }

@@ -16,9 +16,30 @@ import (
 	"logan"
 )
 
-// alignRequest is the POST /align payload: a batch of seeded pairs.
+// alignRequest is the POST /align payload: a batch of seeded pairs plus
+// optional request-scoped alignment parameters. Omitted fields fall back
+// to the server's defaults (the -x flag and linear +1/-1/-1), so v1
+// clients keep working unchanged.
 type alignRequest struct {
 	Pairs []pairJSON `json:"pairs"`
+	// X overrides the server's default X-drop threshold for this request.
+	X *int32 `json:"x"`
+	// Scoring overrides the server's default scheme for this request.
+	Scoring *scoringJSON `json:"scoring"`
+}
+
+// scoringJSON selects a scoring scheme per request. Mode is "linear"
+// (default; match/mismatch/gap required), "affine" (match/mismatch/
+// gapOpen/gapExtend) or "blosum62" (gap). Invalid schemes are rejected
+// with 400 before any pair is queued; affine and blosum62 requests on a
+// pure-GPU server fail with 422 (the kernel is linear-DNA only).
+type scoringJSON struct {
+	Mode      string `json:"mode"`
+	Match     int32  `json:"match"`
+	Mismatch  int32  `json:"mismatch"`
+	Gap       int32  `json:"gap"`
+	GapOpen   int32  `json:"gapOpen"`
+	GapExtend int32  `json:"gapExtend"`
 }
 
 type pairJSON struct {
@@ -27,6 +48,54 @@ type pairJSON struct {
 	SeedQ   int    `json:"seedQ"`
 	SeedT   int    `json:"seedT"`
 	SeedLen int    `json:"seedLen"`
+}
+
+// scoreParamLimit is a sanity bound on the magnitude of client-supplied
+// score parameters; any real scheme is orders of magnitude below it. The
+// int32 score-overflow invariant itself (parameter magnitude times pair
+// length below MaxInt32) is enforced per pair by the engine's ingest,
+// shared by every entry point, and surfaces here as 422.
+const scoreParamLimit = 1 << 20
+
+// requestConfig resolves a request's alignment configuration: the
+// server's defaults overridden by the request's optional "x" and
+// "scoring" fields, validated and bounded before admission. X is
+// attacker-controlled work amplification — X-drop pruning is what keeps
+// per-pair cost at O(band*length) instead of O(n*m) — so it is capped at
+// -max-x just like body size and batch size are capped.
+func (s *server) requestConfig(req *alignRequest) (logan.Config, error) {
+	cfg := s.defCfg
+	if req.X != nil {
+		if *req.X > s.maxX {
+			return logan.Config{}, fmt.Errorf("x %d exceeds the server's %d limit", *req.X, s.maxX)
+		}
+		cfg.X = *req.X
+	}
+	if req.Scoring != nil {
+		sc := req.Scoring
+		for _, v := range []int32{sc.Match, sc.Mismatch, sc.Gap, sc.GapOpen, sc.GapExtend} {
+			if v > scoreParamLimit || v < -scoreParamLimit {
+				return logan.Config{}, fmt.Errorf("score parameter %d outside [%d, %d]", v, -scoreParamLimit, scoreParamLimit)
+			}
+		}
+		switch sc.Mode {
+		case "", "linear":
+			cfg.Scoring = logan.LinearScoring(sc.Match, sc.Mismatch, sc.Gap)
+		case "affine":
+			cfg.Scoring = logan.AffineScoring(sc.Match, sc.Mismatch, sc.GapOpen, sc.GapExtend)
+		case "blosum62":
+			if sc.Gap >= 0 {
+				return logan.Config{}, fmt.Errorf("blosum62 gap penalty %d must be negative", sc.Gap)
+			}
+			cfg.Scoring = logan.MatrixScoring(logan.Blosum62(sc.Gap))
+		default:
+			return logan.Config{}, fmt.Errorf("unknown scoring mode %q (want linear, affine or blosum62)", sc.Mode)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return logan.Config{}, err
+	}
+	return cfg, nil
 }
 
 // alignResponse mirrors logan.Align's results and stats.
@@ -118,6 +187,13 @@ type serveConfig struct {
 	// maxPairs bounds one request's batch; bodyLimit bounds its wire size.
 	maxPairs  int
 	bodyLimit int64
+	// defCfg is the default alignment configuration applied to requests
+	// that omit "x"/"scoring"; the zero value selects DefaultConfig(100).
+	defCfg logan.Config
+	// maxX caps the per-request "x" field (0 selects 10000): X scales
+	// the DP band, so an unbounded client value would amplify per-pair
+	// work to full quadratic DP.
+	maxX int32
 	// coalesce enables the cross-request batching layer; maxWait,
 	// coalescePairs and maxPending map onto logan.CoalescerOptions
 	// (zero values select that type's defaults).
@@ -131,6 +207,8 @@ func defaultServeConfig() serveConfig {
 	return serveConfig{
 		maxPairs:  100_000,
 		bodyLimit: 256 << 20,
+		defCfg:    logan.DefaultConfig(100),
+		maxX:      10_000,
 		coalesce:  true,
 	}
 }
@@ -146,6 +224,8 @@ type server struct {
 	coal       *logan.Coalescer // nil when coalescing is disabled
 	mux        *http.ServeMux
 	totals     serverTotals
+	defCfg     logan.Config
+	maxX       int32
 	maxPairs   int
 	bodyLimit  int64
 	retryAfter string // Retry-After seconds advertised on 429
@@ -162,7 +242,13 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 	if cfg.bodyLimit <= 0 {
 		cfg.bodyLimit = def.bodyLimit
 	}
-	s := &server{eng: eng, maxPairs: cfg.maxPairs, bodyLimit: cfg.bodyLimit}
+	if cfg.defCfg == (logan.Config{}) {
+		cfg.defCfg = def.defCfg
+	}
+	if cfg.maxX <= 0 {
+		cfg.maxX = def.maxX
+	}
+	s := &server{eng: eng, defCfg: cfg.defCfg, maxX: cfg.maxX, maxPairs: cfg.maxPairs, bodyLimit: cfg.bodyLimit}
 	if cfg.coalesce {
 		s.coal = eng.NewCoalescer(logan.CoalescerOptions{
 			MaxBatchPairs: cfg.coalescePairs,
@@ -225,6 +311,13 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 			"batch of %d pairs exceeds the %d-pair limit", len(req.Pairs), s.maxPairs)
 		return
 	}
+	cfg, err := s.requestConfig(&req)
+	if err != nil {
+		// Invalid schemes are a client error, rejected before any pair
+		// queues — a malformed configuration never reaches the engine.
+		s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
 	pairs := make([]logan.Pair, len(req.Pairs))
 	for i, p := range req.Pairs {
 		pairs[i] = logan.Pair{
@@ -237,12 +330,11 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	var (
 		out []logan.Alignment
 		st  logan.Stats
-		err error
 	)
 	if s.coal != nil {
-		out, st, err = s.coal.AlignContext(r.Context(), pairs)
+		out, st, err = s.coal.Align(r.Context(), pairs, cfg)
 	} else {
-		out, st, err = s.eng.Align(pairs)
+		out, st, err = s.eng.Align(r.Context(), pairs, cfg)
 	}
 	if err != nil {
 		switch {
@@ -252,6 +344,10 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 			s.totals.Shed.Add(1)
 			w.Header().Set("Retry-After", s.retryAfter)
 			s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
+		case errors.Is(err, logan.ErrUnsupportedConfig):
+			// Well-formed scheme this server's backend cannot execute
+			// (affine/matrix on a pure-GPU engine).
+			s.fail(w, http.StatusUnprocessableEntity, "align: %v", err)
 		case errors.Is(err, logan.ErrClosed):
 			s.fail(w, http.StatusServiceUnavailable, "align: %v", err)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -332,6 +428,7 @@ type coalescerStatzJSON struct {
 	WaitNS          int64 `json:"waitNs"`
 	QueuedRequests  int   `json:"queuedRequests"`
 	QueuedPairs     int   `json:"queuedPairs"`
+	QueuedConfigs   int   `json:"queuedConfigs"`
 }
 
 func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
@@ -360,6 +457,7 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 			WaitNS:          m.WaitNS,
 			QueuedRequests:  m.QueuedRequests,
 			QueuedPairs:     m.QueuedPairs,
+			QueuedConfigs:   m.QueuedConfigs,
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -22,10 +22,11 @@ var ErrOverloaded = errors.New("logan: coalescer overloaded: pending pair budget
 // documented on each field.
 type CoalescerOptions struct {
 	// MaxBatchPairs is the merged-batch target: the flusher submits as
-	// soon as at least this many pairs are queued, taking whole requests
-	// until the target is reached (a merged batch can exceed it by at most
-	// one request). Requests carrying MaxBatchPairs or more pairs bypass
-	// the queue entirely — they are already engine-sized. Default 4096.
+	// soon as at least this many pairs of one configuration are queued,
+	// taking whole requests until the target is reached (a merged batch
+	// can exceed it by at most one request). Requests carrying
+	// MaxBatchPairs or more pairs bypass the queue entirely — they are
+	// already engine-sized. Default 4096.
 	MaxBatchPairs int
 
 	// MaxWait bounds the queueing latency: a merged batch is flushed no
@@ -34,9 +35,10 @@ type CoalescerOptions struct {
 	// and therefore throughput. Default 2ms.
 	MaxWait time.Duration
 
-	// MaxPending is the admission budget in pairs: a request whose pairs
-	// would push the queued total beyond it is rejected with ErrOverloaded
-	// instead of queueing unboundedly. Default 4*MaxBatchPairs.
+	// MaxPending is the admission budget in pairs, summed across every
+	// configuration's queue: a request whose pairs would push the queued
+	// total beyond it is rejected with ErrOverloaded instead of queueing
+	// unboundedly. Default 4*MaxBatchPairs.
 	MaxPending int
 
 	// OnFlush, when non-nil, observes every engine batch the Coalescer
@@ -58,17 +60,23 @@ type CoalescerOptions struct {
 // waited MaxWait (deadline-bounded flush), then scatters the results and
 // per-request stats back to each caller in submission order.
 //
+// Requests are request-scoped: every Align carries its own Config, and
+// the accumulator groups pending requests by configuration key (X plus
+// scheme; matrix configs compare by matrix identity). Only same-config
+// requests merge into one engine batch — batch composition therefore
+// never changes per-pair parameters, and results stay bit-identical to a
+// dedicated engine per configuration. Mixed-config traffic still
+// coalesces: each configuration's stream merges within its own group.
+//
 // The tradeoff is explicit: each request may wait up to MaxWait for the
 // batch to fill, buying aggregate throughput (one partition/staging round
 // and one backend dispatch for the whole batch) at the cost of bounded
-// per-request latency. Scores are bit-identical to per-request execution —
-// every pair is aligned independently, so batch composition never changes
-// results.
+// per-request latency.
 //
 // Admission control bounds the queue: when MaxPending pairs are already
-// waiting, further requests fail fast with ErrOverloaded instead of
-// growing the queue unboundedly (shed load is visible to callers, queued
-// load is not).
+// waiting (across all configurations), further requests fail fast with
+// ErrOverloaded instead of growing the queue unboundedly (shed load is
+// visible to callers, queued load is not).
 //
 // A Coalescer is safe for concurrent use. Close flushes the remaining
 // queue and stops the flusher; it does not close the underlying Aligner.
@@ -77,8 +85,9 @@ type Coalescer struct {
 	opt CoalescerOptions
 
 	mu      sync.Mutex
-	queue   []*coalesceWaiter
-	pending int // pairs queued, admission-controlled by MaxPending
+	groups  map[configKey]*coalesceGroup
+	order   []*coalesceGroup // non-empty groups, in order of first enqueue
+	pending int              // pairs queued across all groups (MaxPending budget)
 	closed  bool
 
 	kick chan struct{} // nudges the flusher after an enqueue
@@ -87,20 +96,30 @@ type Coalescer struct {
 
 	m coalescerCounters
 
-	// flusher-goroutine scratch: the merged input batch. Only the flusher
-	// touches it. (Results are not pooled: each flush allocates one
-	// exact-size slice whose subranges are handed to the waiters, so the
-	// scatter is copy-free.)
-	mergeBuf []Pair
+	// flusher-goroutine scratch: the merged input batch (pairs already
+	// converted at admission). Only the flusher touches it. (Results are
+	// not pooled: each flush allocates one exact-size slice whose
+	// subranges are handed to the waiters, so the scatter is copy-free.)
+	mergeBuf []seq.Pair
 }
 
-// coalesceWaiter is one queued request: its pairs, enqueue time, and the
-// buffered channel its result is delivered on (buffered so the flusher
-// never blocks on an abandoned caller).
+// coalesceGroup is the pending queue of one configuration: its waiters in
+// FIFO order and their pair count. Groups exist only while non-empty.
+type coalesceGroup struct {
+	key     configKey
+	cfg     Config
+	waiters []*coalesceWaiter
+	pending int
+}
+
+// coalesceWaiter is one queued request: its pairs — validated and
+// converted at admission, so the flush never re-scans them — the enqueue
+// time, and the buffered channel its result is delivered on (buffered so
+// the flusher never blocks on an abandoned caller).
 type coalesceWaiter struct {
-	pairs []Pair
-	enq   time.Time
-	ch    chan coalesceResult
+	in  []seq.Pair
+	enq time.Time
+	ch  chan coalesceResult
 }
 
 type coalesceResult struct {
@@ -149,8 +168,10 @@ type CoalescerMetrics struct {
 	// WaitNS/Enqueued approximates the mean coalescing latency.
 	WaitNS int64
 
-	// QueuedRequests and QueuedPairs are current-depth gauges.
-	QueuedRequests, QueuedPairs int
+	// QueuedRequests and QueuedPairs are current-depth gauges;
+	// QueuedConfigs counts the distinct configurations currently queued
+	// (each flushes as its own merged batch).
+	QueuedRequests, QueuedPairs, QueuedConfigs int
 }
 
 // NewCoalescer starts a coalescing layer over the engine. Zero fields of
@@ -167,10 +188,11 @@ func (a *Aligner) NewCoalescer(opt CoalescerOptions) *Coalescer {
 		opt.MaxPending = 4 * opt.MaxBatchPairs
 	}
 	c := &Coalescer{
-		eng:  a,
-		opt:  opt,
-		kick: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		eng:    a,
+		opt:    opt,
+		groups: make(map[configKey]*coalesceGroup),
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.run()
@@ -181,16 +203,11 @@ func (a *Aligner) NewCoalescer(opt CoalescerOptions) *Coalescer {
 // replaced by their defaults).
 func (c *Coalescer) Options() CoalescerOptions { return c.opt }
 
-// Align submits pairs and blocks until their merged batch has run,
-// returning exactly this request's alignments in input order. It is
-// AlignContext with a background context.
-func (c *Coalescer) Align(pairs []Pair) ([]Alignment, Stats, error) {
-	return c.AlignContext(context.Background(), pairs)
-}
-
-// AlignContext submits pairs and blocks until their merged batch has run
-// or ctx is done. Results are positionally aligned with pairs and
-// bit-identical to a direct Aligner.Align of the same pairs.
+// Align submits pairs under cfg and blocks until their merged batch has
+// run or ctx is done. Results are positionally aligned with pairs and
+// bit-identical to a direct Aligner.Align of the same pairs under the
+// same cfg; only requests with an equal configuration (same X, same
+// scheme — matrices by identity) share a merged batch.
 //
 // The returned Stats describe this request's share of the merged batch:
 // Pairs and Cells are the request's own, while WallTime and DeviceTime
@@ -198,13 +215,36 @@ func (c *Coalescer) Align(pairs []Pair) ([]Alignment, Stats, error) {
 // were not separately timed). Stats.PerBackend is batch-scoped and
 // therefore omitted here; observe it via CoalescerOptions.OnFlush.
 //
-// Error contract: pairs are validated at admission, so an invalid pair
-// fails only its own request and never the batch it would have merged
-// into. ErrOverloaded reports admission-control shedding (retry later),
-// ErrClosed reports a closed Coalescer or engine. A ctx error abandons
-// the wait, not the work: the pairs still run with their batch, and the
-// result is discarded.
-func (c *Coalescer) AlignContext(ctx context.Context, pairs []Pair) ([]Alignment, Stats, error) {
+// Error contract: cfg and pairs are validated at admission, so an invalid
+// configuration or pair fails only its own request and never the batch it
+// would have merged into. ErrOverloaded reports admission-control
+// shedding (retry later), ErrClosed reports a closed Coalescer or engine,
+// ErrUnsupportedConfig a scheme the engine's backend cannot run. A ctx
+// error on a queued request removes it from the queue and returns the
+// ctx error — its buffers are free for reuse the moment Align returns,
+// preserving Pair's zero-copy aliasing contract. If the request's merged
+// batch is already executing when ctx fires, Align instead waits for
+// that batch (bounded by one engine batch) and returns its result.
+// Engine-sized requests that bypass the queue run alone, so there ctx is
+// forwarded into the engine and cancellation aborts the work itself.
+func (c *Coalescer) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alignment, Stats, error) {
+	// Validate cfg before the empty-batch fast path, mirroring
+	// Aligner.Align: an invalid configuration fails even with no pairs.
+	if err := cfg.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if ctx == nil {
+		// Tolerate nil like every other entry point: the queued path
+		// selects on ctx.Done(), which would panic on a nil interface.
+		ctx = context.Background()
+	}
+	// Shed configs the engine's backend cannot run at admission: letting
+	// them queue would burn MaxPending budget and a flush cycle only to
+	// fan the same error out at execute time (and starve valid traffic
+	// into 429s under sustained unsupported spam).
+	if !c.eng.Supports(cfg) {
+		return nil, Stats{}, ErrUnsupportedConfig
+	}
 	if len(pairs) == 0 {
 		return []Alignment{}, Stats{}, nil
 	}
@@ -216,17 +256,18 @@ func (c *Coalescer) AlignContext(ctx context.Context, pairs []Pair) ([]Alignment
 			return nil, Stats{}, ErrClosed
 		}
 		c.m.direct.Add(1)
-		out, st, err := c.eng.Align(pairs)
+		out, st, err := c.eng.Align(ctx, pairs, cfg)
 		if err == nil && c.opt.OnFlush != nil {
 			c.opt.OnFlush(st, 1)
 		}
 		return out, st, err
 	}
-	if err := validatePairs(pairs); err != nil {
+	in, err := preparePairs(pairs, cfg)
+	if err != nil {
 		return nil, Stats{}, err
 	}
 
-	w := &coalesceWaiter{pairs: pairs, ch: make(chan coalesceResult, 1)}
+	w := &coalesceWaiter{in: in, ch: make(chan coalesceResult, 1)}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -238,7 +279,15 @@ func (c *Coalescer) AlignContext(ctx context.Context, pairs []Pair) ([]Alignment
 		return nil, Stats{}, ErrOverloaded
 	}
 	w.enq = time.Now()
-	c.queue = append(c.queue, w)
+	key := cfg.key()
+	g := c.groups[key]
+	if g == nil {
+		g = &coalesceGroup{key: key, cfg: cfg}
+		c.groups[key] = g
+		c.order = append(c.order, g)
+	}
+	g.waiters = append(g.waiters, w)
+	g.pending += len(pairs)
 	c.pending += len(pairs)
 	c.mu.Unlock()
 	c.m.enqueued.Add(1)
@@ -254,14 +303,55 @@ func (c *Coalescer) AlignContext(ctx context.Context, pairs []Pair) ([]Alignment
 	case r := <-w.ch:
 		return r.out, r.st, r.err
 	case <-ctx.Done():
-		return nil, Stats{}, ctx.Err()
+		if c.abandon(key, w) {
+			// Still queued: removed before any flush touched it, so the
+			// caller may reuse its buffers immediately (the zero-copy
+			// aliasing contract of Pair).
+			return nil, Stats{}, ctx.Err()
+		}
+		// The flusher already took the request: its merged batch is
+		// reading the caller's buffers right now, so honor the aliasing
+		// contract by waiting out that batch (bounded by one engine
+		// batch) and return its result.
+		r := <-w.ch
+		return r.out, r.st, r.err
 	}
+}
+
+// abandon removes a still-queued waiter after its caller's context fired,
+// releasing its buffers and budget. It reports false when the flusher has
+// already taken the waiter (its batch is executing).
+func (c *Coalescer) abandon(key configKey, w *coalesceWaiter) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[key]
+	if g == nil {
+		return false
+	}
+	for i, cand := range g.waiters {
+		if cand == w {
+			copy(g.waiters[i:], g.waiters[i+1:])
+			g.waiters[len(g.waiters)-1] = nil
+			g.waiters = g.waiters[:len(g.waiters)-1]
+			g.pending -= len(w.in)
+			c.pending -= len(w.in)
+			if len(g.waiters) == 0 {
+				c.dropGroupLocked(g)
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // Metrics snapshots the Coalescer's counters and queue gauges.
 func (c *Coalescer) Metrics() CoalescerMetrics {
 	c.mu.Lock()
-	qr, qp := len(c.queue), c.pending
+	qr := 0
+	for _, g := range c.order {
+		qr += len(g.waiters)
+	}
+	qp, qc := c.pending, len(c.order)
 	c.mu.Unlock()
 	return CoalescerMetrics{
 		Enqueued:        c.m.enqueued.Load(),
@@ -277,6 +367,7 @@ func (c *Coalescer) Metrics() CoalescerMetrics {
 		WaitNS:          c.m.waitNS.Load(),
 		QueuedRequests:  qr,
 		QueuedPairs:     qp,
+		QueuedConfigs:   qc,
 	}
 }
 
@@ -312,7 +403,7 @@ const (
 
 // run is the flusher goroutine: it sleeps until kicked by an enqueue, the
 // oldest request's deadline fires, or Close drains it; on every wake it
-// submits merged batches while the queue is flushable and re-arms the
+// submits merged batches while some group is flushable and re-arms the
 // deadline timer for whatever remains.
 func (c *Coalescer) run() {
 	defer c.wg.Done()
@@ -327,17 +418,17 @@ func (c *Coalescer) run() {
 		case <-timer.C:
 		case <-c.done:
 			for {
-				ws, npairs, reason, ok := c.take(true)
+				cfg, ws, npairs, reason, ok := c.take(true)
 				if !ok {
 					return
 				}
-				c.execute(ws, npairs, reason)
+				c.execute(cfg, ws, npairs, reason)
 			}
 		}
 		for {
-			ws, npairs, reason, ok := c.take(false)
+			cfg, ws, npairs, reason, ok := c.take(false)
 			if ok {
-				c.execute(ws, npairs, reason)
+				c.execute(cfg, ws, npairs, reason)
 				continue
 			}
 			if delay := c.nextDeadline(); delay > 0 {
@@ -351,62 +442,113 @@ func (c *Coalescer) run() {
 	}
 }
 
-// take pops the next merged batch under the lock: whole requests in FIFO
-// order until MaxBatchPairs is covered. Without force it only pops when a
-// flush trigger holds — the size target is reached or the oldest request
-// has waited MaxWait.
-func (c *Coalescer) take(force bool) ([]*coalesceWaiter, int, flushReason, bool) {
+// oldestLocked returns the group holding the globally oldest queued
+// request. Callers hold c.mu; the order slice is non-empty.
+func (c *Coalescer) oldestLocked() *coalesceGroup {
+	oldest := c.order[0]
+	for _, g := range c.order[1:] {
+		if g.waiters[0].enq.Before(oldest.waiters[0].enq) {
+			oldest = g
+		}
+	}
+	return oldest
+}
+
+// dropGroupLocked removes an emptied group from the map and order slice.
+func (c *Coalescer) dropGroupLocked(g *coalesceGroup) {
+	delete(c.groups, g.key)
+	for i, cand := range c.order {
+		if cand == g {
+			copy(c.order[i:], c.order[i+1:])
+			// Clear the vacated tail slot so the order array does not pin
+			// the dropped group (and its config/matrix) until overwritten.
+			c.order[len(c.order)-1] = nil
+			c.order = c.order[:len(c.order)-1]
+			break
+		}
+	}
+}
+
+// take pops the next merged batch under the lock: whole requests of ONE
+// configuration group in FIFO order until MaxBatchPairs is covered.
+// Without force it only pops when a flush trigger holds — some group
+// reached the size target, or the globally oldest request has waited
+// MaxWait (that request's group flushes).
+func (c *Coalescer) take(force bool) (Config, []*coalesceWaiter, int, flushReason, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.queue) == 0 {
-		return nil, 0, 0, false
+	if len(c.order) == 0 {
+		return Config{}, nil, 0, 0, false
 	}
 	now := time.Now()
 	reason := flushDrain
-	if !force {
-		switch {
-		case c.pending >= c.opt.MaxBatchPairs:
-			reason = flushSize
-		case now.Sub(c.queue[0].enq) >= c.opt.MaxWait:
-			reason = flushDeadline
-		default:
-			return nil, 0, 0, false
+	var g *coalesceGroup
+	if force {
+		g = c.oldestLocked()
+	} else {
+		// The deadline trigger is checked first: the MaxWait bound is a
+		// per-request guarantee, and a config group saturating the size
+		// target must not starve another group's overdue request (the
+		// take loop flushes the size-ready group right after anyway).
+		if oldest := c.oldestLocked(); now.Sub(oldest.waiters[0].enq) >= c.opt.MaxWait {
+			g, reason = oldest, flushDeadline
+			if g.pending >= c.opt.MaxBatchPairs {
+				reason = flushSize
+			}
+		}
+		if g == nil {
+			for _, cand := range c.order {
+				if cand.pending >= c.opt.MaxBatchPairs {
+					g, reason = cand, flushSize
+					break
+				}
+			}
+		}
+		if g == nil {
+			return Config{}, nil, 0, 0, false
 		}
 	}
 	n, npairs := 0, 0
-	for n < len(c.queue) && npairs < c.opt.MaxBatchPairs {
-		npairs += len(c.queue[n].pairs)
+	for n < len(g.waiters) && npairs < c.opt.MaxBatchPairs {
+		npairs += len(g.waiters[n].in)
 		n++
 	}
 	ws := make([]*coalesceWaiter, n)
-	copy(ws, c.queue)
-	rest := copy(c.queue, c.queue[n:])
-	clear(c.queue[rest:]) // drop waiter refs so the queue array doesn't pin them
-	c.queue = c.queue[:rest]
+	copy(ws, g.waiters)
+	rest := copy(g.waiters, g.waiters[n:])
+	clear(g.waiters[rest:]) // drop waiter refs so the group array doesn't pin them
+	g.waiters = g.waiters[:rest]
+	g.pending -= npairs
 	c.pending -= npairs
+	if len(g.waiters) == 0 {
+		c.dropGroupLocked(g)
+	}
 
 	var wait int64
 	for _, w := range ws {
 		wait += now.Sub(w.enq).Nanoseconds()
 	}
 	c.m.waitNS.Add(wait)
-	return ws, npairs, reason, true
+	return g.cfg, ws, npairs, reason, true
 }
 
-// execute runs one merged batch on the engine and scatters the results
-// back to each waiting request in submission order. Engine errors at this
-// point are systemic (e.g. ErrClosed) — per-pair problems were rejected at
-// admission — so they fan out to every request in the batch.
-func (c *Coalescer) execute(ws []*coalesceWaiter, npairs int, reason flushReason) {
+// execute runs one merged same-config batch on the engine and scatters
+// the results back to each waiting request in submission order. Engine
+// errors at this point are systemic (e.g. ErrClosed) — per-pair and
+// per-config problems were rejected at admission — so they fan out to
+// every request in the batch.
+func (c *Coalescer) execute(cfg Config, ws []*coalesceWaiter, npairs int, reason flushReason) {
 	merged := c.mergeBuf[:0]
 	for _, w := range ws {
-		merged = append(merged, w.pairs...)
+		merged = append(merged, w.in...)
 	}
-	// One exact-size result allocation per flush: AlignInto fills it, and
-	// the scatter below hands each waiter its capped subrange instead of
-	// copying. The array is shared but the ranges are disjoint, and the
-	// Coalescer never touches it again after the scatter.
-	out, st, err := c.eng.AlignInto(make([]Alignment, 0, npairs), merged)
+	// One exact-size result allocation per flush: alignPrepared fills it,
+	// and the scatter below hands each waiter its capped subrange instead
+	// of copying. The array is shared but the ranges are disjoint, and the
+	// Coalescer never touches it again after the scatter. The pairs were
+	// validated and converted at admission, so the engine runs them
+	// without a second ingest pass.
+	out, st, err := c.eng.alignPrepared(context.Background(), make([]Alignment, 0, npairs), merged, cfg)
 	clear(merged) // drop sequence refs so the scratch doesn't pin callers
 	c.mergeBuf = merged[:0]
 
@@ -432,7 +574,7 @@ func (c *Coalescer) execute(ws []*coalesceWaiter, npairs int, reason flushReason
 	}
 	off := 0
 	for _, w := range ws {
-		n := len(w.pairs)
+		n := len(w.in)
 		if err != nil {
 			w.ch <- coalesceResult{err: err}
 			continue
@@ -452,40 +594,41 @@ func (c *Coalescer) execute(ws []*coalesceWaiter, npairs int, reason flushReason
 	}
 }
 
-// nextDeadline returns how long until the oldest queued request's MaxWait
-// deadline, or 0 when the queue is empty.
+// nextDeadline returns how long until the globally oldest queued request's
+// MaxWait deadline, or 0 when the queue is empty.
 func (c *Coalescer) nextDeadline() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.queue) == 0 {
+	if len(c.order) == 0 {
 		return 0
 	}
-	return max(c.opt.MaxWait-time.Since(c.queue[0].enq), time.Nanosecond)
+	oldest := c.oldestLocked()
+	return max(c.opt.MaxWait-time.Since(oldest.waiters[0].enq), time.Nanosecond)
 }
 
-// validatePairs applies the engine's per-pair checks (sequence alphabet,
-// seed bounds) before a request may merge with others, so one bad pair
-// fails its own request instead of the whole merged batch. The messages
-// mirror Aligner.Align's, with request-relative pair indices.
-func validatePairs(pairs []Pair) error {
+// preparePairs applies the engine's per-pair checks (sequence alphabet
+// under the config's scheme, seed bounds) and conversion before a request
+// may merge with others, so one bad pair fails its own request instead of
+// the whole merged batch — and the flush reuses the converted pairs
+// instead of re-ingesting every byte. The messages mirror Aligner.Align's,
+// with request-relative pair indices.
+func preparePairs(pairs []Pair, cfg Config) ([]seq.Pair, error) {
+	in := make([]seq.Pair, len(pairs))
 	for i := range pairs {
 		p := &pairs[i]
-		q, err := seq.FromBytes(p.Query)
+		sp, err := cfg.ingestPair(p, i)
 		if err != nil {
-			return fmt.Errorf("logan: pair %d query: %w", i, err)
-		}
-		t, err := seq.FromBytes(p.Target)
-		if err != nil {
-			return fmt.Errorf("logan: pair %d target: %w", i, err)
+			return nil, err
 		}
 		// Overflow-safe bounds: SeedQ+SeedLen can wrap for adversarial
 		// inputs, and a pair that slips through here would panic in the
 		// flusher goroutine, not the caller's.
 		if p.SeedQ < 0 || p.SeedT < 0 || p.SeedLen <= 0 ||
-			p.SeedQ > len(q)-p.SeedLen || p.SeedT > len(t)-p.SeedLen {
-			return fmt.Errorf("logan: pair %d: seed (%d,%d,len %d) outside sequences (%d, %d)",
-				i, p.SeedQ, p.SeedT, p.SeedLen, len(q), len(t))
+			p.SeedQ > len(sp.Query)-p.SeedLen || p.SeedT > len(sp.Target)-p.SeedLen {
+			return nil, fmt.Errorf("logan: pair %d: seed (%d,%d,len %d) outside sequences (%d, %d)",
+				i, p.SeedQ, p.SeedT, p.SeedLen, len(sp.Query), len(sp.Target))
 		}
+		in[i] = sp
 	}
-	return nil
+	return in, nil
 }

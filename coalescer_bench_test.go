@@ -1,6 +1,7 @@
 package logan
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -16,10 +17,8 @@ import (
 // its own partition, staging and shard dispatch, which a 16-pair batch
 // cannot amortize.
 func benchCoalescer(b *testing.B, coalesce bool) {
-	opt := DefaultOptions(50)
-	opt.Backend = Hybrid
-	opt.GPUs = 2
-	eng, err := NewAligner(opt)
+	cfg := DefaultConfig(50)
+	eng, err := NewAligner(EngineOptions{Backend: Hybrid, GPUs: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -54,7 +53,7 @@ func benchCoalescer(b *testing.B, coalesce bool) {
 	}
 	warm = warm[:512]
 	for i := 0; i < 8; i++ {
-		if _, _, err := eng.Align(warm); err != nil {
+		if _, _, err := eng.Align(context.Background(), warm, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,9 +64,9 @@ func benchCoalescer(b *testing.B, coalesce bool) {
 		for pb.Next() {
 			var err error
 			if coalesce {
-				_, _, err = coal.Align(pairs)
+				_, _, err = coal.Align(context.Background(), pairs, cfg)
 			} else {
-				_, _, err = eng.Align(pairs)
+				_, _, err = eng.Align(context.Background(), pairs, cfg)
 			}
 			if err != nil {
 				b.Error(err)

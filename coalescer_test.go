@@ -13,6 +13,9 @@ import (
 	"logan/internal/seq"
 )
 
+// cfgT is the default per-request configuration of the coalescer tests.
+var cfgT = DefaultConfig(50)
+
 // makePairsSeed is makePairs with a caller-chosen seed, so concurrent
 // clients in the coalescer tests carry distinct workloads.
 func makePairsSeed(n int, seed int64) []Pair {
@@ -38,11 +41,11 @@ func makePairsSeed(n int, seed int64) []Pair {
 func TestCoalescerBitIdentical(t *testing.T) {
 	for _, bk := range []struct {
 		name string
-		opt  Options
+		opt  EngineOptions
 	}{
-		{"CPU", DefaultOptions(50)},
-		{"GPU", func() Options { o := DefaultOptions(50); o.Backend = GPU; o.GPUs = 2; return o }()},
-		{"Hybrid", func() Options { o := DefaultOptions(50); o.Backend = Hybrid; o.GPUs = 2; return o }()},
+		{"CPU", EngineOptions{}},
+		{"GPU", EngineOptions{Backend: GPU, GPUs: 2}},
+		{"Hybrid", EngineOptions{Backend: Hybrid, GPUs: 2}},
 	} {
 		t.Run(bk.name, func(t *testing.T) {
 			eng, err := NewAligner(bk.opt)
@@ -56,7 +59,7 @@ func TestCoalescerBitIdentical(t *testing.T) {
 			want := make([][]Alignment, clients)
 			for c := range inputs {
 				inputs[c] = makePairsSeed(3+c%5, int64(1000+c))
-				w, _, err := eng.Align(inputs[c])
+				w, _, err := eng.Align(ctxb, inputs[c], cfgT)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -75,7 +78,7 @@ func TestCoalescerBitIdentical(t *testing.T) {
 				go func(c int) {
 					defer wg.Done()
 					for round := 0; round < 4; round++ {
-						got, st, err := coal.Align(inputs[c])
+						got, st, err := coal.Align(ctxb, inputs[c], cfgT)
 						if err != nil {
 							errs <- err
 							return
@@ -111,10 +114,102 @@ func TestCoalescerBitIdentical(t *testing.T) {
 			if m.MergedBatches == 0 || m.MergedRequests != clients*4 {
 				t.Fatalf("metrics %+v: want %d requests over >0 merged batches", m, clients*4)
 			}
-			if m.QueuedRequests != 0 || m.QueuedPairs != 0 {
+			if m.QueuedRequests != 0 || m.QueuedPairs != 0 || m.QueuedConfigs != 0 {
 				t.Fatalf("queue not drained: %+v", m)
 			}
 		})
+	}
+}
+
+// TestCoalescerMixedConfigs is the request-scoping acceptance test for
+// the coalescing layer (run with -race in CI): concurrent clients with
+// interleaved linear, per-request-X, affine and BLOSUM62 configurations
+// share one engine and one coalescer, every result must be bit-identical
+// to a dedicated engine running that client's config, and same-config
+// traffic must still merge (mergedBatches < requests).
+func TestCoalescerMixedConfigs(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{Backend: Hybrid, GPUs: 2, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	type client struct {
+		pairs []Pair
+		cfg   Config
+		want  []Alignment
+	}
+	configs := []Config{
+		DefaultConfig(50),
+		DefaultConfig(120), // same scheme, different X: distinct group
+		{X: 50, Scoring: AffineScoring(1, -1, -2, -1)},
+		{X: 40, Scoring: MatrixScoring(Blosum62(-6))},
+	}
+	const clients = 16
+	cl := make([]client, clients)
+	for c := range cl {
+		cfg := configs[c%len(configs)]
+		var pairs []Pair
+		if cfg.Scoring.Mode() == "matrix" {
+			pairs = makeProteinPairs(3+c%3, int64(300+c))
+		} else {
+			pairs = makePairsSeed(3+c%3, int64(300+c))
+		}
+		// Dedicated engine per config: the bit-identity reference.
+		ded, err := NewAligner(eng.Engine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := ded.Align(ctxb, pairs, cfg)
+		ded.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl[c] = client{pairs: pairs, cfg: cfg, want: want}
+	}
+
+	coal := eng.NewCoalescer(CoalescerOptions{
+		MaxBatchPairs: 12, MaxWait: 2 * time.Millisecond,
+		// All clients may be queued at once across four config groups:
+		// give admission control room so nothing sheds.
+		MaxPending: 1 << 20,
+	})
+	defer coal.Close()
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	for c := range cl {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				got, _, err := coal.Align(ctxb, cl[c].pairs, cl[c].cfg)
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				for i := range got {
+					if got[i] != cl[c].want[i] {
+						t.Errorf("client %d pair %d (%s/X=%d): coalesced %+v != dedicated %+v",
+							c, i, cl[c].cfg.Scoring.Mode(), cl[c].cfg.X, got[i], cl[c].want[i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	m := coal.Metrics()
+	if m.MergedRequests != clients*rounds {
+		t.Fatalf("metrics %+v: want %d merged requests", m, clients*rounds)
+	}
+	if m.MergedBatches == 0 || m.MergedBatches >= int64(clients*rounds) {
+		t.Fatalf("mixed-config traffic did not merge: %d batches for %d requests",
+			m.MergedBatches, clients*rounds)
+	}
+	if m.QueuedConfigs != 0 || m.QueuedPairs != 0 {
+		t.Fatalf("queue not drained: %+v", m)
 	}
 }
 
@@ -122,7 +217,7 @@ func TestCoalescerBitIdentical(t *testing.T) {
 // against an 8-pair target must merge into one batch and return long
 // before the (deliberately huge) deadline.
 func TestCoalescerSizeFlush(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(50))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +231,7 @@ func TestCoalescerSizeFlush(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			if _, _, err := coal.Align(makePairsSeed(4, int64(c))); err != nil {
+			if _, _, err := coal.Align(ctxb, makePairsSeed(4, int64(c)), cfgT); err != nil {
 				t.Error(err)
 			}
 		}(c)
@@ -154,10 +249,48 @@ func TestCoalescerSizeFlush(t *testing.T) {
 	}
 }
 
+// TestCoalescerSizeFlushPerConfig: the size trigger counts pairs per
+// configuration group, so two configs at half the target each must not
+// flush on size — only the deadline releases them, in two batches.
+func TestCoalescerSizeFlushPerConfig(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const wait = 50 * time.Millisecond
+	coal := eng.NewCoalescer(CoalescerOptions{MaxBatchPairs: 8, MaxWait: wait})
+	defer coal.Close()
+
+	other := DefaultConfig(77)
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cfg := cfgT
+			if c == 1 {
+				cfg = other
+			}
+			if _, _, err := coal.Align(ctxb, makePairsSeed(4, int64(c)), cfg); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	m := coal.Metrics()
+	if m.SizeFlushes != 0 {
+		t.Fatalf("metrics %+v: cross-config pairs must not satisfy the size target", m)
+	}
+	if m.MergedBatches != 2 || m.DeadlineFlushes != 2 {
+		t.Fatalf("metrics %+v: want two deadline-flushed single-config batches", m)
+	}
+}
+
 // TestCoalescerDeadlineFlush checks the deadline trigger: a lone request
 // far below the size target must still flush about MaxWait after enqueue.
 func TestCoalescerDeadlineFlush(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(50))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +300,7 @@ func TestCoalescerDeadlineFlush(t *testing.T) {
 	defer coal.Close()
 
 	start := time.Now()
-	if _, _, err := coal.Align(makePairsSeed(2, 42)); err != nil {
+	if _, _, err := coal.Align(ctxb, makePairsSeed(2, 42), cfgT); err != nil {
 		t.Fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -189,10 +322,10 @@ func TestCoalescerDeadlineFlush(t *testing.T) {
 }
 
 // TestCoalescerShed checks admission control: once MaxPending pairs are
-// queued, further requests fail fast with ErrOverloaded, and Close still
-// drains the queued ones.
+// queued (across all configs), further requests fail fast with
+// ErrOverloaded, and Close still drains the queued ones.
 func TestCoalescerShed(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(50))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,19 +336,20 @@ func TestCoalescerShed(t *testing.T) {
 
 	queued := make(chan error, 1)
 	go func() {
-		_, _, err := coal.Align(makePairsSeed(3, 1))
+		_, _, err := coal.Align(ctxb, makePairsSeed(3, 1), cfgT)
 		queued <- err
 	}()
 	waitFor(t, func() bool { return coal.Metrics().QueuedPairs == 3 })
 
-	if _, _, err := coal.Align(makePairsSeed(2, 2)); !errors.Is(err, ErrOverloaded) {
+	// The budget is global: a different config cannot squeeze past it.
+	if _, _, err := coal.Align(ctxb, makePairsSeed(2, 2), DefaultConfig(99)); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("over-budget request: err %v, want ErrOverloaded", err)
 	}
 	// A request that still fits the budget is admitted; it rides the
 	// drain flush below.
 	fits := make(chan error, 1)
 	go func() {
-		_, _, err := coal.Align(makePairsSeed(1, 3))
+		_, _, err := coal.Align(ctxb, makePairsSeed(1, 3), cfgT)
 		fits <- err
 	}()
 	waitFor(t, func() bool { return coal.Metrics().QueuedPairs == 4 })
@@ -231,16 +365,16 @@ func TestCoalescerShed(t *testing.T) {
 	if m.Shed != 1 || m.DrainFlushes == 0 {
 		t.Fatalf("metrics %+v: want 1 shed and a drain flush", m)
 	}
-	if _, _, err := coal.Align(makePairsSeed(1, 4)); !errors.Is(err, ErrClosed) {
+	if _, _, err := coal.Align(ctxb, makePairsSeed(1, 4), cfgT); !errors.Is(err, ErrClosed) {
 		t.Fatalf("align after Close: err %v, want ErrClosed", err)
 	}
 }
 
 // TestCoalescerValidation checks that admission-time validation confines a
-// bad pair to its own request: a concurrent valid request in the same
-// flush window still succeeds.
+// bad pair or config to its own request: a concurrent valid request in
+// the same flush window still succeeds.
 func TestCoalescerValidation(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(50))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,24 +384,28 @@ func TestCoalescerValidation(t *testing.T) {
 
 	good := make(chan error, 1)
 	go func() {
-		_, _, err := coal.Align(makePairsSeed(2, 9))
+		_, _, err := coal.Align(ctxb, makePairsSeed(2, 9), cfgT)
 		good <- err
 	}()
 
 	bad := []Pair{{Query: []byte("AXGT"), Target: []byte("ACGT"), SeedLen: 2}}
-	if _, _, err := coal.Align(bad); err == nil || !strings.Contains(err.Error(), "pair 0 query") {
+	if _, _, err := coal.Align(ctxb, bad, cfgT); err == nil || !strings.Contains(err.Error(), "pair 0 query") {
 		t.Fatalf("invalid base: err %v", err)
 	}
 	badSeed := []Pair{{Query: []byte("ACGT"), Target: []byte("ACGT"), SeedQ: 3, SeedLen: 4}}
-	if _, _, err := coal.Align(badSeed); err == nil || !strings.Contains(err.Error(), "seed") {
+	if _, _, err := coal.Align(ctxb, badSeed, cfgT); err == nil || !strings.Contains(err.Error(), "seed") {
 		t.Fatalf("out-of-range seed: err %v", err)
 	}
 	// SeedQ+SeedLen overflows int: must be rejected at admission, not
 	// panic the flusher.
 	overflow := []Pair{{Query: []byte("ACGT"), Target: []byte("ACGT"),
 		SeedQ: math.MaxInt - 1, SeedLen: 4}}
-	if _, _, err := coal.Align(overflow); err == nil || !strings.Contains(err.Error(), "seed") {
+	if _, _, err := coal.Align(ctxb, overflow, cfgT); err == nil || !strings.Contains(err.Error(), "seed") {
 		t.Fatalf("overflowing seed: err %v", err)
+	}
+	// An invalid configuration is rejected at admission, too.
+	if _, _, err := coal.Align(ctxb, makePairsSeed(1, 10), Config{X: 10}); err == nil {
+		t.Fatal("unset scoring accepted")
 	}
 	if err := <-good; err != nil {
 		t.Fatalf("valid request failed alongside invalid ones: %v", err)
@@ -278,7 +416,7 @@ func TestCoalescerValidation(t *testing.T) {
 // queue: they must return promptly despite an hour-long deadline, and be
 // counted as direct.
 func TestCoalescerDirectBypass(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(50))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,11 +425,11 @@ func TestCoalescerDirectBypass(t *testing.T) {
 	defer coal.Close()
 
 	pairs := makePairsSeed(4, 5)
-	want, _, err := eng.Align(pairs)
+	want, _, err := eng.Align(ctxb, pairs, cfgT)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, st, err := coal.Align(pairs)
+	got, st, err := coal.Align(ctxb, pairs, cfgT)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +451,7 @@ func TestCoalescerDirectBypass(t *testing.T) {
 // canceled context returns immediately even though the pairs are queued
 // behind an hour-long deadline.
 func TestCoalescerContextCancel(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(50))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,21 +469,21 @@ func TestCoalescerContextCancel(t *testing.T) {
 		}
 		cancel()
 	}()
-	if _, _, err := coal.AlignContext(ctx, makePairsSeed(1, 6)); !errors.Is(err, context.Canceled) {
+	if _, _, err := coal.Align(ctx, makePairsSeed(1, 6), cfgT); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err %v, want context.Canceled", err)
 	}
 }
 
 // TestCoalescerEmptyRequest checks the zero-pair fast path.
 func TestCoalescerEmptyRequest(t *testing.T) {
-	eng, err := NewAligner(DefaultOptions(50))
+	eng, err := NewAligner(EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
 	coal := eng.NewCoalescer(CoalescerOptions{})
 	defer coal.Close()
-	out, st, err := coal.Align(nil)
+	out, st, err := coal.Align(ctxb, nil, cfgT)
 	if err != nil || len(out) != 0 || st.Pairs != 0 {
 		t.Fatalf("empty request: out %v, st %+v, err %v", out, st, err)
 	}
@@ -360,5 +498,120 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalescerDeadlineBeatsSizeStarvation pins the take() trigger order:
+// when one config group is size-ready but another group's request is
+// overdue, the overdue group must flush first — a saturated config must
+// not starve another config past its MaxWait bound.
+func TestCoalescerDeadlineBeatsSizeStarvation(t *testing.T) {
+	c := &Coalescer{
+		opt:    CoalescerOptions{MaxBatchPairs: 4, MaxWait: 10 * time.Millisecond},
+		groups: make(map[configKey]*coalesceGroup),
+	}
+	mk := func(cfg Config, npairs int, enq time.Time) *coalesceGroup {
+		g := &coalesceGroup{key: cfg.key(), cfg: cfg}
+		g.waiters = append(g.waiters, &coalesceWaiter{
+			in: make([]seq.Pair, npairs), enq: enq, ch: make(chan coalesceResult, 1),
+		})
+		g.pending = npairs
+		c.groups[g.key] = g
+		c.order = append(c.order, g)
+		c.pending += npairs
+		return g
+	}
+	full := DefaultConfig(50)
+	starved := DefaultConfig(99)
+	mk(full, 8, time.Now())                      // size-ready, fresh
+	mk(starved, 1, time.Now().Add(-time.Minute)) // tiny, long overdue
+
+	cfg, ws, npairs, reason, ok := c.take(false)
+	if !ok || cfg.key() != starved.key() || reason != flushDeadline || npairs != 1 {
+		t.Fatalf("first take: cfg X=%d reason %v npairs %d ok %v; want the overdue group via deadline",
+			cfg.X, reason, npairs, ok)
+	}
+	_ = ws
+	// The size-ready group flushes immediately after.
+	cfg, _, npairs, reason, ok = c.take(false)
+	if !ok || cfg.key() != full.key() || reason != flushSize || npairs != 8 {
+		t.Fatalf("second take: cfg X=%d reason %v npairs %d ok %v; want the size-ready group",
+			cfg.X, reason, npairs, ok)
+	}
+}
+
+// TestCoalescerUnsupportedConfigShedsAtAdmission: a config the engine's
+// backend cannot run must fail immediately with ErrUnsupportedConfig —
+// never queueing, never consuming the MaxPending budget.
+func TestCoalescerUnsupportedConfigShedsAtAdmission(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{Backend: GPU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Supports(Config{X: 1, Scoring: AffineScoring(1, -1, -2, -1)}) {
+		t.Fatal("GPU engine claims affine support")
+	}
+	if !eng.Supports(DefaultConfig(1)) {
+		t.Fatal("GPU engine denies linear support")
+	}
+	coal := eng.NewCoalescer(CoalescerOptions{MaxBatchPairs: 1 << 20, MaxWait: time.Hour})
+	defer coal.Close()
+
+	start := time.Now()
+	_, _, err = coal.Align(ctxb, makePairsSeed(2, 1), Config{X: 30, Scoring: AffineScoring(1, -1, -2, -1)})
+	if !errors.Is(err, ErrUnsupportedConfig) {
+		t.Fatalf("err %v, want ErrUnsupportedConfig", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("unsupported config waited for a flush instead of failing at admission")
+	}
+	m := coal.Metrics()
+	if m.Enqueued != 0 || m.QueuedPairs != 0 {
+		t.Fatalf("unsupported config consumed queue budget: %+v", m)
+	}
+}
+
+// TestCoalescerAbandonReleasesQueue: a ctx-canceled queued request must
+// leave the queue entirely — gauges drop to zero and its budget is
+// returned — so the caller may immediately reuse its buffers and later
+// requests see the freed MaxPending budget.
+func TestCoalescerAbandonReleasesQueue(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	coal := eng.NewCoalescer(CoalescerOptions{
+		MaxBatchPairs: 1 << 20, MaxWait: time.Hour, MaxPending: 4,
+	})
+	defer coal.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := coal.Align(ctx, makePairsSeed(4, 11), cfgT)
+		done <- err
+	}()
+	waitFor(t, func() bool { return coal.Metrics().QueuedPairs == 4 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	m := coal.Metrics()
+	if m.QueuedPairs != 0 || m.QueuedRequests != 0 || m.QueuedConfigs != 0 {
+		t.Fatalf("abandoned request still queued: %+v", m)
+	}
+	// The full budget is available again: a 4-pair request is admitted
+	// (not shed) and rides the drain flush.
+	ok := make(chan error, 1)
+	go func() {
+		_, _, err := coal.Align(ctxb, makePairsSeed(4, 12), cfgT)
+		ok <- err
+	}()
+	waitFor(t, func() bool { return coal.Metrics().QueuedPairs == 4 })
+	coal.Close()
+	if err := <-ok; err != nil {
+		t.Fatalf("budget not released: %v", err)
 	}
 }

@@ -1,8 +1,12 @@
-// Quickstart: align two long reads with the public API, on both backends,
-// and verify they agree — the 60-second tour of the library.
+// Quickstart: the 60-second tour of the v2 public API. One engine per
+// backend shape (NewAligner + EngineOptions), per-request configuration
+// (Config: X plus a scoring scheme), and a context on every call — the
+// same engine aligns DNA under linear and affine gap models and verifies
+// the CPU and simulated-GPU backends agree bit for bit.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -12,6 +16,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Fabricate a realistic long-read pair: a 5 kb sequence and a noisy
 	// copy with ~15% error (PacBio-style), sharing an exact 17-mer seed.
 	rng := rand.New(rand.NewSource(1))
@@ -20,15 +26,35 @@ func main() {
 	seedQ, seedLen := 2500, 17
 	seedT := min(seedQ, len(noisy)-seedLen)
 	copy(noisy[seedT:seedT+seedLen], reference[seedQ:seedQ+seedLen])
+	pair := logan.Pair{
+		Query: []byte(reference), Target: []byte(noisy),
+		SeedQ: seedQ, SeedT: seedT, SeedLen: seedLen,
+	}
 
-	// Single-pair alignment with X=100 (the paper's default sweep point).
-	opt := logan.DefaultOptions(100)
-	aln, err := logan.AlignPair([]byte(reference), []byte(noisy), seedQ, seedT, seedLen, opt)
+	// One CPU engine, reused for every call; the configuration is
+	// per-request. X=100 is the paper's default sweep point.
+	cpu, err := logan.NewAligner(logan.EngineOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cpu.Close()
+
+	out, _, err := cpu.Align(ctx, []logan.Pair{pair}, logan.DefaultConfig(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	aln := out[0]
 	fmt.Printf("single pair: score=%d, query[%d:%d) x target[%d:%d), %d DP cells\n",
 		aln.Score, aln.QBegin, aln.QEnd, aln.TBegin, aln.TEnd, aln.Cells)
+
+	// The same engine, a different request: affine gaps (Gotoh). No
+	// rebuild — scoring is part of the request, not the engine.
+	affine := logan.Config{X: 100, Scoring: logan.AffineScoring(1, -1, -2, -1)}
+	out, _, err = cpu.Align(ctx, []logan.Pair{pair}, affine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same engine, affine gaps (open -2, extend -1): score=%d\n", out[0].Score)
 
 	// Batch alignment: CPU baseline vs simulated-GPU LOGAN.
 	raw := seq.RandPairSet(rng, seq.PairSetOptions{
@@ -42,12 +68,18 @@ func main() {
 		}
 	}
 
-	cpuRes, cpuStats, err := logan.Align(pairs, opt)
+	gpu, err := logan.NewAligner(logan.EngineOptions{Backend: logan.GPU})
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt.Backend = logan.GPU
-	gpuRes, gpuStats, err := logan.Align(pairs, opt)
+	defer gpu.Close()
+
+	cfg := logan.DefaultConfig(100)
+	cpuRes, cpuStats, err := cpu.Align(ctx, pairs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuRes, gpuStats, err := gpu.Align(ctx, pairs, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -24,9 +24,16 @@
 //   - Throughput is a scheduling hint, not a measurement guarantee: it
 //     starts from a perfmodel-derived estimate and is corrected online
 //     from observed batches.
+//   - Batches are request-scoped: every ExtendBatch call carries its own
+//     core.Config (X and scoring family) and context, so one backend
+//     serves mixed configurations concurrently. Backends advertise the
+//     scoring families they implement via Supports; the GPU backends are
+//     linear-DNA only (the paper's kernel), and non-linear batches on
+//     them fail with core.ErrUnsupportedScheme.
 package backend
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync/atomic"
@@ -68,8 +75,19 @@ type BatchStats struct {
 type Backend interface {
 	// Name identifies the backend ("cpu", "gpu0", "gpu[2]", "hybrid"...).
 	Name() string
-	// ExtendBatch aligns pairs into out (len(out) must equal len(pairs)).
-	ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error)
+	// ExtendBatch aligns pairs into out (len(out) must equal len(pairs))
+	// under ctx: cancellation stops the batch at the backend's natural
+	// granularity (per pair on the CPU pool, per memory chunk on a
+	// device) and returns the context's error. Batches whose cfg selects
+	// a scoring mode the backend does not Support fail with an error
+	// wrapping core.ErrUnsupportedScheme.
+	ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error)
+	// Supports reports whether the backend can execute batches under the
+	// given scoring family. The CPU pool supports every family; the GPU
+	// backends support only xdrop.SchemeLinear, reproducing the paper's
+	// kernel (protein support is its §VIII future work). The hybrid
+	// scheduler uses this to route non-linear batches to CPU shards.
+	Supports(kind xdrop.SchemeKind) bool
 	// Throughput returns the backend's current DP-cell rate estimate in
 	// cells per wall-second of this process, the weight the hybrid
 	// scheduler partitions on. All backends report the same currency —

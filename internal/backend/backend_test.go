@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -34,7 +36,7 @@ func equalizeHybridRates(h *Hybrid) {
 func runBackend(t *testing.T, be Backend, pairs []seq.Pair, cfg core.Config) ([]xdrop.SeedResult, BatchStats) {
 	t.Helper()
 	out := make([]xdrop.SeedResult, len(pairs))
-	st, err := be.ExtendBatch(pairs, out, cfg)
+	st, err := be.ExtendBatch(context.Background(), pairs, out, cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", be.Name(), err)
 	}
@@ -147,7 +149,7 @@ func TestHybridAdaptiveThroughput(t *testing.T) {
 	before := cpu.Throughput()
 	pairs := testPairs(t, 24)
 	out := make([]xdrop.SeedResult, len(pairs))
-	if _, err := h.ExtendBatch(pairs, out, core.DefaultConfig(40)); err != nil {
+	if _, err := h.ExtendBatch(context.Background(), pairs, out, core.DefaultConfig(40)); err != nil {
 		t.Fatal(err)
 	}
 	// The CPU shard ran for real, so the EWMA must have folded in at
@@ -195,7 +197,7 @@ func TestBackendEmptyBatch(t *testing.T) {
 	}
 	defer h.Close()
 	for _, be := range []Backend{NewCPU(1), h} {
-		st, err := be.ExtendBatch(nil, nil, core.DefaultConfig(20))
+		st, err := be.ExtendBatch(context.Background(), nil, nil, core.DefaultConfig(20))
 		if err != nil {
 			t.Fatalf("%s: %v", be.Name(), err)
 		}
@@ -211,7 +213,7 @@ func TestBackendLengthMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	pairs := testPairs(t, 3)
-	if _, err := gpu.ExtendBatch(pairs, make([]xdrop.SeedResult, 2), core.DefaultConfig(20)); err == nil {
+	if _, err := gpu.ExtendBatch(context.Background(), pairs, make([]xdrop.SeedResult, 2), core.DefaultConfig(20)); err == nil {
 		t.Fatal("accepted mismatched out length")
 	}
 	h, err := NewHybrid(1, 1)
@@ -219,7 +221,7 @@ func TestBackendLengthMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer h.Close()
-	if _, err := h.ExtendBatch(pairs, make([]xdrop.SeedResult, 2), core.DefaultConfig(20)); err == nil {
+	if _, err := h.ExtendBatch(context.Background(), pairs, make([]xdrop.SeedResult, 2), core.DefaultConfig(20)); err == nil {
 		t.Fatal("hybrid accepted mismatched out length")
 	}
 }
@@ -243,7 +245,7 @@ func TestBackendsClosed(t *testing.T) {
 	for _, be := range []Backend{NewCPU(1), gpu, multi, hyb} {
 		be.Close()
 		be.Close() // idempotent
-		if _, err := be.ExtendBatch(pairs, make([]xdrop.SeedResult, 2), core.DefaultConfig(20)); err == nil {
+		if _, err := be.ExtendBatch(context.Background(), pairs, make([]xdrop.SeedResult, 2), core.DefaultConfig(20)); err == nil {
 			t.Fatalf("closed %s backend accepted a batch", be.Name())
 		}
 	}
@@ -260,5 +262,155 @@ func TestRateEWMA(t *testing.T) {
 	got := r.estimate()
 	if got <= 100 || got >= 200 {
 		t.Fatalf("EWMA estimate %v not between prior and sample", got)
+	}
+}
+
+// TestSupportsContract pins the scoring-family capability matrix: the GPU
+// backends are linear-DNA only (the paper's kernel), the CPU pool runs
+// every family, and the hybrid inherits the union of its workers.
+func TestSupportsContract(t *testing.T) {
+	cpu := NewCPU(1)
+	defer cpu.Close()
+	gpu, err := NewV100("gpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpu.Close()
+	multi, err := NewV100MultiGPU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	hyb, err := NewHybrid(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hyb.Close()
+	for _, kind := range []xdrop.SchemeKind{xdrop.SchemeLinear, xdrop.SchemeAffine, xdrop.SchemeMatrix} {
+		if !cpu.Supports(kind) {
+			t.Errorf("cpu must support %v", kind)
+		}
+		if !hyb.Supports(kind) {
+			t.Errorf("hybrid must support %v", kind)
+		}
+		wantGPU := kind == xdrop.SchemeLinear
+		if gpu.Supports(kind) != wantGPU || multi.Supports(kind) != wantGPU {
+			t.Errorf("%v: gpu support %v / multi %v, want %v",
+				kind, gpu.Supports(kind), multi.Supports(kind), wantGPU)
+		}
+	}
+}
+
+// TestGPUUnsupportedScheme: non-linear batches on the pure-GPU backends
+// must fail with core.ErrUnsupportedScheme — the documented restriction,
+// not a crash or a silent linear fallback.
+func TestGPUUnsupportedScheme(t *testing.T) {
+	pairs := testPairs(t, 2)
+	out := make([]xdrop.SeedResult, len(pairs))
+	gpu, err := NewV100("gpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpu.Close()
+	multi, err := NewV100MultiGPU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer multi.Close()
+	affine := core.Config{
+		Mode:   xdrop.SchemeAffine,
+		Affine: xdrop.AffineScoring{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -1},
+		X:      30,
+	}
+	matrix := core.Config{Mode: xdrop.SchemeMatrix, Matrix: xdrop.Blosum62(-6), X: 30}
+	for _, be := range []Backend{gpu, multi} {
+		for _, cfg := range []core.Config{affine, matrix} {
+			_, err := be.ExtendBatch(context.Background(), pairs, out, cfg)
+			if !errors.Is(err, core.ErrUnsupportedScheme) {
+				t.Errorf("%s mode %v: err %v, want ErrUnsupportedScheme", be.Name(), cfg.Mode, err)
+			}
+		}
+	}
+}
+
+// TestHybridRoutesNonLinearToCPU: the hybrid must execute affine and
+// matrix batches by routing every pair to CPU shards, bit-identical to
+// the pure-CPU backend, with no GPU shard in the breakdown.
+func TestHybridRoutesNonLinearToCPU(t *testing.T) {
+	pairs := testPairs(t, 24)
+	cpu := NewCPU(2)
+	defer cpu.Close()
+	h, err := NewHybrid(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	equalizeHybridRates(h) // GPUs would win the whole batch otherwise
+
+	cfg := core.Config{
+		Mode:   xdrop.SchemeAffine,
+		Affine: xdrop.AffineScoring{Match: 1, Mismatch: -1, GapOpen: -3, GapExtend: -1},
+		X:      40,
+	}
+	ref, refStats := runBackend(t, cpu, pairs, cfg)
+	got, st := runBackend(t, h, pairs, cfg)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("pair %d: hybrid %+v != cpu %+v", i, got[i], ref[i])
+		}
+	}
+	if st.Cells != refStats.Cells {
+		t.Fatalf("cells %d != cpu %d", st.Cells, refStats.Cells)
+	}
+	for _, sh := range st.Shards {
+		if sh.Backend != "cpu" {
+			t.Fatalf("affine batch landed on %q: %+v", sh.Backend, st.Shards)
+		}
+	}
+	if st.DeviceTime != 0 {
+		t.Fatalf("affine batch reported device time %v", st.DeviceTime)
+	}
+	// A linear batch on the same engine still uses the whole worker set.
+	lin, linStats := runBackend(t, h, pairs, core.DefaultConfig(40))
+	cpuLin, _ := runBackend(t, cpu, pairs, core.DefaultConfig(40))
+	for i := range lin {
+		if lin[i] != cpuLin[i] {
+			t.Fatalf("linear pair %d diverged after non-linear batch", i)
+		}
+	}
+	gpuShards := 0
+	for _, sh := range linStats.Shards {
+		if sh.Backend != "cpu" {
+			gpuShards++
+		}
+	}
+	if gpuShards == 0 {
+		t.Fatalf("linear batch used no GPU shard: %+v", linStats.Shards)
+	}
+}
+
+// TestBackendContextCanceled: an already-canceled context must fail the
+// batch with the context's error on every backend.
+func TestBackendContextCanceled(t *testing.T) {
+	pairs := testPairs(t, 4)
+	cpu := NewCPU(1)
+	defer cpu.Close()
+	gpu, err := NewV100("gpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpu.Close()
+	hyb, err := NewHybrid(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hyb.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, be := range []Backend{cpu, gpu, hyb} {
+		out := make([]xdrop.SeedResult, len(pairs))
+		if _, err := be.ExtendBatch(ctx, pairs, out, core.DefaultConfig(30)); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err %v, want context.Canceled", be.Name(), err)
+		}
 	}
 }

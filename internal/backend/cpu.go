@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,10 +32,14 @@ func NewCPU(threads int) *CPU {
 // Name implements Backend.
 func (c *CPU) Name() string { return "cpu" }
 
+// Supports implements Backend: the CPU pool executes every scoring
+// family — linear, affine and substitution-matrix.
+func (c *CPU) Supports(xdrop.SchemeKind) bool { return true }
+
 // ExtendBatch implements Backend. GCUPS accounting: the shard time is
 // measured host wall time, the only meaningful denominator for real CPU
 // execution.
-func (c *CPU) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
+func (c *CPU) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
 	if len(out) != len(pairs) {
 		return BatchStats{}, fmt.Errorf("backend: cpu: out length %d != pairs %d", len(out), len(pairs))
 	}
@@ -42,12 +47,20 @@ func (c *CPU) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Con
 		return BatchStats{}, nil
 	}
 	start := time.Now()
-	st, err := c.pool.ExtendBatch(pairs, out, cfg.Scoring, cfg.X)
+	st, err := c.pool.ExtendBatchScheme(ctx, pairs, out, cfg.Scheme(), cfg.X)
 	if err != nil {
 		return BatchStats{}, err
 	}
 	wall := time.Since(start)
-	c.rate.observe(st.Cells, wall)
+	// Only linear batches feed the throughput estimate: it is the weight
+	// the hybrid scheduler uses to split *linear* batches against the
+	// GPUs (non-linear batches go to the CPU shard alone, where the
+	// weight is moot), and the affine/matrix kernels run at a very
+	// different cells/second — folding them in would skew the linear
+	// split under mixed traffic.
+	if cfg.Mode == xdrop.SchemeLinear {
+		c.rate.observe(st.Cells, wall)
+	}
 	return BatchStats{
 		Pairs:  len(pairs),
 		Cells:  st.Cells,

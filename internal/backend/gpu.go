@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -54,15 +55,23 @@ func NewV100(name string) (*GPU, error) {
 // Name implements Backend.
 func (g *GPU) Name() string { return g.name }
 
+// Supports implements Backend: the kernel is linear-DNA only, as in the
+// paper (§VIII names protein support as future work).
+func (g *GPU) Supports(kind xdrop.SchemeKind) bool { return kind == xdrop.SchemeLinear }
+
 // Device exposes the wrapped device.
 func (g *GPU) Device() *cuda.Device { return g.dev }
 
 // ExtendBatch implements Backend. GCUPS accounting: the shard time is the
 // modeled device completion time of the batch, matching the paper's
-// device-side throughput metric.
-func (g *GPU) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
+// device-side throughput metric. Non-linear scoring modes fail with
+// core.ErrUnsupportedScheme (see Supports).
+func (g *GPU) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
 	if len(out) != len(pairs) {
 		return BatchStats{}, fmt.Errorf("backend: %s: out length %d != pairs %d", g.name, len(out), len(pairs))
+	}
+	if cfg.Mode != xdrop.SchemeLinear {
+		return BatchStats{}, fmt.Errorf("backend: %s: %w", g.name, core.ErrUnsupportedScheme)
 	}
 	if g.closed.Load() {
 		return BatchStats{}, ErrClosed
@@ -72,7 +81,7 @@ func (g *GPU) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Con
 	}
 	start := time.Now()
 	g.mu.Lock()
-	res, err := core.AlignBatch(g.dev, pairs, cfg)
+	res, err := core.AlignBatchContext(ctx, g.dev, pairs, cfg)
 	g.mu.Unlock()
 	if err != nil {
 		return BatchStats{}, err
@@ -130,11 +139,19 @@ func NewV100MultiGPU(n int) (*MultiGPU, error) {
 // Name implements Backend.
 func (m *MultiGPU) Name() string { return fmt.Sprintf("gpu[%d]", len(m.pool.Devices)) }
 
+// Supports implements Backend: linear-DNA only, like every device kernel
+// in the repository.
+func (m *MultiGPU) Supports(kind xdrop.SchemeKind) bool { return kind == xdrop.SchemeLinear }
+
 // ExtendBatch implements Backend. GCUPS accounting: DeviceTime is the
 // slowest device shard, the multi-GPU completion time of §IV-C.
-func (m *MultiGPU) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
+// Non-linear scoring modes fail with core.ErrUnsupportedScheme.
+func (m *MultiGPU) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
 	if len(out) != len(pairs) {
 		return BatchStats{}, fmt.Errorf("backend: %s: out length %d != pairs %d", m.Name(), len(out), len(pairs))
+	}
+	if cfg.Mode != xdrop.SchemeLinear {
+		return BatchStats{}, fmt.Errorf("backend: %s: %w", m.Name(), core.ErrUnsupportedScheme)
 	}
 	if m.closed.Load() {
 		return BatchStats{}, ErrClosed
@@ -143,7 +160,7 @@ func (m *MultiGPU) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg cor
 		return BatchStats{}, nil
 	}
 	start := time.Now()
-	res, err := m.pool.AlignInto(out, pairs, cfg, m.strat)
+	res, err := m.pool.AlignIntoContext(ctx, out, pairs, cfg, m.strat)
 	if err != nil {
 		return BatchStats{}, err
 	}

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -88,12 +89,32 @@ func NewHybridOver(workers ...Backend) (*Hybrid, error) {
 // Name implements Backend.
 func (h *Hybrid) Name() string { return "hybrid" }
 
+// Supports implements Backend: the hybrid can run any family at least one
+// of its workers supports. By construction that is every family — the CPU
+// pool is always part of the worker set — so affine and matrix batches
+// simply route to the CPU shard (see ExtendBatch).
+func (h *Hybrid) Supports(kind xdrop.SchemeKind) bool {
+	for _, w := range h.workers {
+		if w.Supports(kind) {
+			return true
+		}
+	}
+	return false
+}
+
 // ExtendBatch implements Backend. GCUPS accounting: shard times mix
 // denominators (measured wall for the CPU shard, modeled device time for
 // GPU shards), so batch-level throughput must be taken over wall time —
 // see the Stats.GCUPS contract in package logan. DeviceTime reports the
 // slowest GPU shard.
-func (h *Hybrid) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
+//
+// Scoring-mode routing: workers that do not Support cfg.Mode receive a
+// zero capacity, so the partition sends non-linear (affine, matrix)
+// batches entirely to the CPU shards — the GPU kernel stays linear-DNA,
+// as in the paper — and mixed traffic on one engine still schedules
+// linear batches across every worker. A mode no worker supports fails
+// with core.ErrUnsupportedScheme.
+func (h *Hybrid) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdrop.SeedResult, cfg core.Config) (BatchStats, error) {
 	if len(out) != len(pairs) {
 		return BatchStats{}, fmt.Errorf("backend: hybrid: out length %d != pairs %d", len(out), len(pairs))
 	}
@@ -112,8 +133,22 @@ func (h *Hybrid) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.
 		}
 		h.scratch.Put(sc)
 	}()
+	eligible := 0
 	for w, worker := range h.workers {
-		sc.caps[w] = worker.Throughput()
+		if !worker.Supports(cfg.Mode) {
+			// Negative capacity is loadbal's exclusion signal: the bucket
+			// never receives items, even if every estimate degrades to
+			// zero — a non-linear pair must not reach a GPU kernel.
+			sc.caps[w] = -1
+			continue
+		}
+		eligible++
+		// Clamp to the "no estimate" zero rather than exclusion, should a
+		// throughput estimate ever go non-positive.
+		sc.caps[w] = max(worker.Throughput(), 0)
+	}
+	if eligible == 0 {
+		return BatchStats{}, fmt.Errorf("backend: hybrid: %w", core.ErrUnsupportedScheme)
 	}
 	sc.weights = loadbal.PairWeights(pairs, sc.weights)
 	buckets := loadbal.PartitionCapacities(sc.weights, sc.caps, loadbal.ByLength)
@@ -140,7 +175,7 @@ func (h *Hybrid) ExtendBatch(pairs []seq.Pair, out []xdrop.SeedResult, cfg core.
 				sub.res = make([]xdrop.SeedResult, len(bucket))
 			}
 			sub.res = sub.res[:len(bucket)]
-			bst, err := h.workers[w].ExtendBatch(sub.pairs, sub.res, cfg)
+			bst, err := h.workers[w].ExtendBatch(ctx, sub.pairs, sub.res, cfg)
 			if err != nil {
 				outs[w].err = fmt.Errorf("backend: hybrid %s shard: %w", h.workers[w].Name(), err)
 				return

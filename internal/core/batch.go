@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +11,13 @@ import (
 	"logan/internal/seq"
 	"logan/internal/xdrop"
 )
+
+// ErrUnsupportedScheme reports a non-linear scoring mode submitted to the
+// GPU kernel. The simulated device code reproduces the paper's kernel,
+// which hard-wires linear DNA scoring (§VIII names protein alignment as
+// future work); affine and substitution-matrix batches must run on the
+// CPU engine, which the hybrid scheduler arranges automatically.
+var ErrUnsupportedScheme = errors.New("core: scoring scheme not supported by the GPU kernel (linear DNA only; affine and matrix modes run on the CPU engine)")
 
 // BatchResult is the outcome of aligning a batch on one simulated GPU.
 type BatchResult struct {
@@ -41,7 +50,18 @@ const extFields = 8
 // memory it is processed in chunks, as LOGAN's host code does for the
 // C. elegans-scale workloads.
 func AlignBatch(dev *cuda.Device, pairs []seq.Pair, cfg Config) (BatchResult, error) {
+	return AlignBatchContext(context.Background(), dev, pairs, cfg)
+}
+
+// AlignBatchContext is AlignBatch under a context: a canceled ctx stops
+// the batch at the next memory-chunk boundary (the kernel itself is not
+// interruptible, matching real device launches) and returns the context's
+// error.
+func AlignBatchContext(ctx context.Context, dev *cuda.Device, pairs []seq.Pair, cfg Config) (BatchResult, error) {
 	out := BatchResult{}
+	if cfg.Mode != xdrop.SchemeLinear {
+		return out, fmt.Errorf("%w (got %v)", ErrUnsupportedScheme, cfg.Mode)
+	}
 	if err := cfg.Scoring.Validate(); err != nil {
 		return out, err
 	}
@@ -101,6 +121,11 @@ func AlignBatch(dev *cuda.Device, pairs []seq.Pair, cfg Config) (BatchResult, er
 	}
 
 	for start := 0; start < len(pairs); start += chunkPairs {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
 		end := min(start+chunkPairs, len(pairs))
 		if err := alignChunk(dev, left, right, pairs[start:end], out.Results[start:end], cfg, threads, bandAlloc, &out); err != nil {
 			return out, err

@@ -39,8 +39,29 @@ const CellOps = 22
 
 // Config parameterizes a LOGAN batch run.
 type Config struct {
+	// Scoring is the linear scheme, live when Mode is SchemeLinear (the
+	// zero value) — the only family the GPU kernel implements, exactly as
+	// in the paper's device code.
 	Scoring xdrop.Scoring
-	X       int32
+	// Mode selects the scoring family. Non-linear modes (SchemeAffine,
+	// SchemeMatrix) are CPU-engine-only: the paper names protein support
+	// as future work (§VIII) and its kernel hard-wires linear DNA
+	// scoring, so AlignBatch rejects them with ErrUnsupportedScheme and
+	// the hybrid scheduler routes them to CPU shards.
+	//
+	// Mode/Affine/Matrix are deliberately flat fields rather than an
+	// embedded xdrop.Scheme: the zero value must keep meaning "linear
+	// with the Scoring field" so the many internal Config{Scoring: …}
+	// literals (bench, kernel and scheduler code) stay valid. The cost is
+	// that a new family must extend both this struct and xdrop.Scheme;
+	// Scheme() passes unknown Modes through so a missed arm fails
+	// validation instead of silently running linear.
+	Mode xdrop.SchemeKind
+	// Affine is the Gotoh scheme, live when Mode is SchemeAffine.
+	Affine xdrop.AffineScoring
+	// Matrix is the substitution matrix, live when Mode is SchemeMatrix.
+	Matrix *xdrop.Matrix
+	X      int32
 	// ThreadsPerBlock overrides the X-proportional schedule when > 0.
 	ThreadsPerBlock int
 	// BandAllocSlack pads the per-alignment anti-diagonal allocation;
@@ -86,6 +107,24 @@ const DefaultBandSlack = 64
 // thread count scheduled from X.
 func DefaultConfig(x int32) Config {
 	return Config{Scoring: xdrop.DefaultScoring(), X: x}
+}
+
+// Scheme assembles the generalized scoring scheme the Config selects,
+// the batch-level carrier the CPU pool executes. An unknown Mode is
+// passed through rather than defaulting to linear, so a future family
+// that misses an arm here fails Scheme.Validate instead of silently
+// running the wrong recurrence.
+func (c Config) Scheme() xdrop.Scheme {
+	switch c.Mode {
+	case xdrop.SchemeLinear:
+		return xdrop.LinearScheme(c.Scoring)
+	case xdrop.SchemeAffine:
+		return xdrop.AffineScheme(c.Affine)
+	case xdrop.SchemeMatrix:
+		return xdrop.MatrixScheme(c.Matrix)
+	default:
+		return xdrop.Scheme{Kind: c.Mode}
+	}
 }
 
 // ThreadsForX returns the block size LOGAN schedules for a given X: the

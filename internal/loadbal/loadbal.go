@@ -13,6 +13,7 @@
 package loadbal
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -147,11 +148,18 @@ func equalCaps(n int) []float64 {
 // roughly twice the items), degenerating to the naive count split when
 // capacities are equal.
 //
-// Non-positive capacities are treated as unusable: those buckets receive
-// no items (unless every capacity is non-positive, in which case all
-// buckets are treated as equal so no work is dropped). A nonempty item
-// set with no buckets at all cannot satisfy the exactly-once contract and
-// panics rather than silently dropping the batch.
+// Capacity semantics distinguish "no estimate" from "excluded": a zero
+// capacity marks a bucket with a degenerate estimate — it receives no
+// items unless every positive capacity is absent, in which case the
+// zero-capacity buckets are treated as equal so no work is dropped. A
+// strictly negative capacity excludes the bucket: it never receives
+// items, not even under the all-zero fallback — the hybrid scheduler
+// uses this to keep non-linear batches off the GPU kernels, so a
+// degraded estimate can never resurrect an excluded worker. The one
+// exception preserves the exactly-once contract: if every bucket is
+// excluded while items remain (a caller bug — the hybrid guards against
+// it before partitioning), all buckets are treated as equal rather than
+// dropping the batch. A nonempty item set with no buckets at all panics.
 func PartitionCapacities(weights []int64, caps []float64, strat Strategy) [][]int {
 	n := len(caps)
 	buckets := make([][]int, n)
@@ -168,6 +176,18 @@ func PartitionCapacities(weights []int64, caps []float64, strat Strategy) [][]in
 		}
 	}
 	if len(usable) == 0 {
+		// Degenerate estimates: fall back to an equal split among the
+		// zero-capacity (non-excluded) buckets only.
+		caps = append([]float64(nil), caps...)
+		for b, c := range caps {
+			if c == 0 {
+				caps[b] = 1
+				usable = append(usable, b)
+			}
+		}
+	}
+	if len(usable) == 0 {
+		// Every bucket excluded: equal split rather than dropped work.
 		caps = equalCaps(n)
 		for b := range buckets {
 			usable = append(usable, b)
@@ -256,19 +276,25 @@ func ImbalanceOf(weights []int64, buckets [][]int) float64 {
 // device's lock (never on the pool). It is the per-device primitive the
 // hybrid scheduler in internal/backend composes with a CPU shard.
 func (p *Pool) AlignDevice(d int, pairs []seq.Pair, cfg core.Config) (core.BatchResult, error) {
+	return p.AlignDeviceContext(context.Background(), d, pairs, cfg)
+}
+
+// AlignDeviceContext is AlignDevice under a context, forwarded to the
+// device batch so cancellation takes effect at chunk boundaries.
+func (p *Pool) AlignDeviceContext(ctx context.Context, d int, pairs []seq.Pair, cfg core.Config) (core.BatchResult, error) {
 	if d < 0 || d >= len(p.Devices) {
 		return core.BatchResult{}, fmt.Errorf("loadbal: device %d outside pool of %d", d, len(p.Devices))
 	}
 	mu := p.lock(d)
 	mu.Lock()
 	defer mu.Unlock()
-	return core.AlignBatch(p.Devices[d], pairs, cfg)
+	return core.AlignBatchContext(ctx, p.Devices[d], pairs, cfg)
 }
 
 // Align runs the batch across the pool's devices and merges the results in
 // input order.
 func (p *Pool) Align(pairs []seq.Pair, cfg core.Config, strat Strategy) (Result, error) {
-	return p.AlignInto(nil, pairs, cfg, strat)
+	return p.AlignIntoContext(context.Background(), nil, pairs, cfg, strat)
 }
 
 // AlignInto is Align writing the merged results into dst when it has
@@ -278,6 +304,13 @@ func (p *Pool) Align(pairs []seq.Pair, cfg core.Config, strat Strategy) (Result,
 // by different goroutines interleave across devices instead of queueing
 // behind one pool-wide mutex.
 func (p *Pool) AlignInto(dst []xdrop.SeedResult, pairs []seq.Pair, cfg core.Config, strat Strategy) (Result, error) {
+	return p.AlignIntoContext(context.Background(), dst, pairs, cfg, strat)
+}
+
+// AlignIntoContext is AlignInto under a context: every device shard
+// forwards ctx, so a canceled batch stops at the shards' next chunk
+// boundaries.
+func (p *Pool) AlignIntoContext(ctx context.Context, dst []xdrop.SeedResult, pairs []seq.Pair, cfg core.Config, strat Strategy) (Result, error) {
 	if hook := TestHookAlignStart; hook != nil {
 		hook()
 	}
@@ -320,7 +353,7 @@ func (p *Pool) AlignInto(dst []xdrop.SeedResult, pairs []seq.Pair, cfg core.Conf
 			for k, idx := range bucket {
 				sub[k] = pairs[idx]
 			}
-			res, err := p.AlignDevice(d, sub, cfg)
+			res, err := p.AlignDeviceContext(ctx, d, sub, cfg)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {

@@ -417,3 +417,25 @@ func TestPoolConcurrentBatches(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPartitionCapacitiesExclusion pins the negative-capacity contract:
+// excluded buckets receive nothing even when every estimate has degraded
+// to zero (the all-zero fallback must only resurrect zero-capacity
+// buckets), and a fully-excluded vector still satisfies exactly-once.
+func TestPartitionCapacitiesExclusion(t *testing.T) {
+	weights := []int64{5, 4, 3, 2, 1}
+	for _, strat := range []Strategy{ByLength, RoundRobin} {
+		buckets := PartitionCapacities(weights, []float64{0, -1, 0}, strat)
+		if len(buckets[1]) != 0 {
+			t.Fatalf("strategy %v: excluded bucket resurrected by the all-zero fallback: %v", strat, buckets)
+		}
+		if len(buckets[0])+len(buckets[2]) != len(weights) {
+			t.Fatalf("strategy %v: work dropped: %v", strat, buckets)
+		}
+		// Fully excluded (caller bug): equal split, never dropped work.
+		all := PartitionCapacities(weights, []float64{-1, -1}, strat)
+		if len(all[0])+len(all[1]) != len(weights) {
+			t.Fatalf("strategy %v: fully-excluded vector dropped work: %v", strat, all)
+		}
+	}
+}

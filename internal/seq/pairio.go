@@ -29,9 +29,21 @@ func WritePairs(w io.Writer, pairs []Pair) error {
 	return bw.Flush()
 }
 
-// ReadPairs parses the interchange format, validating sequences and seed
-// geometry.
+// ReadPairs parses the interchange format, validating sequences against
+// the DNA alphabet and checking seed geometry.
 func ReadPairs(r io.Reader) ([]Pair, error) {
+	return readPairs(r, true)
+}
+
+// ReadPairsAnyAlphabet is ReadPairs without the DNA-alphabet check, for
+// workloads scored under a substitution matrix (protein residues are not
+// ACGTN): sequences are taken verbatim and validated downstream against
+// the matrix alphabet. Seed geometry is still checked.
+func ReadPairsAnyAlphabet(r io.Reader) ([]Pair, error) {
+	return readPairs(r, false)
+}
+
+func readPairs(r io.Reader, dna bool) ([]Pair, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	var pairs []Pair
@@ -46,13 +58,19 @@ func ReadPairs(r io.Reader) ([]Pair, error) {
 		if len(fields) != 5 {
 			return nil, fmt.Errorf("seq: line %d: %d fields, want 5", line, len(fields))
 		}
-		q, err := New(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("seq: line %d query: %w", line, err)
-		}
-		t, err := New(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("seq: line %d target: %w", line, err)
+		var q, t Seq
+		if dna {
+			var err error
+			q, err = New(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("seq: line %d query: %w", line, err)
+			}
+			t, err = New(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("seq: line %d target: %w", line, err)
+			}
+		} else {
+			q, t = Seq(fields[0]), Seq(fields[1])
 		}
 		nums := make([]int, 3)
 		for i, f := range fields[2:] {

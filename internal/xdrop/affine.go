@@ -33,6 +33,54 @@ func (s AffineScoring) Validate() error {
 	return nil
 }
 
+// ExtendSeedAffine is seed-and-extend under affine gaps: the Gotoh
+// analogue of ExtendSeed. The pair is split at the seed, both sides are
+// extended with ExtendAffine (left over the reversed prefixes, as in
+// Fig. 5), and the seed — an exact k-mer match from the overlapper —
+// contributes seedLen*Match, exactly as in the linear path.
+func ExtendSeedAffine(q, t seq.Seq, qPos, tPos, seedLen int, sc AffineScoring, x int32) (SeedResult, error) {
+	w := wsPool.Get().(*Workspace)
+	r, err := w.ExtendSeedAffine(q, t, qPos, tPos, seedLen, sc, x)
+	wsPool.Put(w)
+	return r, err
+}
+
+// ExtendSeedAffine is the workspace form of the package-level
+// ExtendSeedAffine: the left-extension reversals are staged into the
+// workspace's buffers instead of freshly allocated, which is what keeps
+// the pooled affine batch path allocation-lean per pair. (The Gotoh
+// recurrence itself still allocates its rolling rows inside
+// ExtendAffine.)
+func (w *Workspace) ExtendSeedAffine(q, t seq.Seq, qPos, tPos, seedLen int, sc AffineScoring, x int32) (SeedResult, error) {
+	if err := sc.Validate(); err != nil {
+		return SeedResult{}, err
+	}
+	// qPos > len(q)-seedLen rather than qPos+seedLen > len(q): the sum can
+	// overflow for adversarial positions; see Workspace.ExtendSeed.
+	if qPos < 0 || tPos < 0 || seedLen <= 0 || qPos > len(q)-seedLen || tPos > len(t)-seedLen {
+		return SeedResult{}, fmt.Errorf("xdrop: seed (%d,%d,len %d) outside sequences (%d, %d)",
+			qPos, tPos, seedLen, len(q), len(t))
+	}
+	w.revQ = seq.AppendReverse(w.revQ[:0], q[:qPos])
+	w.revT = seq.AppendReverse(w.revT[:0], t[:tPos])
+	r := SeedResult{SeedLen: seedLen}
+	var err error
+	r.Left, err = ExtendAffine(w.revQ, w.revT, sc, x)
+	if err != nil {
+		return SeedResult{}, err
+	}
+	r.Right, err = ExtendAffine(q.Sub(qPos+seedLen, len(q)), t.Sub(tPos+seedLen, len(t)), sc, x)
+	if err != nil {
+		return SeedResult{}, err
+	}
+	r.Score = r.Left.Score + r.Right.Score + int32(seedLen)*sc.Match
+	r.QBegin = qPos - r.Left.QueryEnd
+	r.TBegin = tPos - r.Left.TargetEnd
+	r.QEnd = qPos + seedLen + r.Right.QueryEnd
+	r.TEnd = tPos + seedLen + r.Right.TargetEnd
+	return r, nil
+}
+
 // ExtendAffine computes the highest-scoring semi-global prefix alignment
 // under affine gaps with X-drop pruning, in the same anti-diagonal
 // three-buffer formulation as Extend. H is the match-ending state, E the

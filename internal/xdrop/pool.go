@@ -1,6 +1,7 @@
 package xdrop
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -18,7 +19,10 @@ var ErrPoolClosed = errors.New("xdrop: pool is closed")
 // applied to the SeqAn-style OpenMP loop the paper benchmarks against.
 //
 // A Pool is safe for concurrent use: batches submitted from multiple
-// goroutines interleave across the workers.
+// goroutines interleave across the workers. Batches are per-call
+// parameterized: the same pool serves linear, affine and matrix batches
+// concurrently (ExtendBatchScheme), the request-scoped execution model of
+// the v2 public API.
 type Pool struct {
 	workers int
 	jobs    chan *poolJob
@@ -30,11 +34,13 @@ type Pool struct {
 }
 
 // poolJob is one batch traversing the pool: workers claim pair indices
-// from the shared cursor until the batch is exhausted.
+// from the shared cursor until the batch is exhausted or the batch's
+// context is canceled.
 type poolJob struct {
+	ctx     context.Context
 	pairs   []seq.Pair
 	results []SeedResult
-	sc      Scoring
+	sch     Scheme
 	x       int32
 	cursor  atomic.Int64
 	wg      sync.WaitGroup
@@ -76,20 +82,36 @@ func (p *Pool) Close() {
 	}
 }
 
+// fail records an error for the batch, keeping the lowest-index one so the
+// report is deterministic. Cancellation records with index -1 and
+// therefore wins over per-pair errors.
+func (j *poolJob) fail(idx int, err error) {
+	j.errMu.Lock()
+	if j.err == nil || idx < j.errIdx {
+		j.err, j.errIdx = err, idx
+	}
+	j.errMu.Unlock()
+}
+
 func (j *poolJob) run(ws *Workspace) {
 	for {
+		// Cancellation check per pair: a canceled batch stops claiming
+		// work after the in-flight extensions finish, so Align(ctx, ...)
+		// returns promptly mid-batch instead of draining it.
+		if j.ctx != nil {
+			if err := j.ctx.Err(); err != nil {
+				j.fail(-1, err)
+				return
+			}
+		}
 		idx := int(j.cursor.Add(1)) - 1
 		if idx >= len(j.pairs) {
 			return
 		}
 		p := &j.pairs[idx]
-		r, err := ws.ExtendSeed(p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen, j.sc, j.x)
+		r, err := ws.ExtendSeedScheme(p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen, j.sch, j.x)
 		if err != nil {
-			j.errMu.Lock()
-			if j.err == nil || idx < j.errIdx {
-				j.err, j.errIdx = err, idx
-			}
-			j.errMu.Unlock()
+			j.fail(idx, err)
 			continue
 		}
 		j.results[idx] = r
@@ -97,17 +119,36 @@ func (j *poolJob) run(ws *Workspace) {
 }
 
 // ExtendBatch aligns every pair into results (len(results) must equal
-// len(pairs)), reusing the pool's workers and their workspaces. On error
-// (the lowest-index invalid seed) the surviving entries of results are
-// still valid but the batch must be considered failed.
+// len(pairs)) under linear scoring, reusing the pool's workers and their
+// workspaces. On error (the lowest-index invalid seed) the surviving
+// entries of results are still valid but the batch must be considered
+// failed.
 func (p *Pool) ExtendBatch(pairs []seq.Pair, results []SeedResult, sc Scoring, x int32) (BatchStats, error) {
+	return p.ExtendBatchScheme(context.Background(), pairs, results, LinearScheme(sc), x)
+}
+
+// ExtendBatchScheme is ExtendBatch generalized over the scoring families
+// and a context: linear batches run on the per-worker workspaces as
+// before, affine and matrix batches fan the single-pair kernels
+// (ExtendSeedAffine, ExtendSeedMatrix) across the same workers. A
+// canceled ctx stops the batch after the in-flight pairs finish and
+// returns the context's error.
+func (p *Pool) ExtendBatchScheme(ctx context.Context, pairs []seq.Pair, results []SeedResult, sch Scheme, x int32) (BatchStats, error) {
 	if len(results) != len(pairs) {
 		panic("xdrop: results length does not match pairs")
+	}
+	if err := sch.Validate(); err != nil {
+		return BatchStats{}, err
 	}
 	if len(pairs) == 0 {
 		return BatchStats{}, nil
 	}
-	j := &poolJob{pairs: pairs, results: results, sc: sc, x: x}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return BatchStats{}, err
+		}
+	}
+	j := &poolJob{ctx: ctx, pairs: pairs, results: results, sch: sch, x: x}
 	fan := min(p.workers, len(pairs))
 	j.wg.Add(fan)
 	p.mu.RLock()

@@ -9,6 +9,8 @@ package xdrop
 import (
 	"fmt"
 	"strings"
+
+	"logan/internal/seq"
 )
 
 // AminoAlphabet is the residue order of NCBI substitution matrices.
@@ -21,6 +23,7 @@ type Matrix struct {
 	alphabet string
 	index    [256]int8 // byte -> residue index; -1 = invalid
 	scores   [24][24]int8
+	maxAbs   int32 // largest |entry|, for score-overflow budgeting
 }
 
 // NewMatrix builds a Matrix over the given alphabet (<= 24 symbols) from
@@ -51,10 +54,22 @@ func NewMatrix(name, alphabet string, scores [][]int8, gap int32) (*Matrix, erro
 		}
 		for j := 0; j < n; j++ {
 			m.scores[i][j] = scores[i][j]
+			abs := int32(scores[i][j])
+			if abs < 0 {
+				abs = -abs
+			}
+			if abs > m.maxAbs {
+				m.maxAbs = abs
+			}
 		}
 	}
 	return m, nil
 }
+
+// MaxAbsScore returns the largest magnitude among the matrix entries
+// (e.g. 11 for BLOSUM62), the per-substitution bound callers use to
+// budget against int32 score overflow on long sequences.
+func (m *Matrix) MaxAbsScore() int32 { return m.maxAbs }
 
 // Score returns the substitution score of residues a and b. Unknown
 // residues score as the matrix minimum.
@@ -240,16 +255,32 @@ func extendMatrix(q, t []byte, m *Matrix, x int32) Result {
 // (protein seeds are rarely exact matches, so the seed contributes its
 // actual matrix score, not length x match).
 func ExtendSeedMatrix(q, t []byte, qPos, tPos, seedLen int, m *Matrix, x int32) (SeedResult, error) {
+	if !m.ValidSeq(q) || !m.ValidSeq(t) {
+		return SeedResult{}, fmt.Errorf("xdrop: sequence contains residues outside the %s alphabet", m.Name)
+	}
+	w := wsPool.Get().(*Workspace)
+	r, err := w.extendSeedMatrix(q, t, qPos, tPos, seedLen, m, x)
+	wsPool.Put(w)
+	return r, err
+}
+
+// extendSeedMatrix is the workspace form of ExtendSeedMatrix, without
+// the alphabet scan: the batch path validates sequences once at
+// admission (the engine's ingest, plus the coalescer's), so re-scanning
+// every byte per extension would be pure overhead. Callers own the
+// validation contract — an unknown residue slipping through scores as
+// the matrix minimum instead of erroring. Reversals stage into the
+// workspace buffers.
+func (w *Workspace) extendSeedMatrix(q, t []byte, qPos, tPos, seedLen int, m *Matrix, x int32) (SeedResult, error) {
 	// Overflow-safe bounds (qPos+seedLen can wrap); see Workspace.ExtendSeed.
 	if qPos < 0 || tPos < 0 || seedLen <= 0 || qPos > len(q)-seedLen || tPos > len(t)-seedLen {
 		return SeedResult{}, fmt.Errorf("xdrop: seed (%d,%d,len %d) outside sequences (%d, %d)",
 			qPos, tPos, seedLen, len(q), len(t))
 	}
-	if !m.ValidSeq(q) || !m.ValidSeq(t) {
-		return SeedResult{}, fmt.Errorf("xdrop: sequence contains residues outside the %s alphabet", m.Name)
-	}
+	w.revQ = seq.AppendReverse(w.revQ[:0], q[:qPos])
+	w.revT = seq.AppendReverse(w.revT[:0], t[:tPos])
 	r := SeedResult{SeedLen: seedLen}
-	r.Left = extendMatrix(reverseBytes(q[:qPos]), reverseBytes(t[:tPos]), m, x)
+	r.Left = extendMatrix(w.revQ, w.revT, m, x)
 	r.Right = extendMatrix(q[qPos+seedLen:], t[tPos+seedLen:], m, x)
 	var seedScore int32
 	for k := 0; k < seedLen; k++ {
@@ -261,14 +292,6 @@ func ExtendSeedMatrix(q, t []byte, qPos, tPos, seedLen int, m *Matrix, x int32) 
 	r.QEnd = qPos + seedLen + r.Right.QueryEnd
 	r.TEnd = tPos + seedLen + r.Right.TargetEnd
 	return r, nil
-}
-
-func reverseBytes(s []byte) []byte {
-	out := make([]byte, len(s))
-	for i, c := range s {
-		out[len(s)-1-i] = c
-	}
-	return out
 }
 
 // FormatMatrix renders the matrix as the classic NCBI text table, mainly

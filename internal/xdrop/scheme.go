@@ -1,0 +1,102 @@
+package xdrop
+
+// Scheme generalizes the engine's scoring over the three families the
+// repository implements: the paper's linear DNA scheme (the only one the
+// GPU kernel speaks, §III), Gotoh affine gaps (affine.go), and residue
+// substitution matrices (protein.go, the §VIII future-work item). A Scheme
+// is the batch-level carrier: one value parameterizes a whole pool batch,
+// the way core.Config parameterizes a GPU batch.
+
+import (
+	"fmt"
+
+	"logan/internal/seq"
+)
+
+// SchemeKind enumerates the scoring families. The zero value is
+// SchemeLinear, so legacy configs that only populate a linear Scoring
+// keep meaning what they always meant.
+type SchemeKind uint8
+
+const (
+	// SchemeLinear is the paper's scheme: per-base match/mismatch and a
+	// linear gap penalty, over the DNA alphabet.
+	SchemeLinear SchemeKind = iota
+	// SchemeAffine is Gotoh scoring: GapOpen + l*GapExtend per gap.
+	SchemeAffine
+	// SchemeMatrix scores substitutions by a residue matrix (e.g.
+	// BLOSUM62) with a linear gap penalty.
+	SchemeMatrix
+)
+
+// String names the family ("linear", "affine", "matrix").
+func (k SchemeKind) String() string {
+	switch k {
+	case SchemeLinear:
+		return "linear"
+	case SchemeAffine:
+		return "affine"
+	case SchemeMatrix:
+		return "matrix"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(k))
+	}
+}
+
+// Scheme is a tagged union over the scoring families: Kind selects which
+// of the three payload fields is live.
+type Scheme struct {
+	Kind   SchemeKind
+	Linear Scoring       // live when Kind == SchemeLinear
+	Affine AffineScoring // live when Kind == SchemeAffine
+	Matrix *Matrix       // live when Kind == SchemeMatrix
+}
+
+// LinearScheme wraps a linear scoring scheme.
+func LinearScheme(s Scoring) Scheme { return Scheme{Kind: SchemeLinear, Linear: s} }
+
+// AffineScheme wraps a Gotoh affine-gap scheme.
+func AffineScheme(s AffineScoring) Scheme { return Scheme{Kind: SchemeAffine, Affine: s} }
+
+// MatrixScheme wraps a substitution-matrix scheme.
+func MatrixScheme(m *Matrix) Scheme { return Scheme{Kind: SchemeMatrix, Matrix: m} }
+
+// Validate rejects schemes whose live payload is nonsensical.
+func (s Scheme) Validate() error {
+	switch s.Kind {
+	case SchemeLinear:
+		return s.Linear.Validate()
+	case SchemeAffine:
+		return s.Affine.Validate()
+	case SchemeMatrix:
+		if s.Matrix == nil {
+			return fmt.Errorf("xdrop: matrix scheme with nil matrix")
+		}
+		return nil
+	default:
+		return fmt.Errorf("xdrop: unknown scheme kind %d", s.Kind)
+	}
+}
+
+// ExtendSeedScheme runs one seed-and-extend under the scheme: the
+// single-pair dispatch the pooled batch path fans out over. Every family
+// stages through the workspace (reversal buffers; the linear family also
+// reuses its rolling anti-diagonals). The affine and matrix paths are
+// score-identical to the ExtendSeedAffine/ExtendSeedMatrix oracles the
+// batch paths are differentially tested against, with one batch-path
+// contract: matrix-mode sequences must already be validated against the
+// matrix alphabet (the engine validates at ingest, the coalescer at
+// admission) — an unvalidated unknown residue scores as the matrix
+// minimum instead of erroring.
+func (w *Workspace) ExtendSeedScheme(q, t seq.Seq, qPos, tPos, seedLen int, sch Scheme, x int32) (SeedResult, error) {
+	switch sch.Kind {
+	case SchemeLinear:
+		return w.ExtendSeed(q, t, qPos, tPos, seedLen, sch.Linear, x)
+	case SchemeAffine:
+		return w.ExtendSeedAffine(q, t, qPos, tPos, seedLen, sch.Affine, x)
+	case SchemeMatrix:
+		return w.extendSeedMatrix(q, t, qPos, tPos, seedLen, sch.Matrix, x)
+	default:
+		return SeedResult{}, fmt.Errorf("xdrop: unknown scheme kind %d", sch.Kind)
+	}
+}

@@ -6,26 +6,44 @@
 // (block-per-alignment, anti-diagonal thread segments, warp max-reduction,
 // adaptive band, multi-GPU load balancing).
 //
-// Quick start:
+// The v2 API separates engine shape from per-request parameters: an
+// Aligner is built once from EngineOptions (backend, devices, threads)
+// and every Align call carries a context plus its own Config (X and
+// scoring scheme), so a single engine serves mixed linear, affine and
+// substitution-matrix traffic concurrently:
 //
-//	res, err := logan.AlignPair(q, t, 100, 100, 17, logan.DefaultOptions(100))
-//	batch, stats, err := logan.Align(pairs, logan.DefaultOptions(100))
-//
-// High-throughput callers should create one Aligner engine and reuse it:
-//
-//	eng, err := logan.NewAligner(logan.DefaultOptions(100))
+//	eng, err := logan.NewAligner(logan.EngineOptions{Backend: logan.Hybrid})
 //	defer eng.Close()
-//	out, stats, err := eng.Align(pairs)          // or AlignInto to recycle out
-//	s := eng.NewStream(4)                        // pipelined ingest→align→emit
+//	out, stats, err := eng.Align(ctx, pairs, logan.DefaultConfig(100))
+//	aff := logan.Config{X: 100, Scoring: logan.AffineScoring(1, -1, -2, -1)}
+//	out, stats, err = eng.Align(ctx, pairs, aff)
+//	pro := logan.Config{X: 40, Scoring: logan.MatrixScoring(logan.Blosum62(-6))}
+//	out, stats, err = eng.Align(ctx, protPairs, pro)
+//
+//	s := eng.NewStream(4)                           // pipelined ingest→align→emit
 //	c := eng.NewCoalescer(logan.CoalescerOptions{}) // merge concurrent callers
 //
 // Execution is pluggable (internal/backend): CPU worker pool, simulated
 // multi-GPU node, or the Hybrid scheduler that shards each batch across
 // both. All backends produce bit-identical scores; GPU-backed batches
-// additionally report the modeled device time on NVIDIA Tesla V100s.
+// additionally report the modeled device time on NVIDIA Tesla V100s. The
+// GPU kernel is linear-DNA only, exactly like the paper's device code:
+// affine and matrix configs run on CPU engines, route to the CPU shards
+// of a Hybrid engine, and fail with ErrUnsupportedConfig on a pure-GPU
+// engine.
+//
+// The v1 surface (Options, DefaultOptions, Align, AlignPair) remains as
+// thin deprecated wrappers over the v2 engine, so existing call sites of
+// those entry points keep compiling. The engine surface itself
+// (NewAligner, Aligner.Align/AlignInto, Stream.Submit, Coalescer.Align)
+// changed signatures — v1 callers get a compile error pointing at the
+// migration table in the README — and Batch gained a required Config
+// field (a zero Config fails the batch's result with a validation
+// error).
 package logan
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,7 +67,14 @@ const (
 	Hybrid
 )
 
-// Options configures an alignment batch.
+// Options is the v1 configuration, conflating engine shape
+// (Backend/GPUs/Threads) with per-batch parameters (X, scoring).
+//
+// Deprecated: use EngineOptions for NewAligner and Config for Align. The
+// v1 zero-value behavior is preserved here for compatibility: an all-zero
+// scoring selects the paper's +1/-1/-1, which made an explicit
+// Match:0/Mismatch:0/Gap:0 request indistinguishable from "use the
+// default" — the footgun Config.Validate closes.
 type Options struct {
 	// X is the X-drop threshold: extension stops when the score falls
 	// more than X below the best seen (paper §III-A).
@@ -68,6 +93,8 @@ type Options struct {
 }
 
 // DefaultOptions returns the paper's configuration for a given X.
+//
+// Deprecated: use DefaultConfig with NewAligner(EngineOptions{...}).
 func DefaultOptions(x int32) Options {
 	return Options{X: x, Match: 1, Mismatch: -1, Gap: -1}
 }
@@ -80,10 +107,22 @@ func (o Options) scoring() xdrop.Scoring {
 	return s
 }
 
+// engineOptions splits the v1 Options into the engine-shape half.
+func (o Options) engineOptions() EngineOptions {
+	return EngineOptions{Backend: o.Backend, GPUs: o.GPUs, Threads: o.Threads}
+}
+
+// config splits the v1 Options into the per-request half, preserving the
+// documented v1 zero-value fallback to +1/-1/-1.
+func (o Options) config() Config {
+	return Config{X: o.X, Scoring: Scoring{mode: scoringLinear, linear: o.scoring()}}
+}
+
 // Pair is one alignment work item: two sequences and an exact seed match
 // (positions and length), as produced by an overlapper such as BELLA.
 //
-// Ingestion is zero-copy: canonical sequences (upper-case ACGTN) are
+// Ingestion is zero-copy: canonical sequences (upper-case ACGTN for the
+// linear and affine schemes, the matrix alphabet for matrix scoring) are
 // aliased, not copied, so the caller must not mutate Query or Target until
 // the call that received the Pair has returned — or, for Stream.Submit,
 // until the batch's result has been delivered.
@@ -148,6 +187,10 @@ type Stats struct {
 }
 
 // AlignPair aligns a single pair with the CPU engine.
+//
+// Deprecated: build an Aligner and call Align with a one-pair batch, or
+// keep using this wrapper for quick scripts; it is equivalent to the v1
+// behavior.
 func AlignPair(query, target []byte, seedQ, seedT, seedLen int, opt Options) (Alignment, error) {
 	q, err := seq.FromBytes(query)
 	if err != nil {
@@ -169,15 +212,18 @@ func AlignPair(query, target []byte, seedQ, seedT, seedLen int, opt Options) (Al
 //
 // Align is a thin wrapper over a cached default Aligner engine: the first
 // call for a given backend/device/thread shape builds the engine, later
-// calls reuse it. Callers with steady batch traffic should hold their own
-// engine (NewAligner) to control its lifetime and use AlignInto/NewStream.
+// calls reuse it.
+//
+// Deprecated: high-throughput callers should hold their own engine
+// (NewAligner) and use the context- and Config-threaded
+// Align/AlignInto/NewStream.
 func Align(pairs []Pair, opt Options) ([]Alignment, Stats, error) {
-	a, release, err := defaultEngine(opt)
+	a, release, err := defaultEngine(opt.engineOptions())
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	defer release()
-	return a.align(nil, pairs, opt)
+	return a.align(context.Background(), nil, pairs, opt.config())
 }
 
 func toAlignment(r xdrop.SeedResult) Alignment {

@@ -47,6 +47,29 @@ if [ "$FAILED" -ne 0 ]; then
   exit 1
 fi
 
+# Request-scoped configuration: the same server must honor per-request
+# "x" and "scoring" fields with exact scores. The pair has 4 substitutions
+# between two exact runs: with the default X the extension recovers (+4
+# over the 8-match seed -> 12), with x=2 the trough prunes it (-> 8), and
+# under affine gaps substitutions still beat gaps (-> 12). The BLOSUM62
+# query scores identical 16-mers as 2*(4+9+6+5)*2 = 96.
+CFG_PAIR='{"query":"AAAAAAAACCCCAAAAAAAA","target":"AAAAAAAAGGGGAAAAAAAA","seedQ":0,"seedT":0,"seedLen":8}'
+assert_score() {
+  local name="$1" body="$2" want="$3"
+  local resp got
+  resp=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$body" "http://$ADDR/align") || {
+    echo "serve-smoke: $name request failed" >&2; exit 1; }
+  got=$(echo "$resp" | grep -o '"score":-\?[0-9]*' | head -1 | cut -d: -f2)
+  if [ "$got" != "$want" ]; then
+    echo "serve-smoke: $name score $got, want $want ($resp)" >&2
+    exit 1
+  fi
+}
+assert_score "default-x"    "{\"pairs\":[$CFG_PAIR]}" 12
+assert_score "per-request-x" "{\"pairs\":[$CFG_PAIR],\"x\":2}" 8
+assert_score "affine" "{\"pairs\":[$CFG_PAIR],\"scoring\":{\"mode\":\"affine\",\"match\":1,\"mismatch\":-1,\"gapOpen\":-2,\"gapExtend\":-1}}" 12
+assert_score "blosum62" '{"pairs":[{"query":"ACGTACGTACGTACGT","target":"ACGTACGTACGTACGT","seedQ":0,"seedT":0,"seedLen":8}],"scoring":{"mode":"blosum62","gap":-6}}' 96
+
 STATZ=$(curl -sf "http://$ADDR/statz")
 echo "serve-smoke: statz: $STATZ"
 
@@ -64,6 +87,15 @@ if [ -z "$requests" ] || [ "$requests" -lt 50 ]; then
 fi
 if [ -z "$errors" ] || [ "$errors" -ne 0 ]; then
   echo "serve-smoke: expected 0 errors, statz says ${errors:-missing}" >&2
+  exit 1
+fi
+
+# An invalid scheme must be rejected with 400, not aligned. (Probed after
+# the statz error check: the rejection itself counts as a served error.)
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d '{"pairs":[],"scoring":{"mode":"bogus"}}' "http://$ADDR/align")
+if [ "$code" != "400" ]; then
+  echo "serve-smoke: invalid scheme returned $code, want 400" >&2
   exit 1
 fi
 
