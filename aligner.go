@@ -203,6 +203,46 @@ func (a *Aligner) alignPrepared(ctx context.Context, dst []Alignment, in []seq.P
 	return a.run(ctx, dst, sc, in, cfg, start)
 }
 
+// extendPrepared runs one batch of already-validated engine-level pairs
+// straight on the engine's backend, exposing the raw seed-extension
+// results (scores plus per-direction band/cell accounting) that the
+// public Alignment type compresses away. It is the overlap subsystem's
+// entry point: bella-pipeline extension chunks share the engine's worker
+// pools, device locks and scheduler with the Align/Coalescer traffic, and
+// the extra detail (band widths) feeds the traceback post-pass.
+func (a *Aligner) extendPrepared(ctx context.Context, in []seq.Pair, out []xdrop.SeedResult, cc core.Config) (backend.BatchStats, error) {
+	if a.closed.Load() {
+		return backend.BatchStats{}, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return backend.BatchStats{}, err
+	}
+	for i := range in {
+		in[i].ID = i
+	}
+	bst, err := a.be.ExtendBatch(ctx, in, out, cc)
+	if err != nil {
+		return backend.BatchStats{}, mapBackendErr(err)
+	}
+	return bst, nil
+}
+
+// mapBackendErr translates the execution layer's sentinel errors into the
+// public ones — shared by every path that dispatches onto the backend, so
+// internal sentinels never leak to callers.
+func mapBackendErr(err error) error {
+	switch {
+	case errors.Is(err, xdrop.ErrPoolClosed) || errors.Is(err, backend.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, core.ErrUnsupportedScheme):
+		return ErrUnsupportedConfig
+	}
+	return err
+}
+
 // run is the execution half of a batch: dispatch to the backend using
 // sc's pooled result staging, then convert results into dst and assemble
 // the stats.
@@ -217,13 +257,7 @@ func (a *Aligner) run(ctx context.Context, dst []Alignment, sc *batchScratch, in
 	sc.res = results
 	bst, err := a.be.ExtendBatch(ctx, in, results, cfg.coreConfig())
 	if err != nil {
-		switch {
-		case errors.Is(err, xdrop.ErrPoolClosed) || errors.Is(err, backend.ErrClosed):
-			err = ErrClosed
-		case errors.Is(err, core.ErrUnsupportedScheme):
-			err = ErrUnsupportedConfig
-		}
-		return nil, Stats{}, err
+		return nil, Stats{}, mapBackendErr(err)
 	}
 
 	st := Stats{Pairs: len(in), Cells: bst.Cells, DeviceTime: bst.DeviceTime}

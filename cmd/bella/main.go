@@ -1,27 +1,37 @@
-// Command bella runs the BELLA long-read overlapper pipeline on a
-// synthetic data set: k-mer counting, reliable-k-mer pruning, SpGEMM
-// overlap detection, binning, X-drop alignment (CPU or simulated-GPU
-// LOGAN), adaptive-threshold filtering — and evaluates recall/precision
-// against the simulator's ground truth (paper §V).
+// Command bella runs the BELLA long-read overlapper pipeline — the
+// public logan.Overlapper subsystem — on a synthetic data set or a FASTA
+// file: k-mer counting, reliable-k-mer pruning, SpGEMM overlap detection,
+// binning, batched X-drop alignment on a shared engine (CPU, simulated
+// GPU or Hybrid), adaptive-threshold filtering — and, for simulated data,
+// evaluates recall/precision against the simulator's ground truth
+// (paper §V). PAF output is byte-identical to logan-serve's /jobs API on
+// the same inputs (both run the same Overlapper).
 //
 // Usage:
 //
-//	bella [-preset ecoli-sim|celegans-sim|tiny] [-x 25] [-backend gpu]
-//	      [-gpus 6] [-seed 1] [-k 17]
+//	bella [-preset ecoli-sim|celegans-sim|tiny] [-x 25]
+//	      [-backend cpu|gpu|hybrid] [-gpus 6] [-seed 1] [-k 17]
+//	      [-fasta reads.fa] [-paf out.paf] [-cigar] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"time"
 
+	"logan"
 	"logan/internal/bella"
 	"logan/internal/genome"
-	"logan/internal/loadbal"
 	"logan/internal/seq"
 )
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bella: %v\n", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -30,7 +40,7 @@ func main() {
 		coverage   = flag.Float64("cov", 6, "assumed coverage for -fasta input (reliable k-mer model)")
 		errRate    = flag.Float64("errrate", 0.15, "assumed per-read error rate for -fasta input")
 		x          = flag.Int("x", 25, "X-drop threshold for the alignment stage")
-		backend    = flag.String("backend", "cpu", "alignment backend: cpu or gpu")
+		backend    = flag.String("backend", "cpu", "alignment backend: cpu, gpu or hybrid")
 		gpus       = flag.Int("gpus", 1, "simulated GPU count")
 		seed       = flag.Int64("seed", 1, "simulation RNG seed")
 		k          = flag.Int("k", 17, "k-mer length")
@@ -38,6 +48,7 @@ func main() {
 		cigar      = flag.Bool("cigar", false, "recover CIGAR strings for accepted overlaps (CPU post-pass)")
 		pafOut     = flag.String("paf", "", "write accepted overlaps to this file in PAF format")
 		dumpReads  = flag.String("dump-reads", "", "write the simulated reads as FASTA and exit")
+		progress   = flag.Bool("progress", false, "print pipeline progress to stderr")
 	)
 	flag.Parse()
 
@@ -62,14 +73,12 @@ func main() {
 	if *fasta != "" {
 		f, err := os.Open(*fasta)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		recs, err := seq.ReadFasta(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		rs = genome.FromRecords(recs)
 		preset.Coverage = *coverage
@@ -86,79 +95,109 @@ func main() {
 	if *dumpReads != "" {
 		f, err := os.Create(*dumpReads)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := seq.WriteFasta(f, rs.Records()); err != nil {
-			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		f.Close()
 		fmt.Printf("wrote %d reads to %s\n", len(rs.Reads), *dumpReads)
 		return
 	}
 
-	cfg := bella.DefaultConfig(preset.Coverage, preset.ErrorRate, int32(*x))
+	opt := logan.EngineOptions{GPUs: *gpus}
+	switch *backend {
+	case "cpu":
+		opt.Backend = logan.CPU
+	case "gpu":
+		opt.Backend = logan.GPU
+	case "hybrid":
+		opt.Backend = logan.Hybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q (want cpu, gpu or hybrid)\n", *backend)
+		os.Exit(2)
+	}
+	eng, err := logan.NewAligner(opt)
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+	ov, err := logan.NewOverlapper(eng, logan.OverlapperOptions{})
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := logan.DefaultOverlapConfig(preset.Coverage, preset.ErrorRate, int32(*x))
 	cfg.K = *k
 	cfg.MinOverlap = *minOv
 	cfg.Traceback = *cigar
-
-	var aligner bella.Aligner = bella.CPUAligner{}
-	if *backend == "gpu" {
-		pool, err := loadbal.NewV100Pool(*gpus)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
-			os.Exit(1)
+	if *progress {
+		cfg.OnProgress = func(p logan.OverlapProgress) {
+			fmt.Fprintf(os.Stderr, "\rstage=%-8s kmers=%d cands=%d extended=%d/%d",
+				p.Stage, p.ReliableKmers, p.CandidatePairs, p.ExtensionsDone, p.ExtensionsTotal)
+			if p.Stage == logan.StageDone {
+				fmt.Fprintln(os.Stderr)
+			}
 		}
-		aligner = bella.GPUAligner{Pool: pool}
+	}
+
+	reads := make([]logan.Read, len(rs.Reads))
+	for i, r := range rs.Reads {
+		reads[i] = logan.Read{Name: r.Name(), Seq: r.Seq}
 	}
 
 	start := time.Now()
-	res, err := bella.Run(rs, cfg, aligner)
+	res, err := ov.Run(context.Background(), reads, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bella: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("pipeline (%s aligner) in %v:\n", aligner.Name(), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  reliable k-mers:  %d (bounds %d..%d)\n", res.Reliable, res.Bounds[0], res.Bounds[1])
-	fmt.Printf("  matrix nnz:       %d\n", res.NNZ)
-	fmt.Printf("  candidate pairs:  %d\n", res.Candidates)
-	fmt.Printf("  accepted overlaps:%d\n", len(res.Overlaps))
-	fmt.Printf("  alignment cells:  %d\n", res.Align.Cells)
+	st := res.Stats
+	fmt.Printf("pipeline (%s backend) in %v:\n", *backend, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  reliable k-mers:  %d\n", st.ReliableKmers)
+	fmt.Printf("  matrix nnz:       %d\n", st.MatrixNNZ)
+	fmt.Printf("  candidate pairs:  %d\n", st.CandidatePairs)
+	fmt.Printf("  accepted overlaps:%d\n", len(res.Records))
+	fmt.Printf("  alignment cells:  %d\n", st.Cells)
 	fmt.Printf("  stage times: count=%v prune=%v matrix=%v spgemm=%v bin=%v align=%v filter=%v\n",
-		res.Times.Count.Round(time.Millisecond), res.Times.Prune.Round(time.Millisecond),
-		res.Times.Matrix.Round(time.Millisecond), res.Times.SpGEMM.Round(time.Millisecond),
-		res.Times.Binning.Round(time.Millisecond), res.Times.Alignment.Round(time.Millisecond),
-		res.Times.Filter.Round(time.Millisecond))
-	if res.Align.DeviceTime > 0 {
-		fmt.Printf("  modeled GPU time: %v\n", res.Align.DeviceTime.Round(time.Microsecond))
+		st.Times.Count.Round(time.Millisecond), st.Times.Prune.Round(time.Millisecond),
+		st.Times.Matrix.Round(time.Millisecond), st.Times.SpGEMM.Round(time.Millisecond),
+		st.Times.Binning.Round(time.Millisecond), st.Times.Alignment.Round(time.Millisecond),
+		st.Times.Filter.Round(time.Millisecond))
+	if st.DeviceTime > 0 {
+		fmt.Printf("  modeled GPU time: %v\n", st.DeviceTime.Round(time.Microsecond))
 	}
-	if *cigar && len(res.Overlaps) > 0 {
-		n := min(3, len(res.Overlaps))
+	if *cigar && len(res.Records) > 0 {
+		n := min(3, len(res.Records))
 		fmt.Printf("first %d overlaps with traceback:\n", n)
-		for _, ov := range res.Overlaps[:n] {
-			c := ov.CIGAR
+		for _, r := range res.Records[:n] {
+			c := r.CIGAR
 			if len(c) > 60 {
 				c = c[:57] + "..."
 			}
-			fmt.Printf("  %d-%d score=%d identity=%.3f cigar=%s\n", ov.I, ov.J, ov.Score, ov.Identity, c)
+			fmt.Printf("  %d-%d score=%d identity=%.3f cigar=%s\n", r.QIndex, r.TIndex, r.Score, 1-r.Divergence, c)
 		}
 	}
 	if *pafOut != "" {
 		f, err := os.Create(*pafOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		if err := bella.WritePAF(f, rs.Reads, res.Overlaps); err != nil {
-			fmt.Fprintf(os.Stderr, "bella: %v\n", err)
-			os.Exit(1)
+		if err := logan.WritePAF(f, res.Records); err != nil {
+			fatal(err)
 		}
-		f.Close()
-		fmt.Printf("wrote %d overlaps to %s (PAF)\n", len(res.Overlaps), *pafOut)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d overlaps to %s (PAF)\n", len(res.Records), *pafOut)
 	}
 	if haveTruth {
-		acc := bella.Evaluate(rs, res.Overlaps, *minOv)
+		// Ground-truth evaluation keys on read indices, which the public
+		// records carry alongside the PAF fields.
+		evs := make([]bella.Overlap, len(res.Records))
+		for i, r := range res.Records {
+			evs[i] = bella.Overlap{I: int32(r.QIndex), J: int32(r.TIndex)}
+		}
+		acc := bella.Evaluate(rs, evs, *minOv)
 		fmt.Printf("accuracy vs ground truth (overlap >= %d bp):\n", *minOv)
 		fmt.Printf("  recall %.3f  precision %.3f  F1 %.3f  (tp=%d, truth=%d, predicted=%d)\n",
 			acc.Recall, acc.Precision, acc.F1, acc.TruePositives, acc.TruePairs, acc.PredictedPairs)

@@ -1,0 +1,807 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logan"
+)
+
+// jobState is the lifecycle of one overlap job:
+//
+//	queued -> running -> done | failed
+//	   \--------\--------> canceled (DELETE)
+type jobState string
+
+const (
+	jobQueued   jobState = "queued"
+	jobRunning  jobState = "running"
+	jobDone     jobState = "done"
+	jobFailed   jobState = "failed"
+	jobCanceled jobState = "canceled"
+)
+
+// terminal reports whether the state can never change again.
+func (s jobState) terminal() bool {
+	return s == jobDone || s == jobFailed || s == jobCanceled
+}
+
+// jobProgress mirrors logan.OverlapProgress with atomics, so the runner
+// goroutine updates it lock-free while status requests snapshot it.
+type jobProgress struct {
+	stage                             atomic.Value // logan.OverlapStage
+	readsParsed, reliableKmers        atomic.Int64
+	candidatePairs, extDone, extTotal atomic.Int64
+	overlaps                          atomic.Int64
+	shed, retries                     atomic.Int64
+}
+
+// observe folds one progress snapshot into the counters.
+func (p *jobProgress) observe(u logan.OverlapProgress) {
+	p.stage.Store(u.Stage)
+	p.readsParsed.Store(int64(u.ReadsParsed))
+	p.reliableKmers.Store(int64(u.ReliableKmers))
+	p.candidatePairs.Store(int64(u.CandidatePairs))
+	p.extDone.Store(int64(u.ExtensionsDone))
+	p.extTotal.Store(int64(u.ExtensionsTotal))
+	p.overlaps.Store(int64(u.Overlaps))
+	p.shed.Store(u.Shed)
+	p.retries.Store(u.Retries)
+}
+
+// job is one submitted overlap run.
+type job struct {
+	id        string
+	createdAt time.Time
+	cancel    context.CancelFunc
+	progress  jobProgress
+
+	mu         sync.Mutex
+	state      jobState
+	err        string
+	startedAt  time.Time
+	finishedAt time.Time
+	paf        []byte // serialized PAF, set when state == jobDone
+	overlaps   int
+	reads      int
+	cells      int64
+	// removed marks a job taken out of the store (DELETE or eviction)
+	// whose runner may still be finishing: finish must not retain the
+	// PAF or count it against the result budget — nobody can fetch it
+	// and nothing would ever subtract it.
+	removed bool
+}
+
+// jobTotals are the process-lifetime job counters behind /statz.
+type jobTotals struct {
+	Submitted atomic.Int64
+	Completed atomic.Int64
+	Failed    atomic.Int64
+	Canceled  atomic.Int64
+	// Rejected counts submissions shed by admission control (HTTP 429):
+	// the store was full of live jobs.
+	Rejected atomic.Int64
+	// PAFBytes counts result bytes produced by completed jobs.
+	PAFBytes atomic.Int64
+}
+
+// jobStore is the bounded in-process registry behind the /jobs API: at
+// most maxJobs jobs are retained (terminal jobs are evicted oldest-first
+// to make room; a store full of live jobs sheds new submissions), and at
+// most workers jobs run concurrently — the rest wait in "queued".
+type jobStore struct {
+	ov      *logan.Overlapper
+	maxJobs int
+	sem     chan struct{} // worker slots
+	baseCtx context.Context
+	stopAll context.CancelFunc
+	wg      sync.WaitGroup
+	totals  jobTotals
+	dataDir string // server-side FASTA root ("" disables fastaPath)
+	// byteBudget bounds the FASTA bytes buffered by upload jobs that are
+	// still ingesting: admission counts jobs AND bytes, so a client
+	// cannot pin maxJobs × bodyLimit of heap behind two worker slots.
+	// bufferedBytes is the current reservation, released once the job's
+	// ingestion stage completes (the buffer is dead weight from then on)
+	// or its runner returns, whichever comes first.
+	byteBudget    int64
+	bufferedBytes atomic.Int64
+	// resultBudget bounds the aggregate serialized-PAF bytes retained by
+	// terminal jobs (resultBytes is the current total): PAF size is
+	// unrelated to input size — dense overlap sets are quadratic — so
+	// results need their own budget, enforced by evicting the oldest
+	// terminal jobs.
+	resultBudget int64
+	resultBytes  atomic.Int64
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // insertion order, for eviction scans
+}
+
+// newJobStore builds a store running jobs on the given overlapper.
+func newJobStore(ov *logan.Overlapper, workers, maxJobs int, dataDir string, byteBudget, resultBudget int64) *jobStore {
+	if workers <= 0 {
+		workers = 2
+	}
+	if maxJobs <= 0 {
+		maxJobs = 64
+	}
+	if byteBudget <= 0 {
+		byteBudget = 256 << 20
+	}
+	if resultBudget <= 0 {
+		resultBudget = 256 << 20
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &jobStore{
+		ov: ov, maxJobs: maxJobs,
+		sem:     make(chan struct{}, workers),
+		baseCtx: ctx, stopAll: cancel,
+		dataDir:    dataDir,
+		byteBudget: byteBudget, resultBudget: resultBudget,
+		jobs: make(map[string]*job),
+	}
+}
+
+// Close cancels every live job and waits for the runners to drain. Call
+// it before closing the coalescer/engine the overlapper extends on.
+func (st *jobStore) Close() {
+	st.stopAll()
+	st.wg.Wait()
+}
+
+// newJobID returns a 16-hex-character random identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// errStoreFull and errByteBudget report admission-control rejection
+// (mapped to 429).
+var (
+	errStoreFull  = errors.New("job store full of live jobs")
+	errByteBudget = errors.New("job upload byte budget exhausted")
+)
+
+// add registers a new job, evicting the oldest terminal job when the
+// store is full. It fails with errStoreFull when every retained job is
+// still live.
+func (st *jobStore) add(j *job) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.jobs) >= st.maxJobs {
+		evicted := false
+		for i, id := range st.order {
+			old := st.jobs[id]
+			old.mu.Lock()
+			dead := old.state.terminal()
+			paf := len(old.paf)
+			if dead {
+				old.removed = true
+			}
+			old.mu.Unlock()
+			if dead {
+				delete(st.jobs, id)
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				if paf > 0 {
+					st.resultBytes.Add(int64(-paf))
+				}
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return errStoreFull
+		}
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j.id)
+	return nil
+}
+
+// trimResults evicts the oldest terminal jobs (sparing keep, the one
+// that just finished) until retained PAF bytes fit the result budget: a
+// dense overlap set can produce results far larger than its input, so
+// the output side needs admission control of its own.
+func (st *jobStore) trimResults(keep string) {
+	if st.resultBytes.Load() <= st.resultBudget {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := 0; i < len(st.order) && st.resultBytes.Load() > st.resultBudget; {
+		id := st.order[i]
+		if id == keep {
+			i++
+			continue
+		}
+		j := st.jobs[id]
+		j.mu.Lock()
+		dead := j.state.terminal()
+		paf := len(j.paf)
+		if dead && paf > 0 {
+			j.removed = true
+		}
+		j.mu.Unlock()
+		if !dead || paf == 0 {
+			i++
+			continue
+		}
+		delete(st.jobs, id)
+		st.order = append(st.order[:i], st.order[i+1:]...)
+		st.resultBytes.Add(int64(-paf))
+	}
+}
+
+// get returns the job by id.
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// remove deletes the job from the registry; the runner goroutine (if any)
+// keeps running until its context cancellation lands.
+func (st *jobStore) remove(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	delete(st.jobs, id)
+	for i, oid := range st.order {
+		if oid == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+	j.mu.Lock()
+	paf := len(j.paf)
+	j.removed = true // a still-running finish must not account its result
+	j.mu.Unlock()
+	if paf > 0 {
+		st.resultBytes.Add(int64(-paf))
+	}
+	return j, true
+}
+
+// counts returns the live-state gauges for /statz.
+func (st *jobStore) counts() (queued, running int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, j := range st.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case jobQueued:
+			queued++
+		case jobRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running
+}
+
+// submit registers and starts a job over the given FASTA source. The
+// source is opened only once a worker slot frees up, so a deep queue does
+// not hold file handles. bufSize is the source's already-buffered upload
+// bytes (0 for server-side paths, which buffer nothing); the reservation
+// is held until the job's runner returns and its buffer is unreachable.
+func (st *jobStore) submit(cfg logan.OverlapConfig, src func() (io.ReadCloser, error), bufSize int64) (*job, error) {
+	if bufSize > 0 && st.bufferedBytes.Add(bufSize) > st.byteBudget {
+		st.bufferedBytes.Add(-bufSize)
+		return nil, errByteBudget
+	}
+	ctx, cancel := context.WithCancel(st.baseCtx)
+	j := &job{id: newJobID(), createdAt: time.Now(), state: jobQueued, cancel: cancel}
+	j.progress.stage.Store(logan.OverlapStage("queued"))
+	cfg.OnProgress = j.progress.observe
+	if err := st.add(j); err != nil {
+		cancel()
+		st.bufferedBytes.Add(-bufSize)
+		return nil, err
+	}
+	st.totals.Submitted.Add(1)
+	st.wg.Add(1)
+	go st.run(ctx, j, cfg, src, bufSize)
+	return j, nil
+}
+
+// run executes one job: wait for a worker slot, stream the FASTA through
+// the overlapper, publish the outcome.
+func (st *jobStore) run(ctx context.Context, j *job, cfg logan.OverlapConfig, src func() (io.ReadCloser, error), bufSize int64) {
+	defer st.wg.Done()
+	// Release the upload-byte reservation as soon as ingestion completes
+	// (the first post-ingest progress update): from there the body buffer
+	// is dead weight and must not count against new submissions. The
+	// deferred call covers every early-exit path; progress callbacks run
+	// on this goroutine, so the flag needs no lock.
+	released := bufSize == 0
+	release := func() {
+		if !released {
+			released = true
+			st.bufferedBytes.Add(-bufSize)
+		}
+	}
+	defer release()
+	if !released {
+		observe := cfg.OnProgress
+		cfg.OnProgress = func(p logan.OverlapProgress) {
+			if p.Stage != logan.StageIngest {
+				release()
+			}
+			observe(p)
+		}
+	}
+	defer j.cancel()
+	select {
+	case st.sem <- struct{}{}:
+		defer func() { <-st.sem }()
+	case <-ctx.Done():
+		st.finish(j, nil, ctx.Err())
+		return
+	}
+	j.mu.Lock()
+	j.state = jobRunning
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+
+	in, err := src()
+	if err != nil {
+		st.finish(j, nil, err)
+		return
+	}
+	res, err := st.ov.RunFasta(ctx, in, cfg)
+	in.Close()
+	st.finish(j, res, err)
+	// A completed job just added its PAF bytes; shrink the retained set
+	// back under the result budget (evicting oldest terminal jobs).
+	st.trimResults(j.id)
+}
+
+// finish publishes a job outcome exactly once.
+func (st *jobStore) finish(j *job, res *logan.OverlapResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.finishedAt = time.Now()
+	switch {
+	case err == nil:
+		var buf bytes.Buffer
+		if werr := logan.WritePAF(&buf, res.Records); werr != nil {
+			j.state = jobFailed
+			j.err = werr.Error()
+			st.totals.Failed.Add(1)
+			return
+		}
+		j.state = jobDone
+		j.overlaps = len(res.Records)
+		j.reads = res.Stats.Reads
+		j.cells = res.Stats.Cells
+		st.totals.Completed.Add(1)
+		if j.removed {
+			// The job was DELETEd (or evicted) while the run raced to the
+			// finish line: nobody can fetch the result and nothing would
+			// ever subtract it from the budget, so drop it.
+			return
+		}
+		j.paf = buf.Bytes()
+		st.totals.PAFBytes.Add(int64(len(j.paf)))
+		st.resultBytes.Add(int64(len(j.paf)))
+	case errors.Is(err, context.Canceled):
+		j.state = jobCanceled
+		j.err = err.Error()
+		st.totals.Canceled.Add(1)
+	default:
+		j.state = jobFailed
+		j.err = err.Error()
+		st.totals.Failed.Add(1)
+	}
+}
+
+// overlapConfigJSON is the wire form of a job's pipeline configuration:
+// every field optional, zero values replaced by the DefaultOverlapConfig
+// defaults (coverage 6, error rate 0.15, the paper's +1/-1/-1 scoring).
+// The same fields are accepted as query parameters on raw-FASTA
+// submissions.
+type overlapConfigJSON struct {
+	K          int     `json:"k"`
+	Coverage   float64 `json:"coverage"`
+	ErrorRate  float64 `json:"errorRate"`
+	X          *int32  `json:"x"`
+	MinOverlap int     `json:"minOverlap"`
+	MinShared  int     `json:"minShared"`
+	MaxSeeds   int     `json:"maxSeeds"`
+	BinWidth   int     `json:"binWidth"`
+	Delta      float64 `json:"delta"`
+}
+
+// jobRequestJSON is the application/json POST /jobs payload: a
+// server-side FASTA path (relative to -job-data-dir) plus the pipeline
+// configuration.
+type jobRequestJSON struct {
+	FastaPath string            `json:"fastaPath"`
+	Config    overlapConfigJSON `json:"config"`
+}
+
+// overlapConfig resolves the wire configuration against the server's
+// defaults and caps.
+func (s *server) overlapConfig(req overlapConfigJSON) (logan.OverlapConfig, error) {
+	cov, er := req.Coverage, req.ErrorRate
+	if cov == 0 {
+		cov = 6
+	}
+	if er == 0 {
+		er = 0.15
+	}
+	if cov < 0 || er < 0 || er >= 1 {
+		return logan.OverlapConfig{}, fmt.Errorf("coverage %g / errorRate %g out of range", cov, er)
+	}
+	x := s.defCfg.X
+	if req.X != nil {
+		x = *req.X
+	}
+	if x > s.maxX {
+		return logan.OverlapConfig{}, fmt.Errorf("x %d exceeds the server's %d limit", x, s.maxX)
+	}
+	cfg := logan.DefaultOverlapConfig(cov, er, x)
+	if req.K != 0 {
+		cfg.K = req.K
+	}
+	cfg.MinOverlap = req.MinOverlap
+	if req.MinShared != 0 {
+		cfg.MinShared = req.MinShared
+	}
+	if req.MaxSeeds != 0 {
+		cfg.MaxSeeds = req.MaxSeeds
+	}
+	if req.BinWidth != 0 {
+		cfg.BinWidth = req.BinWidth
+	}
+	if req.Delta != 0 {
+		cfg.Delta = req.Delta
+	}
+	if err := cfg.Validate(); err != nil {
+		return logan.OverlapConfig{}, err
+	}
+	return cfg, nil
+}
+
+// queryOverlapConfig parses the overlapConfigJSON fields from URL query
+// parameters (the raw-FASTA submission form).
+func queryOverlapConfig(q url.Values) (overlapConfigJSON, error) {
+	var out overlapConfigJSON
+	var err error
+	geti := func(key string, dst *int) {
+		if v := q.Get(key); v != "" && err == nil {
+			*dst, err = strconv.Atoi(v)
+			if err != nil {
+				err = fmt.Errorf("query parameter %s=%q: %w", key, v, err)
+			}
+		}
+	}
+	getf := func(key string, dst *float64) {
+		if v := q.Get(key); v != "" && err == nil {
+			*dst, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				err = fmt.Errorf("query parameter %s=%q: %w", key, v, err)
+			}
+		}
+	}
+	geti("k", &out.K)
+	getf("coverage", &out.Coverage)
+	getf("errorRate", &out.ErrorRate)
+	if v := q.Get("x"); v != "" && err == nil {
+		xv, perr := strconv.ParseInt(v, 10, 32)
+		if perr != nil {
+			err = fmt.Errorf("query parameter x=%q: %w", v, perr)
+		} else {
+			x32 := int32(xv)
+			out.X = &x32
+		}
+	}
+	geti("minOverlap", &out.MinOverlap)
+	geti("minShared", &out.MinShared)
+	geti("maxSeeds", &out.MaxSeeds)
+	geti("binWidth", &out.BinWidth)
+	getf("delta", &out.Delta)
+	return out, err
+}
+
+// handleJobSubmit is POST /jobs. An application/json body names a
+// server-side FASTA under -job-data-dir; any other content type is the
+// FASTA itself (configuration via query parameters). Accepted jobs get
+// 202 with the job id; a store full of live jobs sheds with 429.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.totals.Requests.Add(1)
+	if s.jobs == nil {
+		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
+		return
+	}
+	var (
+		cfg     logan.OverlapConfig
+		src     func() (io.ReadCloser, error)
+		bufSize int64
+	)
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		var req jobRequestJSON
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err := dec.Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+			s.fail(w, http.StatusBadRequest, "bad request: trailing data after JSON document")
+			return
+		}
+		var err error
+		cfg, err = s.overlapConfig(req.Config)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		path, err := s.jobs.resolveDataPath(req.FastaPath)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		src = func() (io.ReadCloser, error) { return os.Open(path) }
+	} else {
+		q, err := queryOverlapConfig(r.URL.Query())
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		cfg, err = s.overlapConfig(q)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		// The upload is buffered at admission (bounded by -job-body-limit)
+		// so the job holds bytes, not the client connection.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.jobBodyLimit))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.fail(w, http.StatusRequestEntityTooLarge,
+					"FASTA upload exceeds the %d-byte limit", tooBig.Limit)
+				return
+			}
+			s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		if len(body) == 0 {
+			s.fail(w, http.StatusBadRequest, "bad request: empty FASTA body")
+			return
+		}
+		// The source transfers ownership of the buffer on open: the
+		// closure drops its reference, so once the overlapper's ingest
+		// loop stops reading, nothing but a dead local pins the bytes and
+		// the reservation release at end-of-ingest matches reality.
+		bufSize = int64(len(body))
+		src = func() (io.ReadCloser, error) {
+			b := body
+			body = nil
+			return io.NopCloser(bytes.NewReader(b)), nil
+		}
+	}
+
+	j, err := s.jobs.submit(cfg, src, bufSize)
+	if err != nil {
+		s.jobs.totals.Rejected.Add(1)
+		s.totals.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/jobs/"+j.id)
+	w.WriteHeader(http.StatusAccepted)
+	if err := json.NewEncoder(w).Encode(jobStatusJSON{ID: j.id, State: string(jobQueued)}); err != nil {
+		s.totals.WriteErrors.Add(1)
+	}
+}
+
+// resolveDataPath maps a client-supplied relative path onto the
+// -job-data-dir sandbox, rejecting escapes.
+func (st *jobStore) resolveDataPath(p string) (string, error) {
+	if st.dataDir == "" {
+		return "", errors.New("server-side FASTA paths are disabled (start with -job-data-dir)")
+	}
+	if p == "" {
+		return "", errors.New("fastaPath is required for JSON submissions")
+	}
+	if filepath.IsAbs(p) {
+		return "", fmt.Errorf("fastaPath %q must be relative to the server's data directory", p)
+	}
+	clean := filepath.Clean(p)
+	if clean == ".." || len(clean) >= 3 && clean[:3] == ".."+string(filepath.Separator) {
+		return "", fmt.Errorf("fastaPath %q escapes the server's data directory", p)
+	}
+	return filepath.Join(st.dataDir, clean), nil
+}
+
+// jobProgressJSON is the progress block of GET /jobs/{id}.
+type jobProgressJSON struct {
+	Stage           string `json:"stage"`
+	ReadsParsed     int64  `json:"readsParsed"`
+	ReliableKmers   int64  `json:"reliableKmers"`
+	CandidatePairs  int64  `json:"candidatePairs"`
+	ExtensionsDone  int64  `json:"extensionsDone"`
+	ExtensionsTotal int64  `json:"extensionsTotal"`
+	Shed            int64  `json:"shed"`
+	Retries         int64  `json:"retries"`
+}
+
+// jobStatusJSON is the GET /jobs/{id} payload (also returned by POST).
+type jobStatusJSON struct {
+	ID       string           `json:"id"`
+	State    string           `json:"state"`
+	Error    string           `json:"error,omitempty"`
+	Progress *jobProgressJSON `json:"progress,omitempty"`
+	// Overlaps/Reads/Cells/PAFBytes summarize a finished job.
+	Overlaps   int    `json:"overlaps,omitempty"`
+	Reads      int    `json:"reads,omitempty"`
+	Cells      int64  `json:"cells,omitempty"`
+	PAFBytes   int    `json:"pafBytes,omitempty"`
+	CreatedAt  string `json:"createdAt"`
+	StartedAt  string `json:"startedAt,omitempty"`
+	FinishedAt string `json:"finishedAt,omitempty"`
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() jobStatusJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	stage, _ := j.progress.stage.Load().(logan.OverlapStage)
+	out := jobStatusJSON{
+		ID:    j.id,
+		State: string(j.state),
+		Error: j.err,
+		Progress: &jobProgressJSON{
+			Stage:           string(stage),
+			ReadsParsed:     j.progress.readsParsed.Load(),
+			ReliableKmers:   j.progress.reliableKmers.Load(),
+			CandidatePairs:  j.progress.candidatePairs.Load(),
+			ExtensionsDone:  j.progress.extDone.Load(),
+			ExtensionsTotal: j.progress.extTotal.Load(),
+			Shed:            j.progress.shed.Load(),
+			Retries:         j.progress.retries.Load(),
+		},
+		Overlaps:  j.overlaps,
+		Reads:     j.reads,
+		Cells:     j.cells,
+		PAFBytes:  len(j.paf),
+		CreatedAt: j.createdAt.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.startedAt.IsZero() {
+		out.StartedAt = j.startedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finishedAt.IsZero() {
+		out.FinishedAt = j.finishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	return out
+}
+
+// handleJobStatus is GET /jobs/{id}.
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	s.totals.Requests.Add(1)
+	j, ok := s.jobLookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(j.status()); err != nil {
+		s.totals.WriteErrors.Add(1)
+	}
+}
+
+// handleJobPAF is GET /jobs/{id}/paf: the result stream of a finished
+// job. Jobs that are not done yet answer 409 with their current state.
+func (s *server) handleJobPAF(w http.ResponseWriter, r *http.Request) {
+	s.totals.Requests.Add(1)
+	j, ok := s.jobLookup(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	state, errMsg, paf := j.state, j.err, j.paf
+	j.mu.Unlock()
+	if state != jobDone {
+		msg := fmt.Sprintf("job %s is %s", j.id, state)
+		if errMsg != "" {
+			msg += ": " + errMsg
+		}
+		s.fail(w, http.StatusConflict, "%s", msg)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(paf)))
+	if _, err := w.Write(paf); err != nil {
+		s.totals.WriteErrors.Add(1)
+	}
+}
+
+// handleJobDelete is DELETE /jobs/{id}: cancel the job if live, forget it
+// either way. The id answers 404 from this point on.
+func (s *server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	s.totals.Requests.Add(1)
+	if s.jobs == nil {
+		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
+		return
+	}
+	j, ok := s.jobs.remove(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no such job")
+		return
+	}
+	// Cancel the run; the runner's finish marks the job canceled (it is
+	// already unreachable, but the totals must record the outcome).
+	j.cancel()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// jobLookup resolves {id} for the GET handlers.
+func (s *server) jobLookup(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	if s.jobs == nil {
+		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
+		return nil, false
+	}
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no such job")
+		return nil, false
+	}
+	return j, true
+}
+
+// jobsStatzJSON is the "jobs" block of GET /statz.
+type jobsStatzJSON struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	PAFBytes  int64 `json:"pafBytes"`
+}
+
+// statz snapshots the job totals and gauges.
+func (st *jobStore) statz() *jobsStatzJSON {
+	queued, running := st.counts()
+	return &jobsStatzJSON{
+		Submitted: st.totals.Submitted.Load(),
+		Completed: st.totals.Completed.Load(),
+		Failed:    st.totals.Failed.Load(),
+		Canceled:  st.totals.Canceled.Load(),
+		Rejected:  st.totals.Rejected.Load(),
+		Queued:    queued,
+		Running:   running,
+		PAFBytes:  st.totals.PAFBytes.Load(),
+	}
+}

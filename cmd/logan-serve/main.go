@@ -18,14 +18,31 @@
 // {"mode":"blosum62","gap"}. Invalid schemes get 400; affine/blosum62 on
 // a pure-GPU server get 422 (the kernel is linear-DNA only).
 //
+// The server also hosts the async overlap-job API: POST a FASTA data set
+// to /jobs and the BELLA overlap pipeline (logan.Overlapper) runs it on
+// the same shared engine — extension batches interleave with /align
+// traffic on the same worker pools and devices, and -job-coalesce
+// additionally merges them into the request coalescer's batches. Jobs
+// are bounded (-max-jobs retained records, -job-workers concurrent runs)
+// and cancellable: DELETE aborts a running job promptly (the backend
+// observes the job's context per pair). See docs/SERVING.md for the full
+// API reference.
+//
 // Endpoints:
 //
-//	POST /align    {"pairs":[{"query","target","seedQ","seedT","seedLen"}],
-//	               "x":..., "scoring":{...}}
-//	GET  /healthz  liveness
-//	GET  /statz    process-lifetime totals (requests, pairs, cells, errors,
-//	               shed, writeErrors), the per-backend breakdown
-//	               (cpu, gpu0, ...) and the coalescer counters
+//	POST   /align        {"pairs":[{"query","target","seedQ","seedT","seedLen"}],
+//	                     "x":..., "scoring":{...}}
+//	POST   /jobs         FASTA body (config via ?x=&k=&coverage=... query) or
+//	                     {"fastaPath","config":{...}} with -job-data-dir; 202 + id
+//	GET    /jobs/{id}    status + progress (stage, reads, k-mers, candidates,
+//	                     extensions done/total, shed/retry counts)
+//	GET    /jobs/{id}/paf  the finished job's overlaps in PAF (409 until done)
+//	DELETE /jobs/{id}    cancel and forget the job (404 afterwards)
+//	GET    /healthz      liveness
+//	GET    /statz        process-lifetime totals (requests, pairs, cells,
+//	                     errors, shed, writeErrors), the per-backend
+//	                     breakdown (cpu, gpu0, ...), the coalescer counters
+//	                     and the jobs block
 //
 // Usage:
 //
@@ -33,9 +50,14 @@
 //	            [-threads 0] [-max-pairs 100000]
 //	            [-coalesce] [-coalesce-pairs 4096] [-max-wait 2ms]
 //	            [-max-pending 16384]
+//	            [-jobs] [-job-workers 2] [-max-jobs 64]
+//	            [-job-body-limit 67108864] [-job-pending-bytes 268435456]
+//	            [-job-result-bytes 268435456] [-job-data-dir dir]
+//	            [-job-coalesce]
 //
-// SIGINT/SIGTERM drain in-flight requests and the coalescer queue, then
-// release the engine and every cached default engine before exiting.
+// SIGINT/SIGTERM drain in-flight requests, cancel live jobs and flush the
+// coalescer queue, then release the engine and every cached default
+// engine before exiting.
 package main
 
 import (
@@ -70,6 +92,19 @@ func main() {
 			"longest a request may wait for its merged batch to fill (0 = 2ms)")
 		maxPending = flag.Int("max-pending", 0,
 			"pending-pair budget before requests shed with 429 (0 = 4x coalesce-pairs)")
+
+		jobs       = flag.Bool("jobs", true, "enable the async /jobs overlap API")
+		jobWorkers = flag.Int("job-workers", 2, "overlap jobs running concurrently")
+		maxJobs    = flag.Int("max-jobs", 64, "retained job records before submissions shed with 429")
+		jobBody    = flag.Int64("job-body-limit", 64<<20, "largest accepted FASTA upload in bytes")
+		jobPending = flag.Int64("job-pending-bytes", 256<<20,
+			"aggregate FASTA bytes buffered by ingesting upload jobs before submissions shed with 429")
+		jobResults = flag.Int64("job-result-bytes", 256<<20,
+			"aggregate PAF bytes retained by finished jobs before the oldest are evicted")
+		jobDataDir = flag.String("job-data-dir", "",
+			"root directory for server-side fastaPath submissions (empty = uploads only)")
+		jobCoalesce = flag.Bool("job-coalesce", false,
+			"merge job extension chunks with /align traffic via the coalescer (coarsens DELETE cancellation to whole merged batches)")
 	)
 	flag.Parse()
 
@@ -105,12 +140,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "logan-serve: -x %d exceeds -max-x %d\n", *x, *maxX)
 		os.Exit(2)
 	}
+	// -job-coalesce routes job chunks through the request coalescer; with
+	// -coalesce=false there is none, and silently falling back to the
+	// direct path would ignore an explicit operator request.
+	if *jobCoalesce && !*coalesce {
+		fmt.Fprintln(os.Stderr, "logan-serve: -job-coalesce requires -coalesce")
+		os.Exit(2)
+	}
 	cfg.maxPairs = *maxPairs
 	cfg.maxX = int32(*maxX)
 	cfg.coalesce = *coalesce
 	cfg.coalescePairs = *coalescePairs
 	cfg.maxWait = *maxWait
 	cfg.maxPending = *maxPending
+	cfg.jobs = *jobs
+	cfg.jobWorkers = *jobWorkers
+	cfg.maxJobs = *maxJobs
+	cfg.jobBodyLimit = *jobBody
+	cfg.jobPendingBytes = *jobPending
+	cfg.jobResultBytes = *jobResults
+	cfg.jobDataDir = *jobDataDir
+	cfg.jobCoalesce = *jobCoalesce
 	handler := newServer(eng, cfg)
 
 	srv := &http.Server{

@@ -201,15 +201,45 @@ type serveConfig struct {
 	maxWait       time.Duration
 	coalescePairs int
 	maxPending    int
+	// jobs enables the async /jobs overlap API; jobWorkers bounds the
+	// concurrently running jobs, maxJobs the retained job records,
+	// jobBodyLimit one FASTA upload's bytes, and jobDataDir (when set)
+	// the root for server-side fastaPath submissions.
+	jobs         bool
+	jobWorkers   int
+	maxJobs      int
+	jobBodyLimit int64
+	// jobPendingBytes bounds the aggregate FASTA bytes buffered by live
+	// upload jobs — without it, maxJobs queued uploads of jobBodyLimit
+	// each could pin maxJobs×jobBodyLimit of heap behind a few worker
+	// slots. jobResultBytes bounds the aggregate PAF bytes retained by
+	// finished jobs (output size is unrelated to input size), enforced by
+	// evicting the oldest terminal jobs.
+	jobPendingBytes int64
+	jobResultBytes  int64
+	jobDataDir      string
+	// jobCoalesce routes job extension chunks through the request
+	// coalescer (merging them with same-config /align traffic) instead of
+	// straight onto the engine's backend. The default is direct: the
+	// backend observes a canceled job per pair, while a coalesced chunk
+	// already executing must finish its whole merged batch first — with
+	// large X that postpones DELETE by a full batch.
+	jobCoalesce bool
 }
 
 func defaultServeConfig() serveConfig {
 	return serveConfig{
-		maxPairs:  100_000,
-		bodyLimit: 256 << 20,
-		defCfg:    logan.DefaultConfig(100),
-		maxX:      10_000,
-		coalesce:  true,
+		maxPairs:        100_000,
+		bodyLimit:       256 << 20,
+		defCfg:          logan.DefaultConfig(100),
+		maxX:            10_000,
+		coalesce:        true,
+		jobs:            true,
+		jobWorkers:      2,
+		maxJobs:         64,
+		jobBodyLimit:    64 << 20,
+		jobPendingBytes: 256 << 20,
+		jobResultBytes:  256 << 20,
 	}
 }
 
@@ -220,15 +250,17 @@ func defaultServeConfig() serveConfig {
 // the engine directly and concurrency is per resource (CPU batches
 // interleave across the worker pool, GPU batches serialize per device).
 type server struct {
-	eng        *logan.Aligner
-	coal       *logan.Coalescer // nil when coalescing is disabled
-	mux        *http.ServeMux
-	totals     serverTotals
-	defCfg     logan.Config
-	maxX       int32
-	maxPairs   int
-	bodyLimit  int64
-	retryAfter string // Retry-After seconds advertised on 429
+	eng          *logan.Aligner
+	coal         *logan.Coalescer // nil when coalescing is disabled
+	jobs         *jobStore        // nil when the /jobs API is disabled
+	mux          *http.ServeMux
+	totals       serverTotals
+	defCfg       logan.Config
+	maxX         int32
+	maxPairs     int
+	bodyLimit    int64
+	jobBodyLimit int64
+	retryAfter   string // Retry-After seconds advertised on 429
 }
 
 // newServer builds the HTTP surface for an engine. Callers must Close the
@@ -248,7 +280,11 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 	if cfg.maxX <= 0 {
 		cfg.maxX = def.maxX
 	}
-	s := &server{eng: eng, defCfg: cfg.defCfg, maxX: cfg.maxX, maxPairs: cfg.maxPairs, bodyLimit: cfg.bodyLimit}
+	if cfg.jobBodyLimit <= 0 {
+		cfg.jobBodyLimit = def.jobBodyLimit
+	}
+	s := &server{eng: eng, defCfg: cfg.defCfg, maxX: cfg.maxX, maxPairs: cfg.maxPairs,
+		bodyLimit: cfg.bodyLimit, jobBodyLimit: cfg.jobBodyLimit}
 	if cfg.coalesce {
 		s.coal = eng.NewCoalescer(logan.CoalescerOptions{
 			MaxBatchPairs: cfg.coalescePairs,
@@ -261,19 +297,48 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 		})
 		s.retryAfter = strconv.Itoa(max(1, int(math.Ceil(s.coal.Options().MaxWait.Seconds()))))
 	}
+	if cfg.jobs {
+		// Jobs extend on the same engine as /align traffic. With
+		// -job-coalesce their chunks additionally flow through the merge
+		// queue (and shed/retry under its admission control); the default
+		// is the engine-direct path for per-pair cancellation.
+		var oopt logan.OverlapperOptions
+		if cfg.jobCoalesce {
+			if s.coal == nil {
+				// main rejects this flag combination; reaching it here is
+				// a programming error that must not silently downgrade to
+				// the direct path.
+				panic("logan-serve: jobCoalesce requires coalesce")
+			}
+			oopt.Coalescer = s.coal
+		}
+		ov, err := logan.NewOverlapper(eng, oopt)
+		if err != nil {
+			panic(err) // unreachable: eng is non-nil
+		}
+		s.jobs = newJobStore(ov, cfg.jobWorkers, cfg.maxJobs, cfg.jobDataDir, cfg.jobPendingBytes, cfg.jobResultBytes)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /align", s.handleAlign)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/paf", s.handleJobPAF)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
 	s.mux = mux
 	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the coalescer after flushing queued requests. Call it after
-// the HTTP server has stopped accepting work.
+// Close cancels live jobs, waits for their runners, then stops the
+// coalescer after flushing queued requests. Call it after the HTTP server
+// has stopped accepting work and before the engine closes.
 func (s *server) Close() {
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
 	if s.coal != nil {
 		s.coal.Close()
 	}
@@ -405,6 +470,7 @@ type statzJSON struct {
 	WriteErrors int64                       `json:"writeErrors"`
 	Backends    map[string]backendStatzJSON `json:"backends"`
 	Coalescer   *coalescerStatzJSON         `json:"coalescer,omitempty"`
+	Jobs        *jobsStatzJSON              `json:"jobs,omitempty"`
 }
 
 type backendStatzJSON struct {
@@ -459,6 +525,9 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 			QueuedPairs:     m.QueuedPairs,
 			QueuedConfigs:   m.QueuedConfigs,
 		}
+	}
+	if s.jobs != nil {
+		out.Jobs = s.jobs.statz()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {

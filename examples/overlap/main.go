@@ -1,53 +1,151 @@
-// Overlap: the paper's headline application (§V) end to end — simulate a
-// small long-read sequencing run, detect overlaps with the BELLA pipeline,
-// align candidates with LOGAN on simulated GPUs, and score the result
-// against the simulator's ground truth. This is the many-to-many workload
-// the X-drop algorithm exists for: most candidate pairs are genuine, but
-// repeats plant spurious ones that the aligner must reject cheaply.
+// Overlap: the paper's headline application (§V) end to end on the public
+// API — simulate a small long-read sequencing run, detect and align
+// overlaps with logan.Overlapper (the BELLA pipeline over a shared
+// Aligner engine), and score the result against the simulation's own
+// ground truth. This is the many-to-many workload the X-drop algorithm
+// exists for: most candidate pairs are genuine, but repeats plant
+// spurious ones that the aligner must reject cheaply.
+//
+// The example deliberately imports nothing but package logan and the
+// standard library: everything it needs — ingestion, configuration,
+// progress, PAF records — is on the public surface.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
-	"logan/internal/bella"
-	"logan/internal/genome"
-	"logan/internal/loadbal"
+	"logan"
 )
+
+const bases = "ACGT"
+
+// simRead is one sampled read with the provenance the simulator knows.
+type simRead struct {
+	start, end int
+}
+
+// simulate builds a genome with planted repeats and samples error-laden
+// reads from both strands, returning the reads plus their provenance.
+func simulate(rng *rand.Rand, genomeLen int, coverage, errRate float64) ([]logan.Read, []simRead) {
+	g := make([]byte, genomeLen)
+	for i := range g {
+		g[i] = bases[rng.Intn(4)]
+	}
+	// Plant repeats: ~5% of the genome covered by 1.5 kb duplicated
+	// segments, the false-candidate generator.
+	repLen := 1500
+	for c := 0; c < genomeLen/20/repLen; c++ {
+		src, dst := rng.Intn(genomeLen-repLen), rng.Intn(genomeLen-repLen)
+		copy(g[dst:dst+repLen], g[src:src+repLen])
+	}
+
+	var reads []logan.Read
+	var truth []simRead
+	var sampled int
+	for id := 0; float64(sampled) < coverage*float64(genomeLen); id++ {
+		ln := 1200 + rng.Intn(1800)
+		start := rng.Intn(genomeLen - ln)
+		window := make([]byte, ln)
+		copy(window, g[start:start+ln])
+		// Substitution-error channel.
+		for i := range window {
+			if rng.Float64() < errRate {
+				window[i] = bases[rng.Intn(4)]
+			}
+		}
+		if rng.Intn(2) == 1 { // reverse strand
+			rc := make([]byte, ln)
+			for i, b := range window {
+				var c byte
+				switch b {
+				case 'A':
+					c = 'T'
+				case 'C':
+					c = 'G'
+				case 'G':
+					c = 'C'
+				default:
+					c = 'A'
+				}
+				rc[ln-1-i] = c
+			}
+			window = rc
+		}
+		reads = append(reads, logan.Read{Name: fmt.Sprintf("read%d", id), Seq: window})
+		truth = append(truth, simRead{start: start, end: start + ln})
+		sampled += ln
+	}
+	return reads, truth
+}
+
+// trueOverlaps returns the set of read pairs whose genomic windows
+// overlap by at least minOv bases, keyed "i-j" with i < j.
+func trueOverlaps(truth []simRead, minOv int) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for i := range truth {
+		for j := i + 1; j < len(truth); j++ {
+			lo := max(truth[i].start, truth[j].start)
+			hi := min(truth[i].end, truth[j].end)
+			if hi-lo >= minOv {
+				out[[2]int{i, j}] = true
+			}
+		}
+	}
+	return out
+}
 
 func main() {
 	rng := rand.New(rand.NewSource(7))
+	const minOv = 600
 
-	// A 100 kb genome with 5% of its length covered by repeats, read at
-	// 6x coverage with 15% error — a miniature of the paper's E. coli
-	// experiment.
-	g := genome.Synthetic(rng, "mini", genome.SyntheticOptions{
-		Length: 100_000, RepeatFrac: 0.05, RepeatLen: 1500,
-	})
-	rs := genome.Simulate(rng, g, genome.SimOptions{
-		Coverage: 6, MinLen: 1200, MaxLen: 3000, ErrorRate: 0.15,
-	})
-	fmt.Printf("genome %d bp (+repeats), %d reads at ~6x\n", len(g.Seq), len(rs.Reads))
+	reads, truth := simulate(rng, 100_000, 6, 0.15)
+	fmt.Printf("100 kb genome (+repeats), %d reads at ~6x\n", len(reads))
 
-	pool, err := loadbal.NewV100Pool(2)
+	// One Hybrid engine — CPU workers plus two simulated V100s — shared
+	// by every run, exactly as a serving process would hold it.
+	eng, err := logan.NewAligner(logan.EngineOptions{Backend: logan.Hybrid, GPUs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	ov, err := logan.NewOverlapper(eng, logan.OverlapperOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	want := trueOverlaps(truth, minOv)
 	for _, x := range []int32{2, 5, 25} {
-		cfg := bella.DefaultConfig(6, 0.15, x)
-		cfg.MinOverlap = 600
+		cfg := logan.DefaultOverlapConfig(6, 0.15, x)
+		cfg.MinOverlap = minOv
 		start := time.Now()
-		res, err := bella.Run(rs, cfg, bella.GPUAligner{Pool: pool})
+		res, err := ov.Run(context.Background(), reads, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		acc := bella.Evaluate(rs, res.Overlaps, 600)
+		tp := 0
+		for _, r := range res.Records {
+			i, j := r.QIndex, r.TIndex
+			if i > j {
+				i, j = j, i
+			}
+			if want[[2]int{i, j}] {
+				tp++
+			}
+		}
+		recall, precision := 0.0, 0.0
+		if len(want) > 0 {
+			recall = float64(tp) / float64(len(want))
+		}
+		if len(res.Records) > 0 {
+			precision = float64(tp) / float64(len(res.Records))
+		}
 		fmt.Printf("X=%-3d candidates=%-5d overlaps=%-5d cells=%-10d recall=%.3f precision=%.3f (%v)\n",
-			x, res.Candidates, len(res.Overlaps), res.Align.Cells,
-			acc.Recall, acc.Precision, time.Since(start).Round(time.Millisecond))
+			x, res.Stats.CandidatePairs, len(res.Records), res.Stats.Cells,
+			recall, precision, time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Println("larger X explores more cells and recovers more true overlaps —")
 	fmt.Println("the accuracy/runtime trade-off Tables IV/V sweep.")

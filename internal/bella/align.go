@@ -1,6 +1,7 @@
 package bella
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -23,12 +24,14 @@ type AlignerStats struct {
 
 // Aligner is the pluggable pairwise-alignment stage: BELLA ships with
 // SeqAn on CPU threads; the paper's contribution swaps in LOGAN batches on
-// GPUs (§V). Implementations must return results positionally aligned
-// with the input pairs and bit-identical scores (both call the same X-drop
-// semantics).
+// GPUs (§V), and package logan injects its public engine (shared with the
+// serve path) through this interface. Implementations must return results
+// positionally aligned with the input pairs and bit-identical scores
+// (every substrate implements the same X-drop semantics), and should
+// observe ctx cancellation at their natural granularity.
 type Aligner interface {
 	Name() string
-	AlignPairs(pairs []seq.Pair, sc xdrop.Scoring, x int32) ([]xdrop.SeedResult, AlignerStats, error)
+	AlignPairs(ctx context.Context, pairs []seq.Pair, sc xdrop.Scoring, x int32) ([]xdrop.SeedResult, AlignerStats, error)
 }
 
 // CPUAligner is the SeqAn-style baseline: independent pairwise alignments
@@ -41,9 +44,10 @@ type CPUAligner struct {
 func (a CPUAligner) Name() string { return "seqan-cpu" }
 
 // AlignPairs runs the serial X-drop kernel across the worker pool.
-func (a CPUAligner) AlignPairs(pairs []seq.Pair, sc xdrop.Scoring, x int32) ([]xdrop.SeedResult, AlignerStats, error) {
+// Cancellation is observed per pair by the pool's workers.
+func (a CPUAligner) AlignPairs(ctx context.Context, pairs []seq.Pair, sc xdrop.Scoring, x int32) ([]xdrop.SeedResult, AlignerStats, error) {
 	start := time.Now()
-	res, stats, err := xdrop.ExtendBatch(pairs, sc, x, a.Workers)
+	res, stats, err := xdrop.ExtendBatchContext(ctx, pairs, sc, x, a.Workers)
 	if err != nil {
 		return nil, AlignerStats{}, err
 	}
@@ -66,11 +70,12 @@ type GPUAligner struct {
 // Name identifies the aligner in reports.
 func (a GPUAligner) Name() string { return fmt.Sprintf("logan-gpu-x%d", len(a.Pool.Devices)) }
 
-// AlignPairs dispatches the batch through the load balancer.
-func (a GPUAligner) AlignPairs(pairs []seq.Pair, sc xdrop.Scoring, x int32) ([]xdrop.SeedResult, AlignerStats, error) {
+// AlignPairs dispatches the batch through the load balancer. Cancellation
+// is observed at device memory-chunk boundaries.
+func (a GPUAligner) AlignPairs(ctx context.Context, pairs []seq.Pair, sc xdrop.Scoring, x int32) ([]xdrop.SeedResult, AlignerStats, error) {
 	start := time.Now()
 	cfg := core.Config{Scoring: sc, X: x}
-	res, err := a.Pool.Align(pairs, cfg, loadbal.ByLength)
+	res, err := a.Pool.AlignIntoContext(ctx, nil, pairs, cfg, loadbal.ByLength)
 	if err != nil {
 		return nil, AlignerStats{}, err
 	}

@@ -1,6 +1,7 @@
 package bella
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -199,7 +200,7 @@ func TestPipelineEndToEndCPU(t *testing.T) {
 	rs := smallReadSet(t, 3, 60000, 5, 0.10)
 	cfg := DefaultConfig(5, 0.10, 50)
 	cfg.MinOverlap = 650
-	res, err := Run(rs, cfg, CPUAligner{})
+	res, err := Run(context.Background(), rs, cfg, CPUAligner{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestPipelineEndToEndCPU(t *testing.T) {
 func TestPipelineGPUMatchesCPU(t *testing.T) {
 	rs := smallReadSet(t, 4, 40000, 4, 0.10)
 	cfg := DefaultConfig(4, 0.10, 30)
-	cpuRes, err := Run(rs, cfg, CPUAligner{})
+	cpuRes, err := Run(context.Background(), rs, cfg, CPUAligner{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestPipelineGPUMatchesCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gpuRes, err := Run(rs, cfg, GPUAligner{Pool: pool})
+	gpuRes, err := Run(context.Background(), rs, cfg, GPUAligner{Pool: pool})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,15 +254,15 @@ func TestPipelineValidation(t *testing.T) {
 	rs := smallReadSet(t, 5, 20000, 2, 0.1)
 	cfg := DefaultConfig(2, 0.1, 20)
 	cfg.K = 0
-	if _, err := Run(rs, cfg, CPUAligner{}); err == nil {
+	if _, err := Run(context.Background(), rs, cfg, CPUAligner{}); err == nil {
 		t.Error("accepted k=0")
 	}
 	cfg = DefaultConfig(2, 0.1, 20)
 	cfg.Scoring.Gap = 1
-	if _, err := Run(rs, cfg, CPUAligner{}); err == nil {
+	if _, err := Run(context.Background(), rs, cfg, CPUAligner{}); err == nil {
 		t.Error("accepted invalid scoring")
 	}
-	empty, err := Run(genome.ReadSet{}, DefaultConfig(2, 0.1, 20), CPUAligner{})
+	empty, err := Run(context.Background(), genome.ReadSet{}, DefaultConfig(2, 0.1, 20), CPUAligner{})
 	if err != nil || len(empty.Overlaps) != 0 {
 		t.Errorf("empty read set: %+v, %v", empty, err)
 	}

@@ -1,6 +1,7 @@
 package bella
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -49,7 +50,7 @@ func BenchmarkPipelineCPU(b *testing.B) {
 	b.ResetTimer()
 	var alignFrac float64
 	for i := 0; i < b.N; i++ {
-		res, err := Run(rs, cfg, CPUAligner{})
+		res, err := Run(context.Background(), rs, cfg, CPUAligner{})
 		if err != nil {
 			b.Fatal(err)
 		}

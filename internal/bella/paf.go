@@ -8,53 +8,117 @@ import (
 	"logan/internal/genome"
 )
 
-// WritePAF emits the accepted overlaps in PAF (Pairwise mApping Format),
-// the minimap2-ecosystem interchange format, so downstream assemblers and
-// viewers can consume BELLA-Go's output directly.
+// PAFRecord is one accepted overlap in PAF (Pairwise mApping Format)
+// coordinates, the minimap2-ecosystem interchange representation: target
+// coordinates are on the forward strand regardless of orientation, and
+// Matches/BlockLen follow the minimap2 column-10/11 convention. It is the
+// single source of truth for PAF serialization — the public overlap API
+// (package logan) re-exposes these records, so offline and served outputs
+// are byte-identical by construction.
+type PAFRecord struct {
+	QName        string
+	QLen         int
+	QStart, QEnd int
+	Strand       byte // '+' or '-'
+	TName        string
+	TLen         int
+	TStart, TEnd int
+	// Matches approximates PAF column 10 (number of residue matches):
+	// recovered exactly from the traceback identity when available,
+	// otherwise estimated from the +1/-1/-1 score.
+	Matches int
+	// BlockLen is PAF column 11: the alignment block length.
+	BlockLen int
+	// MapQ is PAF column 12; the pipeline does not compute mapping
+	// quality, so it is always 255 (missing).
+	MapQ int
+	// Score is the X-drop alignment score, emitted as the AS:i tag.
+	Score int32
+	// Divergence and CIGAR fill the de:f and cg:Z tags when the traceback
+	// post-pass ran; CIGAR == "" omits both.
+	Divergence float64
+	CIGAR      string
+	// QIndex/TIndex are the input-order read indices behind QName/TName.
+	// They are not serialized; evaluation against simulator ground truth
+	// keys on them.
+	QIndex, TIndex int
+}
+
+// PAFRecords converts accepted overlaps into PAF records against the read
+// set that produced them.
+func PAFRecords(reads []genome.Read, overlaps []Overlap) []PAFRecord {
+	recs := make([]PAFRecord, len(overlaps))
+	for i, ov := range overlaps {
+		q, t := reads[ov.I], reads[ov.J]
+		rec := PAFRecord{
+			QName: q.Name(), QLen: len(q.Seq), QStart: ov.QBegin, QEnd: ov.QEnd,
+			Strand: '+',
+			TName:  t.Name(), TLen: len(t.Seq), TStart: ov.TBegin, TEnd: ov.TEnd,
+			MapQ: 255, Score: ov.Score,
+			QIndex: int(ov.I), TIndex: int(ov.J),
+		}
+		if ov.Opposite {
+			rec.Strand = '-'
+			// PAF reports target coordinates on the forward strand.
+			rec.TStart = len(t.Seq) - ov.TEnd
+			rec.TEnd = len(t.Seq) - ov.TBegin
+		}
+		rec.BlockLen = max(ov.QEnd-ov.QBegin, ov.TEnd-ov.TBegin)
+		// Without traceback, estimate matches from the +1/-1/-1 score:
+		// score = matches - errors, block ~ matches + errors.
+		rec.Matches = (rec.BlockLen + int(ov.Score)) / 2
+		if ov.Identity > 0 {
+			rec.Matches = int(float64(rec.BlockLen) * ov.Identity)
+		}
+		if rec.Matches < 0 {
+			rec.Matches = 0
+		}
+		if rec.Matches > rec.BlockLen {
+			rec.Matches = rec.BlockLen
+		}
+		if ov.CIGAR != "" {
+			rec.Divergence = 1 - ov.Identity
+			rec.CIGAR = ov.CIGAR
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+// AppendText serializes the record as one PAF line (including the trailing
+// newline) appended to buf: the 12 mandatory columns, the AS:i score tag,
+// and the de:f/cg:Z tags when a CIGAR is present.
+func (r PAFRecord) AppendText(buf []byte) []byte {
+	buf = fmt.Appendf(buf, "%s\t%d\t%d\t%d\t%c\t%s\t%d\t%d\t%d\t%d\t%d\t%d\tAS:i:%d",
+		r.QName, r.QLen, r.QStart, r.QEnd,
+		r.Strand,
+		r.TName, r.TLen, r.TStart, r.TEnd,
+		r.Matches, r.BlockLen, r.MapQ, r.Score)
+	if r.CIGAR != "" {
+		buf = fmt.Appendf(buf, "\tde:f:%.4f\tcg:Z:%s", r.Divergence, r.CIGAR)
+	}
+	return append(buf, '\n')
+}
+
+// WriteRecords emits PAF records to w, one line each.
+func WriteRecords(w io.Writer, recs []PAFRecord) error {
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, rec := range recs {
+		line = rec.AppendText(line[:0])
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePAF emits the accepted overlaps in PAF, so downstream assemblers
+// and viewers can consume BELLA-Go's output directly.
 //
 // Columns: qname qlen qstart qend strand tname tlen tstart tend matches
 // block mapq, plus the AS:i (score) tag and, when traceback ran, de:f
 // (gap-compressed divergence proxy) and cg:Z (CIGAR) tags.
 func WritePAF(w io.Writer, reads []genome.Read, overlaps []Overlap) error {
-	bw := bufio.NewWriter(w)
-	for _, ov := range overlaps {
-		q, t := reads[ov.I], reads[ov.J]
-		strand := "+"
-		tStart, tEnd := ov.TBegin, ov.TEnd
-		if ov.Opposite {
-			strand = "-"
-			// PAF reports target coordinates on the forward strand.
-			tStart = len(t.Seq) - ov.TEnd
-			tEnd = len(t.Seq) - ov.TBegin
-		}
-		block := max(ov.QEnd-ov.QBegin, ov.TEnd-ov.TBegin)
-		// Without traceback, estimate matches from the +1/-1/-1 score:
-		// score = matches - errors, block ~ matches + errors.
-		matches := (block + int(ov.Score)) / 2
-		if ov.Identity > 0 {
-			matches = int(float64(block) * ov.Identity)
-		}
-		if matches < 0 {
-			matches = 0
-		}
-		if matches > block {
-			matches = block
-		}
-		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\tAS:i:%d",
-			q.Name(), len(q.Seq), ov.QBegin, ov.QEnd,
-			strand,
-			t.Name(), len(t.Seq), tStart, tEnd,
-			matches, block, 255, ov.Score); err != nil {
-			return err
-		}
-		if ov.CIGAR != "" {
-			if _, err := fmt.Fprintf(bw, "\tde:f:%.4f\tcg:Z:%s", 1-ov.Identity, ov.CIGAR); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintln(bw); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return WriteRecords(w, PAFRecords(reads, overlaps))
 }

@@ -1,6 +1,7 @@
 package bella
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,36 @@ import (
 	"logan/internal/sw"
 	"logan/internal/xdrop"
 )
+
+// Stage names one pipeline phase in Progress updates.
+type Stage string
+
+// Pipeline stages in execution order. StageDone is emitted once after the
+// filter stage with the final counters.
+const (
+	StageCount   Stage = "count"
+	StagePrune   Stage = "prune"
+	StageMatrix  Stage = "matrix"
+	StageSpGEMM  Stage = "spgemm"
+	StageBinning Stage = "binning"
+	StageAlign   Stage = "align"
+	StageFilter  Stage = "filter"
+	StageDone    Stage = "done"
+)
+
+// Progress is one pipeline progress update, emitted via Config.OnProgress
+// when a stage completes and, during the alignment stage, after every
+// aligned chunk (see Config.AlignBatch). Counter fields are cumulative and
+// only ever grow; fields a stage has not reached yet are zero.
+type Progress struct {
+	Stage         Stage
+	ReliableKmers int // after StagePrune
+	Candidates    int // after StageSpGEMM
+	// PairsAligned/PairsTotal track the alignment stage; PairsTotal is set
+	// from StageBinning on (the candidate pairs the aligner will extend).
+	PairsAligned, PairsTotal int
+	Overlaps                 int // accepted overlaps, after StageFilter
+}
 
 // Config parameterizes the pipeline.
 type Config struct {
@@ -32,6 +63,23 @@ type Config struct {
 	// §IV-A); real pipelines recompute alignments only for survivors,
 	// which is what this does.
 	Traceback bool
+	// AlignBatch chunks the alignment stage: candidate pairs are handed to
+	// the Aligner at most AlignBatch at a time, with a context check and a
+	// Progress update between chunks, so long alignment stages cancel
+	// promptly and report incremental progress. 0 aligns everything in one
+	// batch (the original behavior).
+	AlignBatch int
+	// OnProgress, when non-nil, receives pipeline progress updates. It is
+	// called synchronously from Run's goroutine and must be fast; results
+	// are deterministic regardless of whether it is set.
+	OnProgress func(Progress)
+}
+
+// progress emits one update when a hook is installed.
+func (c *Config) progress(p Progress) {
+	if c.OnProgress != nil {
+		c.OnProgress(p)
+	}
 }
 
 // DefaultConfig mirrors BELLA's defaults for a long-read set.
@@ -99,14 +147,19 @@ type Prepared struct {
 }
 
 // Prepare runs k-mer counting, pruning, matrix construction, SpGEMM and
-// binning — BELLA's overlap-detection phase.
-func Prepare(rs genome.ReadSet, cfg Config) (Prepared, error) {
+// binning — BELLA's overlap-detection phase. The context is checked
+// between stages, so a cancelled preparation stops at the next stage
+// boundary and returns the context's error.
+func Prepare(ctx context.Context, rs genome.ReadSet, cfg Config) (Prepared, error) {
 	var out Prepared
 	if cfg.K <= 0 || cfg.K > seq.MaxK {
 		return out, fmt.Errorf("bella: k=%d outside (0,%d]", cfg.K, seq.MaxK)
 	}
 	if err := cfg.Scoring.Validate(); err != nil {
 		return out, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if len(rs.Reads) == 0 {
 		return out, nil
@@ -116,6 +169,10 @@ func Prepare(rs genome.ReadSet, cfg Config) (Prepared, error) {
 	t0 := time.Now()
 	idx := CountKmers(rs.Reads, cfg.K, cfg.Workers)
 	out.Times.Count = time.Since(t0)
+	cfg.progress(Progress{Stage: StageCount})
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
 	// Stage 2: reliable-k-mer pruning.
 	t0 = time.Now()
@@ -127,18 +184,30 @@ func Prepare(rs genome.ReadSet, cfg Config) (Prepared, error) {
 	reliable := idx.Reliable(lo, hi)
 	out.Reliable = len(reliable)
 	out.Times.Prune = time.Since(t0)
+	cfg.progress(Progress{Stage: StagePrune, ReliableKmers: out.Reliable})
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
 	// Stage 3: sparse matrix construction.
 	t0 = time.Now()
 	mat := BuildMatrix(rs.Reads, cfg.K, reliable)
 	out.NNZ = mat.NNZ
 	out.Times.Matrix = time.Since(t0)
+	cfg.progress(Progress{Stage: StageMatrix, ReliableKmers: out.Reliable})
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
 	// Stage 4: SpGEMM overlap detection.
 	t0 = time.Now()
 	out.Cands = mat.SpGEMM(SpGEMMOptions{MaxSeedsPerPair: cfg.MaxSeeds, MinShared: cfg.MinShared})
 	out.Candidates = len(out.Cands)
 	out.Times.SpGEMM = time.Since(t0)
+	cfg.progress(Progress{Stage: StageSpGEMM, ReliableKmers: out.Reliable, Candidates: out.Candidates})
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 
 	// Stage 5: binning and seed choice.
 	t0 = time.Now()
@@ -148,14 +217,23 @@ func Prepare(rs genome.ReadSet, cfg Config) (Prepared, error) {
 	}
 	out.Pairs = BuildAlignmentPairs(rs.Reads, out.Cands, out.Seeds, cfg.K)
 	out.Times.Binning = time.Since(t0)
-	return out, nil
+	cfg.progress(Progress{
+		Stage: StageBinning, ReliableKmers: out.Reliable,
+		Candidates: out.Candidates, PairsTotal: len(out.Pairs),
+	})
+	return out, ctx.Err()
 }
 
 // Run executes the full BELLA pipeline over the read set with the given
-// alignment backend.
-func Run(rs genome.ReadSet, cfg Config, aligner Aligner) (Result, error) {
+// alignment backend. Cancelling ctx stops the pipeline at the next stage
+// boundary — or, with Config.AlignBatch set, at the next alignment chunk —
+// and returns the context's error.
+func Run(ctx context.Context, rs genome.ReadSet, cfg Config, aligner Aligner) (Result, error) {
 	var out Result
-	prep, err := Prepare(rs, cfg)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prep, err := Prepare(ctx, rs, cfg)
 	if err != nil {
 		return out, err
 	}
@@ -170,9 +248,10 @@ func Run(rs genome.ReadSet, cfg Config, aligner Aligner) (Result, error) {
 	cands, seeds, pairs := prep.Cands, prep.Seeds, prep.Pairs
 
 	// Stage 6: pairwise alignment (the 90%-of-runtime stage LOGAN moves
-	// to the GPU).
+	// to the GPU), chunked by AlignBatch so cancellation is observed and
+	// progress reported mid-stage.
 	t0 := time.Now()
-	aligned, astats, err := aligner.AlignPairs(pairs, cfg.Scoring, cfg.X)
+	aligned, astats, err := alignChunked(ctx, pairs, cfg, aligner, prep)
 	if err != nil {
 		return out, fmt.Errorf("bella: alignment stage: %w", err)
 	}
@@ -212,5 +291,56 @@ func Run(rs genome.ReadSet, cfg Config, aligner Aligner) (Result, error) {
 		out.Overlaps = append(out.Overlaps, ov)
 	}
 	out.Times.Filter = time.Since(t0)
+	done := Progress{
+		Stage: StageFilter, ReliableKmers: out.Reliable, Candidates: out.Candidates,
+		PairsAligned: len(pairs), PairsTotal: len(pairs), Overlaps: len(out.Overlaps),
+	}
+	cfg.progress(done)
+	done.Stage = StageDone
+	cfg.progress(done)
 	return out, nil
+}
+
+// alignChunked feeds the candidate pairs to the aligner in AlignBatch-sized
+// chunks (one batch when AlignBatch <= 0), checking ctx and emitting a
+// Progress update between chunks, and merges the per-chunk stats.
+func alignChunked(ctx context.Context, pairs []seq.Pair, cfg Config, aligner Aligner, prep Prepared) ([]xdrop.SeedResult, AlignerStats, error) {
+	chunk := cfg.AlignBatch
+	if chunk <= 0 || chunk > len(pairs) {
+		chunk = len(pairs)
+	}
+	var stats AlignerStats
+	aligned := make([]xdrop.SeedResult, 0, len(pairs))
+	for lo := 0; lo < len(pairs); lo += chunk {
+		if err := ctx.Err(); err != nil {
+			return nil, AlignerStats{}, err
+		}
+		hi := min(lo+chunk, len(pairs))
+		res, st, err := aligner.AlignPairs(ctx, pairs[lo:hi], cfg.Scoring, cfg.X)
+		if err != nil {
+			return nil, AlignerStats{}, err
+		}
+		if len(res) != hi-lo {
+			return nil, AlignerStats{}, fmt.Errorf("bella: aligner returned %d results for %d pairs", len(res), hi-lo)
+		}
+		aligned = append(aligned, res...)
+		// Merge stats; MeanBand is re-weighted by per-chunk pair counts (an
+		// approximation of the exact anti-diagonal weighting, which the
+		// chunk boundary discards).
+		if st.MaxBand > stats.MaxBand {
+			stats.MaxBand = st.MaxBand
+		}
+		if stats.Pairs+st.Pairs > 0 {
+			stats.MeanBand = (stats.MeanBand*float64(stats.Pairs) + st.MeanBand*float64(st.Pairs)) / float64(stats.Pairs+st.Pairs)
+		}
+		stats.Pairs += st.Pairs
+		stats.Cells += st.Cells
+		stats.WallTime += st.WallTime
+		stats.DeviceTime += st.DeviceTime
+		cfg.progress(Progress{
+			Stage: StageAlign, ReliableKmers: prep.Reliable, Candidates: prep.Candidates,
+			PairsAligned: hi, PairsTotal: len(pairs),
+		})
+	}
+	return aligned, stats, nil
 }

@@ -1,6 +1,7 @@
 package bella
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -14,12 +15,12 @@ func TestPipelineTraceback(t *testing.T) {
 	cfg := DefaultConfig(5, 0.10, 50)
 	cfg.MinOverlap = 600
 
-	plain, err := Run(rs, cfg, CPUAligner{})
+	plain, err := Run(context.Background(), rs, cfg, CPUAligner{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Traceback = true
-	traced, err := Run(rs, cfg, CPUAligner{})
+	traced, err := Run(context.Background(), rs, cfg, CPUAligner{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -34,7 +35,7 @@ func RunBella(scale Scale, preset genome.Preset, paper map[int32]PaperRow3, titl
 	rng := rand.New(rand.NewSource(scale.Seed))
 	rs := preset.Build(rng)
 	cfg := bella.DefaultConfig(preset.Coverage, preset.ErrorRate, 0)
-	prep, err := bella.Prepare(rs, cfg)
+	prep, err := bella.Prepare(context.Background(), rs, cfg)
 	if err != nil {
 		return out, err
 	}
@@ -131,7 +132,7 @@ func RunBella(scale Scale, preset genome.Preset, paper map[int32]PaperRow3, titl
 	midX := scale.BellaXValues[len(scale.BellaXValues)/2]
 	acfg := bella.DefaultConfig(preset.Coverage, preset.ErrorRate, midX)
 	acfg.MinOverlap = preset.MinLen / 2
-	res, err := bella.Run(rs, acfg, bella.CPUAligner{})
+	res, err := bella.Run(context.Background(), rs, acfg, bella.CPUAligner{})
 	if err != nil {
 		return out, err
 	}

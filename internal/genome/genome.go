@@ -60,17 +60,27 @@ func Synthetic(rng *rand.Rand, name string, opt SyntheticOptions) Genome {
 	return g
 }
 
-// Read is a sampled long read with its provenance.
+// Read is a long read with its provenance: either sampled from a
+// simulated genome (Start/End/RC set) or loaded from external data
+// (Label carries the original record name).
 type Read struct {
 	ID    int
 	Seq   seq.Seq
 	Start int  // genomic start of the sampled window
 	End   int  // genomic end (exclusive)
 	RC    bool // sampled from the reverse strand
+	// Label is the external record name for reads loaded from FASTA/FASTQ
+	// input; simulated reads leave it empty and Name derives one from the
+	// provenance instead.
+	Label string
 }
 
-// Name returns a FASTA-style identifier encoding the provenance.
+// Name returns the read's identifier: the external Label when present,
+// otherwise a FASTA-style name encoding the simulated provenance.
 func (r Read) Name() string {
+	if r.Label != "" {
+		return r.Label
+	}
 	strand := "+"
 	if r.RC {
 		strand = "-"
@@ -138,13 +148,14 @@ func (rs ReadSet) Records() []seq.Record {
 	return recs
 }
 
-// FromRecords builds a read set from plain FASTA records (no provenance:
-// Start/End are zero and ground-truth evaluation is unavailable). This is
-// the path for running the pipeline on external data.
+// FromRecords builds a read set from plain FASTA records (no genomic
+// provenance: Start/End are zero and ground-truth evaluation is
+// unavailable, but the record names are preserved as Labels). This is the
+// path for running the pipeline on external data.
 func FromRecords(recs []seq.Record) ReadSet {
 	rs := ReadSet{}
 	for i, rec := range recs {
-		rs.Reads = append(rs.Reads, Read{ID: i, Seq: rec.Seq})
+		rs.Reads = append(rs.Reads, Read{ID: i, Seq: rec.Seq, Label: rec.Name})
 	}
 	return rs
 }

@@ -15,51 +15,143 @@ type Record struct {
 	Qual []byte // nil for FASTA
 }
 
-// ReadFasta parses FASTA records from r. Header lines start with '>'; the
-// name is the first whitespace-delimited token. Sequence lines are
-// concatenated and validated against the ACGTN alphabet.
-func ReadFasta(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	var recs []Record
-	var cur *Record
-	line := 0
-	for sc.Scan() {
-		line++
-		b := bytes.TrimSpace(sc.Bytes())
+// FastaReader streams FASTA records from an io.Reader one at a time, so a
+// data set never needs to be fully resident in the parser: each Next call
+// returns one complete record and releases the internal line buffer back
+// to the next record. Unlike a bufio.Scanner-based parser it has no
+// maximum line length — sequence lines of any length are handled — and it
+// accepts CRLF line endings. Obtain one with NewFastaReader.
+type FastaReader struct {
+	br *bufio.Reader
+	// nextName holds the header of the record after the one being
+	// assembled ("" plus nextHeader=false before the first header).
+	nextName   string
+	nextHeader bool
+	line       int
+	done       bool
+}
+
+// NewFastaReader returns a streaming FASTA parser over r.
+func NewFastaReader(r io.Reader) *FastaReader {
+	return &FastaReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Line returns the 1-based input line number the reader has consumed up
+// to, for error reporting by callers that impose their own record limits.
+func (fr *FastaReader) Line() int { return fr.line }
+
+// readLine returns the next input line with the trailing newline (and any
+// surrounding space) trimmed. io.EOF reports end of input; a final line
+// without a newline is returned first. A transport error always surfaces,
+// even when it arrived alongside partial data — bufio clears its stored
+// error once returned, so deferring it to the next call could silently
+// truncate the input instead.
+func (fr *FastaReader) readLine() ([]byte, error) {
+	b, err := fr.br.ReadBytes('\n')
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, io.EOF
+	}
+	fr.line++
+	return bytes.TrimSpace(b), nil
+}
+
+// Next returns the next record. It returns io.EOF after the last record;
+// any other error reports malformed input with its line number. The
+// returned record's buffers are freshly allocated and remain valid across
+// subsequent Next calls.
+func (fr *FastaReader) Next() (Record, error) {
+	if fr.done {
+		return Record{}, io.EOF
+	}
+	// Seek the record's header: either carried over from the previous
+	// Next, or the first '>' line of the stream.
+	for !fr.nextHeader {
+		b, err := fr.readLine()
+		if err != nil {
+			fr.done = true
+			return Record{}, err
+		}
+		if len(b) == 0 {
+			continue
+		}
+		if b[0] != '>' {
+			fr.done = true
+			return Record{}, fmt.Errorf("seq: line %d: sequence data before first FASTA header", fr.line)
+		}
+		fr.setHeader(b)
+	}
+	rec := Record{Name: fr.nextName}
+	fr.nextHeader = false
+	for {
+		b, err := fr.readLine()
+		if err == io.EOF {
+			fr.done = true
+			return rec, nil // final record; EOF surfaces on the next call
+		}
+		if err != nil {
+			fr.done = true
+			return Record{}, err
+		}
 		if len(b) == 0 {
 			continue
 		}
 		if b[0] == '>' {
-			name := strings.Fields(string(b[1:]))
-			recs = append(recs, Record{})
-			cur = &recs[len(recs)-1]
-			if len(name) > 0 {
-				cur.Name = name[0]
-			}
-			continue
-		}
-		if cur == nil {
-			return nil, fmt.Errorf("seq: line %d: sequence data before first FASTA header", line)
+			fr.setHeader(b)
+			return rec, nil
 		}
 		if !Valid(b) {
-			return nil, fmt.Errorf("seq: line %d: %v", line, ErrBadBase)
+			fr.done = true
+			return Record{}, fmt.Errorf("seq: line %d: %w", fr.line, ErrBadBase)
 		}
-		up := make([]byte, len(b))
-		for i, c := range b {
-			code := encode[c]
-			if code == 0xFE {
-				up[i] = 'N'
-			} else {
-				up[i] = Alphabet[code]
-			}
+		n := len(rec.Seq)
+		rec.Seq = append(rec.Seq, b...)
+		normalize(rec.Seq[n:])
+	}
+}
+
+// setHeader records the upcoming record's name: the first
+// whitespace-delimited token after '>'.
+func (fr *FastaReader) setHeader(b []byte) {
+	fr.nextHeader = true
+	fr.nextName = ""
+	if name := strings.Fields(string(b[1:])); len(name) > 0 {
+		fr.nextName = name[0]
+	}
+}
+
+// normalize rewrites validated bases in place to the canonical upper-case
+// ACGTN alphabet.
+func normalize(b []byte) {
+	for i, c := range b {
+		if code := encode[c]; code == 0xFE {
+			b[i] = 'N'
+		} else {
+			b[i] = Alphabet[code]
 		}
-		cur.Seq = append(cur.Seq, up...)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+}
+
+// ReadFasta parses FASTA records from r. Header lines start with '>'; the
+// name is the first whitespace-delimited token. Sequence lines are
+// concatenated and validated against the ACGTN alphabet. It is a
+// collecting wrapper over FastaReader; callers that should not hold the
+// whole data set in flight stream records with FastaReader.Next instead.
+func ReadFasta(r io.Reader) ([]Record, error) {
+	fr := NewFastaReader(r)
+	var recs []Record
+	for {
+		rec, err := fr.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
 	}
-	return recs, nil
 }
 
 // WriteFasta emits the records to w, wrapping sequence lines at 80 columns.

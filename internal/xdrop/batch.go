@@ -1,6 +1,7 @@
 package xdrop
 
 import (
+	"context"
 	"runtime"
 
 	"logan/internal/seq"
@@ -44,6 +45,13 @@ func (s *BatchStats) Accumulate(r SeedResult) {
 // Results are positionally aligned with the input; the error of the first
 // failing pair (invalid seed) is returned with a nil result slice.
 func ExtendBatch(pairs []seq.Pair, sc Scoring, x int32, workers int) ([]SeedResult, BatchStats, error) {
+	return ExtendBatchContext(context.Background(), pairs, sc, x, workers)
+}
+
+// ExtendBatchContext is ExtendBatch under a context: the pool's workers
+// check ctx per pair, so a canceled batch stops promptly and returns the
+// context's error.
+func ExtendBatchContext(ctx context.Context, pairs []seq.Pair, sc Scoring, x int32, workers int) ([]SeedResult, BatchStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -53,7 +61,7 @@ func ExtendBatch(pairs []seq.Pair, sc Scoring, x int32, workers int) ([]SeedResu
 	p := NewPool(workers)
 	defer p.Close()
 	results := make([]SeedResult, len(pairs))
-	stats, err := p.ExtendBatch(pairs, results, sc, x)
+	stats, err := p.ExtendBatchScheme(ctx, pairs, results, LinearScheme(sc), x)
 	if err != nil {
 		return nil, BatchStats{}, err
 	}

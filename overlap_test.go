@@ -1,0 +1,399 @@
+package logan
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"logan/internal/bella"
+	"logan/internal/genome"
+	"logan/internal/seq"
+)
+
+// overlapTestSet builds a deterministic simulated read set with enough
+// overlaps (and repeat-induced spurious candidates) to exercise every
+// pipeline stage.
+func overlapTestSet(t testing.TB, seed int64, genomeLen int) genome.ReadSet {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := genome.Synthetic(rng, "t", genome.SyntheticOptions{Length: genomeLen, RepeatFrac: 0.05, RepeatLen: 1200})
+	return genome.Simulate(rng, g, genome.SimOptions{
+		Coverage: 5, MinLen: 900, MaxLen: 2200, ErrorRate: 0.12,
+	})
+}
+
+func readsOf(rs genome.ReadSet) []Read {
+	reads := make([]Read, len(rs.Reads))
+	for i, r := range rs.Reads {
+		reads[i] = Read{Name: r.Name(), Seq: r.Seq}
+	}
+	return reads
+}
+
+func overlapTestConfig(x int32) OverlapConfig {
+	cfg := DefaultOverlapConfig(5, 0.12, x)
+	cfg.MinOverlap = 400
+	return cfg
+}
+
+// TestOverlapperMatchesInternalPipeline is the golden identity: the public
+// Overlapper and the internal bella pipeline must produce byte-identical
+// PAF on the same reads, for the engine-direct path on CPU and Hybrid
+// engines and for the coalescer-routed path.
+func TestOverlapperMatchesInternalPipeline(t *testing.T) {
+	rs := overlapTestSet(t, 11, 60_000)
+	cfg := overlapTestConfig(20)
+
+	// Reference: the internal pipeline with the internal CPU aligner.
+	bcfg := cfg.bellaConfig()
+	ref, err := bella.Run(context.Background(), rs, bcfg, bella.CPUAligner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Overlaps) == 0 {
+		t.Fatal("reference pipeline produced no overlaps; test set too small")
+	}
+	var want bytes.Buffer
+	if err := bella.WritePAF(&want, rs.Reads, ref.Overlaps); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name      string
+		opt       EngineOptions
+		coalesced bool
+	}{
+		{"cpu-direct", EngineOptions{Backend: CPU}, false},
+		{"hybrid-direct", EngineOptions{Backend: Hybrid, GPUs: 2}, false},
+		{"cpu-coalesced", EngineOptions{Backend: CPU}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, err := NewAligner(tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			var oopt OverlapperOptions
+			if tc.coalesced {
+				coal := eng.NewCoalescer(CoalescerOptions{MaxWait: time.Millisecond})
+				defer coal.Close()
+				oopt.Coalescer = coal
+			}
+			ov, err := NewOverlapper(eng, oopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ov.Run(context.Background(), readsOf(rs), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := WritePAF(&got, res.Records); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("PAF diverges from the internal pipeline\npublic (%d lines):\n%.400s\ninternal (%d lines):\n%.400s",
+					bytes.Count(got.Bytes(), []byte{'\n'}), got.String(),
+					bytes.Count(want.Bytes(), []byte{'\n'}), want.String())
+			}
+			if res.Stats.CandidatePairs != ref.Candidates || res.Stats.ReliableKmers != ref.Reliable {
+				t.Errorf("stats diverge: got %d cands/%d kmers, want %d/%d",
+					res.Stats.CandidatePairs, res.Stats.ReliableKmers, ref.Candidates, ref.Reliable)
+			}
+		})
+	}
+}
+
+// TestOverlapperRunFasta round-trips the read set through FASTA text and
+// checks the result is identical to in-memory ingestion, including read
+// names in the PAF.
+func TestOverlapperRunFasta(t *testing.T) {
+	rs := overlapTestSet(t, 12, 40_000)
+	cfg := overlapTestConfig(15)
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ov, err := NewOverlapper(eng, OverlapperOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memRes, err := ov.Run(context.Background(), readsOf(rs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fa bytes.Buffer
+	if err := seq.WriteFasta(&fa, rs.Records()); err != nil {
+		t.Fatal(err)
+	}
+	var parsed int
+	cfg.OnProgress = func(p OverlapProgress) {
+		if p.Stage == StageIngest {
+			parsed = p.ReadsParsed
+		}
+	}
+	faRes, err := ov.RunFasta(context.Background(), &fa, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != len(rs.Reads) {
+		t.Errorf("ingest progress reported %d reads, want %d", parsed, len(rs.Reads))
+	}
+
+	var a, b bytes.Buffer
+	if err := WritePAF(&a, memRes.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePAF(&b, faRes.Records); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("FASTA round trip changed the PAF output")
+	}
+	if len(faRes.Records) > 0 && !strings.HasPrefix(faRes.Records[0].QName, "read") {
+		t.Errorf("FASTA names lost: first qname %q", faRes.Records[0].QName)
+	}
+}
+
+// TestOverlapperProgress checks the progress contract: stages in order,
+// monotone extension counters, final counters matching the result.
+func TestOverlapperProgress(t *testing.T) {
+	rs := overlapTestSet(t, 13, 40_000)
+	cfg := overlapTestConfig(15)
+	cfg.BatchPairs = 8 // many chunks
+
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ov, _ := NewOverlapper(eng, OverlapperOptions{})
+
+	var mu sync.Mutex
+	var stages []OverlapStage
+	lastDone := -1
+	var final OverlapProgress
+	cfg.OnProgress = func(p OverlapProgress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(stages) == 0 || stages[len(stages)-1] != p.Stage {
+			stages = append(stages, p.Stage)
+		}
+		if p.Stage == StageAlign {
+			if p.ExtensionsDone < lastDone {
+				t.Errorf("extension progress went backwards: %d after %d", p.ExtensionsDone, lastDone)
+			}
+			lastDone = p.ExtensionsDone
+			if p.ExtensionsTotal == 0 {
+				t.Error("align progress with zero ExtensionsTotal")
+			}
+		}
+		final = p
+	}
+	res, err := ov.Run(context.Background(), readsOf(rs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []OverlapStage{StageCount, StagePrune, StageMatrix, StageSpGEMM, StageBinning, StageAlign, StageFilter, StageDone}
+	if len(stages) != len(want) {
+		t.Fatalf("stages %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stages %v, want %v", stages, want)
+		}
+	}
+	if final.Stage != StageDone || final.Overlaps != len(res.Records) {
+		t.Errorf("final progress %+v does not match %d records", final, len(res.Records))
+	}
+	if final.ExtensionsDone != final.ExtensionsTotal || final.ExtensionsTotal != res.Stats.CandidatePairs {
+		t.Errorf("final extensions %d/%d, want %d/%d", final.ExtensionsDone, final.ExtensionsTotal,
+			res.Stats.CandidatePairs, res.Stats.CandidatePairs)
+	}
+}
+
+// TestOverlapperCancel cancels mid-extension and expects the run to stop
+// promptly with the context's error.
+func TestOverlapperCancel(t *testing.T) {
+	rs := overlapTestSet(t, 14, 60_000)
+	cfg := overlapTestConfig(25)
+	cfg.BatchPairs = 4
+
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ov, _ := NewOverlapper(eng, OverlapperOptions{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.OnProgress = func(p OverlapProgress) {
+		// Cancel as soon as the extension stage has made some progress but
+		// before it finishes.
+		if p.Stage == StageAlign && p.ExtensionsDone > 0 && p.ExtensionsDone < p.ExtensionsTotal {
+			cancel()
+		}
+	}
+	_, err = ov.Run(ctx, readsOf(rs), cfg)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error (extension stage may have been too small to interrupt)")
+	}
+	if ctx.Err() == nil {
+		t.Skip("pipeline finished before the cancellation point; data set too small")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOverlapperValidation covers the config/constructor error paths.
+func TestOverlapperValidation(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := NewOverlapper(nil, OverlapperOptions{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	ov, _ := NewOverlapper(eng, OverlapperOptions{})
+
+	if _, err := ov.Run(context.Background(), nil, OverlapConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	bad := overlapTestConfig(10)
+	bad.Scoring = AffineScoring(1, -1, -2, -1)
+	if _, err := ov.Run(context.Background(), nil, bad); err == nil {
+		t.Error("affine overlap scoring accepted")
+	}
+	badK := overlapTestConfig(10)
+	badK.K = 99
+	if _, err := ov.Run(context.Background(), nil, badK); err == nil {
+		t.Error("k=99 accepted")
+	}
+	okCfg := overlapTestConfig(10)
+	if _, err := ov.Run(context.Background(), []Read{{Name: "r", Seq: []byte("AC!GT")}}, okCfg); err == nil {
+		t.Error("invalid base accepted")
+	}
+
+	coal := eng.NewCoalescer(CoalescerOptions{MaxWait: time.Millisecond})
+	defer coal.Close()
+	ovc, _ := NewOverlapper(eng, OverlapperOptions{Coalescer: coal})
+	tb := overlapTestConfig(10)
+	tb.Traceback = true
+	if _, err := ovc.Run(context.Background(), nil, tb); err != ErrTracebackUnavailable {
+		t.Errorf("coalesced traceback: err = %v, want ErrTracebackUnavailable", err)
+	}
+
+	// Empty input is a valid, empty run.
+	res, err := ov.Run(context.Background(), nil, okCfg)
+	if err != nil || len(res.Records) != 0 {
+		t.Errorf("empty run: %v, %d records", err, len(res.Records))
+	}
+}
+
+// TestOverlapperTraceback checks the CIGAR post-pass on the engine-direct
+// path agrees with the internal pipeline.
+func TestOverlapperTraceback(t *testing.T) {
+	rs := overlapTestSet(t, 15, 30_000)
+	cfg := overlapTestConfig(15)
+	cfg.Traceback = true
+
+	bcfg := cfg.bellaConfig()
+	ref, err := bella.Run(context.Background(), rs, bcfg, bella.CPUAligner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := bella.WritePAF(&want, rs.Reads, ref.Overlaps); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ov, _ := NewOverlapper(eng, OverlapperOptions{})
+	res, err := ov.Run(context.Background(), readsOf(rs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := WritePAF(&got, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("traceback PAF diverges from the internal pipeline")
+	}
+	foundCigar := false
+	for _, r := range res.Records {
+		if r.CIGAR != "" {
+			foundCigar = true
+			break
+		}
+	}
+	if len(res.Records) > 0 && !foundCigar {
+		t.Error("traceback requested but no record carries a CIGAR")
+	}
+}
+
+// TestOverlapSharesEngine proves overlap and Align traffic interleave on
+// one engine: an overlap run and concurrent Align batches both complete
+// with correct results.
+func TestOverlapSharesEngine(t *testing.T) {
+	rs := overlapTestSet(t, 16, 40_000)
+	cfg := overlapTestConfig(15)
+
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ov, _ := NewOverlapper(eng, OverlapperOptions{})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		pairs := []Pair{{
+			Query:  []byte("ACGTACGTACGTACGT"),
+			Target: []byte("ACGTACGTACGTACGT"),
+			SeedQ:  4, SeedT: 4, SeedLen: 4,
+		}}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			out, _, err := eng.Align(context.Background(), pairs, DefaultConfig(20))
+			if err != nil {
+				t.Errorf("concurrent Align: %v", err)
+				return
+			}
+			if out[0].Score != 16 {
+				t.Errorf("concurrent Align score %d, want 16", out[0].Score)
+				return
+			}
+		}
+	}()
+	res, err := ov.Run(context.Background(), readsOf(rs), cfg)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Error("overlap run under concurrent Align traffic found nothing")
+	}
+}

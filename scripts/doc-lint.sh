@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Documentation gate: every package must carry a package-level doc
+# comment, and every exported symbol of the public root package must be
+# documented. Run from the repo root; CI runs it alongside the unit
+# tests. The checker itself is scripts/doclint.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./scripts/doclint .

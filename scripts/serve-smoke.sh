@@ -2,15 +2,21 @@
 # Serve-level smoke test: boot logan-serve with coalescing on, fire 50
 # concurrent small /align requests, and assert that every request
 # succeeded and that the coalescer actually merged cross-request batches
-# (non-zero mergedBatches in /statz). Run from the repo root; CI runs it
-# after the unit tests.
+# (non-zero mergedBatches in /statz). Then exercise the async /jobs
+# overlap API end to end: submit a small FASTA, poll to completion,
+# assert the PAF is non-empty and byte-identical to an offline cmd/bella
+# run on the same file, and that DELETE yields 404. Run from the repo
+# root; CI runs it after the unit tests.
 set -euo pipefail
 
 ADDR="127.0.0.1:18080"
-BIN="$(mktemp -d)/logan-serve"
-trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+WORK="$(mktemp -d)"
+BIN="$WORK/logan-serve"
+BELLA="$WORK/bella"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$BIN" ./cmd/logan-serve
+go build -o "$BELLA" ./cmd/bella
 # A generous max-wait keeps the merge window open long enough that the
 # 50-request burst reliably coalesces even on a slow CI runner.
 "$BIN" -addr "$ADDR" -backend cpu -coalesce -max-wait 50ms &
@@ -99,8 +105,62 @@ if [ "$code" != "400" ]; then
   exit 1
 fi
 
+# --- async /jobs overlap API -------------------------------------------
+# Deterministic small data set shared by the offline and served runs.
+"$BELLA" -preset tiny -seed 1 -dump-reads "$WORK/reads.fa" >/dev/null
+"$BELLA" -fasta "$WORK/reads.fa" -cov 5 -errrate 0.15 -x 25 -minov 500 \
+  -paf "$WORK/offline.paf" >/dev/null
+
+JOB=$(curl -sf -X POST --data-binary "@$WORK/reads.fa" \
+  "http://$ADDR/jobs?x=25&minOverlap=500&coverage=5&errorRate=0.15")
+JOB_ID=$(echo "$JOB" | grep -o '"id":"[0-9a-f]*"' | cut -d'"' -f4)
+if [ -z "$JOB_ID" ]; then
+  echo "serve-smoke: POST /jobs returned no id: $JOB" >&2
+  exit 1
+fi
+
+STATE=""
+for _ in $(seq 1 600); do
+  STATUS=$(curl -sf "http://$ADDR/jobs/$JOB_ID")
+  STATE=$(echo "$STATUS" | grep -o '"state":"[a-z]*"' | cut -d'"' -f4)
+  case "$STATE" in
+    done) break ;;
+    failed|canceled)
+      echo "serve-smoke: job reached $STATE: $STATUS" >&2
+      exit 1 ;;
+  esac
+  sleep 0.1
+done
+if [ "$STATE" != "done" ]; then
+  echo "serve-smoke: job still '$STATE' after 60s" >&2
+  exit 1
+fi
+
+curl -sf "http://$ADDR/jobs/$JOB_ID/paf" -o "$WORK/served.paf"
+RECORDS=$(wc -l < "$WORK/served.paf")
+if [ "$RECORDS" -lt 1 ]; then
+  echo "serve-smoke: job PAF is empty" >&2
+  exit 1
+fi
+if ! cmp -s "$WORK/offline.paf" "$WORK/served.paf"; then
+  echo "serve-smoke: /jobs PAF differs from the offline cmd/bella run:" >&2
+  diff "$WORK/offline.paf" "$WORK/served.paf" | head -5 >&2
+  exit 1
+fi
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$ADDR/jobs/$JOB_ID")
+if [ "$code" != "204" ]; then
+  echo "serve-smoke: DELETE returned $code, want 204" >&2
+  exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/jobs/$JOB_ID")
+if [ "$code" != "404" ]; then
+  echo "serve-smoke: GET after DELETE returned $code, want 404" >&2
+  exit 1
+fi
+
 # Graceful shutdown must drain cleanly.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
-echo "serve-smoke: OK (50/50 requests, $merged merged batches)"
+echo "serve-smoke: OK (50/50 requests, $merged merged batches, $RECORDS job PAF records)"
