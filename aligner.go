@@ -11,6 +11,7 @@ import (
 	"logan/internal/backend"
 	"logan/internal/core"
 	"logan/internal/seq"
+	"logan/internal/telemetry"
 	"logan/internal/xdrop"
 )
 
@@ -66,7 +67,34 @@ type Aligner struct {
 	closed atomic.Bool
 	// scratch pools the per-batch conversion and result staging.
 	scratch sync.Pool
+
+	// tele is the engine's metric registry — the single source every view
+	// (library callers, /metrics, /statz) reads. stages is the pipeline
+	// stage-latency histogram family within it; the engine observes the
+	// partition/kernel/scatter stages itself and upstream layers (the
+	// coalescer, the HTTP server) observe admit and coalesce_wait into the
+	// same family.
+	tele   *telemetry.Registry
+	stages *telemetry.Stages
+	// Per-batch totals, updated once per backend dispatch (never per pair).
+	mBatches, mPairs, mCells *telemetry.Counter
+	// binst caches the per-backend instrument bundle by shard name so the
+	// steady-state batch path updates counters through a read-locked map
+	// hit instead of registry lookups (which build label keys).
+	bmu   sync.RWMutex
+	binst map[string]*backendTelemetry
 }
+
+// backendTelemetry is the cached instrument bundle of one backend shard
+// name ("cpu", "gpu0", ...): lifetime totals plus EWMA-smoothed gauges.
+type backendTelemetry struct {
+	pairs, cells, busy *telemetry.Counter
+	gcups, occupancy   *telemetry.Gauge
+}
+
+// telemetryAlpha smooths the per-backend GCUPS and occupancy gauges with
+// the same weight the backend layer uses for its throughput estimates.
+const telemetryAlpha = 0.3
 
 // batchScratch is the reusable per-batch staging: the validated sequence
 // pairs handed to the backend and the raw seed-extension results.
@@ -83,9 +111,82 @@ func NewAligner(opt EngineOptions) (*Aligner, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Aligner{opt: opt, be: be}
+	a := &Aligner{opt: opt, be: be, tele: telemetry.NewRegistry(), binst: map[string]*backendTelemetry{}}
 	a.scratch.New = func() any { return new(batchScratch) }
+	a.stages = telemetry.NewStages(a.tele, "logan_stage_duration_seconds",
+		"Per-stage request latency through the pipeline (admit, coalesce_wait, partition, kernel, scatter).")
+	a.mBatches = a.tele.Counter("logan_engine_batches_total", "Batches dispatched to the execution backend.")
+	a.mPairs = a.tele.Counter("logan_engine_pairs_total", "Sequence pairs aligned by the engine.")
+	a.mCells = a.tele.Counter("logan_engine_cells_total", "DP cells computed by the engine.")
+	a.tele.GaugeFunc("logan_engine_throughput_cells_per_second",
+		"The backend layer's live EWMA throughput estimate (the hybrid scheduler's partitioning weight).",
+		a.be.Throughput)
 	return a, nil
+}
+
+// Telemetry returns the engine's metric registry. Every layer stacked on
+// this engine (coalescer, overlap subsystem, logan-serve) registers its
+// instruments here, so one registry — and one atomic Snapshot of it —
+// describes the whole pipeline.
+func (a *Aligner) Telemetry() *telemetry.Registry { return a.tele }
+
+// observeStage records one stage duration: onto the request's trace when
+// the caller attached one to the context (which also feeds the shared
+// histogram family), otherwise straight into the family.
+func (a *Aligner) observeStage(tr *telemetry.Trace, stage string, d time.Duration) {
+	if tr != nil {
+		tr.Observe(stage, d)
+		return
+	}
+	a.stages.Observe(stage, d)
+}
+
+// backendTele returns the cached instrument bundle for one backend shard
+// name, registering it on first sight.
+func (a *Aligner) backendTele(name string) *backendTelemetry {
+	a.bmu.RLock()
+	bt := a.binst[name]
+	a.bmu.RUnlock()
+	if bt != nil {
+		return bt
+	}
+	a.bmu.Lock()
+	defer a.bmu.Unlock()
+	if bt := a.binst[name]; bt != nil {
+		return bt
+	}
+	l := telemetry.L("backend", name)
+	bt = &backendTelemetry{
+		pairs:     a.tele.Counter("logan_backend_pairs_total", "Pairs executed per backend shard.", l),
+		cells:     a.tele.Counter("logan_backend_cells_total", "DP cells computed per backend shard.", l),
+		busy:      a.tele.Counter("logan_backend_busy_seconds_total", "Shard busy time per backend (modeled device time for GPUs, measured wall for CPU).", l),
+		gcups:     a.tele.Gauge("logan_backend_gcups", "EWMA-smoothed per-shard throughput in GCUPS (giga cell updates per second).", l),
+		occupancy: a.tele.Gauge("logan_backend_occupancy", "EWMA-smoothed fraction of the batch wall time this shard was busy.", l),
+	}
+	a.binst[name] = bt
+	return bt
+}
+
+// recordBatch folds one completed backend dispatch into the engine totals
+// and the per-shard instruments. wall is the host wall time of the
+// dispatch, the occupancy denominator.
+func (a *Aligner) recordBatch(bst *backend.BatchStats, wall time.Duration) {
+	a.mBatches.Inc()
+	a.mPairs.Add(float64(bst.Pairs))
+	a.mCells.Add(float64(bst.Cells))
+	for _, sh := range bst.Shards {
+		bt := a.backendTele(sh.Backend)
+		bt.pairs.Add(float64(sh.Pairs))
+		bt.cells.Add(float64(sh.Cells))
+		bt.busy.Add(sh.Time.Seconds())
+		if sh.Time > 0 {
+			bt.gcups.ObserveEWMA(float64(sh.Cells)/sh.Time.Seconds()/1e9, telemetryAlpha)
+		}
+		if wall > 0 {
+			occ := min(sh.Time.Seconds()/wall.Seconds(), 1)
+			bt.occupancy.ObserveEWMA(occ, telemetryAlpha)
+		}
+	}
 }
 
 // newBackend maps EngineOptions onto the execution layer: the pluggable
@@ -181,6 +282,7 @@ func (a *Aligner) align(ctx context.Context, dst []Alignment, pairs []Pair, cfg 
 		}
 		in[i] = p
 	}
+	a.observeStage(telemetry.TraceFrom(ctx), telemetry.StageAdmit, time.Since(start))
 	return a.run(ctx, dst, sc, in, cfg, start)
 }
 
@@ -223,10 +325,16 @@ func (a *Aligner) extendPrepared(ctx context.Context, in []seq.Pair, out []xdrop
 	for i := range in {
 		in[i].ID = i
 	}
+	execStart := time.Now()
 	bst, err := a.be.ExtendBatch(ctx, in, out, cc)
 	if err != nil {
 		return backend.BatchStats{}, mapBackendErr(err)
 	}
+	execWall := time.Since(execStart)
+	tr := telemetry.TraceFrom(ctx)
+	a.observeStage(tr, telemetry.StagePartition, bst.PartitionTime)
+	a.observeStage(tr, telemetry.StageKernel, execWall-bst.PartitionTime)
+	a.recordBatch(&bst, execWall)
 	return bst, nil
 }
 
@@ -255,11 +363,18 @@ func (a *Aligner) run(ctx context.Context, dst []Alignment, sc *batchScratch, in
 	}
 	results := sc.res[:len(in)]
 	sc.res = results
+	execStart := time.Now()
 	bst, err := a.be.ExtendBatch(ctx, in, results, cfg.coreConfig())
 	if err != nil {
 		return nil, Stats{}, mapBackendErr(err)
 	}
+	execWall := time.Since(execStart)
+	tr := telemetry.TraceFrom(ctx)
+	a.observeStage(tr, telemetry.StagePartition, bst.PartitionTime)
+	a.observeStage(tr, telemetry.StageKernel, execWall-bst.PartitionTime)
+	a.recordBatch(&bst, execWall)
 
+	scatterStart := time.Now()
 	st := Stats{Pairs: len(in), Cells: bst.Cells, DeviceTime: bst.DeviceTime}
 	for _, sh := range bst.Shards {
 		st.PerBackend = append(st.PerBackend, BackendStats{
@@ -274,6 +389,7 @@ func (a *Aligner) run(ctx context.Context, dst []Alignment, sc *batchScratch, in
 	for i := range results {
 		dst[i] = toAlignment(results[i])
 	}
+	a.observeStage(tr, telemetry.StageScatter, time.Since(scatterStart))
 	st.WallTime = time.Since(start)
 	st.GCUPS = st.gcups(a.opt.Backend)
 	return dst, st, nil

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"logan"
+	"logan/internal/telemetry"
 )
 
 // jobState is the lifecycle of one overlap job:
@@ -87,17 +88,34 @@ type job struct {
 	removed bool
 }
 
-// jobTotals are the process-lifetime job counters behind /statz.
-type jobTotals struct {
-	Submitted atomic.Int64
-	Completed atomic.Int64
-	Failed    atomic.Int64
-	Canceled  atomic.Int64
-	// Rejected counts submissions shed by admission control (HTTP 429):
-	// the store was full of live jobs.
-	Rejected atomic.Int64
-	// PAFBytes counts result bytes produced by completed jobs.
-	PAFBytes atomic.Int64
+// jobTelemetry are the job subsystem's instruments, registered in the
+// shared registry so /metrics and /statz read the same series.
+type jobTelemetry struct {
+	submitted *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	// canceled counts DELETEd jobs; rejected counts submissions shed by
+	// admission control (HTTP 429: store full of live jobs or upload byte
+	// budget exhausted).
+	canceled *telemetry.Counter
+	rejected *telemetry.Counter
+	// pafBytes counts result bytes produced by completed jobs.
+	pafBytes *telemetry.Counter
+	// avgDuration is the EWMA wall time of finished jobs — the drain-rate
+	// estimate behind the Retry-After header on shed submissions.
+	avgDuration *telemetry.Gauge
+}
+
+func newJobTelemetry(reg *telemetry.Registry) jobTelemetry {
+	return jobTelemetry{
+		submitted:   reg.Counter("logan_jobs_submitted_total", "Overlap jobs accepted by POST /jobs."),
+		completed:   reg.Counter("logan_jobs_completed_total", "Overlap jobs that finished successfully."),
+		failed:      reg.Counter("logan_jobs_failed_total", "Overlap jobs that finished with an error."),
+		canceled:    reg.Counter("logan_jobs_canceled_total", "Overlap jobs canceled by DELETE or shutdown."),
+		rejected:    reg.Counter("logan_jobs_rejected_total", "Job submissions shed by admission control (HTTP 429)."),
+		pafBytes:    reg.Counter("logan_jobs_paf_bytes_total", "Serialized PAF bytes produced by completed jobs."),
+		avgDuration: reg.Gauge("logan_jobs_duration_seconds_avg", "EWMA wall time of finished jobs (the Retry-After drain estimate)."),
+	}
 }
 
 // jobStore is the bounded in-process registry behind the /jobs API: at
@@ -107,11 +125,12 @@ type jobTotals struct {
 type jobStore struct {
 	ov      *logan.Overlapper
 	maxJobs int
+	workers int
 	sem     chan struct{} // worker slots
 	baseCtx context.Context
 	stopAll context.CancelFunc
 	wg      sync.WaitGroup
-	totals  jobTotals
+	t       jobTelemetry
 	dataDir string // server-side FASTA root ("" disables fastaPath)
 	// byteBudget bounds the FASTA bytes buffered by upload jobs that are
 	// still ingesting: admission counts jobs AND bytes, so a client
@@ -134,8 +153,9 @@ type jobStore struct {
 	order []string // insertion order, for eviction scans
 }
 
-// newJobStore builds a store running jobs on the given overlapper.
-func newJobStore(ov *logan.Overlapper, workers, maxJobs int, dataDir string, byteBudget, resultBudget int64) *jobStore {
+// newJobStore builds a store running jobs on the given overlapper,
+// registering its instruments (and queued/running gauge funcs) in reg.
+func newJobStore(ov *logan.Overlapper, reg *telemetry.Registry, workers, maxJobs int, dataDir string, byteBudget, resultBudget int64) *jobStore {
 	if workers <= 0 {
 		workers = 2
 	}
@@ -149,14 +169,48 @@ func newJobStore(ov *logan.Overlapper, workers, maxJobs int, dataDir string, byt
 		resultBudget = 256 << 20
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &jobStore{
-		ov: ov, maxJobs: maxJobs,
+	st := &jobStore{
+		ov: ov, maxJobs: maxJobs, workers: workers,
 		sem:     make(chan struct{}, workers),
 		baseCtx: ctx, stopAll: cancel,
+		t:          newJobTelemetry(reg),
 		dataDir:    dataDir,
 		byteBudget: byteBudget, resultBudget: resultBudget,
 		jobs: make(map[string]*job),
 	}
+	reg.GaugeFunc("logan_jobs_queued", "Jobs waiting for a worker slot.", func() float64 {
+		q, _ := st.counts()
+		return float64(q)
+	})
+	reg.GaugeFunc("logan_jobs_running", "Jobs currently executing.", func() float64 {
+		_, r := st.counts()
+		return float64(r)
+	})
+	reg.GaugeFunc("logan_jobs_buffered_bytes", "FASTA bytes buffered by live upload jobs.", func() float64 {
+		return float64(st.bufferedBytes.Load())
+	})
+	reg.GaugeFunc("logan_jobs_result_bytes", "Serialized PAF bytes retained by finished jobs.", func() float64 {
+		return float64(st.resultBytes.Load())
+	})
+	return st
+}
+
+// jobDurationAlpha is the EWMA weight for the finished-job wall-time
+// estimate behind Retry-After.
+const jobDurationAlpha = 0.3
+
+// retryAfter projects when a worker slot should free up: the average job
+// duration spread over the queue depth ahead of a new submission, floored
+// at one second and capped at a minute (an uncalibrated store — no job
+// has finished yet — advertises the floor).
+func (st *jobStore) retryAfter() time.Duration {
+	avg := st.t.avgDuration.Value()
+	if avg <= 0 {
+		return time.Second
+	}
+	queued, running := st.counts()
+	d := time.Duration(avg * float64(queued+running+1) / float64(st.workers) * float64(time.Second))
+	return min(max(d, time.Second), time.Minute)
 }
 
 // Close cancels every live job and waits for the runners to drain. Call
@@ -322,7 +376,7 @@ func (st *jobStore) submit(cfg logan.OverlapConfig, src func() (io.ReadCloser, e
 		st.bufferedBytes.Add(-bufSize)
 		return nil, err
 	}
-	st.totals.Submitted.Add(1)
+	st.t.submitted.Inc()
 	st.wg.Add(1)
 	go st.run(ctx, j, cfg, src, bufSize)
 	return j, nil
@@ -388,20 +442,26 @@ func (st *jobStore) finish(j *job, res *logan.OverlapResult, err error) {
 		return
 	}
 	j.finishedAt = time.Now()
+	// Jobs that actually ran feed the duration EWMA behind Retry-After;
+	// ones canceled while still queued would drag the estimate toward
+	// zero and are skipped.
+	if !j.startedAt.IsZero() {
+		st.t.avgDuration.ObserveEWMA(j.finishedAt.Sub(j.startedAt).Seconds(), jobDurationAlpha)
+	}
 	switch {
 	case err == nil:
 		var buf bytes.Buffer
 		if werr := logan.WritePAF(&buf, res.Records); werr != nil {
 			j.state = jobFailed
 			j.err = werr.Error()
-			st.totals.Failed.Add(1)
+			st.t.failed.Inc()
 			return
 		}
 		j.state = jobDone
 		j.overlaps = len(res.Records)
 		j.reads = res.Stats.Reads
 		j.cells = res.Stats.Cells
-		st.totals.Completed.Add(1)
+		st.t.completed.Inc()
 		if j.removed {
 			// The job was DELETEd (or evicted) while the run raced to the
 			// finish line: nobody can fetch the result and nothing would
@@ -409,16 +469,16 @@ func (st *jobStore) finish(j *job, res *logan.OverlapResult, err error) {
 			return
 		}
 		j.paf = buf.Bytes()
-		st.totals.PAFBytes.Add(int64(len(j.paf)))
+		st.t.pafBytes.Add(float64(len(j.paf)))
 		st.resultBytes.Add(int64(len(j.paf)))
 	case errors.Is(err, context.Canceled):
 		j.state = jobCanceled
 		j.err = err.Error()
-		st.totals.Canceled.Add(1)
+		st.t.canceled.Inc()
 	default:
 		j.state = jobFailed
 		j.err = err.Error()
-		st.totals.Failed.Add(1)
+		st.t.failed.Inc()
 	}
 }
 
@@ -536,7 +596,7 @@ func queryOverlapConfig(q url.Values) (overlapConfigJSON, error) {
 // FASTA itself (configuration via query parameters). Accepted jobs get
 // 202 with the job id; a store full of live jobs sheds with 429.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	s.totals.Requests.Add(1)
+	s.m.requests.Inc()
 	if s.jobs == nil {
 		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
 		return
@@ -612,9 +672,11 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	j, err := s.jobs.submit(cfg, src, bufSize)
 	if err != nil {
-		s.jobs.totals.Rejected.Add(1)
-		s.totals.Shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		s.jobs.t.rejected.Inc()
+		s.m.shed.Inc()
+		// Retry-After projects a worker slot freeing up from the measured
+		// job duration EWMA and the current queue depth, not a constant.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.jobs.retryAfter()))
 		s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
 		return
 	}
@@ -622,7 +684,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Location", "/jobs/"+j.id)
 	w.WriteHeader(http.StatusAccepted)
 	if err := json.NewEncoder(w).Encode(jobStatusJSON{ID: j.id, State: string(jobQueued)}); err != nil {
-		s.totals.WriteErrors.Add(1)
+		s.m.writeErrors.Inc()
 	}
 }
 
@@ -709,21 +771,21 @@ func (j *job) status() jobStatusJSON {
 
 // handleJobStatus is GET /jobs/{id}.
 func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	s.totals.Requests.Add(1)
+	s.m.requests.Inc()
 	j, ok := s.jobLookup(w, r)
 	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(j.status()); err != nil {
-		s.totals.WriteErrors.Add(1)
+		s.m.writeErrors.Inc()
 	}
 }
 
 // handleJobPAF is GET /jobs/{id}/paf: the result stream of a finished
 // job. Jobs that are not done yet answer 409 with their current state.
 func (s *server) handleJobPAF(w http.ResponseWriter, r *http.Request) {
-	s.totals.Requests.Add(1)
+	s.m.requests.Inc()
 	j, ok := s.jobLookup(w, r)
 	if !ok {
 		return
@@ -742,14 +804,14 @@ func (s *server) handleJobPAF(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("Content-Length", strconv.Itoa(len(paf)))
 	if _, err := w.Write(paf); err != nil {
-		s.totals.WriteErrors.Add(1)
+		s.m.writeErrors.Inc()
 	}
 }
 
 // handleJobDelete is DELETE /jobs/{id}: cancel the job if live, forget it
 // either way. The id answers 404 from this point on.
 func (s *server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
-	s.totals.Requests.Add(1)
+	s.m.requests.Inc()
 	if s.jobs == nil {
 		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
 		return
@@ -791,17 +853,17 @@ type jobsStatzJSON struct {
 	PAFBytes  int64 `json:"pafBytes"`
 }
 
-// statz snapshots the job totals and gauges.
-func (st *jobStore) statz() *jobsStatzJSON {
-	queued, running := st.counts()
+// statz builds the jobs block of /statz from the shared registry
+// snapshot, so it reports the same instant as every other block.
+func (st *jobStore) statz(snap *telemetry.Snapshot) *jobsStatzJSON {
 	return &jobsStatzJSON{
-		Submitted: st.totals.Submitted.Load(),
-		Completed: st.totals.Completed.Load(),
-		Failed:    st.totals.Failed.Load(),
-		Canceled:  st.totals.Canceled.Load(),
-		Rejected:  st.totals.Rejected.Load(),
-		Queued:    queued,
-		Running:   running,
-		PAFBytes:  st.totals.PAFBytes.Load(),
+		Submitted: snap.Int("logan_jobs_submitted_total"),
+		Completed: snap.Int("logan_jobs_completed_total"),
+		Failed:    snap.Int("logan_jobs_failed_total"),
+		Canceled:  snap.Int("logan_jobs_canceled_total"),
+		Rejected:  snap.Int("logan_jobs_rejected_total"),
+		Queued:    int(snap.Value("logan_jobs_queued")),
+		Running:   int(snap.Value("logan_jobs_running")),
+		PAFBytes:  snap.Int("logan_jobs_paf_bytes_total"),
 	}
 }

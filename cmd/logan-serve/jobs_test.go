@@ -245,7 +245,7 @@ func TestJobsCancel(t *testing.T) {
 
 	// The runner must observe ctx promptly (per pair on the CPU pool):
 	// poll the jobs totals until the cancellation lands.
-	for s.jobs.totals.Canceled.Load() == 0 {
+	for s.jobs.t.canceled.Value() == 0 {
 		if time.Since(start) > 10*time.Second {
 			t.Fatal("cancellation not observed within 10s")
 		}
@@ -335,7 +335,7 @@ func TestJobsAdmissionAndErrors(t *testing.T) {
 	if code != http.StatusTooManyRequests {
 		t.Errorf("submission to full store: status %d (%.100s), want 429", code, body)
 	}
-	if s.jobs.totals.Rejected.Load() == 0 {
+	if s.jobs.t.rejected.Value() == 0 {
 		t.Error("rejected submission not counted")
 	}
 	// Drain so cleanup does not race long-running work.

@@ -6,8 +6,11 @@
 // By default concurrent /align requests are coalesced: a logan.Coalescer
 // merges them into engine-sized batches (higher aggregate throughput, up
 // to -max-wait of added latency per request) and sheds overload with
-// HTTP 429 + Retry-After once -max-pending pairs are queued. -coalesce=false
-// restores the direct per-request path.
+// HTTP 429 + Retry-After. Admission is adaptive by default: requests shed
+// when the projected queue delay at the measured drain rate exceeds
+// -target-delay (or the request's own deadline); -max-pending switches to
+// the legacy fixed pending-pair budget instead. -coalesce=false restores
+// the direct per-request path.
 //
 // Requests are request-scoped: the optional top-level "x" and "scoring"
 // fields override the server defaults per request, so one server process
@@ -42,18 +45,26 @@
 //	GET    /statz        process-lifetime totals (requests, pairs, cells,
 //	                     errors, shed, writeErrors), the per-backend
 //	                     breakdown (cpu, gpu0, ...), the coalescer counters
-//	                     and the jobs block
+//	                     and the jobs block — a JSON view over the same
+//	                     registry snapshot /metrics renders
+//	GET    /metrics      the whole telemetry registry in Prometheus text
+//	                     exposition format (stage latency histograms,
+//	                     per-backend gauges, shed/retry counters)
+//
+// With -debug-addr set, a second listener additionally serves Go's
+// net/http/pprof profiles under /debug/pprof/ — kept off the public
+// address so profiling endpoints are never exposed to clients.
 //
 // Usage:
 //
 //	logan-serve [-addr :8080] [-x 100] [-backend cpu|gpu|hybrid] [-gpus 1]
 //	            [-threads 0] [-max-pairs 100000]
 //	            [-coalesce] [-coalesce-pairs 4096] [-max-wait 2ms]
-//	            [-max-pending 16384]
+//	            [-max-pending 0] [-target-delay 20ms]
 //	            [-jobs] [-job-workers 2] [-max-jobs 64]
 //	            [-job-body-limit 67108864] [-job-pending-bytes 268435456]
 //	            [-job-result-bytes 268435456] [-job-data-dir dir]
-//	            [-job-coalesce]
+//	            [-job-coalesce] [-debug-addr 127.0.0.1:6060]
 //
 // SIGINT/SIGTERM drain in-flight requests, cancel live jobs and flush the
 // coalescer queue, then release the engine and every cached default
@@ -66,6 +77,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -91,7 +103,11 @@ func main() {
 		maxWait = flag.Duration("max-wait", 0,
 			"longest a request may wait for its merged batch to fill (0 = 2ms)")
 		maxPending = flag.Int("max-pending", 0,
-			"pending-pair budget before requests shed with 429 (0 = 4x coalesce-pairs)")
+			"fixed pending-pair budget before requests shed with 429 (0 = adaptive admission)")
+		targetDelay = flag.Duration("target-delay", 0,
+			"adaptive admission sheds once projected queue delay exceeds this (0 = 10x max-wait)")
+		debugAddr = flag.String("debug-addr", "",
+			"separate listen address for net/http/pprof profiling endpoints (empty = disabled)")
 
 		jobs       = flag.Bool("jobs", true, "enable the async /jobs overlap API")
 		jobWorkers = flag.Int("job-workers", 2, "overlap jobs running concurrently")
@@ -153,6 +169,7 @@ func main() {
 	cfg.coalescePairs = *coalescePairs
 	cfg.maxWait = *maxWait
 	cfg.maxPending = *maxPending
+	cfg.targetDelay = *targetDelay
 	cfg.jobs = *jobs
 	cfg.jobWorkers = *jobWorkers
 	cfg.maxJobs = *maxJobs
@@ -174,6 +191,25 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// pprof lives on its own listener (never the public mux) so profiling
+	// and heap-dump endpoints stay reachable only from wherever the
+	// operator points -debug-addr.
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dbgMux := http.NewServeMux()
+		dbgMux.HandleFunc("/debug/pprof/", pprof.Index)
+		dbgMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbgMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbgMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbgMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv = &http.Server{Addr: *debugAddr, Handler: dbgMux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "logan-serve: debug listener: %v\n", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)
@@ -191,6 +227,9 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		exitErr = srv.Shutdown(shutdownCtx)
 		cancel()
+	}
+	if dbgSrv != nil {
+		dbgSrv.Close()
 	}
 	// In-flight handlers have returned; flush the coalescer's residual
 	// queue before the engine goes away.

@@ -183,8 +183,8 @@ func TestServeWriteErrors(t *testing.T) {
 		strings.NewReader(`{"pairs":[{"query":"ACGTACGT","target":"ACGTACGT","seedLen":4}]}`))
 	fw := &failingWriter{h: make(http.Header)}
 	s.ServeHTTP(fw, req)
-	if got := s.totals.WriteErrors.Load(); got != 1 {
-		t.Fatalf("WriteErrors = %d, want 1", got)
+	if got := s.m.writeErrors.Value(); got != 1 {
+		t.Fatalf("WriteErrors = %g, want 1", got)
 	}
 
 	rec := httptest.NewRecorder()

@@ -9,11 +9,11 @@ import (
 	"math"
 	"net/http"
 	"strconv"
-	"sync"
-	"sync/atomic"
+	"strings"
 	"time"
 
 	"logan"
+	"logan/internal/telemetry"
 )
 
 // alignRequest is the POST /align payload: a batch of seeded pairs plus
@@ -121,64 +121,34 @@ type statsJSON struct {
 	GCUPS    float64 `json:"gcups"`
 }
 
-// serverTotals are the process-lifetime counters behind GET /statz.
-type serverTotals struct {
-	Requests atomic.Int64
-	Pairs    atomic.Int64
-	Cells    atomic.Int64
-	Errors   atomic.Int64
-	// Shed counts requests rejected by admission control (HTTP 429); they
-	// are also included in Errors.
-	Shed atomic.Int64
-	// WriteErrors counts responses that failed to encode to the client
-	// (connection gone mid-response). The alignment work was already done
-	// and is counted in Pairs/Cells; only the delivery failed.
-	WriteErrors atomic.Int64
-
-	// per-backend breakdown, keyed by the worker name ("cpu", "gpu0"...)
-	// reported in Stats.PerBackend.
-	mu         sync.Mutex
-	perBackend map[string]*backendTotals
+// serverTelemetry are the HTTP layer's instruments, registered in the
+// engine's registry so one registry — and one atomic Snapshot of it —
+// backs /metrics, /statz and the library counters alike. The per-backend
+// breakdown that serverTotals used to track privately now comes from the
+// engine's own logan_backend_* series.
+type serverTelemetry struct {
+	requests *telemetry.Counter
+	pairs    *telemetry.Counter
+	cells    *telemetry.Counter
+	// errors counts failed requests; shed counts the 429 subset (also
+	// included in errors). writeErrors counts responses that failed to
+	// encode to the client (connection gone mid-response) — the alignment
+	// work was already done and is counted in pairs/cells; only the
+	// delivery failed.
+	errors      *telemetry.Counter
+	shed        *telemetry.Counter
+	writeErrors *telemetry.Counter
 }
 
-// backendTotals accumulates one execution worker's lifetime share.
-type backendTotals struct {
-	Pairs  int64
-	Cells  int64
-	TimeNS int64
-}
-
-// addBatch folds one batch's per-backend stats into the totals.
-func (t *serverTotals) addBatch(per []logan.BackendStats) {
-	if len(per) == 0 {
-		return
+func newServerTelemetry(reg *telemetry.Registry) serverTelemetry {
+	return serverTelemetry{
+		requests:    reg.Counter("logan_http_requests_total", "HTTP requests received (all endpoints)."),
+		pairs:       reg.Counter("logan_http_pairs_total", "Pairs served by successful /align responses."),
+		cells:       reg.Counter("logan_http_cells_total", "DP cells behind successful /align responses."),
+		errors:      reg.Counter("logan_http_errors_total", "Requests answered with an error status."),
+		shed:        reg.Counter("logan_http_shed_total", "Requests shed by admission control (HTTP 429)."),
+		writeErrors: reg.Counter("logan_http_write_errors_total", "Responses that failed to encode to the client."),
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.perBackend == nil {
-		t.perBackend = make(map[string]*backendTotals)
-	}
-	for _, b := range per {
-		bt := t.perBackend[b.Name]
-		if bt == nil {
-			bt = &backendTotals{}
-			t.perBackend[b.Name] = bt
-		}
-		bt.Pairs += int64(b.Pairs)
-		bt.Cells += b.Cells
-		bt.TimeNS += b.Time.Nanoseconds()
-	}
-}
-
-// backendSnapshot copies the per-backend totals for /statz.
-func (t *serverTotals) backendSnapshot() map[string]backendStatzJSON {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make(map[string]backendStatzJSON, len(t.perBackend))
-	for name, bt := range t.perBackend {
-		out[name] = backendStatzJSON{Pairs: bt.Pairs, Cells: bt.Cells, TimeNS: bt.TimeNS}
-	}
-	return out
 }
 
 // serveConfig tunes the HTTP surface; defaultServeConfig gives the
@@ -195,12 +165,14 @@ type serveConfig struct {
 	// work to full quadratic DP.
 	maxX int32
 	// coalesce enables the cross-request batching layer; maxWait,
-	// coalescePairs and maxPending map onto logan.CoalescerOptions
-	// (zero values select that type's defaults).
+	// coalescePairs, maxPending and targetDelay map onto
+	// logan.CoalescerOptions (zero values select that type's defaults:
+	// maxPending 0 means adaptive admission bounded by targetDelay).
 	coalesce      bool
 	maxWait       time.Duration
 	coalescePairs int
 	maxPending    int
+	targetDelay   time.Duration
 	// jobs enables the async /jobs overlap API; jobWorkers bounds the
 	// concurrently running jobs, maxJobs the retained job records,
 	// jobBodyLimit one FASTA upload's bytes, and jobDataDir (when set)
@@ -250,17 +222,21 @@ func defaultServeConfig() serveConfig {
 // the engine directly and concurrency is per resource (CPU batches
 // interleave across the worker pool, GPU batches serialize per device).
 type server struct {
-	eng          *logan.Aligner
-	coal         *logan.Coalescer // nil when coalescing is disabled
-	jobs         *jobStore        // nil when the /jobs API is disabled
-	mux          *http.ServeMux
-	totals       serverTotals
+	eng  *logan.Aligner
+	coal *logan.Coalescer // nil when coalescing is disabled
+	jobs *jobStore        // nil when the /jobs API is disabled
+	mux  *http.ServeMux
+	// tele is the engine's registry — the one store behind /metrics and
+	// /statz; stages is a handle on the engine's stage-latency histogram
+	// family, used to start per-request traces.
+	tele         *telemetry.Registry
+	stages       *telemetry.Stages
+	m            serverTelemetry
 	defCfg       logan.Config
 	maxX         int32
 	maxPairs     int
 	bodyLimit    int64
 	jobBodyLimit int64
-	retryAfter   string // Retry-After seconds advertised on 429
 }
 
 // newServer builds the HTTP surface for an engine. Callers must Close the
@@ -285,17 +261,21 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 	}
 	s := &server{eng: eng, defCfg: cfg.defCfg, maxX: cfg.maxX, maxPairs: cfg.maxPairs,
 		bodyLimit: cfg.bodyLimit, jobBodyLimit: cfg.jobBodyLimit}
+	// The HTTP layer registers its instruments in the engine's registry:
+	// NewStages get-or-creates the engine's own stage histogram family, so
+	// the traces this layer starts and the stages the engine observes land
+	// in the same series.
+	s.tele = eng.Telemetry()
+	s.stages = telemetry.NewStages(s.tele, "logan_stage_duration_seconds",
+		"Pipeline stage latency by stage (admit, coalesce_wait, partition, kernel, scatter).")
+	s.m = newServerTelemetry(s.tele)
 	if cfg.coalesce {
 		s.coal = eng.NewCoalescer(logan.CoalescerOptions{
 			MaxBatchPairs: cfg.coalescePairs,
 			MaxWait:       cfg.maxWait,
 			MaxPending:    cfg.maxPending,
-			// Per-backend accounting is batch-scoped: one merged batch
-			// serves many requests, so the flusher reports it once here
-			// instead of each handler double-counting it.
-			OnFlush: func(st logan.Stats, _ int) { s.totals.addBatch(st.PerBackend) },
+			TargetDelay:   cfg.targetDelay,
 		})
-		s.retryAfter = strconv.Itoa(max(1, int(math.Ceil(s.coal.Options().MaxWait.Seconds()))))
 	}
 	if cfg.jobs {
 		// Jobs extend on the same engine as /align traffic. With
@@ -316,12 +296,13 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 		if err != nil {
 			panic(err) // unreachable: eng is non-nil
 		}
-		s.jobs = newJobStore(ov, cfg.jobWorkers, cfg.maxJobs, cfg.jobDataDir, cfg.jobPendingBytes, cfg.jobResultBytes)
+		s.jobs = newJobStore(ov, s.tele, cfg.jobWorkers, cfg.maxJobs, cfg.jobDataDir, cfg.jobPendingBytes, cfg.jobResultBytes)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /align", s.handleAlign)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/paf", s.handleJobPAF)
@@ -345,12 +326,32 @@ func (s *server) Close() {
 }
 
 func (s *server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.totals.Errors.Add(1)
+	s.m.errors.Inc()
 	http.Error(w, fmt.Sprintf(format, args...), code)
 }
 
+// retryAfterSeconds renders a drain-rate estimate as a Retry-After header
+// value: whole seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(max(1, int(math.Ceil(d.Seconds()))))
+}
+
+// alignRetryAfter is the Retry-After advertised on a shed /align request:
+// the coalescer's live queue-drain projection, or one MaxWait's worth of
+// slack on the direct path.
+func (s *server) alignRetryAfter() string {
+	if s.coal != nil {
+		return retryAfterSeconds(s.coal.RetryAfter())
+	}
+	return "1"
+}
+
 func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
-	s.totals.Requests.Add(1)
+	s.m.requests.Inc()
+	// Every /align request carries a trace: downstream layers (coalescer,
+	// engine) stamp their stages onto it, and the spans come back to the
+	// client in the X-Logan-Trace response header.
+	tr := s.stages.StartTrace()
 	var req alignRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit))
 	if err := dec.Decode(&req); err != nil {
@@ -391,23 +392,28 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 			SeedQ:  p.SeedQ, SeedT: p.SeedT, SeedLen: p.SeedLen,
 		}
 	}
+	// Decode + validation + pair conversion is this layer's share of the
+	// admit stage; the engine's ingest adds its own admit observation.
+	tr.Step(telemetry.StageAdmit)
+	ctx := telemetry.WithTrace(r.Context(), tr)
 
 	var (
 		out []logan.Alignment
 		st  logan.Stats
 	)
 	if s.coal != nil {
-		out, st, err = s.coal.Align(r.Context(), pairs, cfg)
+		out, st, err = s.coal.Align(ctx, pairs, cfg)
 	} else {
-		out, st, err = s.eng.Align(r.Context(), pairs, cfg)
+		out, st, err = s.eng.Align(ctx, pairs, cfg)
 	}
 	if err != nil {
 		switch {
 		case errors.Is(err, logan.ErrOverloaded):
-			// Shed, don't queue: the pending budget is full. The client
-			// should retry once the current batches drain.
-			s.totals.Shed.Add(1)
-			w.Header().Set("Retry-After", s.retryAfter)
+			// Shed, don't queue: admission control projects the queue delay
+			// past its target (or the request's own deadline). Retry-After
+			// carries the live drain-rate projection, not a constant.
+			s.m.shed.Inc()
+			w.Header().Set("Retry-After", s.alignRetryAfter())
 			s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
 		case errors.Is(err, logan.ErrUnsupportedConfig):
 			// Well-formed scheme this server's backend cannot execute
@@ -424,13 +430,8 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.totals.Pairs.Add(int64(st.Pairs))
-	s.totals.Cells.Add(st.Cells)
-	if s.coal == nil {
-		// With coalescing on, batch-scoped per-backend stats arrive via
-		// the OnFlush hook instead.
-		s.totals.addBatch(st.PerBackend)
-	}
+	s.m.pairs.Add(float64(st.Pairs))
+	s.m.cells.Add(float64(st.Cells))
 
 	resp := alignResponse{
 		Alignments: make([]alignmentJSON, len(out)),
@@ -447,9 +448,25 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Logan-Trace", formatTrace(tr))
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		s.totals.WriteErrors.Add(1)
+		s.m.writeErrors.Inc()
 	}
+}
+
+// formatTrace renders a request trace as "stage=dur;stage=dur" for the
+// X-Logan-Trace response header.
+func formatTrace(tr *telemetry.Trace) string {
+	var b strings.Builder
+	for i, sp := range tr.Spans() {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(sp.Stage)
+		b.WriteByte('=')
+		b.WriteString(sp.D.Round(time.Microsecond).String())
+	}
+	return b.String()
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -460,7 +477,10 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // statzJSON is the GET /statz payload: process-lifetime totals, the
 // per-backend breakdown (which execution workers — CPU pool, each GPU —
 // served how much of the traffic), and the coalescer's counters when
-// cross-request batching is enabled.
+// cross-request batching is enabled. Every number is read from a single
+// atomic registry snapshot — the same snapshot a concurrent /metrics
+// scrape would see — so the JSON view and the Prometheus view of one
+// instant agree.
 type statzJSON struct {
 	Requests    int64                       `json:"requests"`
 	Pairs       int64                       `json:"pairs"`
@@ -479,58 +499,116 @@ type backendStatzJSON struct {
 	TimeNS int64 `json:"timeNs"`
 }
 
-// coalescerStatzJSON mirrors logan.CoalescerMetrics on the wire.
+// coalescerStatzJSON mirrors logan.CoalescerMetrics on the wire, plus the
+// per-reason shed breakdown the adaptive admission controller produces.
 type coalescerStatzJSON struct {
-	Enqueued        int64 `json:"enqueued"`
-	Shed            int64 `json:"shed"`
-	Direct          int64 `json:"direct"`
-	MergedBatches   int64 `json:"mergedBatches"`
-	SizeFlushes     int64 `json:"sizeFlushes"`
-	DeadlineFlushes int64 `json:"deadlineFlushes"`
-	DrainFlushes    int64 `json:"drainFlushes"`
-	MergedPairs     int64 `json:"mergedPairs"`
-	MergedRequests  int64 `json:"mergedRequests"`
-	MaxMergedPairs  int64 `json:"maxMergedPairs"`
-	WaitNS          int64 `json:"waitNs"`
-	QueuedRequests  int   `json:"queuedRequests"`
-	QueuedPairs     int   `json:"queuedPairs"`
-	QueuedConfigs   int   `json:"queuedConfigs"`
+	Enqueued        int64   `json:"enqueued"`
+	Shed            int64   `json:"shed"`
+	ShedBudget      int64   `json:"shedBudget"`
+	ShedDelay       int64   `json:"shedDelay"`
+	ShedDeadline    int64   `json:"shedDeadline"`
+	Direct          int64   `json:"direct"`
+	MergedBatches   int64   `json:"mergedBatches"`
+	SizeFlushes     int64   `json:"sizeFlushes"`
+	DeadlineFlushes int64   `json:"deadlineFlushes"`
+	DrainFlushes    int64   `json:"drainFlushes"`
+	MergedPairs     int64   `json:"mergedPairs"`
+	MergedRequests  int64   `json:"mergedRequests"`
+	MaxMergedPairs  int64   `json:"maxMergedPairs"`
+	WaitNS          int64   `json:"waitNs"`
+	DrainPairsPerS  float64 `json:"drainPairsPerSec"`
+	ProjectedDelayS float64 `json:"projectedDelaySec"`
+	QueuedRequests  int     `json:"queuedRequests"`
+	QueuedPairs     int     `json:"queuedPairs"`
+	QueuedConfigs   int     `json:"queuedConfigs"`
 }
 
 func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.tele.Snapshot()
 	out := statzJSON{
-		Requests:    s.totals.Requests.Load(),
-		Pairs:       s.totals.Pairs.Load(),
-		Cells:       s.totals.Cells.Load(),
-		Errors:      s.totals.Errors.Load(),
-		Shed:        s.totals.Shed.Load(),
-		WriteErrors: s.totals.WriteErrors.Load(),
-		Backends:    s.totals.backendSnapshot(),
+		Requests:    snap.Int("logan_http_requests_total"),
+		Pairs:       snap.Int("logan_http_pairs_total"),
+		Cells:       snap.Int("logan_http_cells_total"),
+		Errors:      snap.Int("logan_http_errors_total"),
+		Shed:        snap.Int("logan_http_shed_total"),
+		WriteErrors: snap.Int("logan_http_write_errors_total"),
+		Backends:    backendStatz(snap),
 	}
 	if s.coal != nil {
-		m := s.coal.Metrics()
-		out.Coalescer = &coalescerStatzJSON{
-			Enqueued:        m.Enqueued,
-			Shed:            m.Shed,
-			Direct:          m.Direct,
-			MergedBatches:   m.MergedBatches,
-			SizeFlushes:     m.SizeFlushes,
-			DeadlineFlushes: m.DeadlineFlushes,
-			DrainFlushes:    m.DrainFlushes,
-			MergedPairs:     m.MergedPairs,
-			MergedRequests:  m.MergedRequests,
-			MaxMergedPairs:  m.MaxMergedPairs,
-			WaitNS:          m.WaitNS,
-			QueuedRequests:  m.QueuedRequests,
-			QueuedPairs:     m.QueuedPairs,
-			QueuedConfigs:   m.QueuedConfigs,
-		}
+		out.Coalescer = coalescerStatz(snap)
 	}
 	if s.jobs != nil {
-		out.Jobs = s.jobs.statz()
+		out.Jobs = s.jobs.statz(snap)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
-		s.totals.WriteErrors.Add(1)
+		s.m.writeErrors.Inc()
+	}
+}
+
+// backendStatz folds the engine's per-backend series into the /statz
+// breakdown, keyed by the "backend" label.
+func backendStatz(snap *telemetry.Snapshot) map[string]backendStatzJSON {
+	out := map[string]backendStatzJSON{}
+	for _, ss := range snap.Series("logan_backend_pairs_total") {
+		name := ss.LabelValue("backend")
+		b := out[name]
+		b.Pairs = int64(ss.Value)
+		out[name] = b
+	}
+	for _, ss := range snap.Series("logan_backend_cells_total") {
+		name := ss.LabelValue("backend")
+		b := out[name]
+		b.Cells = int64(ss.Value)
+		out[name] = b
+	}
+	for _, ss := range snap.Series("logan_backend_busy_seconds_total") {
+		name := ss.LabelValue("backend")
+		b := out[name]
+		b.TimeNS = int64(ss.Value * 1e9)
+		out[name] = b
+	}
+	return out
+}
+
+// coalescerStatz builds the coalescer block from the same snapshot.
+func coalescerStatz(snap *telemetry.Snapshot) *coalescerStatzJSON {
+	shedBudget := snap.Int("logan_coalescer_shed_total", telemetry.L("reason", "budget"))
+	shedDelay := snap.Int("logan_coalescer_shed_total", telemetry.L("reason", "delay"))
+	shedDeadline := snap.Int("logan_coalescer_shed_total", telemetry.L("reason", "deadline"))
+	sizeFlushes := snap.Int("logan_coalescer_merged_batches_total", telemetry.L("trigger", "size"))
+	deadlineFlushes := snap.Int("logan_coalescer_merged_batches_total", telemetry.L("trigger", "deadline"))
+	drainFlushes := snap.Int("logan_coalescer_merged_batches_total", telemetry.L("trigger", "drain"))
+	return &coalescerStatzJSON{
+		Enqueued:        snap.Int("logan_coalescer_enqueued_total"),
+		Shed:            shedBudget + shedDelay + shedDeadline,
+		ShedBudget:      shedBudget,
+		ShedDelay:       shedDelay,
+		ShedDeadline:    shedDeadline,
+		Direct:          snap.Int("logan_coalescer_direct_total"),
+		MergedBatches:   sizeFlushes + deadlineFlushes + drainFlushes,
+		SizeFlushes:     sizeFlushes,
+		DeadlineFlushes: deadlineFlushes,
+		DrainFlushes:    drainFlushes,
+		MergedPairs:     snap.Int("logan_coalescer_merged_pairs_total"),
+		MergedRequests:  snap.Int("logan_coalescer_merged_requests_total"),
+		MaxMergedPairs:  snap.Int("logan_coalescer_max_merged_pairs"),
+		WaitNS:          int64(snap.Value("logan_coalescer_queue_wait_seconds_total") * 1e9),
+		DrainPairsPerS:  snap.Value("logan_coalescer_drain_pairs_per_second"),
+		ProjectedDelayS: snap.Value("logan_coalescer_projected_delay_seconds"),
+		QueuedRequests:  int(snap.Value("logan_coalescer_queued_requests")),
+		QueuedPairs:     int(snap.Value("logan_coalescer_queued_pairs")),
+		QueuedConfigs:   int(snap.Value("logan_coalescer_queued_configs")),
+	}
+}
+
+// handleMetrics serves the whole registry in Prometheus text exposition
+// format (version 0.0.4): one atomic snapshot, the same numbers a
+// concurrent /statz request would report.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.m.requests.Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.tele.Snapshot().WriteText(w); err != nil {
+		s.m.writeErrors.Inc()
 	}
 }

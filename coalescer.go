@@ -5,18 +5,28 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"logan/internal/seq"
+	"logan/internal/telemetry"
 )
 
 // ErrOverloaded reports a Coalescer submission rejected by admission
-// control: the pending-pair budget (CoalescerOptions.MaxPending) is
-// exhausted. The request was not queued and did no alignment work; callers
-// should retry after roughly MaxWait (an HTTP front end translates this to
-// 429 with a Retry-After header, as cmd/logan-serve does).
-var ErrOverloaded = errors.New("logan: coalescer overloaded: pending pair budget exhausted")
+// control: the projected queue delay exceeds the adaptive target
+// (CoalescerOptions.TargetDelay), or the fixed pending-pair budget
+// (CoalescerOptions.MaxPending, when set) is exhausted. The request was
+// not queued and did no alignment work; callers should retry after
+// roughly Coalescer.RetryAfter (an HTTP front end translates this to 429
+// with a Retry-After header, as cmd/logan-serve does).
+var ErrOverloaded = errors.New("logan: coalescer overloaded")
+
+// ErrDeadlineInfeasible reports a submission shed because its context
+// deadline cannot be met: the queue ahead of it is projected to drain
+// later than the deadline, so queueing it would only burn engine time on
+// a result nobody can receive. It wraps ErrOverloaded, so callers (and
+// HTTP front ends) that already test errors.Is(err, ErrOverloaded)
+// handle it with no change.
+var ErrDeadlineInfeasible = fmt.Errorf("%w: request deadline infeasible under projected queue delay", ErrOverloaded)
 
 // CoalescerOptions tunes a Coalescer. The zero value selects the defaults
 // documented on each field.
@@ -35,11 +45,27 @@ type CoalescerOptions struct {
 	// and therefore throughput. Default 2ms.
 	MaxWait time.Duration
 
-	// MaxPending is the admission budget in pairs, summed across every
-	// configuration's queue: a request whose pairs would push the queued
-	// total beyond it is rejected with ErrOverloaded instead of queueing
-	// unboundedly. Default 4*MaxBatchPairs.
+	// MaxPending, when positive, is a fixed admission budget in pairs,
+	// summed across every configuration's queue: a request whose pairs
+	// would push the queued total beyond it is rejected with
+	// ErrOverloaded. Zero (the default) selects adaptive admission
+	// instead: the controller bounds the projected queue delay by
+	// TargetDelay using the backend layer's live throughput estimate, so
+	// the effective queue depth tracks what the hardware can actually
+	// drain rather than a static pair count.
 	MaxPending int
+
+	// TargetDelay is the adaptive admission bound (used when MaxPending
+	// is zero): a request is shed with ErrOverloaded when the queue,
+	// including the request itself, is projected to take longer than
+	// TargetDelay to drain at the measured rate (backend throughput in
+	// cells/s divided by the EWMA cells-per-pair of recent batches).
+	// Requests whose context deadline falls inside the projected delay
+	// are shed early with ErrDeadlineInfeasible regardless of TargetDelay.
+	// One engine batch (MaxBatchPairs) is always admissible, and so is
+	// everything until the first batch has calibrated the estimates.
+	// Default 10*MaxWait.
+	TargetDelay time.Duration
 
 	// OnFlush, when non-nil, observes every engine batch the Coalescer
 	// submits — merged flushes and large-request bypasses alike — with the
@@ -73,10 +99,13 @@ type CoalescerOptions struct {
 // and one backend dispatch for the whole batch) at the cost of bounded
 // per-request latency.
 //
-// Admission control bounds the queue: when MaxPending pairs are already
-// waiting (across all configurations), further requests fail fast with
-// ErrOverloaded instead of growing the queue unboundedly (shed load is
-// visible to callers, queued load is not).
+// Admission control bounds the queue adaptively: a request is shed with
+// ErrOverloaded when the queue it would join is projected — at the
+// backend layer's live throughput estimate — to take longer than
+// TargetDelay to drain, and with ErrDeadlineInfeasible when its own
+// context deadline falls inside that projection (shed load is visible to
+// callers, queued load is not). Setting MaxPending instead restores the
+// fixed pending-pair budget.
 //
 // A Coalescer is safe for concurrent use. Close flushes the remaining
 // queue and stops the flusher; it does not close the underlying Aligner.
@@ -94,7 +123,7 @@ type Coalescer struct {
 	done chan struct{} // closed by Close; flusher drains and exits
 	wg   sync.WaitGroup
 
-	m coalescerCounters
+	t coalescerTelemetry
 
 	// flusher-goroutine scratch: the merged input batch (pairs already
 	// converted at admission). Only the flusher touches it. (Results are
@@ -120,6 +149,11 @@ type coalesceWaiter struct {
 	in  []seq.Pair
 	enq time.Time
 	ch  chan coalesceResult
+	// tr is the request's trace (nil when the caller attached none): the
+	// flusher stamps the queue wait and copies the merged batch's stage
+	// spans onto it before delivering the result, so the channel receive
+	// orders those writes for the owner.
+	tr *telemetry.Trace
 }
 
 type coalesceResult struct {
@@ -128,20 +162,19 @@ type coalesceResult struct {
 	err error
 }
 
-// coalescerCounters are the Coalescer's lifetime counters (atomics; the
-// gauges in CoalescerMetrics are read under c.mu instead).
-type coalescerCounters struct {
-	enqueued        atomic.Int64
-	shed            atomic.Int64
-	direct          atomic.Int64
-	mergedBatches   atomic.Int64
-	sizeFlushes     atomic.Int64
-	deadlineFlushes atomic.Int64
-	drainFlushes    atomic.Int64
-	mergedPairs     atomic.Int64
-	mergedRequests  atomic.Int64
-	maxMergedPairs  atomic.Int64 // written only by the flusher
-	waitNS          atomic.Int64
+// coalescerTelemetry is the Coalescer's instrument bundle, registered in
+// the engine's registry at construction so /metrics, /statz and
+// CoalescerMetrics all read the same cells. Counters and gauges are
+// lock-free; the queue-depth gauges are GaugeFuncs taking c.mu at
+// snapshot time.
+type coalescerTelemetry struct {
+	enqueued, direct                     *telemetry.Counter
+	shedBudget, shedDelay, shedDeadline  *telemetry.Counter
+	flushSize, flushDeadline, flushDrain *telemetry.Counter
+	mergedPairs, mergedRequests          *telemetry.Counter
+	queueWait                            *telemetry.Counter // seconds
+	maxMergedPairs                       *telemetry.Gauge   // written only by the flusher
+	cellsPerPair                         *telemetry.Gauge   // EWMA, the drain-rate divisor
 }
 
 // CoalescerMetrics is a snapshot of a Coalescer's lifetime counters and
@@ -149,9 +182,15 @@ type coalescerCounters struct {
 // /statz "coalescer" block.
 type CoalescerMetrics struct {
 	// Enqueued counts requests admitted to the queue; Shed counts requests
-	// rejected with ErrOverloaded; Direct counts large requests that
-	// bypassed the queue (>= MaxBatchPairs pairs).
+	// rejected with ErrOverloaded (the sum of the per-reason counters
+	// below); Direct counts large requests that bypassed the queue
+	// (>= MaxBatchPairs pairs).
 	Enqueued, Shed, Direct int64
+
+	// The shed breakdown: ShedBudget hit the fixed MaxPending cap,
+	// ShedDelay the adaptive TargetDelay bound, ShedDeadline an
+	// infeasible request deadline (ErrDeadlineInfeasible).
+	ShedBudget, ShedDelay, ShedDeadline int64
 
 	// MergedBatches counts engine batches submitted by the flusher,
 	// broken down by trigger: SizeFlushes reached MaxBatchPairs,
@@ -178,14 +217,26 @@ type CoalescerMetrics struct {
 // opt select the defaults documented on CoalescerOptions. Close the
 // Coalescer to flush the residual queue and stop its flusher goroutine.
 func (a *Aligner) NewCoalescer(opt CoalescerOptions) *Coalescer {
+	c := a.newCoalescer(opt)
+	c.wg.Add(1)
+	go c.run()
+	return c
+}
+
+// newCoalescer builds a fully-instrumented Coalescer without starting
+// its flusher goroutine (tests drive take/execute directly).
+func (a *Aligner) newCoalescer(opt CoalescerOptions) *Coalescer {
 	if opt.MaxBatchPairs <= 0 {
 		opt.MaxBatchPairs = 4096
 	}
 	if opt.MaxWait <= 0 {
 		opt.MaxWait = 2 * time.Millisecond
 	}
-	if opt.MaxPending <= 0 {
-		opt.MaxPending = 4 * opt.MaxBatchPairs
+	if opt.MaxPending < 0 {
+		opt.MaxPending = 0
+	}
+	if opt.TargetDelay <= 0 {
+		opt.TargetDelay = 10 * opt.MaxWait
 	}
 	c := &Coalescer{
 		eng:    a,
@@ -194,9 +245,128 @@ func (a *Aligner) NewCoalescer(opt CoalescerOptions) *Coalescer {
 		kick:   make(chan struct{}, 1),
 		done:   make(chan struct{}),
 	}
-	c.wg.Add(1)
-	go c.run()
+	reg := a.tele
+	c.t = coalescerTelemetry{
+		enqueued:       reg.Counter("logan_coalescer_enqueued_total", "Requests admitted to the coalescing queue."),
+		direct:         reg.Counter("logan_coalescer_direct_total", "Engine-sized requests that bypassed the queue."),
+		shedBudget:     reg.Counter("logan_coalescer_shed_total", "Requests rejected by admission control, by reason.", telemetry.L("reason", "budget")),
+		shedDelay:      reg.Counter("logan_coalescer_shed_total", "Requests rejected by admission control, by reason.", telemetry.L("reason", "delay")),
+		shedDeadline:   reg.Counter("logan_coalescer_shed_total", "Requests rejected by admission control, by reason.", telemetry.L("reason", "deadline")),
+		flushSize:      reg.Counter("logan_coalescer_merged_batches_total", "Merged batches submitted to the engine, by flush trigger.", telemetry.L("trigger", "size")),
+		flushDeadline:  reg.Counter("logan_coalescer_merged_batches_total", "Merged batches submitted to the engine, by flush trigger.", telemetry.L("trigger", "deadline")),
+		flushDrain:     reg.Counter("logan_coalescer_merged_batches_total", "Merged batches submitted to the engine, by flush trigger.", telemetry.L("trigger", "drain")),
+		mergedPairs:    reg.Counter("logan_coalescer_merged_pairs_total", "Pairs across all merged batches."),
+		mergedRequests: reg.Counter("logan_coalescer_merged_requests_total", "Requests across all merged batches."),
+		queueWait:      reg.Counter("logan_coalescer_queue_wait_seconds_total", "Total enqueue-to-flush wait across admitted requests."),
+		maxMergedPairs: reg.Gauge("logan_coalescer_max_merged_pairs", "Largest single merged batch in pairs."),
+		cellsPerPair:   reg.Gauge("logan_coalescer_cells_per_pair", "EWMA DP cells per pair of recent merged batches (the admission controller's work estimate)."),
+	}
+	reg.GaugeFunc("logan_coalescer_queued_pairs", "Pairs currently queued across all configurations.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.pending)
+	})
+	reg.GaugeFunc("logan_coalescer_queued_requests", "Requests currently queued across all configurations.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, g := range c.order {
+			n += len(g.waiters)
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("logan_coalescer_queued_configs", "Distinct configurations currently queued.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.order))
+	})
+	reg.GaugeFunc("logan_coalescer_drain_pairs_per_second", "Measured queue drain rate: backend throughput over cells-per-pair (0 until calibrated).", c.drainPairsPerSec)
+	reg.GaugeFunc("logan_coalescer_projected_delay_seconds", "Projected time to drain the current queue at the measured rate (the adaptive admission signal).", func() float64 {
+		c.mu.Lock()
+		pending := c.pending
+		c.mu.Unlock()
+		rate := c.drainPairsPerSec()
+		if rate <= 0 {
+			return 0
+		}
+		return float64(pending) / rate
+	})
 	return c
+}
+
+// drainPairsPerSec is the measured queue drain rate: the backend layer's
+// live throughput estimate (cells/s) divided by the EWMA cells-per-pair
+// of recent merged batches. Zero until the first batch calibrates the
+// cells-per-pair estimate.
+func (c *Coalescer) drainPairsPerSec() float64 {
+	cpp := c.t.cellsPerPair.Value()
+	if cpp <= 0 {
+		return 0
+	}
+	thr := c.eng.be.Throughput()
+	if thr <= 0 {
+		return 0
+	}
+	return thr / cpp
+}
+
+// RetryAfter estimates how long a shed caller should wait before
+// retrying: the projected time to drain the current queue at the
+// measured rate, floored at MaxWait (the minimum useful retry interval)
+// and capped at 30s. HTTP front ends render it as the Retry-After header
+// on 429 responses.
+func (c *Coalescer) RetryAfter() time.Duration {
+	c.mu.Lock()
+	pending := c.pending
+	c.mu.Unlock()
+	d := c.opt.MaxWait
+	if rate := c.drainPairsPerSec(); rate > 0 {
+		if proj := time.Duration(float64(pending) / rate * float64(time.Second)); proj > d {
+			d = proj
+		}
+	}
+	return min(d, 30*time.Second)
+}
+
+// shedReason tags why admission control rejected a request.
+type shedReason int
+
+const (
+	shedBudget shedReason = iota
+	shedDelay
+	shedDeadline
+)
+
+// admitLocked decides whether n more pairs may queue under ctx. Callers
+// hold c.mu. In fixed mode (MaxPending > 0) only the pair budget
+// applies. In adaptive mode one engine batch is always admissible
+// (coalescing must keep working at low load and before calibration);
+// beyond that floor the controller sheds when the projected drain time
+// of the queue including this request exceeds TargetDelay, or — even
+// under the target — when the request's own deadline cannot survive the
+// projected wait plus a flush interval.
+func (c *Coalescer) admitLocked(ctx context.Context, n int) (shedReason, bool) {
+	if c.opt.MaxPending > 0 {
+		if c.pending+n > c.opt.MaxPending {
+			return shedBudget, false
+		}
+		return 0, true
+	}
+	if c.pending+n <= c.opt.MaxBatchPairs {
+		return 0, true
+	}
+	rate := c.drainPairsPerSec()
+	if rate <= 0 {
+		return 0, true // uncalibrated: admit and let the first flushes measure
+	}
+	projected := time.Duration(float64(c.pending+n) / rate * float64(time.Second))
+	if projected > c.opt.TargetDelay {
+		return shedDelay, false
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < projected+c.opt.MaxWait {
+		return shedDeadline, false
+	}
+	return 0, true
 }
 
 // Options returns the Coalescer's resolved configuration (zero fields
@@ -255,7 +425,7 @@ func (c *Coalescer) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alig
 		if c.isClosed() {
 			return nil, Stats{}, ErrClosed
 		}
-		c.m.direct.Add(1)
+		c.t.direct.Inc()
 		out, st, err := c.eng.Align(ctx, pairs, cfg)
 		if err == nil && c.opt.OnFlush != nil {
 			c.opt.OnFlush(st, 1)
@@ -267,16 +437,25 @@ func (c *Coalescer) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alig
 		return nil, Stats{}, err
 	}
 
-	w := &coalesceWaiter{in: in, ch: make(chan coalesceResult, 1)}
+	w := &coalesceWaiter{in: in, ch: make(chan coalesceResult, 1), tr: telemetry.TraceFrom(ctx)}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, Stats{}, ErrClosed
 	}
-	if c.pending+len(pairs) > c.opt.MaxPending {
+	if reason, ok := c.admitLocked(ctx, len(pairs)); !ok {
 		c.mu.Unlock()
-		c.m.shed.Add(1)
-		return nil, Stats{}, ErrOverloaded
+		switch reason {
+		case shedDelay:
+			c.t.shedDelay.Inc()
+			return nil, Stats{}, ErrOverloaded
+		case shedDeadline:
+			c.t.shedDeadline.Inc()
+			return nil, Stats{}, ErrDeadlineInfeasible
+		default:
+			c.t.shedBudget.Inc()
+			return nil, Stats{}, ErrOverloaded
+		}
 	}
 	w.enq = time.Now()
 	key := cfg.key()
@@ -290,7 +469,7 @@ func (c *Coalescer) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alig
 	g.pending += len(pairs)
 	c.pending += len(pairs)
 	c.mu.Unlock()
-	c.m.enqueued.Add(1)
+	c.t.enqueued.Inc()
 
 	// Nudge the flusher: it re-reads queue state on every wake, so a
 	// dropped send (buffer already full) is never a lost update.
@@ -353,18 +532,23 @@ func (c *Coalescer) Metrics() CoalescerMetrics {
 	}
 	qp, qc := c.pending, len(c.order)
 	c.mu.Unlock()
+	sb, sd, sdl := int64(c.t.shedBudget.Value()), int64(c.t.shedDelay.Value()), int64(c.t.shedDeadline.Value())
+	fs, fd, fdr := int64(c.t.flushSize.Value()), int64(c.t.flushDeadline.Value()), int64(c.t.flushDrain.Value())
 	return CoalescerMetrics{
-		Enqueued:        c.m.enqueued.Load(),
-		Shed:            c.m.shed.Load(),
-		Direct:          c.m.direct.Load(),
-		MergedBatches:   c.m.mergedBatches.Load(),
-		SizeFlushes:     c.m.sizeFlushes.Load(),
-		DeadlineFlushes: c.m.deadlineFlushes.Load(),
-		DrainFlushes:    c.m.drainFlushes.Load(),
-		MergedPairs:     c.m.mergedPairs.Load(),
-		MergedRequests:  c.m.mergedRequests.Load(),
-		MaxMergedPairs:  c.m.maxMergedPairs.Load(),
-		WaitNS:          c.m.waitNS.Load(),
+		Enqueued:        int64(c.t.enqueued.Value()),
+		Shed:            sb + sd + sdl,
+		ShedBudget:      sb,
+		ShedDelay:       sd,
+		ShedDeadline:    sdl,
+		Direct:          int64(c.t.direct.Value()),
+		MergedBatches:   fs + fd + fdr,
+		SizeFlushes:     fs,
+		DeadlineFlushes: fd,
+		DrainFlushes:    fdr,
+		MergedPairs:     int64(c.t.mergedPairs.Value()),
+		MergedRequests:  int64(c.t.mergedRequests.Value()),
+		MaxMergedPairs:  int64(c.t.maxMergedPairs.Value()),
+		WaitNS:          int64(c.t.queueWait.Value() * 1e9),
 		QueuedRequests:  qr,
 		QueuedPairs:     qp,
 		QueuedConfigs:   qc,
@@ -524,11 +708,20 @@ func (c *Coalescer) take(force bool) (Config, []*coalesceWaiter, int, flushReaso
 		c.dropGroupLocked(g)
 	}
 
-	var wait int64
+	var wait time.Duration
 	for _, w := range ws {
-		wait += now.Sub(w.enq).Nanoseconds()
+		d := now.Sub(w.enq)
+		wait += d
+		// The queue wait is a per-request stage: observe it onto the
+		// request's trace when it carries one (which also feeds the shared
+		// histogram), else straight into the engine's stage family.
+		if w.tr != nil {
+			w.tr.Observe(telemetry.StageCoalesceWait, d)
+		} else {
+			c.eng.stages.Observe(telemetry.StageCoalesceWait, d)
+		}
 	}
-	c.m.waitNS.Add(wait)
+	c.t.queueWait.Add(wait.Seconds())
 	return g.cfg, ws, npairs, reason, true
 }
 
@@ -539,8 +732,20 @@ func (c *Coalescer) take(force bool) (Config, []*coalesceWaiter, int, flushReaso
 // every request in the batch.
 func (c *Coalescer) execute(cfg Config, ws []*coalesceWaiter, npairs int, reason flushReason) {
 	merged := c.mergeBuf[:0]
+	traced := false
 	for _, w := range ws {
 		merged = append(merged, w.in...)
+		traced = traced || w.tr != nil
+	}
+	// When any rider carries a trace, run the batch under a batch-level
+	// trace: the engine observes the partition/kernel/scatter stages onto
+	// it exactly once (batch-scoped, same as the untraced path), and the
+	// scatter below copies its spans span-only onto every rider's trace.
+	ctx := context.Background()
+	var btr *telemetry.Trace
+	if traced {
+		btr = c.eng.stages.StartTrace()
+		ctx = telemetry.WithTrace(ctx, btr)
 	}
 	// One exact-size result allocation per flush: alignPrepared fills it,
 	// and the scatter below hands each waiter its capped subrange instead
@@ -548,23 +753,27 @@ func (c *Coalescer) execute(cfg Config, ws []*coalesceWaiter, npairs int, reason
 	// Coalescer never touches it again after the scatter. The pairs were
 	// validated and converted at admission, so the engine runs them
 	// without a second ingest pass.
-	out, st, err := c.eng.alignPrepared(context.Background(), make([]Alignment, 0, npairs), merged, cfg)
+	out, st, err := c.eng.alignPrepared(ctx, make([]Alignment, 0, npairs), merged, cfg)
 	clear(merged) // drop sequence refs so the scratch doesn't pin callers
 	c.mergeBuf = merged[:0]
 
-	c.m.mergedBatches.Add(1)
 	switch reason {
 	case flushSize:
-		c.m.sizeFlushes.Add(1)
+		c.t.flushSize.Inc()
 	case flushDeadline:
-		c.m.deadlineFlushes.Add(1)
+		c.t.flushDeadline.Inc()
 	default:
-		c.m.drainFlushes.Add(1)
+		c.t.flushDrain.Inc()
 	}
-	c.m.mergedPairs.Add(int64(npairs))
-	c.m.mergedRequests.Add(int64(len(ws)))
-	if int64(npairs) > c.m.maxMergedPairs.Load() { // flusher is the only writer
-		c.m.maxMergedPairs.Store(int64(npairs))
+	c.t.mergedPairs.Add(float64(npairs))
+	c.t.mergedRequests.Add(float64(len(ws)))
+	if float64(npairs) > c.t.maxMergedPairs.Value() { // flusher is the only writer
+		c.t.maxMergedPairs.Set(float64(npairs))
+	}
+	if err == nil && npairs > 0 {
+		// Calibrate the admission controller's work estimate from what the
+		// batch actually cost.
+		c.t.cellsPerPair.ObserveEWMA(float64(st.Cells)/float64(npairs), telemetryAlpha)
 	}
 
 	// Report the batch before scattering results: a caller must not be
@@ -590,6 +799,12 @@ func (c *Coalescer) execute(cfg Config, ws []*coalesceWaiter, npairs int, reason
 			WallTime: st.WallTime, DeviceTime: st.DeviceTime,
 		}
 		rst.GCUPS = rst.gcups(c.eng.opt.Backend)
+		if w.tr != nil && btr != nil {
+			// Span-only copy: the histograms counted the batch once above.
+			for _, sp := range btr.Spans() {
+				w.tr.AddSpan(sp.Stage, sp.D)
+			}
+		}
 		w.ch <- coalesceResult{out: res, st: rst}
 	}
 }

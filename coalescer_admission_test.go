@@ -1,0 +1,194 @@
+package logan
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// calibrate runs one engine batch so the backend layer has a throughput
+// estimate, then returns a coalescer whose cells-per-pair EWMA is seeded —
+// the two inputs of the drain-rate projection — without a flusher
+// goroutine, so the tests below own the queue state.
+func calibratedCoalescer(t *testing.T, eng *Aligner, opt CoalescerOptions) *Coalescer {
+	t.Helper()
+	if _, _, err := eng.Align(context.Background(), makePairsSeed(8, 7), cfgT); err != nil {
+		t.Fatal(err)
+	}
+	c := eng.newCoalescer(opt)
+	// Seed the work estimate directly (a live flusher would measure it
+	// from its first merged batch).
+	c.t.cellsPerPair.Set(5000)
+	if c.drainPairsPerSec() <= 0 {
+		t.Fatal("drain rate not calibrated")
+	}
+	return c
+}
+
+// TestAdmissionFixedBudget: MaxPending > 0 selects the legacy fixed
+// pair-budget mode — the delay projection never sheds, only the budget.
+func TestAdmissionFixedBudget(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	c := calibratedCoalescer(t, eng, CoalescerOptions{
+		MaxBatchPairs: 4, MaxWait: time.Millisecond, MaxPending: 10,
+		TargetDelay: time.Nanosecond, // must be ignored in fixed mode
+	})
+
+	c.pending = 8
+	if reason, ok := c.admitLocked(context.Background(), 3); ok || reason != shedBudget {
+		t.Fatalf("over budget: reason %v ok %v, want shedBudget", reason, ok)
+	}
+	// Under the budget everything is admitted, even though the calibrated
+	// delay projection is far past the (ignored) 1ns target.
+	if _, ok := c.admitLocked(context.Background(), 2); !ok {
+		t.Fatal("within budget: not admitted")
+	}
+}
+
+// TestAdmissionAdaptive covers the adaptive controller's decision table:
+// the one-batch floor, the target-delay shed, the deadline-infeasible
+// shed, and the uncalibrated fallback.
+func TestAdmissionAdaptive(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const target = 100 * time.Millisecond
+	c := calibratedCoalescer(t, eng, CoalescerOptions{
+		MaxBatchPairs: 4, MaxWait: time.Millisecond, TargetDelay: target,
+	})
+	rate := c.drainPairsPerSec()
+
+	// One engine batch always fits, regardless of the projection.
+	c.pending = 0
+	if _, ok := c.admitLocked(context.Background(), 4); !ok {
+		t.Fatal("one-batch floor: not admitted")
+	}
+
+	// Pending far past what drains within the target: shed by delay.
+	c.pending = int(rate*target.Seconds()) + 100
+	if reason, ok := c.admitLocked(context.Background(), 1); ok || reason != shedDelay {
+		t.Fatalf("past target: reason %v ok %v, want shedDelay", reason, ok)
+	}
+
+	// Above the floor but projected well under the target: admitted —
+	// unless the measured rate is so low the regime does not exist.
+	under := int(rate * target.Seconds() / 2)
+	if under > c.opt.MaxBatchPairs {
+		c.pending = under
+		if reason, ok := c.admitLocked(context.Background(), 1); !ok {
+			t.Fatalf("under target: reason %v, want admit", reason)
+		}
+		// Same queue, but the request's own deadline cannot survive the
+		// projected wait: shed as infeasible even under the target.
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now())
+		defer cancel()
+		if reason, ok := c.admitLocked(ctx, 1); ok || reason != shedDeadline {
+			t.Fatalf("infeasible deadline: reason %v ok %v, want shedDeadline", reason, ok)
+		}
+	}
+
+	// ErrDeadlineInfeasible must still satisfy the ErrOverloaded checks
+	// HTTP front ends map to 429.
+	if !errors.Is(ErrDeadlineInfeasible, ErrOverloaded) {
+		t.Fatal("ErrDeadlineInfeasible does not wrap ErrOverloaded")
+	}
+
+	// Uncalibrated controller (fresh coalescer, cells-per-pair unknown):
+	// admit and let the first flushes measure.
+	fresh := eng.newCoalescer(CoalescerOptions{MaxBatchPairs: 4, TargetDelay: time.Nanosecond})
+	fresh.t.cellsPerPair.Set(0)
+	fresh.pending = 1 << 20
+	if reason, ok := fresh.admitLocked(context.Background(), 1); !ok {
+		t.Fatalf("uncalibrated: reason %v, want admit", reason)
+	}
+}
+
+// TestCoalescerAdaptiveVsFixedOverload is the synthetic-overload
+// comparison: under the same burst, a generous fixed-cap coalescer queues
+// everything (no sheds, every request served), while the adaptive
+// controller with a tight delay target sheds the excess with
+// ErrOverloaded instead of letting the queue grow.
+func TestCoalescerAdaptiveVsFixedOverload(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Each request stays below MaxBatchPairs (engine-sized requests bypass
+	// the queue and its admission control entirely) but above half of it,
+	// so one pending request already blocks the one-batch floor for the
+	// rest of the burst until its deadline flush — otherwise a fast
+	// flusher can drain between admissions and nothing ever sheds.
+	const clients = 16
+	const pairsPerClient = 7
+	burst := func(coal *Coalescer) (served, shed int) {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				_, _, err := coal.Align(context.Background(), makePairsSeed(pairsPerClient, int64(i)), cfgT)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					served++
+				case errors.Is(err, ErrOverloaded):
+					shed++
+				default:
+					t.Errorf("client %d: %v", i, err)
+				}
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		return served, shed
+	}
+
+	// Baseline: fixed cap far above the burst — admission never sheds.
+	fixed := eng.NewCoalescer(CoalescerOptions{
+		MaxBatchPairs: 8, MaxWait: time.Millisecond, MaxPending: 1 << 20,
+	})
+	served, shed := burst(fixed)
+	fixed.Close()
+	if served != clients || shed != 0 {
+		t.Fatalf("fixed cap: served %d shed %d, want %d/0", served, shed, clients)
+	}
+
+	// Adaptive with a delay target no real queue can meet: once the first
+	// warmup batches calibrate the drain rate, everything beyond the
+	// one-batch floor is shed.
+	adaptive := eng.NewCoalescer(CoalescerOptions{
+		MaxBatchPairs: 8, MaxWait: time.Millisecond, TargetDelay: time.Nanosecond,
+	})
+	defer adaptive.Close()
+	for i := 0; i < 2; i++ { // calibrate cells-per-pair via real flushes
+		if _, _, err := adaptive.Align(context.Background(), makePairsSeed(4, int64(100+i)), cfgT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	served, shed = burst(adaptive)
+	if served+shed != clients || shed == 0 {
+		t.Fatalf("adaptive: served %d shed %d, want sheds under overload", served, shed)
+	}
+	m := adaptive.Metrics()
+	if m.ShedDelay == 0 || m.ShedDelay != m.Shed {
+		t.Fatalf("metrics %+v: want every shed attributed to the delay target", m)
+	}
+	// The shed callers get a live drain estimate to retry against.
+	if ra := adaptive.RetryAfter(); ra < adaptive.Options().MaxWait || ra > 30*time.Second {
+		t.Fatalf("RetryAfter %v outside [MaxWait, 30s]", ra)
+	}
+}

@@ -68,6 +68,10 @@ func TestCoalescerBitIdentical(t *testing.T) {
 
 			coal := eng.NewCoalescer(CoalescerOptions{
 				MaxBatchPairs: 16, MaxWait: time.Millisecond,
+				// This test pins bit-identity, not admission: the tiny batch
+				// target makes the adaptive one-batch floor smaller than the
+				// concurrent load, so give the controller unlimited delay.
+				TargetDelay: time.Hour,
 			})
 			defer coal.Close()
 
@@ -506,10 +510,14 @@ func waitFor(t *testing.T, cond func() bool) {
 // overdue, the overdue group must flush first — a saturated config must
 // not starve another config past its MaxWait bound.
 func TestCoalescerDeadlineBeatsSizeStarvation(t *testing.T) {
-	c := &Coalescer{
-		opt:    CoalescerOptions{MaxBatchPairs: 4, MaxWait: 10 * time.Millisecond},
-		groups: make(map[configKey]*coalesceGroup),
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
 	}
+	defer eng.Close()
+	// newCoalescer: fully instrumented but no flusher goroutine, so the
+	// test owns take() and the hand-built queue state below cannot race.
+	c := eng.newCoalescer(CoalescerOptions{MaxBatchPairs: 4, MaxWait: 10 * time.Millisecond})
 	mk := func(cfg Config, npairs int, enq time.Time) *coalesceGroup {
 		g := &coalesceGroup{key: cfg.key(), cfg: cfg}
 		g.waiters = append(g.waiters, &coalesceWaiter{

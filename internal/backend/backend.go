@@ -65,6 +65,13 @@ type BatchStats struct {
 	// DeviceTime is the modeled GPU completion time of the batch: the
 	// slowest device shard. Zero for pure-CPU execution.
 	DeviceTime time.Duration
+	// PartitionTime is the measured host time the backend spent deciding
+	// and staging the split of this batch across workers (capacity
+	// estimation, LPT assignment) before any kernel work started. Zero
+	// for single-worker backends, which have nothing to partition. The
+	// engine subtracts it from the batch wall time to separate the
+	// "partition" and "kernel" stages in the telemetry spine.
+	PartitionTime time.Duration
 	// Shards is the per-worker breakdown in worker order. Single-worker
 	// backends report one shard; Hybrid reports the CPU pool plus every
 	// device that received pairs.

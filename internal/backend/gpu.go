@@ -165,9 +165,10 @@ func (m *MultiGPU) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdro
 		return BatchStats{}, err
 	}
 	st := BatchStats{
-		Pairs:      len(pairs),
-		Cells:      res.Cells,
-		DeviceTime: res.DeviceTime,
+		Pairs:         len(pairs),
+		Cells:         res.Cells,
+		DeviceTime:    res.DeviceTime,
+		PartitionTime: res.PartitionTime,
 	}
 	for d := range res.PerDevice {
 		pd := &res.PerDevice[d]

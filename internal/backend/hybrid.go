@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"logan/internal/core"
 	"logan/internal/loadbal"
@@ -133,6 +134,7 @@ func (h *Hybrid) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdrop.
 		}
 		h.scratch.Put(sc)
 	}()
+	partStart := time.Now()
 	eligible := 0
 	for w, worker := range h.workers {
 		if !worker.Supports(cfg.Mode) {
@@ -152,6 +154,7 @@ func (h *Hybrid) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdrop.
 	}
 	sc.weights = loadbal.PairWeights(pairs, sc.weights)
 	buckets := loadbal.PartitionCapacities(sc.weights, sc.caps, loadbal.ByLength)
+	st.PartitionTime = time.Since(partStart)
 
 	outs := sc.outs
 	clear(outs)

@@ -84,7 +84,11 @@ type Result struct {
 	DeviceTime time.Duration
 	// TotalTime adds the host-side prep, per-GPU setup and collection.
 	TotalTime time.Duration
-	Cells     int64
+	// PartitionTime is the host time spent deciding the split (the
+	// Partition call), separated out so callers can attribute scheduling
+	// overhead apart from kernel work.
+	PartitionTime time.Duration
+	Cells         int64
 	// Imbalance is maxDeviceWork/meanDeviceWork in cells (1.0 = perfect).
 	Imbalance float64
 }
@@ -321,7 +325,9 @@ func (p *Pool) AlignIntoContext(ctx context.Context, dst []xdrop.SeedResult, pai
 	if len(pairs) == 0 {
 		return out, nil
 	}
+	partStart := time.Now()
 	buckets := Partition(pairs, len(p.Devices), strat)
+	out.PartitionTime = time.Since(partStart)
 	if cap(dst) < len(pairs) {
 		dst = make([]xdrop.SeedResult, len(pairs))
 	}

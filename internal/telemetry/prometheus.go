@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SeriesSnapshot is one series' state at snapshot time.
+type SeriesSnapshot struct {
+	Labels []Label
+	// Value is the counter total or gauge value (unused for histograms).
+	Value float64
+	// BucketCounts are the cumulative per-bucket counts (one per bound,
+	// +Inf excluded: the +Inf count equals Count). Histograms only.
+	BucketCounts []int64
+	// Sum and Count are the histogram's running sum (seconds) and
+	// observation count.
+	Sum   float64
+	Count int64
+}
+
+// FamilySnapshot is one metric family's state at snapshot time.
+type FamilySnapshot struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Bounds []float64 // histogram families: bucket upper bounds
+	Series []SeriesSnapshot
+}
+
+// Snapshot is an immutable copy of a Registry's state: every series read
+// exactly once under the registry lock, so one Snapshot backs both the
+// /metrics text and the /statz JSON of the same scrape with the same
+// numbers — the consistency fix for views that used to re-read live
+// counters field by field while the flusher mutated them.
+type Snapshot struct {
+	Families []FamilySnapshot
+}
+
+// Snapshot reads every registered series once and returns the copy.
+// Gauge funcs are evaluated inside the registry lock; keep them fast.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := &Snapshot{Families: make([]FamilySnapshot, 0, len(r.families))}
+	for _, f := range r.families {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind, Bounds: f.bounds}
+		for _, s := range f.order {
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch {
+			case s.counter != nil:
+				ss.Value = s.counter.Value()
+			case s.gaugeFn != nil:
+				ss.Value = s.gaugeFn()
+			case s.gauge != nil:
+				ss.Value = s.gauge.Value()
+			case s.hist != nil:
+				ss.BucketCounts = make([]int64, len(s.hist.bounds))
+				var cum int64
+				for i := range s.hist.bounds {
+					cum += s.hist.counts[i].Load()
+					ss.BucketCounts[i] = cum
+				}
+				ss.Count = s.hist.count.Load()
+				ss.Sum = s.hist.Sum()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// find returns the series snapshot for (name, labels), or nil.
+func (s *Snapshot) find(name string, labels ...Label) *SeriesSnapshot {
+	key := labelKey(labels)
+	for i := range s.Families {
+		f := &s.Families[i]
+		if f.Name != name {
+			continue
+		}
+		for j := range f.Series {
+			if labelKey(f.Series[j].Labels) == key {
+				return &f.Series[j]
+			}
+		}
+	}
+	return nil
+}
+
+// Value returns the counter/gauge value of (name, labels), or 0 when the
+// series does not exist in this snapshot.
+func (s *Snapshot) Value(name string, labels ...Label) float64 {
+	if ss := s.find(name, labels...); ss != nil {
+		return ss.Value
+	}
+	return 0
+}
+
+// Int returns Value truncated to int64 — the natural accessor for event
+// counters in JSON views.
+func (s *Snapshot) Int(name string, labels ...Label) int64 {
+	return int64(s.Value(name, labels...))
+}
+
+// Series returns every series of the named family (nil when absent),
+// letting JSON views enumerate label sets such as per-backend breakdowns.
+func (s *Snapshot) Series(name string) []SeriesSnapshot {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return s.Families[i].Series
+		}
+	}
+	return nil
+}
+
+// LabelValue returns the value of key in the series' label set ("" when
+// absent).
+func (ss *SeriesSnapshot) LabelValue(key string) string {
+	for _, l := range ss.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// formatValue renders a sample value in Prometheus text form: integral
+// values without an exponent or trailing zeros, everything else in Go's
+// shortest round-trip form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// writeLabels renders {k="v",...} including the extra label (used for
+// histogram "le"), or nothing when both are empty.
+func writeLabels(w io.Writer, labels []Label, extraKey, extraVal string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	sep := ""
+	io.WriteString(w, "{")
+	for _, l := range labels {
+		fmt.Fprintf(w, `%s%s="%s"`, sep, l.Key, escapeLabel(l.Value))
+		sep = ","
+	}
+	if extraKey != "" {
+		fmt.Fprintf(w, `%s%s="%s"`, sep, extraKey, extraVal)
+	}
+	io.WriteString(w, "}")
+}
+
+// WriteText renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family, cumulative
+// histogram buckets with an explicit +Inf, and _sum/_count series.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	for i := range s.Families {
+		f := &s.Families[i]
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, strings.ReplaceAll(f.Help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for j := range f.Series {
+			ss := &f.Series[j]
+			if f.Kind == KindHistogram {
+				for bi, bound := range f.Bounds {
+					io.WriteString(bw, f.Name+"_bucket")
+					writeLabels(bw, ss.Labels, "le", formatValue(bound))
+					fmt.Fprintf(bw, " %d\n", ss.BucketCounts[bi])
+				}
+				io.WriteString(bw, f.Name+"_bucket")
+				writeLabels(bw, ss.Labels, "le", "+Inf")
+				fmt.Fprintf(bw, " %d\n", ss.Count)
+				io.WriteString(bw, f.Name+"_sum")
+				writeLabels(bw, ss.Labels, "", "")
+				fmt.Fprintf(bw, " %s\n", formatValue(ss.Sum))
+				io.WriteString(bw, f.Name+"_count")
+				writeLabels(bw, ss.Labels, "", "")
+				fmt.Fprintf(bw, " %d\n", ss.Count)
+				continue
+			}
+			io.WriteString(bw, f.Name)
+			writeLabels(bw, ss.Labels, "", "")
+			fmt.Fprintf(bw, " %s\n", formatValue(ss.Value))
+		}
+	}
+	return bw.err
+}
+
+// errWriter latches the first write error so WriteText needs no error
+// check per line.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value %v, want 3.5", got)
+	}
+	if again := r.Counter("x_total", "other help"); again != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+
+	g := r.Gauge("g", "help")
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge value %v, want 7", got)
+	}
+	g.ObserveEWMA(1, 0.5)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("EWMA value %v, want 4", got)
+	}
+	var first Gauge
+	first.ObserveEWMA(10, 0.1)
+	if got := first.Value(); got != 10 {
+		t.Fatalf("first EWMA sample %v, want 10 (stored directly)", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "help", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // bucket le=0.01
+	h.Observe(0.01)  // le boundary: still le=0.01
+	h.Observe(0.05)  // le=0.1
+	h.Observe(5)     // +Inf only
+	h.Observe(-1)    // ignored
+	snap := r.Snapshot()
+	ss := snap.find("lat_seconds")
+	if ss == nil {
+		t.Fatal("series missing from snapshot")
+	}
+	want := []int64{2, 3, 3}
+	for i, w := range want {
+		if ss.BucketCounts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (cumulative)", i, ss.BucketCounts[i], w)
+		}
+	}
+	if ss.Count != 4 {
+		t.Fatalf("count %d, want 4", ss.Count)
+	}
+	if ss.Sum < 5.0 || ss.Sum > 5.1 {
+		t.Fatalf("sum %v, want ~5.065", ss.Sum)
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "h", L("route", "align")).Add(3)
+	r.Counter("req_total", "h", L("route", "jobs")).Add(4)
+	r.GaugeFunc("depth", "h", func() float64 { return 9 })
+	snap := r.Snapshot()
+	if got := snap.Int("req_total", L("route", "align")); got != 3 {
+		t.Fatalf("labeled lookup %d, want 3", got)
+	}
+	if got := snap.Value("depth"); got != 9 {
+		t.Fatalf("gauge func %v, want 9", got)
+	}
+	if got := snap.Value("missing"); got != 0 {
+		t.Fatalf("missing series %v, want 0", got)
+	}
+	series := snap.Series("req_total")
+	if len(series) != 2 {
+		t.Fatalf("series count %d, want 2", len(series))
+	}
+	if series[1].LabelValue("route") != "jobs" {
+		t.Fatalf("series order/labels wrong: %+v", series)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a counter", L("k", `v"quote\slash`)).Inc()
+	r.Gauge("b", "a gauge").Set(1.5)
+	h := r.Histogram("h_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(2)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		`a_total{k="v\"quote\\slash"} 1`,
+		"# TYPE b gauge",
+		"b 1.5",
+		"# TYPE h_seconds histogram",
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 1`,
+		`h_seconds_bucket{le="+Inf"} 2`,
+		"h_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, even with multiple series.
+	r.Counter("a_total", "a counter", L("k", "w")).Inc()
+	sb.Reset()
+	if err := r.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "# TYPE a_total "); got != 1 {
+		t.Fatalf("TYPE a_total appears %d times, want 1", got)
+	}
+}
+
+func TestStagesAndTrace(t *testing.T) {
+	r := NewRegistry()
+	st := NewStages(r, "stage_seconds", "per-stage latency")
+	st.Observe(StageKernel, 50*time.Millisecond)
+
+	tr := st.StartTrace()
+	tr.Observe(StageAdmit, time.Millisecond)
+	tr.Step(StageScatter)
+	if n := len(tr.Spans()); n != 2 {
+		t.Fatalf("spans %d, want 2", n)
+	}
+
+	// Nil traces are inert at every call site.
+	var nilTr *Trace
+	nilTr.Observe(StageAdmit, time.Millisecond)
+	nilTr.Step(StageKernel)
+	if nilTr.Spans() != nil {
+		t.Fatal("nil trace must have no spans")
+	}
+
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom must round-trip")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("TraceFrom on a bare context must be nil")
+	}
+
+	snap := r.Snapshot()
+	if got := snap.find("stage_seconds", L("stage", StageAdmit)).Count; got != 1 {
+		t.Fatalf("admit count %d, want 1", got)
+	}
+	if got := snap.find("stage_seconds", L("stage", StageKernel)).Count; got != 1 {
+		t.Fatalf("kernel count %d, want 1", got)
+	}
+}
+
+// TestConcurrentObserve hammers one registry from many goroutines under
+// -race: registration races, counter adds, histogram observes and
+// snapshots must all be safe and nothing may be lost.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Counter("c_total", "h").Inc()
+				r.Counter("labeled_total", "h", L("w", fmt.Sprint(w%2))).Inc()
+				r.Histogram("h_seconds", "h", nil).Observe(0.001)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Int("c_total"); got != workers*each {
+		t.Fatalf("c_total %d, want %d", got, workers*each)
+	}
+	if got := snap.Int("labeled_total", L("w", "0")) + snap.Int("labeled_total", L("w", "1")); got != workers*each {
+		t.Fatalf("labeled_total %d, want %d", got, workers*each)
+	}
+	if got := snap.find("h_seconds").Count; got != workers*each {
+		t.Fatalf("histogram count %d, want %d", got, workers*each)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"logan/internal/core"
 	"logan/internal/genome"
 	"logan/internal/seq"
+	"logan/internal/telemetry"
 	"logan/internal/xdrop"
 )
 
@@ -387,7 +388,14 @@ func (o *Overlapper) run(ctx context.Context, rs genome.ReadSet, cfg OverlapConf
 	}
 	var al bella.Aligner
 	if o.coal != nil {
-		al = &coalescedExtender{coal: o.coal, counters: &counters}
+		al = &coalescedExtender{
+			coal:     o.coal,
+			counters: &counters,
+			// Mirror the run-local counters into the engine registry so the
+			// /metrics view sees overlap back-pressure across all runs.
+			shedTotal:  o.eng.tele.Counter("logan_overlap_shed_total", "Overlap extension chunks shed by coalescer admission control."),
+			retryTotal: o.eng.tele.Counter("logan_overlap_retries_total", "Re-submissions of shed overlap extension chunks."),
+		}
 	} else {
 		al = &engineExtender{eng: o.eng}
 	}
@@ -460,6 +468,8 @@ func (e *engineExtender) AlignPairs(ctx context.Context, pairs []seq.Pair, sc xd
 type coalescedExtender struct {
 	coal     *Coalescer
 	counters *overlapCounters
+	// Registry mirrors of the run-local counters (lifetime totals).
+	shedTotal, retryTotal *telemetry.Counter
 }
 
 // overlapCounters aggregates a run's shed/retry accounting across the
@@ -499,6 +509,7 @@ func (e *coalescedExtender) AlignPairs(ctx context.Context, pairs []seq.Pair, sc
 			break
 		}
 		e.counters.shed.Add(1)
+		e.shedTotal.Inc()
 		if attempt == overlapMaxRetries {
 			return nil, bella.AlignerStats{}, fmt.Errorf("logan: overlap extension chunk shed %d times: %w", attempt+1, err)
 		}
@@ -509,6 +520,7 @@ func (e *coalescedExtender) AlignPairs(ctx context.Context, pairs []seq.Pair, sc
 		}
 		backoff = min(2*backoff, 100*time.Millisecond)
 		e.counters.retries.Add(1)
+		e.retryTotal.Inc()
 	}
 	if err != nil {
 		return nil, bella.AlignerStats{}, err

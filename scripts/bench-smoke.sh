@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Bench smoke + perf trajectory artifact: run one iteration of every
+# benchmark (catching benchmarks that no longer compile or crash, without
+# paying for a real measurement) and convert the output into a
+# machine-readable BENCH_*.json so each CI run leaves a comparable perf
+# record instead of scroll-away logs. Usage: scripts/bench-smoke.sh
+# [out.json]; CI uploads the file as an artifact.
+set -euo pipefail
+
+OUT="${1:-BENCH_smoke.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run='^$' -bench=. -benchtime=1x ./... | tee "$RAW"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v commit="${GITHUB_SHA:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}" '
+BEGIN {
+  printf("{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n", date, commit)
+  printf("  \"benchmarks\": [")
+  n = 0
+}
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^pkg: /    { pkg = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ && NF >= 4 {
+  # "BenchmarkX-8  1  123 ns/op  45 B/op  6 allocs/op ..." — every
+  # value/unit pair after the iteration count becomes a JSON field.
+  name = $1; iters = $2
+  fields = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1)
+    gsub(/[^A-Za-z0-9_\/.]/, "_", unit)
+    fields = fields sprintf(", \"%s\": %s", unit, $i)
+  }
+  if (n++) printf(",")
+  printf("\n    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s%s}",
+         pkg, name, iters, fields)
+}
+END {
+  if (n == 0) exit 1
+  printf("\n  ],\n")
+  printf("  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"\n}\n",
+         goos, goarch, cpu)
+}' "$RAW" > "$OUT" || {
+  echo "bench-smoke: no benchmark lines found" >&2
+  exit 1
+}
+
+# The artifact is only useful if it parses; fail the build otherwise.
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$OUT" 2>/dev/null \
+  || { echo "bench-smoke: $OUT is not valid JSON" >&2; exit 1; }
+echo "bench-smoke: wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

@@ -96,6 +96,39 @@ if [ -z "$errors" ] || [ "$errors" -ne 0 ]; then
   exit 1
 fi
 
+# --- /metrics ----------------------------------------------------------
+# One scrape after the burst: valid content type, every pipeline stage
+# histogram populated, and the merge counters moved.
+METRICS_CT=$(curl -sf -o "$WORK/metrics.txt" -w '%{content_type}' "http://$ADDR/metrics")
+case "$METRICS_CT" in
+  "text/plain; version=0.0.4"*) ;;
+  *)
+    echo "serve-smoke: /metrics content type '$METRICS_CT'" >&2
+    exit 1 ;;
+esac
+for stage in admit coalesce_wait partition kernel scatter; do
+  count=$(grep -o "logan_stage_duration_seconds_count{stage=\"$stage\"} [0-9]*" \
+    "$WORK/metrics.txt" | awk '{print $2}')
+  if [ -z "$count" ] || [ "$count" -eq 0 ]; then
+    echo "serve-smoke: stage histogram '$stage' empty (count=${count:-missing})" >&2
+    exit 1
+  fi
+done
+prom_nonzero() {
+  local pat="$1"
+  local total
+  total=$(grep -E "^$pat" "$WORK/metrics.txt" | awk '{s += $2} END {printf "%d", s}')
+  if [ -z "$total" ] || [ "$total" -eq 0 ]; then
+    echo "serve-smoke: metric $pat missing or zero" >&2
+    exit 1
+  fi
+}
+prom_nonzero 'logan_coalescer_merged_batches_total'
+prom_nonzero 'logan_coalescer_merged_pairs_total '
+prom_nonzero 'logan_engine_batches_total '
+prom_nonzero 'logan_backend_pairs_total\{backend="cpu"\}'
+prom_nonzero 'logan_http_requests_total '
+
 # An invalid scheme must be rejected with 400, not aligned. (Probed after
 # the statz error check: the rejection itself counts as a served error.)
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
