@@ -83,6 +83,12 @@ type Aligner struct {
 	// hit instead of registry lookups (which build label keys).
 	bmu   sync.RWMutex
 	binst map[string]*backendTelemetry
+	// kinst caches the per-kernel-variant instrument bundle ("scalar",
+	// "vector", "gpu") the same way: each batch records which extension
+	// kernel its shards ran on (chosen once per batch by the config-keyed
+	// selection in internal/xdrop).
+	kmu   sync.RWMutex
+	kinst map[string]*kernelTelemetry
 }
 
 // backendTelemetry is the cached instrument bundle of one backend shard
@@ -90,6 +96,12 @@ type Aligner struct {
 type backendTelemetry struct {
 	pairs, cells, busy *telemetry.Counter
 	gcups, occupancy   *telemetry.Gauge
+}
+
+// kernelTelemetry is the cached instrument pair of one extension-kernel
+// variant: lifetime pair and DP-cell totals.
+type kernelTelemetry struct {
+	pairs, cells *telemetry.Counter
 }
 
 // telemetryAlpha smooths the per-backend GCUPS and occupancy gauges with
@@ -111,7 +123,8 @@ func NewAligner(opt EngineOptions) (*Aligner, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := &Aligner{opt: opt, be: be, tele: telemetry.NewRegistry(), binst: map[string]*backendTelemetry{}}
+	a := &Aligner{opt: opt, be: be, tele: telemetry.NewRegistry(),
+		binst: map[string]*backendTelemetry{}, kinst: map[string]*kernelTelemetry{}}
 	a.scratch.New = func() any { return new(batchScratch) }
 	a.stages = telemetry.NewStages(a.tele, "logan_stage_duration_seconds",
 		"Per-stage request latency through the pipeline (admit, coalesce_wait, partition, kernel, scatter).")
@@ -167,6 +180,29 @@ func (a *Aligner) backendTele(name string) *backendTelemetry {
 	return bt
 }
 
+// kernelTele returns the cached instrument bundle for one kernel
+// variant, registering it on first sight.
+func (a *Aligner) kernelTele(variant string) *kernelTelemetry {
+	a.kmu.RLock()
+	kt := a.kinst[variant]
+	a.kmu.RUnlock()
+	if kt != nil {
+		return kt
+	}
+	a.kmu.Lock()
+	defer a.kmu.Unlock()
+	if kt := a.kinst[variant]; kt != nil {
+		return kt
+	}
+	l := telemetry.L("variant", variant)
+	kt = &kernelTelemetry{
+		pairs: a.tele.Counter("logan_kernel_pairs_total", "Pairs executed per extension-kernel variant (scalar, vector, gpu).", l),
+		cells: a.tele.Counter("logan_kernel_cells_total", "DP cells computed per extension-kernel variant.", l),
+	}
+	a.kinst[variant] = kt
+	return kt
+}
+
 // recordBatch folds one completed backend dispatch into the engine totals
 // and the per-shard instruments. wall is the host wall time of the
 // dispatch, the occupancy denominator.
@@ -185,6 +221,11 @@ func (a *Aligner) recordBatch(bst *backend.BatchStats, wall time.Duration) {
 		if wall > 0 {
 			occ := min(sh.Time.Seconds()/wall.Seconds(), 1)
 			bt.occupancy.ObserveEWMA(occ, telemetryAlpha)
+		}
+		if sh.Kernel != "" {
+			kt := a.kernelTele(sh.Kernel)
+			kt.pairs.Add(float64(sh.Pairs))
+			kt.cells.Add(float64(sh.Cells))
 		}
 	}
 }

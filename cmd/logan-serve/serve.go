@@ -489,6 +489,7 @@ type statzJSON struct {
 	Shed        int64                       `json:"shed"`
 	WriteErrors int64                       `json:"writeErrors"`
 	Backends    map[string]backendStatzJSON `json:"backends"`
+	Kernels     map[string]kernelStatzJSON  `json:"kernels,omitempty"`
 	Coalescer   *coalescerStatzJSON         `json:"coalescer,omitempty"`
 	Jobs        *jobsStatzJSON              `json:"jobs,omitempty"`
 }
@@ -497,6 +498,14 @@ type backendStatzJSON struct {
 	Pairs  int64 `json:"pairs"`
 	Cells  int64 `json:"cells"`
 	TimeNS int64 `json:"timeNs"`
+}
+
+// kernelStatzJSON is the per-extension-kernel-variant slice of the
+// traffic: how many pairs and DP cells ran on the scalar kernel, the
+// vector kernel, and the (simulated) GPU kernel.
+type kernelStatzJSON struct {
+	Pairs int64 `json:"pairs"`
+	Cells int64 `json:"cells"`
 }
 
 // coalescerStatzJSON mirrors logan.CoalescerMetrics on the wire, plus the
@@ -533,6 +542,7 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		Shed:        snap.Int("logan_http_shed_total"),
 		WriteErrors: snap.Int("logan_http_write_errors_total"),
 		Backends:    backendStatz(snap),
+		Kernels:     kernelStatz(snap),
 	}
 	if s.coal != nil {
 		out.Coalescer = coalescerStatz(snap)
@@ -567,6 +577,32 @@ func backendStatz(snap *telemetry.Snapshot) map[string]backendStatzJSON {
 		b := out[name]
 		b.TimeNS = int64(ss.Value * 1e9)
 		out[name] = b
+	}
+	return out
+}
+
+// kernelStatz folds the engine's per-kernel-variant series into the
+// /statz breakdown, keyed by the "variant" label. Nil until the first
+// batch completes (the instruments register on first sight).
+func kernelStatz(snap *telemetry.Snapshot) map[string]kernelStatzJSON {
+	var out map[string]kernelStatzJSON
+	for _, ss := range snap.Series("logan_kernel_pairs_total") {
+		if out == nil {
+			out = map[string]kernelStatzJSON{}
+		}
+		name := ss.LabelValue("variant")
+		k := out[name]
+		k.Pairs = int64(ss.Value)
+		out[name] = k
+	}
+	for _, ss := range snap.Series("logan_kernel_cells_total") {
+		if out == nil {
+			out = map[string]kernelStatzJSON{}
+		}
+		name := ss.LabelValue("variant")
+		k := out[name]
+		k.Cells = int64(ss.Value)
+		out[name] = k
 	}
 	return out
 }

@@ -285,11 +285,15 @@ func TestMatrixAlphabetValidation(t *testing.T) {
 // TestAlignContextCanceledMidBatch: cancelling the context of a running
 // Align must return promptly (the CPU pool stops claiming pairs) instead
 // of draining the whole batch. Self-calibrating: the cancelled run is
-// compared against a measured uncancelled run of the same batch.
+// compared against a measured uncancelled run of the same batch. The
+// batch is sized so the vector-kernel run still takes long enough that
+// the cancel goroutine gets scheduled mid-batch on a GOMAXPROCS=1
+// machine (timer wakeups there wait on preemption of the busy worker,
+// tens of milliseconds).
 func TestAlignContextCanceledMidBatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	raw := seq.RandPairSet(rng, seq.PairSetOptions{
-		N: 100, MinLen: 600, MaxLen: 1000, ErrorRate: 0.15, SeedLen: 17,
+		N: 400, MinLen: 1200, MaxLen: 2000, ErrorRate: 0.15, SeedLen: 17,
 	})
 	rngPairs := make([]Pair, len(raw))
 	for i, p := range raw {

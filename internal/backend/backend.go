@@ -56,6 +56,10 @@ type ShardStats struct {
 	Pairs   int
 	Cells   int64
 	Time    time.Duration
+	// Kernel names the extension kernel the shard ran on: "scalar" or
+	// "vector" for CPU shards (chosen per batch by xdrop.SelectKernel),
+	// "gpu" for device shards.
+	Kernel string
 }
 
 // BatchStats summarizes one ExtendBatch call.

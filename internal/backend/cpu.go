@@ -62,9 +62,12 @@ func (c *CPU) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdrop.See
 		c.rate.observe(st.Cells, wall)
 	}
 	return BatchStats{
-		Pairs:  len(pairs),
-		Cells:  st.Cells,
-		Shards: []ShardStats{{Backend: c.Name(), Pairs: len(pairs), Cells: st.Cells, Time: wall}},
+		Pairs: len(pairs),
+		Cells: st.Cells,
+		Shards: []ShardStats{{
+			Backend: c.Name(), Pairs: len(pairs), Cells: st.Cells, Time: wall,
+			Kernel: st.Kernel.String(),
+		}},
 	}, nil
 }
 

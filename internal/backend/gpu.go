@@ -94,7 +94,7 @@ func (g *GPU) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdrop.See
 		Pairs:      len(pairs),
 		Cells:      res.Cells,
 		DeviceTime: res.DeviceTime,
-		Shards:     []ShardStats{{Backend: g.name, Pairs: len(pairs), Cells: res.Cells, Time: res.DeviceTime}},
+		Shards:     []ShardStats{{Backend: g.name, Pairs: len(pairs), Cells: res.Cells, Time: res.DeviceTime, Kernel: "gpu"}},
 	}, nil
 }
 
@@ -180,6 +180,7 @@ func (m *MultiGPU) ExtendBatch(ctx context.Context, pairs []seq.Pair, out []xdro
 			Pairs:   len(pd.Results),
 			Cells:   pd.Cells,
 			Time:    pd.DeviceTime,
+			Kernel:  "gpu",
 		})
 	}
 	m.rate.observe(res.Cells, time.Since(start))

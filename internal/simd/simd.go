@@ -207,6 +207,67 @@ func MoveMask(a I16x8) uint8 {
 	return m
 }
 
+// SWAR constants for the byte-granularity operations below: per-byte low
+// bits, per-byte high bits, the 0x7F mask, and the movemask gather
+// multiplier that collects the eight per-byte high bits into the top byte
+// of a 64-bit product.
+const (
+	swarLow7   uint64 = 0x7f7f7f7f7f7f7f7f
+	swarHigh   uint64 = 0x8080808080808080
+	swarGather uint64 = 0x0002040810204081
+)
+
+// EqMask8 compares the first 8 bytes of a and b lane-wise and returns a
+// bit per lane, set where the bytes are equal (bit l for a[l] == b[l]).
+// Both slices must hold at least 8 bytes. Hot loops that already have the
+// two 64-bit words loaded should call EqMask64 directly — it inlines.
+func EqMask8(a, b []byte) uint8 {
+	_, _ = a[7], b[7]
+	return EqMask64(
+		uint64(a[0])|uint64(a[1])<<8|uint64(a[2])<<16|uint64(a[3])<<24|
+			uint64(a[4])<<32|uint64(a[5])<<40|uint64(a[6])<<48|uint64(a[7])<<56,
+		uint64(b[0])|uint64(b[1])<<8|uint64(b[2])<<16|uint64(b[3])<<24|
+			uint64(b[4])<<32|uint64(b[5])<<40|uint64(b[6])<<48|uint64(b[7])<<56)
+}
+
+// EqMask64 is the word form of EqMask8: a and b each pack 8 byte lanes
+// little-endian, and the result has bit l set where lane l is equal — the
+// _mm_cmpeq_epi8 + _mm_movemask_epi8 pair of the SSE2 kernel, emulated as
+// one SWAR pass over a 64-bit word instead of eight byte compares.
+//
+// The zero-byte detection is exact for arbitrary byte values: after
+// x = a XOR b, a byte of x is non-zero iff its low 7 bits carry into 0x80
+// under +0x7F or its own high bit is set, and neither term can carry
+// across byte lanes.
+func EqMask64(a, b uint64) uint8 {
+	x := a ^ b
+	nz := ((x & swarLow7) + swarLow7) | x // 0x80 bit set per non-zero byte
+	return uint8(((^nz & swarHigh) * swarGather) >> 56)
+}
+
+// BlendTable is a compare-blend specialized at batch-prep time: entry m is
+// the I16x8 whose lane l holds `on` when bit l of m is set and `off`
+// otherwise. Indexing it with an EqMask8 result replaces the per-lane
+// CmpEQ + Blend pair of the generic emulation with one 16-byte table load,
+// the partial-evaluation trick (AnySeq-style) the vector X-drop kernel
+// uses to turn match/mismatch scoring into data.
+type BlendTable [256]I16x8
+
+// NewBlendTable builds the 4 KiB blend table for one (on, off) pair.
+func NewBlendTable(on, off int16) *BlendTable {
+	var t BlendTable
+	for m := range t {
+		for l := 0; l < Lanes; l++ {
+			if m>>uint(l)&1 != 0 {
+				t[m][l] = on
+			} else {
+				t[m][l] = off
+			}
+		}
+	}
+	return &t
+}
+
 func clamp16(v int32) int16 {
 	if v > 32767 {
 		return 32767

@@ -15,6 +15,9 @@ type BatchStats struct {
 	AntiDiags int64
 	MaxBand   int
 	SumBand   int64 // over all anti-diagonals of all pairs
+	// Kernel is the extension kernel the batch ran on, chosen once per
+	// batch from its config key (see SelectKernel).
+	Kernel Kernel
 }
 
 // MeanBand returns the average anti-diagonal width across the batch.

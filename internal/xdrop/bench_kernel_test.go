@@ -1,0 +1,94 @@
+package xdrop
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"logan/internal/ksw2"
+	"logan/internal/seq"
+)
+
+// kernelRegimes are the band-width regimes of the kernel comparison: X
+// controls how wide the surviving band grows on a 15%-divergent pair, so
+// the sweep moves the kernels from latency-bound narrow bands (where the
+// 8-lane blocks barely fill) to throughput-bound wide ones.
+var kernelRegimes = []struct {
+	name string
+	x    int32
+}{
+	{"narrow_x25", 25},
+	{"medium_x100", 100},
+	{"wide_x400", 400},
+	{"xwide_x1600", 1600},
+}
+
+// BenchmarkKernel compares the three interior kernels — the scalar int32
+// anti-diagonal loop, the 8-lane int16 vector kernel, and the
+// ksw2-striped affine kernel (the minimap2 corner of the design space) —
+// on one 2000-base extension per band regime. The cells/ns metric is the
+// comparable number; ns/op is not, because the kernels explore different
+// cell counts (ksw2 under Z-drop especially).
+func BenchmarkKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	q, t := benchPair(rng, 2000)
+	sc := DefaultScoring()
+	w := NewWorkspace()
+	for _, reg := range kernelRegimes {
+		b.Run(fmt.Sprintf("scalar/%s", reg.name), func(b *testing.B) {
+			b.ReportAllocs()
+			var cells int64
+			for i := 0; i < b.N; i++ {
+				cells += w.Extend(q, t, sc, reg.x).Cells
+			}
+			b.ReportMetric(float64(cells)/float64(b.Elapsed().Nanoseconds()), "cells/ns")
+		})
+		b.Run(fmt.Sprintf("vector/%s", reg.name), func(b *testing.B) {
+			b.ReportAllocs()
+			var cells int64
+			for i := 0; i < b.N; i++ {
+				cells += w.ExtendVector(q, t, sc, reg.x).Cells
+			}
+			b.ReportMetric(float64(cells)/float64(b.Elapsed().Nanoseconds()), "cells/ns")
+		})
+		b.Run(fmt.Sprintf("ksw2/%s", reg.name), func(b *testing.B) {
+			p := ksw2.MinimapParams(reg.x)
+			b.ReportAllocs()
+			var cells int64
+			for i := 0; i < b.N; i++ {
+				cells += ksw2.ExtendZ(q, t, p).Cells
+			}
+			b.ReportMetric(float64(cells)/float64(b.Elapsed().Nanoseconds()), "cells/ns")
+		})
+	}
+}
+
+// BenchmarkPoolKernel10k is the batch-level acceptance comparison: the
+// 10k-pair BELLA-style workload on a reused pool, once per kernel forced
+// via ExtendBatchKernel. The vector/scalar cells/ns ratio is the speedup
+// the bench-smoke artifact (BENCH_kernel.json) records.
+func BenchmarkPoolKernel10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	pairs := seq.RandPairSet(rng, seq.PairSetOptions{
+		N: 10000, MinLen: 200, MaxLen: 600, ErrorRate: 0.15, SeedLen: 17,
+	})
+	results := make([]SeedResult, len(pairs))
+	sch := LinearScheme(DefaultScoring())
+	p := NewPool(0)
+	defer p.Close()
+	for _, k := range []Kernel{KernelScalar, KernelVector} {
+		b.Run(k.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var cells int64
+			for i := 0; i < b.N; i++ {
+				st, err := p.ExtendBatchKernel(context.Background(), pairs, results, sch, 100, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells += st.Cells
+			}
+			b.ReportMetric(float64(cells)/float64(b.Elapsed().Nanoseconds()), "cells/ns")
+		})
+	}
+}

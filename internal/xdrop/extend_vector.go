@@ -1,0 +1,359 @@
+package xdrop
+
+import (
+	"encoding/binary"
+
+	"logan/internal/seq"
+	"logan/internal/simd"
+)
+
+// The vector kernel's int16 working range. Band-local scores are stored
+// rebased (score - base) so they fit int16 lanes: the rebase fires between
+// anti-diagonals once the local best crosses vectorRebaseAt, which keeps
+// every live lane inside [best-x, best+match] ⊂ (negInf16Guard, 32767)
+// with margin — saturation can therefore never touch a live score, which
+// is what keeps the kernel bit-identical to the int32 scalar path.
+const (
+	// negInf16 is the pruned-lane sentinel. It is far enough from the
+	// int16 edge that sentinel + score never wraps, and far enough below
+	// any reachable threshold (>= -vectorMaxX after a rebase) that a
+	// sentinel-sourced cell is always re-pruned.
+	negInf16 int16 = -29000
+	// negInf16Guard separates live lanes from sentinel lanes during the
+	// rebase sweep: live values stay strictly above it, sentinels below.
+	negInf16Guard int16 = negInf16 / 2
+	// vectorRebaseAt triggers the between-diagonal rebase sweep.
+	vectorRebaseAt int16 = 16384
+	// VectorMaxX is the widest X-drop threshold the vector kernel
+	// accepts: beyond it the band's dynamic range (x + match) approaches
+	// the int16 span and the scalar kernel takes over.
+	VectorMaxX int32 = 8192
+	// VectorMaxScore bounds |match|, |mismatch| and |gap| for the vector
+	// path; larger parameters (legal in the scalar engine) fall back.
+	VectorMaxScore int32 = 255
+)
+
+// VectorEligible reports whether the 8-lane int16 kernel can run this
+// linear scoring configuration bit-identically: parameter magnitudes must
+// fit the rebased int16 range and x must leave saturation headroom. The
+// kernel-selection layer (SelectKernel, chosen once per batch) consults
+// this; ExtendVector also re-checks and falls back to the scalar kernel,
+// so a direct call is safe for any validated input.
+func VectorEligible(sc Scoring, x int32) bool {
+	return x >= 0 && x <= VectorMaxX &&
+		sc.Match > 0 && sc.Match <= VectorMaxScore &&
+		sc.Mismatch < 0 && sc.Mismatch >= -VectorMaxScore &&
+		sc.Gap < 0 && sc.Gap >= -VectorMaxScore
+}
+
+// blendTab returns the workspace's cached compare-blend table for this
+// (match, mismatch) pair, building it on first use. Batches share a
+// scoring configuration, so the steady state is one pointer compare.
+func (w *Workspace) blendTab(match, mismatch int16) *simd.BlendTable {
+	if w.tab == nil || w.tabMatch != match || w.tabMismatch != mismatch {
+		w.tab = simd.NewBlendTable(match, mismatch)
+		w.tabMatch, w.tabMismatch = match, mismatch
+	}
+	return w.tab
+}
+
+// ExtendVector is the 8-wide int16 lane-block form of Workspace.Extend:
+// scores, extents and work counters are bit-identical to the scalar
+// kernel (and so to ExtendReference) on every input. Inputs outside the
+// vector envelope (VectorEligible) fall back to the scalar kernel.
+//
+// Per 8-cell block the interior update is branch-lean: the match/mismatch
+// substitution add is one simd.EqMask64 SWAR compare over two 8-byte
+// sequence words plus one 16-byte load from the batch-specialized
+// compare-blend table (simd.BlendTable), replacing eight data-dependent
+// byte compares — the one unpredictable branch of the scalar loop. The
+// gap sources are the diagonal's int16 loads with the "up" value carried
+// in a register (the lane shift falls out of the anti-diagonal memory
+// layout), and the three-way max, X-drop clamp and best tracking run per
+// lane in the fused block loop. Score-offset rebasing (see the constants
+// above) keeps lane values exact in int16, so no saturating clamp can
+// ever touch a live score.
+func (w *Workspace) ExtendVector(q, t seq.Seq, sc Scoring, x int32) Result {
+	if !VectorEligible(sc, x) {
+		return w.Extend(q, t, sc, x)
+	}
+	m, n := len(q), len(t)
+	res := Result{}
+	if m == 0 || n == 0 {
+		return res
+	}
+
+	// An anti-diagonal holds at most min(m,n)+1 cells, plus one sentinel
+	// slot on each side (geometry shared with the scalar kernel).
+	bufLen := min(m, n) + 3
+	a1 := w.diag16(&w.v0, bufLen)
+	a2 := w.diag16(&w.v1, bufLen)
+	a3 := w.diag16(&w.v2, bufLen)
+
+	// rt mirrors t in reverse base order so both sequences are read
+	// forward (and 8 bytes at a time) in the block loop.
+	if cap(w.rt) < n {
+		w.rt = make(seq.Seq, n)
+	}
+	rt := w.rt[:n]
+
+	match16, mismatch16, gap16 := int16(sc.Match), int16(sc.Mismatch), int16(sc.Gap)
+	x16 := int16(x)
+	tab := w.blendTab(match16, mismatch16)
+
+	// Scores are carried rebased: true score = base + lane value.
+	var base int32
+
+	var org1, org2, org3 int
+	best := int16(0)
+	bestI, bestJ := 0, 0
+	org2 = -1
+	a2[0], a2[1], a2[2] = negInf16, 0, negInf16
+	res.AntiDiags = 1
+	res.Cells = 1
+	res.SumBand = 1
+	res.MaxBand = 1
+
+	lo, hi := 0, 1
+
+	for d := 1; d <= m+n; d++ {
+		if d <= n {
+			rt[n-d] = t[d-1]
+		}
+		if lo < d-n {
+			lo = d - n
+		}
+		if hi > d {
+			hi = d
+		}
+		if hi > m {
+			hi = m
+		}
+		if lo > hi {
+			break
+		}
+
+		// Rebase between diagonals once the local best nears the rebase
+		// mark: subtract it from every live lane of the two carried
+		// diagonals so the upcoming scores stay centered near zero.
+		if best >= vectorRebaseAt {
+			delta := best
+			rebase16(a2, delta)
+			rebase16(a3, delta)
+			base += int32(delta)
+			best = 0
+		}
+
+		width := hi - lo + 1
+		org1 = lo - 1
+		threshold := best - x16
+		newBest := best
+		newBI, newBJ := bestI, bestJ
+
+		// Matrix border i = 0 (cell (0,d)), as in the scalar kernel.
+		if lo == 0 {
+			s := a2[-org2] + gap16
+			if s < threshold {
+				s = negInf16
+			} else if s > newBest {
+				newBest, newBI, newBJ = s, 0, d
+			}
+			a1[1] = s
+		}
+
+		// Interior cells in 8-lane blocks, scalar tail for the remainder.
+		uLo := max(lo, 1)
+		uHi := min(hi, d-1)
+		if uLo <= uHi {
+			kn := uHi - uLo + 1
+			nb, bk := vectorRow(
+				a3[uLo-1-org3:][:kn],
+				a2[uLo-1-org2:][:kn+1],
+				a1[uLo-org1:][:kn],
+				q[uLo-1:][:kn],
+				rt[n-d+uLo:][:kn],
+				tab,
+				int(gap16), int(threshold), int(newBest))
+			newBest = int16(nb)
+			if bk >= 0 {
+				newBI = uLo + bk
+				newBJ = d - uLo - bk
+			}
+		}
+
+		// Matrix border j = 0 (cell (d,0)), after the interior so ties
+		// keep the smallest-i cell.
+		if hi == d {
+			s := a2[d-1-org2] + gap16
+			if s < threshold {
+				s = negInf16
+			} else if s > newBest {
+				newBest, newBI, newBJ = s, d, 0
+			}
+			a1[d-org1] = s
+		}
+
+		res.Cells += int64(width)
+		res.SumBand += int64(width)
+		res.AntiDiags++
+		if width > res.MaxBand {
+			res.MaxBand = width
+		}
+		best = newBest
+		bestI, bestJ = newBI, newBJ
+
+		// Trim pruned cells from both ends; cells occupy slots 1..width.
+		first, last := 0, width-1
+		for first <= last && a1[first+1] == negInf16 {
+			first++
+		}
+		for last >= first && a1[last+1] == negInf16 {
+			last--
+		}
+		if first > last {
+			break // band empty: X-drop termination
+		}
+		a1[first] = negInf16
+		a1[last+2] = negInf16
+		a3, a2, a1 = a2, a1, a3
+		org3, org2 = org2, org1
+		hi = lo + last + 1
+		lo = lo + first
+	}
+
+	res.Score = base + int32(best)
+	res.QueryEnd = bestI
+	res.TargetEnd = bestJ
+	return res
+}
+
+// vectorRow computes the interior cells of one anti-diagonal: d3 holds
+// the substitution sources and out receives the new diagonal (both of
+// length kn), d2m1 holds the gap sources of the previous diagonal shifted
+// one cell down (length kn+1: the "up" source of cell k is d2m1[k], the
+// "left" source is d2m1[k+1] — the lane shift of the classic striped
+// kernel falls out of the anti-diagonal memory layout as two overlapping
+// loads), and qs/ts are the forward-read sequence spans. It returns the
+// updated running best and the index of the last strict improvement (-1
+// if none), preserving the scalar kernel's tie-breaking scan order
+// exactly.
+//
+// Full 8-lane blocks go through vectorRowBlocks (SSE2 assembly on amd64,
+// the portable lane loop elsewhere), which tracks only the running
+// maximum — not its position. The running max updates only on strict
+// increase, so its final update happened at the FIRST cell holding the
+// row maximum; that cell's stored value is unclamped (nb > nbIn >= best-x
+// means it cleared the X-drop threshold), so the position is recovered by
+// a post-scan that runs only on rows that improve the best.
+func vectorRow(d3, d2m1, out []int16, qs, ts seq.Seq, tab *simd.BlendTable, gw, tw, nb int) (int, int) {
+	kn := len(out)
+	nbIn := nb
+	blocks := kn / simd.Lanes
+	if blocks > 0 {
+		if rm := vectorRowBlocks(d3, d2m1, out, qs, ts, blocks, tab, gw, tw); rm > nb {
+			nb = rm
+		}
+	}
+	// Scalar tail for the remaining kn mod 8 cells; the blend table's
+	// all-ones and all-zeros entries supply the match/mismatch adds.
+	if k := blocks * simd.Lanes; k < kn {
+		nw := int(negInf16)
+		up := int(d2m1[k])
+		for ; k < kn; k++ {
+			add := int(tab[0][0])
+			if qs[k] == ts[k] {
+				add = int(tab[255][0])
+			}
+			c := int(d2m1[k+1])
+			g := up
+			if c > g {
+				g = c
+			}
+			up = c
+			s := int(d3[k]) + add
+			if g+gw > s {
+				s = g + gw
+			}
+			if s > nb {
+				nb = s
+			}
+			if s < tw {
+				s = nw
+			}
+			out[k] = int16(s)
+		}
+	}
+	bk := -1
+	if nb > nbIn {
+		for i := range out {
+			if int(out[i]) == nb {
+				bk = i
+				break
+			}
+		}
+	}
+	return nb, bk
+}
+
+// vectorRowBlocksPortable is the pure-Go form of the 8-lane block kernel:
+// the reference for the amd64 assembly (pinned bit-identical by test and
+// fuzz differentials) and the implementation on every other architecture.
+// It processes blocks*8 cells and returns the maximum stored value —
+// pruned cells store negInf16, so they can never win. The match/mismatch
+// substitution add is one simd.EqMask64 SWAR compare over two 8-byte
+// sequence words plus one 16-byte load from the batch-specialized
+// compare-blend table. All lane arithmetic runs in full-width registers
+// (loads sign-extend, stores truncate): values are exact in int16 range
+// by the rebase invariant, and 16-bit ALU ops would hit
+// length-changing-prefix stalls on x86.
+func vectorRowBlocksPortable(d3, d2m1, out []int16, qs, ts []byte, blocks int, tab *simd.BlendTable, gw, tw int) int {
+	kn := blocks * simd.Lanes
+	d3 = d3[:kn]
+	d2m1 = d2m1[:kn+1]
+	out = out[:kn]
+	qs = qs[:kn]
+	ts = ts[:kn]
+	nw := int(negInf16)
+	rm := nw
+	up := int(d2m1[0])
+	for k := 0; k+simd.Lanes <= kn; k += simd.Lanes {
+		av := &tab[simd.EqMask64(
+			binary.LittleEndian.Uint64(qs[k:]),
+			binary.LittleEndian.Uint64(ts[k:]))]
+		d3b := (*[simd.Lanes]int16)(d3[k:])
+		d2b := (*[simd.Lanes + 1]int16)(d2m1[k:])
+		ob := (*[simd.Lanes]int16)(out[k:])
+		for l := 0; l < simd.Lanes; l++ {
+			c := int(d2b[l+1])
+			g := up
+			if c > g {
+				g = c
+			}
+			up = c
+			s := int(d3b[l]) + int(av[l])
+			if g+gw > s {
+				s = g + gw
+			}
+			if s < tw {
+				s = nw
+			}
+			if s > rm {
+				rm = s
+			}
+			ob[l] = int16(s)
+		}
+	}
+	return rm
+}
+
+// rebase16 subtracts delta from every live lane of a carried diagonal,
+// leaving sentinels untouched. The sweep runs over the whole buffer (the
+// live span is sentinel-bracketed inside it); it fires at most once per
+// vectorRebaseAt score gained, so its cost amortizes to nothing.
+func rebase16(a []int16, delta int16) {
+	for i := range a {
+		if a[i] > negInf16Guard {
+			a[i] -= delta
+		}
+	}
+}

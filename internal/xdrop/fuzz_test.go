@@ -59,6 +59,46 @@ func FuzzExtend(f *testing.F) {
 	})
 }
 
+// FuzzExtendVectorDifferential pins the vector kernel bit-identical to
+// the reference scalar implementation: same score, same end cell, same
+// work counters, on arbitrary sequences under arbitrary eligible
+// scoring. The fuzzed parameters deliberately reach the envelope edges —
+// match weights up to VectorMaxScore drive long extensions across the
+// int16 rebase threshold, and X values above VectorMaxX exercise the
+// scalar fallback path inside ExtendVector.
+func FuzzExtendVectorDifferential(f *testing.F) {
+	f.Add([]byte("ACGTACGT"), []byte("ACGAACGT"), int32(10), uint8(1), uint8(1), uint8(1))
+	f.Add([]byte("ACACACACACAC"), []byte("CACACACACACA"), int32(100), uint8(255), uint8(1), uint8(1))
+	f.Add([]byte("TTTTTTTT"), []byte("TTTTTTTT"), VectorMaxX, uint8(255), uint8(255), uint8(255))
+	f.Add([]byte("GGGGCCCC"), []byte("GGGGCCCC"), VectorMaxX+1, uint8(2), uint8(3), uint8(4))
+	ws := NewWorkspace()
+	f.Fuzz(func(t *testing.T, qRaw, tRaw []byte, x int32, mRaw, mmRaw, gRaw uint8) {
+		if len(qRaw) > 300 || len(tRaw) > 300 {
+			return
+		}
+		if x < 0 {
+			x = -x
+		}
+		// Keep a tail of the range beyond VectorMaxX so the fallback
+		// branch stays covered.
+		if x > 2*VectorMaxX {
+			x %= 2 * VectorMaxX
+		}
+		q := sanitizeDNA(qRaw)
+		tt := sanitizeDNA(tRaw)
+		sc := Scoring{
+			Match:    int32(mRaw)%VectorMaxScore + 1,
+			Mismatch: -int32(mmRaw)%VectorMaxScore - 1,
+			Gap:      -int32(gRaw)%VectorMaxScore - 1,
+		}
+		want := ExtendReference(q, tt, sc, x)
+		got := ws.ExtendVector(q, tt, sc, x)
+		if got != want {
+			t.Fatalf("vector %+v != reference %+v (sc %+v x %d)", got, want, sc, x)
+		}
+	})
+}
+
 // FuzzExtendMatrix does the same for the protein path.
 func FuzzExtendMatrix(f *testing.F) {
 	f.Add([]byte("MKVL"), []byte("MKVL"), int32(20))

@@ -1,0 +1,39 @@
+package xdrop
+
+// Kernel identifies which interior-loop implementation a batch's seed
+// extensions run on. Selection happens once per merged batch, keyed by
+// the batch's scheme and X-drop threshold (the coalescer's config key),
+// so the per-cell loops carry no mode branches — the AnySeq-style
+// specialize-at-batch-prep discipline applied to kernel dispatch.
+type Kernel uint8
+
+const (
+	// KernelScalar is the int32 anti-diagonal kernel (Workspace.Extend):
+	// every scheme family runs on it, and it is the fallback when a
+	// linear configuration exceeds the vector envelope.
+	KernelScalar Kernel = iota
+	// KernelVector is the 8-wide int16 lane kernel (ExtendVector): SSE2
+	// assembly on amd64, the portable lane loop elsewhere. Linear DNA
+	// configurations inside the vector envelope only.
+	KernelVector
+)
+
+// String names the kernel variant as exported on /metrics and /statz.
+func (k Kernel) String() string {
+	if k == KernelVector {
+		return "vector"
+	}
+	return "scalar"
+}
+
+// SelectKernel picks the kernel for one merged batch: linear DNA schemes
+// inside the vector envelope (VectorEligible) get the vector fast path,
+// everything else — affine, matrix, out-of-envelope linear — keeps the
+// scalar kernel. Both kernels are bit-identical on every input, so the
+// choice affects throughput only.
+func SelectKernel(sch Scheme, x int32) Kernel {
+	if sch.Kind == SchemeLinear && VectorEligible(sch.Linear, x) {
+		return KernelVector
+	}
+	return KernelScalar
+}

@@ -42,6 +42,7 @@ type poolJob struct {
 	results []SeedResult
 	sch     Scheme
 	x       int32
+	kernel  Kernel
 	cursor  atomic.Int64
 	wg      sync.WaitGroup
 
@@ -109,7 +110,16 @@ func (j *poolJob) run(ws *Workspace) {
 			return
 		}
 		p := &j.pairs[idx]
-		r, err := ws.ExtendSeedScheme(p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen, j.sch, j.x)
+		var r SeedResult
+		var err error
+		// The kernel was chosen once at batch submission (SelectKernel), so
+		// this is the only variant branch the batch ever takes — the per-cell
+		// loops themselves are mode-free.
+		if j.kernel == KernelVector {
+			r, err = ws.ExtendSeedKernel(p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen, j.sch.Linear, j.x, KernelVector)
+		} else {
+			r, err = ws.ExtendSeedScheme(p.Query, p.Target, p.SeedQPos, p.SeedTPos, p.SeedLen, j.sch, j.x)
+		}
 		if err != nil {
 			j.fail(idx, err)
 			continue
@@ -133,13 +143,34 @@ func (p *Pool) ExtendBatch(pairs []seq.Pair, results []SeedResult, sc Scoring, x
 // (ExtendSeedAffine, ExtendSeedMatrix) across the same workers. A
 // canceled ctx stops the batch after the in-flight pairs finish and
 // returns the context's error.
+//
+// The extension kernel is chosen once per batch from the batch's config
+// key (SelectKernel on scheme + X): eligible linear batches run the
+// vector kernel, everything else the scalar one. The choice is recorded
+// in the returned BatchStats.Kernel.
 func (p *Pool) ExtendBatchScheme(ctx context.Context, pairs []seq.Pair, results []SeedResult, sch Scheme, x int32) (BatchStats, error) {
+	return p.ExtendBatchKernel(ctx, pairs, results, sch, x, SelectKernel(sch, x))
+}
+
+// ExtendBatchKernel is ExtendBatchScheme with the kernel forced by the
+// caller instead of selected from the config key. Non-linear schemes
+// always run scalar regardless of k (the vector kernel only implements
+// linear scoring); an ineligible linear config handed KernelVector falls
+// back per pair inside ExtendVector. Scores are bit-identical across
+// kernels — this entry point exists for benchmarks and differential
+// tests.
+func (p *Pool) ExtendBatchKernel(ctx context.Context, pairs []seq.Pair, results []SeedResult, sch Scheme, x int32, k Kernel) (BatchStats, error) {
 	if len(results) != len(pairs) {
 		panic("xdrop: results length does not match pairs")
 	}
 	if err := sch.Validate(); err != nil {
 		return BatchStats{}, err
 	}
+	if sch.Kind != SchemeLinear {
+		k = KernelScalar
+	}
+	// An empty batch runs no kernel, so it reports the zero stats
+	// (Kernel: scalar zero value) rather than the would-be selection.
 	if len(pairs) == 0 {
 		return BatchStats{}, nil
 	}
@@ -148,7 +179,7 @@ func (p *Pool) ExtendBatchScheme(ctx context.Context, pairs []seq.Pair, results 
 			return BatchStats{}, err
 		}
 	}
-	j := &poolJob{ctx: ctx, pairs: pairs, results: results, sch: sch, x: x}
+	j := &poolJob{ctx: ctx, pairs: pairs, results: results, sch: sch, x: x, kernel: k}
 	fan := min(p.workers, len(pairs))
 	j.wg.Add(fan)
 	p.mu.RLock()
@@ -165,6 +196,7 @@ func (p *Pool) ExtendBatchScheme(ctx context.Context, pairs []seq.Pair, results 
 		return BatchStats{}, j.err
 	}
 	var stats BatchStats
+	stats.Kernel = k
 	for i := range results {
 		stats.Accumulate(results[i])
 	}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package xdrop
+
+import "logan/internal/simd"
+
+// vectorRowBlocks runs the portable 8-lane block kernel on architectures
+// without an assembly implementation.
+func vectorRowBlocks(d3, d2m1, out []int16, qs, ts []byte, blocks int, tab *simd.BlendTable, gw, tw int) int {
+	return vectorRowBlocksPortable(d3, d2m1, out, qs, ts, blocks, tab, gw, tw)
+}

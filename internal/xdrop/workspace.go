@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"logan/internal/seq"
+	"logan/internal/simd"
 )
 
 // Workspace is the reusable scratch of one X-drop lane: the three rolling
@@ -16,6 +17,13 @@ type Workspace struct {
 	d0, d1, d2 []int32
 	rt         seq.Seq // reversed target, grown one base per anti-diagonal
 	revQ, revT seq.Seq
+
+	// Vector-kernel scratch: the int16 anti-diagonal buffers and the
+	// compare-blend table specialized to the batch's (match, mismatch)
+	// pair (see ExtendVector).
+	v0, v1, v2            []int16
+	tab                   *simd.BlendTable
+	tabMatch, tabMismatch int16
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
@@ -34,11 +42,27 @@ func (w *Workspace) diag(p *[]int32, n int) []int32 {
 	return (*p)[:n]
 }
 
+// diag16 is diag for the vector kernel's int16 buffers.
+func (w *Workspace) diag16(p *[]int16, n int) []int16 {
+	if cap(*p) < n {
+		*p = make([]int16, n)
+	}
+	return (*p)[:n]
+}
+
 // ExtendSeed is the workspace form of the package-level ExtendSeed: the
 // left-extension reversals are staged into the workspace instead of freshly
 // allocated, and both extensions run on the workspace's anti-diagonal
 // buffers.
 func (w *Workspace) ExtendSeed(q, t seq.Seq, qPos, tPos, seedLen int, sc Scoring, x int32) (SeedResult, error) {
+	return w.ExtendSeedKernel(q, t, qPos, tPos, seedLen, sc, x, KernelScalar)
+}
+
+// ExtendSeedKernel is ExtendSeed with the extension kernel chosen by the
+// caller — the per-pair entry point of the batch-level kernel selection
+// (SelectKernel). Results are bit-identical across kernels; forcing one
+// is how the benchmarks and the fallback tests compare them.
+func (w *Workspace) ExtendSeedKernel(q, t seq.Seq, qPos, tPos, seedLen int, sc Scoring, x int32, k Kernel) (SeedResult, error) {
 	if err := sc.Validate(); err != nil {
 		return SeedResult{}, err
 	}
@@ -52,8 +76,13 @@ func (w *Workspace) ExtendSeed(q, t seq.Seq, qPos, tPos, seedLen int, sc Scoring
 	w.revQ = seq.AppendReverse(w.revQ[:0], q[:qPos])
 	w.revT = seq.AppendReverse(w.revT[:0], t[:tPos])
 	r := SeedResult{SeedLen: seedLen}
-	r.Left = w.Extend(w.revQ, w.revT, sc, x)
-	r.Right = w.Extend(q.Sub(qPos+seedLen, len(q)), t.Sub(tPos+seedLen, len(t)), sc, x)
+	if k == KernelVector {
+		r.Left = w.ExtendVector(w.revQ, w.revT, sc, x)
+		r.Right = w.ExtendVector(q.Sub(qPos+seedLen, len(q)), t.Sub(tPos+seedLen, len(t)), sc, x)
+	} else {
+		r.Left = w.Extend(w.revQ, w.revT, sc, x)
+		r.Right = w.Extend(q.Sub(qPos+seedLen, len(q)), t.Sub(tPos+seedLen, len(t)), sc, x)
+	}
 	r.Score = r.Left.Score + r.Right.Score + int32(seedLen)*sc.Match
 	r.QBegin = qPos - r.Left.QueryEnd
 	r.TBegin = tPos - r.Left.TargetEnd

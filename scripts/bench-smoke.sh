@@ -52,3 +52,51 @@ END {
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$OUT" 2>/dev/null \
   || { echo "bench-smoke: $OUT is not valid JSON" >&2; exit 1; }
 echo "bench-smoke: wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
+
+# Kernel-comparison artifact: the scalar / vector / ksw2-striped sweep
+# across band regimes plus the 10k-pair forced-kernel batch run, with the
+# vector-over-scalar speedup computed from the batch cells/ns. The
+# speedup is the acceptance number for the vector kernel (>= 1.3x).
+KOUT="${2:-BENCH_kernel.json}"
+KRAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KRAW"' EXIT
+
+go test -run='^$' -bench='^(BenchmarkKernel|BenchmarkPoolKernel10k)$' -benchtime=1x \
+  ./internal/xdrop/ | tee "$KRAW"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v commit="${GITHUB_SHA:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}" '
+BEGIN {
+  printf("{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n", date, commit)
+  printf("  \"benchmarks\": [")
+  n = 0
+}
+/^Benchmark/ && NF >= 4 {
+  name = $1; iters = $2
+  fields = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1)
+    if (unit == "cells/ns") {
+      if (name ~ /PoolKernel10k\/scalar/) scalar = $i
+      if (name ~ /PoolKernel10k\/vector/) vector = $i
+    }
+    gsub(/[^A-Za-z0-9_\/.]/, "_", unit)
+    fields = fields sprintf(", \"%s\": %s", unit, $i)
+  }
+  if (n++) printf(",")
+  printf("\n    {\"name\": \"%s\", \"iterations\": %s%s}", name, iters, fields)
+}
+END {
+  if (n == 0) exit 1
+  printf("\n  ]")
+  if (scalar > 0 && vector > 0)
+    printf(",\n  \"vector_speedup_10k\": %.3f", vector / scalar)
+  printf("\n}\n")
+}' "$KRAW" > "$KOUT" || {
+  echo "bench-smoke: no kernel benchmark lines found" >&2
+  exit 1
+}
+
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$KOUT" 2>/dev/null \
+  || { echo "bench-smoke: $KOUT is not valid JSON" >&2; exit 1; }
+echo "bench-smoke: wrote $KOUT (speedup $(python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get("vector_speedup_10k", "n/a"))' "$KOUT"))"

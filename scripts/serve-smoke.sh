@@ -127,6 +127,11 @@ prom_nonzero 'logan_coalescer_merged_batches_total'
 prom_nonzero 'logan_coalescer_merged_pairs_total '
 prom_nonzero 'logan_engine_batches_total '
 prom_nonzero 'logan_backend_pairs_total\{backend="cpu"\}'
+# The burst is linear-DNA with the default X, inside the vector kernel's
+# envelope: the config-keyed selection must have routed it to the vector
+# fast path, so the per-variant counters must have moved.
+prom_nonzero 'logan_kernel_pairs_total\{variant="vector"\}'
+prom_nonzero 'logan_kernel_cells_total\{variant="vector"\}'
 prom_nonzero 'logan_http_requests_total '
 
 # An invalid scheme must be rejected with 400, not aligned. (Probed after
