@@ -302,6 +302,17 @@ func (a *Aligner) align(ctx context.Context, dst []Alignment, pairs []Pair, cfg 
 	if err := ctx.Err(); err != nil {
 		return nil, Stats{}, err
 	}
+	// Direct submissions are metered against the context tenant's
+	// pairs/sec quota here; coalesced traffic was metered at coalescer
+	// admission (its flushes run under a background context, so the two
+	// never double-charge). extendPrepared stays unmetered: overlap
+	// extension chunks are internal work the /jobs store already
+	// admission-controls at job granularity.
+	if ten := TenantFrom(ctx); ten != nil {
+		if ok, _ := ten.takePairs(len(pairs)); !ok {
+			return nil, Stats{}, ErrQuotaExceeded
+		}
+	}
 	start := time.Now()
 
 	sc := a.scratch.Get().(*batchScratch)

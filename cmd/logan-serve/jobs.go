@@ -71,6 +71,11 @@ type job struct {
 	createdAt time.Time
 	cancel    context.CancelFunc
 	progress  jobProgress
+	// tenant is the submitting principal (nil on an open server). It
+	// rides the runner's context so coalesced extension chunks are
+	// admission-controlled and attributed under the submitter, and it
+	// keys the per-tenant running-jobs gauge.
+	tenant *logan.Tenant
 
 	mu         sync.Mutex
 	state      jobState
@@ -148,9 +153,31 @@ type jobStore struct {
 	resultBudget int64
 	resultBytes  atomic.Int64
 
+	// reg backs the lazily registered per-tenant running-jobs gauges;
+	// tenRunning holds the live counters behind them (tenMu guards the
+	// map, the counters themselves are atomic).
+	reg        *telemetry.Registry
+	tenMu      sync.Mutex
+	tenRunning map[string]*atomic.Int64
+
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []string // insertion order, for eviction scans
+}
+
+// runningGauge returns the tenant's running-jobs counter, registering
+// the logan_tenant_running_jobs{tenant=...} gauge on first sight.
+func (st *jobStore) runningGauge(name string) *atomic.Int64 {
+	st.tenMu.Lock()
+	defer st.tenMu.Unlock()
+	if c, ok := st.tenRunning[name]; ok {
+		return c
+	}
+	c := new(atomic.Int64)
+	st.tenRunning[name] = c
+	st.reg.GaugeFunc("logan_tenant_running_jobs", "Overlap jobs currently executing, by tenant.",
+		func() float64 { return float64(c.Load()) }, telemetry.L("tenant", name))
+	return c
 }
 
 // newJobStore builds a store running jobs on the given overlapper,
@@ -176,7 +203,9 @@ func newJobStore(ov *logan.Overlapper, reg *telemetry.Registry, workers, maxJobs
 		t:          newJobTelemetry(reg),
 		dataDir:    dataDir,
 		byteBudget: byteBudget, resultBudget: resultBudget,
-		jobs: make(map[string]*job),
+		reg:        reg,
+		tenRunning: make(map[string]*atomic.Int64),
+		jobs:       make(map[string]*job),
 	}
 	reg.GaugeFunc("logan_jobs_queued", "Jobs waiting for a worker slot.", func() float64 {
 		q, _ := st.counts()
@@ -362,13 +391,19 @@ func (st *jobStore) counts() (queued, running int) {
 // not hold file handles. bufSize is the source's already-buffered upload
 // bytes (0 for server-side paths, which buffer nothing); the reservation
 // is held until the job's runner returns and its buffer is unreachable.
-func (st *jobStore) submit(cfg logan.OverlapConfig, src func() (io.ReadCloser, error), bufSize int64) (*job, error) {
+func (st *jobStore) submit(ten *logan.Tenant, cfg logan.OverlapConfig, src func() (io.ReadCloser, error), bufSize int64) (*job, error) {
 	if bufSize > 0 && st.bufferedBytes.Add(bufSize) > st.byteBudget {
 		st.bufferedBytes.Add(-bufSize)
 		return nil, errByteBudget
 	}
 	ctx, cancel := context.WithCancel(st.baseCtx)
-	j := &job{id: newJobID(), createdAt: time.Now(), state: jobQueued, cancel: cancel}
+	if ten != nil {
+		// The submitter rides the runner's context: with -job-coalesce the
+		// job's extension chunks hit the coalescer's per-tenant admission
+		// (bulk class) under this identity instead of anonymously.
+		ctx = logan.WithTenant(ctx, ten)
+	}
+	j := &job{id: newJobID(), createdAt: time.Now(), state: jobQueued, cancel: cancel, tenant: ten}
 	j.progress.stage.Store(logan.OverlapStage("queued"))
 	cfg.OnProgress = j.progress.observe
 	if err := st.add(j); err != nil {
@@ -420,6 +455,9 @@ func (st *jobStore) run(ctx context.Context, j *job, cfg logan.OverlapConfig, sr
 	j.state = jobRunning
 	j.startedAt = time.Now()
 	j.mu.Unlock()
+	running := st.runningGauge(tenantName(j.tenant))
+	running.Add(1)
+	defer running.Add(-1)
 
 	in, err := src()
 	if err != nil {
@@ -597,8 +635,18 @@ func queryOverlapConfig(q url.Values) (overlapConfigJSON, error) {
 // 202 with the job id; a store full of live jobs sheds with 429.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
+	// The submit trace only surfaces on rejection: accepted jobs run
+	// asynchronously (their pipeline stages land in the job's progress),
+	// but a shed submission closes its trace with a shed span so the 429
+	// carries X-Logan-Trace like a shed /align does.
+	tr := s.stages.StartTrace()
 	if s.jobs == nil {
 		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
+		return
+	}
+	ten, ok := s.tenantFor(r)
+	if !ok {
+		s.fail(w, http.StatusUnauthorized, "unknown API key")
 		return
 	}
 	var (
@@ -670,13 +718,15 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, err := s.jobs.submit(cfg, src, bufSize)
+	j, err := s.jobs.submit(ten, cfg, src, bufSize)
 	if err != nil {
 		s.jobs.t.rejected.Inc()
 		s.m.shed.Inc()
 		// Retry-After projects a worker slot freeing up from the measured
 		// job duration EWMA and the current queue depth, not a constant.
+		tr.Step(telemetry.StageShed)
 		w.Header().Set("Retry-After", retryAfterSeconds(s.jobs.retryAfter()))
+		w.Header().Set("X-Logan-Trace", formatTrace(tr))
 		s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
 		return
 	}

@@ -10,7 +10,30 @@
 // when the projected queue delay at the measured drain rate exceeds
 // -target-delay (or the request's own deadline); -max-pending switches to
 // the legacy fixed pending-pair budget instead. -coalesce=false restores
-// the direct per-request path.
+// the direct per-request path. Shed responses carry an X-Logan-Trace
+// header ending in a shed span, so a 429'd client sees exactly where
+// admission control stopped it.
+//
+// With -api-keys the server is multi-tenant: requests authenticate via
+// X-API-Key (or Authorization: Bearer), each key resolves to a named
+// tenant with an optional pairs/sec token-bucket quota and a fair-share
+// weight, and the coalescer schedules per-(tenant, class, config) lanes
+// by deficit round robin — a flooding tenant exhausts its own share and
+// sheds while other tenants' deadline flushes stay on time. Interactive
+// /align traffic is scheduled ahead of bulk job-extension chunks (the
+// bulk class flushes within -bulk-max-wait instead of -max-wait).
+// Unknown keys get 401; requests without credentials share the
+// "anonymous" tenant. Without -api-keys everything is anonymous and
+// unmetered, as before.
+//
+// The coalesced path also maintains a content-addressed result cache
+// (-cache-entries alignments, LRU): a repeated (pair, configuration)
+// is answered from the cache without queueing or charging quota, and
+// cached responses are byte-identical to recomputation because the key
+// covers the sequence bytes, seed placement and full scoring
+// configuration. Per-tenant traffic, shed and cache-hit totals are
+// exposed as logan_tenant_* series on /metrics and a "tenants" block on
+// /statz; the cache as logan_cache_* and a "cache" block.
 //
 // Requests are request-scoped: the optional top-level "x" and "scoring"
 // fields override the server defaults per request, so one server process
@@ -60,7 +83,8 @@
 //	logan-serve [-addr :8080] [-x 100] [-backend cpu|gpu|hybrid] [-gpus 1]
 //	            [-threads 0] [-max-pairs 100000]
 //	            [-coalesce] [-coalesce-pairs 4096] [-max-wait 2ms]
-//	            [-max-pending 0] [-target-delay 20ms]
+//	            [-max-pending 0] [-target-delay 20ms] [-bulk-max-wait 8ms]
+//	            [-api-keys keys.conf] [-cache-entries 8192]
 //	            [-jobs] [-job-workers 2] [-max-jobs 64]
 //	            [-job-body-limit 67108864] [-job-pending-bytes 268435456]
 //	            [-job-result-bytes 268435456] [-job-data-dir dir]
@@ -106,6 +130,12 @@ func main() {
 			"fixed pending-pair budget before requests shed with 429 (0 = adaptive admission)")
 		targetDelay = flag.Duration("target-delay", 0,
 			"adaptive admission sheds once projected queue delay exceeds this (0 = 10x max-wait)")
+		bulkMaxWait = flag.Duration("bulk-max-wait", 0,
+			"flush deadline for bulk-class lanes (coalesced job extension chunks; 0 = 4x max-wait)")
+		apiKeys = flag.String("api-keys", "",
+			"API key file (\"key name [pairsPerSec [burst [weight]]]\" per line) enabling per-tenant quotas and fair-share scheduling (empty = open single-tenant server)")
+		cacheEntries = flag.Int("cache-entries", 8192,
+			"content-addressed result cache capacity in alignments (0 = disabled; requires -coalesce)")
 		debugAddr = flag.String("debug-addr", "",
 			"separate listen address for net/http/pprof profiling endpoints (empty = disabled)")
 
@@ -163,6 +193,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "logan-serve: -job-coalesce requires -coalesce")
 		os.Exit(2)
 	}
+	if *apiKeys != "" {
+		keys, err := loadAPIKeys(*apiKeys)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "logan-serve: -api-keys: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.apiKeys = keys
+	}
 	cfg.maxPairs = *maxPairs
 	cfg.maxX = int32(*maxX)
 	cfg.coalesce = *coalesce
@@ -170,6 +208,8 @@ func main() {
 	cfg.maxWait = *maxWait
 	cfg.maxPending = *maxPending
 	cfg.targetDelay = *targetDelay
+	cfg.bulkMaxWait = *bulkMaxWait
+	cfg.cacheEntries = *cacheEntries
 	cfg.jobs = *jobs
 	cfg.jobWorkers = *jobWorkers
 	cfg.maxJobs = *maxJobs

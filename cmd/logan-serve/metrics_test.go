@@ -235,9 +235,29 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	// Shed counters exist (zero here) so dashboards can rate() them from
 	// the first scrape.
-	if len(samples["logan_coalescer_shed_total"]) != 3 {
-		t.Errorf("logan_coalescer_shed_total: want 3 reason series, got %v",
+	if len(samples["logan_coalescer_shed_total"]) != 4 {
+		t.Errorf("logan_coalescer_shed_total: want 4 reason series, got %v",
 			samples["logan_coalescer_shed_total"])
+	}
+	// The three identical requests hit the result cache after the first:
+	// the cache series must show exactly one miss set and two hit sets.
+	if ss := samples["logan_cache_hits_total"]; len(ss) == 0 || ss[0].value != 2 {
+		t.Errorf("logan_cache_hits_total: want 2, got %v", ss)
+	}
+	if ss := samples["logan_cache_misses_total"]; len(ss) == 0 || ss[0].value != 1 {
+		t.Errorf("logan_cache_misses_total: want 1, got %v", ss)
+	}
+	// Anonymous traffic is still attributed: the per-tenant series exist
+	// with tenant="anonymous".
+	found := false
+	for _, s := range samples["logan_tenant_pairs_total"] {
+		if s.labels["tenant"] == "anonymous" && s.value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("logan_tenant_pairs_total missing tenant=\"anonymous\" with 3 pairs: %v",
+			samples["logan_tenant_pairs_total"])
 	}
 }
 
@@ -271,12 +291,21 @@ func TestMetricsStatzAgree(t *testing.T) {
 	if got := samples["logan_http_cells_total"][0].value; int64(got) != stz.Cells {
 		t.Errorf("cells: metrics %g vs statz %d", got, stz.Cells)
 	}
+	// The backend only sees cache misses; hits complete without engine
+	// work, so backend pairs plus cache hits cover the HTTP total.
 	cpu, ok := stz.Backends["cpu"]
-	if !ok || cpu.Pairs != stz.Pairs {
-		t.Errorf("statz backends: %+v, want cpu with %d pairs", stz.Backends, stz.Pairs)
+	if !ok || stz.Cache == nil || cpu.Pairs+stz.Cache.Hits != stz.Pairs {
+		t.Errorf("statz backends: %+v cache %+v, want cpu+hits = %d pairs", stz.Backends, stz.Cache, stz.Pairs)
 	}
-	if stz.Coalescer == nil || stz.Coalescer.MergedPairs != stz.Pairs {
-		t.Errorf("statz coalescer: %+v", stz.Coalescer)
+	// The repeated request is a cache hit: merged (engine) pairs plus
+	// cache hits must cover every pair the HTTP layer served.
+	if stz.Coalescer == nil || stz.Cache == nil ||
+		stz.Coalescer.MergedPairs+stz.Cache.Hits != stz.Pairs {
+		t.Errorf("statz coalescer %+v cache %+v vs %d pairs", stz.Coalescer, stz.Cache, stz.Pairs)
+	}
+	ten, ok := stz.Tenants["anonymous"]
+	if !ok || ten.Pairs != stz.Pairs {
+		t.Errorf("statz tenants: %+v, want anonymous with %d pairs", stz.Tenants, stz.Pairs)
 	}
 }
 

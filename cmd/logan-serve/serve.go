@@ -173,6 +173,21 @@ type serveConfig struct {
 	coalescePairs int
 	maxPending    int
 	targetDelay   time.Duration
+	// bulkMaxWait is the flush deadline for bulk-class lanes (job
+	// extension chunks routed through the coalescer); zero selects the
+	// coalescer's default of 4x maxWait.
+	bulkMaxWait time.Duration
+	// apiKeys maps client API keys onto tenants (parsed from -api-keys
+	// by loadAPIKeys); empty means the open single-tenant deployment
+	// where every request is anonymous and unmetered.
+	apiKeys map[string]*logan.Tenant
+	// cacheEntries bounds the content-addressed result cache shared by
+	// all tenants (0 disables it). Cached responses are byte-identical
+	// to recomputation — the key covers sequence bytes, seed placement
+	// and the full scoring configuration — so the cache is safe to share
+	// across tenants: a hit reveals nothing the prober could not compute
+	// from its own request.
+	cacheEntries int
 	// jobs enables the async /jobs overlap API; jobWorkers bounds the
 	// concurrently running jobs, maxJobs the retained job records,
 	// jobBodyLimit one FASTA upload's bytes, and jobDataDir (when set)
@@ -206,6 +221,7 @@ func defaultServeConfig() serveConfig {
 		defCfg:          logan.DefaultConfig(100),
 		maxX:            10_000,
 		coalesce:        true,
+		cacheEntries:    8192,
 		jobs:            true,
 		jobWorkers:      2,
 		maxJobs:         64,
@@ -237,6 +253,12 @@ type server struct {
 	maxPairs     int
 	bodyLimit    int64
 	jobBodyLimit int64
+	// keys maps API keys onto tenants; empty means the open deployment
+	// (tenantFor resolves every request to the nil tenant).
+	keys map[string]*logan.Tenant
+	// cache is the content-addressed result cache handed to the
+	// coalescer; retained here for the /statz cache block.
+	cache *logan.ResultCache
 }
 
 // newServer builds the HTTP surface for an engine. Callers must Close the
@@ -260,7 +282,7 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 		cfg.jobBodyLimit = def.jobBodyLimit
 	}
 	s := &server{eng: eng, defCfg: cfg.defCfg, maxX: cfg.maxX, maxPairs: cfg.maxPairs,
-		bodyLimit: cfg.bodyLimit, jobBodyLimit: cfg.jobBodyLimit}
+		bodyLimit: cfg.bodyLimit, jobBodyLimit: cfg.jobBodyLimit, keys: cfg.apiKeys}
 	// The HTTP layer registers its instruments in the engine's registry:
 	// NewStages get-or-creates the engine's own stage histogram family, so
 	// the traces this layer starts and the stages the engine observes land
@@ -270,11 +292,17 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 		"Pipeline stage latency by stage (admit, coalesce_wait, partition, kernel, scatter).")
 	s.m = newServerTelemetry(s.tele)
 	if cfg.coalesce {
+		// The result cache lives inside the coalescer: probes happen at
+		// admission (hits bypass queue and quota) and fills at scatter,
+		// so a cached response is always the bytes a real batch produced.
+		s.cache = logan.NewResultCache(cfg.cacheEntries)
 		s.coal = eng.NewCoalescer(logan.CoalescerOptions{
 			MaxBatchPairs: cfg.coalescePairs,
 			MaxWait:       cfg.maxWait,
 			MaxPending:    cfg.maxPending,
 			TargetDelay:   cfg.targetDelay,
+			BulkMaxWait:   cfg.bulkMaxWait,
+			Cache:         s.cache,
 		})
 	}
 	if cfg.jobs {
@@ -352,6 +380,11 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	// engine) stamp their stages onto it, and the spans come back to the
 	// client in the X-Logan-Trace response header.
 	tr := s.stages.StartTrace()
+	ten, ok := s.tenantFor(r)
+	if !ok {
+		s.fail(w, http.StatusUnauthorized, "unknown API key")
+		return
+	}
 	var req alignRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.bodyLimit))
 	if err := dec.Decode(&req); err != nil {
@@ -396,6 +429,12 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	// admit stage; the engine's ingest adds its own admit observation.
 	tr.Step(telemetry.StageAdmit)
 	ctx := telemetry.WithTrace(r.Context(), tr)
+	if ten != nil {
+		// The tenant rides the context into the coalescer (per-tenant
+		// fair-share admission, quota, shed attribution) or — on the
+		// direct path — into the engine's own quota check.
+		ctx = logan.WithTenant(ctx, ten)
+	}
 
 	var (
 		out []logan.Alignment
@@ -411,9 +450,14 @@ func (s *server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, logan.ErrOverloaded):
 			// Shed, don't queue: admission control projects the queue delay
 			// past its target (or the request's own deadline). Retry-After
-			// carries the live drain-rate projection, not a constant.
+			// carries the live drain-rate projection, not a constant. The
+			// rejection closes the trace with a shed span, and the trace
+			// still ships in X-Logan-Trace so a 429'd client sees exactly
+			// where admission control stopped it.
+			tr.Step(telemetry.StageShed)
 			s.m.shed.Inc()
 			w.Header().Set("Retry-After", s.alignRetryAfter())
+			w.Header().Set("X-Logan-Trace", formatTrace(tr))
 			s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
 		case errors.Is(err, logan.ErrUnsupportedConfig):
 			// Well-formed scheme this server's backend cannot execute
@@ -491,7 +535,31 @@ type statzJSON struct {
 	Backends    map[string]backendStatzJSON `json:"backends"`
 	Kernels     map[string]kernelStatzJSON  `json:"kernels,omitempty"`
 	Coalescer   *coalescerStatzJSON         `json:"coalescer,omitempty"`
+	Cache       *cacheStatzJSON             `json:"cache,omitempty"`
+	Tenants     map[string]tenantStatzJSON  `json:"tenants,omitempty"`
 	Jobs        *jobsStatzJSON              `json:"jobs,omitempty"`
+}
+
+// cacheStatzJSON is the result-cache block of /statz: hit/miss/eviction
+// totals plus the current entry count.
+type cacheStatzJSON struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// tenantStatzJSON is one tenant's slice of the traffic: totals from the
+// per-tenant counter series plus the live queued-pairs gauge. The map
+// only lists tenants that have sent traffic (the instruments register on
+// first sight).
+type tenantStatzJSON struct {
+	Requests    int64 `json:"requests"`
+	Pairs       int64 `json:"pairs"`
+	Shed        int64 `json:"shed"`
+	CacheHits   int64 `json:"cacheHits"`
+	QueuedPairs int   `json:"queuedPairs"`
+	RunningJobs int   `json:"runningJobs,omitempty"`
 }
 
 type backendStatzJSON struct {
@@ -516,6 +584,7 @@ type coalescerStatzJSON struct {
 	ShedBudget      int64   `json:"shedBudget"`
 	ShedDelay       int64   `json:"shedDelay"`
 	ShedDeadline    int64   `json:"shedDeadline"`
+	ShedQuota       int64   `json:"shedQuota"`
 	Direct          int64   `json:"direct"`
 	MergedBatches   int64   `json:"mergedBatches"`
 	SizeFlushes     int64   `json:"sizeFlushes"`
@@ -529,7 +598,9 @@ type coalescerStatzJSON struct {
 	ProjectedDelayS float64 `json:"projectedDelaySec"`
 	QueuedRequests  int     `json:"queuedRequests"`
 	QueuedPairs     int     `json:"queuedPairs"`
-	QueuedConfigs   int     `json:"queuedConfigs"`
+	// QueuedLanes counts distinct (tenant, class, config) scheduling
+	// lanes; the JSON name keeps the pre-lane "queuedConfigs" wire name.
+	QueuedLanes int `json:"queuedConfigs"`
 }
 
 func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
@@ -547,6 +618,15 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	if s.coal != nil {
 		out.Coalescer = coalescerStatz(snap)
 	}
+	if s.cache != nil {
+		out.Cache = &cacheStatzJSON{
+			Hits:      snap.Int("logan_cache_hits_total"),
+			Misses:    snap.Int("logan_cache_misses_total"),
+			Evictions: snap.Int("logan_cache_evictions_total"),
+			Entries:   int(snap.Value("logan_cache_entries")),
+		}
+	}
+	out.Tenants = tenantStatz(snap)
 	if s.jobs != nil {
 		out.Jobs = s.jobs.statz(snap)
 	}
@@ -607,20 +687,50 @@ func kernelStatz(snap *telemetry.Snapshot) map[string]kernelStatzJSON {
 	return out
 }
 
+// tenantStatz folds the per-tenant counter series and gauges into the
+// /statz tenant breakdown, keyed by the "tenant" label. Nil until the
+// first attributed request (the instruments register on first sight).
+func tenantStatz(snap *telemetry.Snapshot) map[string]tenantStatzJSON {
+	var out map[string]tenantStatzJSON
+	fold := func(metric string, set func(*tenantStatzJSON, float64)) {
+		for _, ss := range snap.Series(metric) {
+			name := ss.LabelValue("tenant")
+			if name == "" {
+				continue
+			}
+			if out == nil {
+				out = map[string]tenantStatzJSON{}
+			}
+			t := out[name]
+			set(&t, ss.Value)
+			out[name] = t
+		}
+	}
+	fold("logan_tenant_requests_total", func(t *tenantStatzJSON, v float64) { t.Requests = int64(v) })
+	fold("logan_tenant_pairs_total", func(t *tenantStatzJSON, v float64) { t.Pairs = int64(v) })
+	fold("logan_tenant_shed_total", func(t *tenantStatzJSON, v float64) { t.Shed = int64(v) })
+	fold("logan_tenant_cache_hits_total", func(t *tenantStatzJSON, v float64) { t.CacheHits = int64(v) })
+	fold("logan_tenant_queued_pairs", func(t *tenantStatzJSON, v float64) { t.QueuedPairs = int(v) })
+	fold("logan_tenant_running_jobs", func(t *tenantStatzJSON, v float64) { t.RunningJobs = int(v) })
+	return out
+}
+
 // coalescerStatz builds the coalescer block from the same snapshot.
 func coalescerStatz(snap *telemetry.Snapshot) *coalescerStatzJSON {
 	shedBudget := snap.Int("logan_coalescer_shed_total", telemetry.L("reason", "budget"))
 	shedDelay := snap.Int("logan_coalescer_shed_total", telemetry.L("reason", "delay"))
 	shedDeadline := snap.Int("logan_coalescer_shed_total", telemetry.L("reason", "deadline"))
+	shedQuota := snap.Int("logan_coalescer_shed_total", telemetry.L("reason", "quota"))
 	sizeFlushes := snap.Int("logan_coalescer_merged_batches_total", telemetry.L("trigger", "size"))
 	deadlineFlushes := snap.Int("logan_coalescer_merged_batches_total", telemetry.L("trigger", "deadline"))
 	drainFlushes := snap.Int("logan_coalescer_merged_batches_total", telemetry.L("trigger", "drain"))
 	return &coalescerStatzJSON{
 		Enqueued:        snap.Int("logan_coalescer_enqueued_total"),
-		Shed:            shedBudget + shedDelay + shedDeadline,
+		Shed:            shedBudget + shedDelay + shedDeadline + shedQuota,
 		ShedBudget:      shedBudget,
 		ShedDelay:       shedDelay,
 		ShedDeadline:    shedDeadline,
+		ShedQuota:       shedQuota,
 		Direct:          snap.Int("logan_coalescer_direct_total"),
 		MergedBatches:   sizeFlushes + deadlineFlushes + drainFlushes,
 		SizeFlushes:     sizeFlushes,
@@ -634,7 +744,7 @@ func coalescerStatz(snap *telemetry.Snapshot) *coalescerStatzJSON {
 		ProjectedDelayS: snap.Value("logan_coalescer_projected_delay_seconds"),
 		QueuedRequests:  int(snap.Value("logan_coalescer_queued_requests")),
 		QueuedPairs:     int(snap.Value("logan_coalescer_queued_pairs")),
-		QueuedConfigs:   int(snap.Value("logan_coalescer_queued_configs")),
+		QueuedLanes:     int(snap.Value("logan_coalescer_queued_configs")),
 	}
 }
 

@@ -12,12 +12,14 @@ import (
 )
 
 // ErrOverloaded reports a Coalescer submission rejected by admission
-// control: the projected queue delay exceeds the adaptive target
-// (CoalescerOptions.TargetDelay), or the fixed pending-pair budget
-// (CoalescerOptions.MaxPending, when set) is exhausted. The request was
-// not queued and did no alignment work; callers should retry after
-// roughly Coalescer.RetryAfter (an HTTP front end translates this to 429
-// with a Retry-After header, as cmd/logan-serve does).
+// control: the tenant's pairs/sec quota is exhausted (ErrQuotaExceeded),
+// the projected queue delay exceeds the adaptive target
+// (CoalescerOptions.TargetDelay), or the tenant's share of the fixed
+// pending-pair budget (CoalescerOptions.MaxPending, when set) is
+// exhausted. The request was not queued and did no alignment work;
+// callers should retry after roughly Coalescer.RetryAfter (an HTTP front
+// end translates this to 429 with a Retry-After header, as
+// cmd/logan-serve does).
 var ErrOverloaded = errors.New("logan: coalescer overloaded")
 
 // ErrDeadlineInfeasible reports a submission shed because its context
@@ -32,40 +34,60 @@ var ErrDeadlineInfeasible = fmt.Errorf("%w: request deadline infeasible under pr
 // documented on each field.
 type CoalescerOptions struct {
 	// MaxBatchPairs is the merged-batch target: the flusher submits as
-	// soon as at least this many pairs of one configuration are queued,
-	// taking whole requests until the target is reached (a merged batch
-	// can exceed it by at most one request). Requests carrying
-	// MaxBatchPairs or more pairs bypass the queue entirely — they are
-	// already engine-sized. Default 4096.
+	// soon as at least this many pairs of one lane are queued, taking
+	// whole requests until the target is reached (a merged batch can
+	// exceed it by at most one request). It is also the DRR quantum: each
+	// size-ready lane earns one MaxBatchPairs of service credit per
+	// scheduler rotation. Requests carrying MaxBatchPairs or more pairs
+	// bypass the queue entirely — they are already engine-sized. Default
+	// 4096.
 	MaxBatchPairs int
 
-	// MaxWait bounds the queueing latency: a merged batch is flushed no
-	// later than MaxWait after its oldest request enqueued, full or not.
-	// Smaller values favor latency, larger values favor merged-batch size
-	// and therefore throughput. Default 2ms.
+	// MaxWait bounds the queueing latency of interactive requests: a
+	// merged batch is flushed no later than MaxWait after its oldest
+	// request enqueued, full or not. Smaller values favor latency, larger
+	// values favor merged-batch size and therefore throughput. Default
+	// 2ms.
 	MaxWait time.Duration
 
-	// MaxPending, when positive, is a fixed admission budget in pairs,
-	// summed across every configuration's queue: a request whose pairs
-	// would push the queued total beyond it is rejected with
-	// ErrOverloaded. Zero (the default) selects adaptive admission
-	// instead: the controller bounds the projected queue delay by
-	// TargetDelay using the backend layer's live throughput estimate, so
-	// the effective queue depth tracks what the hardware can actually
-	// drain rather than a static pair count.
+	// BulkMaxWait is MaxWait for the bulk priority class (the /jobs
+	// overlap extension chunks): bulk lanes tolerate a longer merge
+	// window in exchange for fuller batches, and their deadline never
+	// preempts an interactive lane's size flush. Default 4*MaxWait.
+	BulkMaxWait time.Duration
+
+	// MaxPending, when positive, is a fixed admission budget in pairs.
+	// The budget is shared fairly rather than first-come-first-served:
+	// each tenant with queued work may hold up to
+	// MaxPending*weight/total-active-weight pairs, so a tenant flooding
+	// its own share is shed (ErrOverloaded) without consuming the
+	// headroom of well-behaved tenants. With a single (anonymous) tenant
+	// this degrades to the plain global budget. Zero (the default)
+	// selects adaptive admission instead: the controller bounds each
+	// tenant's projected share-weighted queue delay by TargetDelay using
+	// the backend layer's live throughput estimate.
 	MaxPending int
 
 	// TargetDelay is the adaptive admission bound (used when MaxPending
-	// is zero): a request is shed with ErrOverloaded when the queue,
-	// including the request itself, is projected to take longer than
-	// TargetDelay to drain at the measured rate (backend throughput in
-	// cells/s divided by the EWMA cells-per-pair of recent batches).
+	// is zero): a request is shed with ErrOverloaded when the tenant's
+	// queue, including the request itself, is projected to take longer
+	// than TargetDelay to drain at the tenant's fair share of the
+	// measured rate (backend throughput in cells/s divided by the EWMA
+	// cells-per-pair of recent batches, weighted by tenant share).
 	// Requests whose context deadline falls inside the projected delay
-	// are shed early with ErrDeadlineInfeasible regardless of TargetDelay.
-	// One engine batch (MaxBatchPairs) is always admissible, and so is
-	// everything until the first batch has calibrated the estimates.
-	// Default 10*MaxWait.
+	// are shed early with ErrDeadlineInfeasible regardless of
+	// TargetDelay. One engine batch (MaxBatchPairs) per tenant is always
+	// admissible, and so is everything until the first batch has
+	// calibrated the estimates. Default 10*MaxWait.
 	TargetDelay time.Duration
+
+	// Cache, when non-nil, is the content-addressed result cache
+	// consulted at admission and filled at scatter: pairs whose
+	// (digest, config) is cached are answered without queueing, quota
+	// charge or engine work, byte-identical to recomputation. Share one
+	// cache across every Coalescer of a process so /align and /jobs
+	// traffic deduplicate against each other.
+	Cache *ResultCache
 
 	// OnFlush, when non-nil, observes every engine batch the Coalescer
 	// submits — merged flushes and large-request bypasses alike — with the
@@ -80,32 +102,34 @@ type CoalescerOptions struct {
 // batches. LOGAN's kernel only saturates the hardware when thousands of
 // alignments are in flight at once, but service traffic arrives as many
 // small independent requests; the Coalescer is the traffic-shaping layer
-// between the two. Concurrent callers enqueue their pairs into a shared
-// accumulator; a single flusher goroutine submits one merged engine batch
-// when either MaxBatchPairs pairs are waiting or the oldest request has
-// waited MaxWait (deadline-bounded flush), then scatters the results and
-// per-request stats back to each caller in submission order.
+// between the two. Concurrent callers enqueue their pairs into per-lane
+// queues; a single flusher goroutine submits one merged engine batch
+// when either MaxBatchPairs pairs are waiting in some lane or the lane's
+// oldest request has waited out its class's merge window
+// (deadline-bounded flush), then scatters the results and per-request
+// stats back to each caller in submission order.
 //
-// Requests are request-scoped: every Align carries its own Config, and
-// the accumulator groups pending requests by configuration key (X plus
-// scheme; matrix configs compare by matrix identity). Only same-config
-// requests merge into one engine batch — batch composition therefore
-// never changes per-pair parameters, and results stay bit-identical to a
-// dedicated engine per configuration. Mixed-config traffic still
-// coalesces: each configuration's stream merges within its own group.
+// Queued work is organized into lanes keyed by (tenant, priority class,
+// configuration): only same-config requests merge into one engine batch
+// — batch composition never changes per-pair parameters, so results
+// stay bit-identical to a dedicated engine per configuration — and the
+// tenant/class split is the scheduling fabric. Size-ready lanes are
+// served deficit-round-robin (quantum MaxBatchPairs), so a tenant
+// flooding one lane cannot monopolize the flusher; interactive lanes
+// (the /align path) always drain ahead of bulk lanes (the /jobs overlap
+// extension chunks, which ride a longer BulkMaxWait window); and each
+// lane's deadline flush is tracked in a min-heap, so wake-ups stay cheap
+// with many live lanes. Admission is tenant-aware: each tenant owns a
+// pairs/sec token-bucket quota and a fair share of the pending budget,
+// so the flooder is shed, not the victim.
 //
-// The tradeoff is explicit: each request may wait up to MaxWait for the
-// batch to fill, buying aggregate throughput (one partition/staging round
-// and one backend dispatch for the whole batch) at the cost of bounded
-// per-request latency.
-//
-// Admission control bounds the queue adaptively: a request is shed with
-// ErrOverloaded when the queue it would join is projected — at the
-// backend layer's live throughput estimate — to take longer than
-// TargetDelay to drain, and with ErrDeadlineInfeasible when its own
-// context deadline falls inside that projection (shed load is visible to
-// callers, queued load is not). Setting MaxPending instead restores the
-// fixed pending-pair budget.
+// When CoalescerOptions.Cache is set, admission first consults the
+// content-addressed result cache: pairs already computed under the same
+// configuration are answered immediately (byte-identical by
+// construction — an alignment is a pure function of pair bytes, seed
+// placement and configuration) and only the misses queue, are metered
+// against the tenant quota, and reach the engine; the scatter fills the
+// cache with what the batch computed.
 //
 // A Coalescer is safe for concurrent use. Close flushes the remaining
 // queue and stops the flusher; it does not close the underlying Aligner.
@@ -113,17 +137,29 @@ type Coalescer struct {
 	eng *Aligner
 	opt CoalescerOptions
 
-	mu      sync.Mutex
-	groups  map[configKey]*coalesceGroup
-	order   []*coalesceGroup // non-empty groups, in order of first enqueue
-	pending int              // pairs queued across all groups (MaxPending budget)
-	closed  bool
+	cache *ResultCache // nil: caching disabled
+
+	mu         sync.Mutex
+	lanes      map[laneKey]*lane   // every non-empty lane
+	rings      [numClasses][]*lane // DRR rings per class, in lane-creation order
+	cursor     [numClasses]int     // DRR rotation position per class
+	heap       []*lane             // min-heap on lane.dl: the deadline index
+	tenPending map[*Tenant]int     // queued pairs per tenant (fair-share admission)
+	pending    int                 // pairs queued across all lanes
+	closed     bool
 
 	kick chan struct{} // nudges the flusher after an enqueue
 	done chan struct{} // closed by Close; flusher drains and exits
 	wg   sync.WaitGroup
 
 	t coalescerTelemetry
+
+	// Per-tenant instrument bundles, registered lazily on a tenant's
+	// first submission. Guarded by its own mutex: registration takes the
+	// registry lock, which must never nest inside c.mu (snapshot-time
+	// gauge functions take c.mu while holding the registry lock).
+	tmu   sync.Mutex
+	ttele map[*Tenant]*tenantTele
 
 	// flusher-goroutine scratch: the merged input batch (pairs already
 	// converted at admission). Only the flusher touches it. (Results are
@@ -132,23 +168,51 @@ type Coalescer struct {
 	mergeBuf []seq.Pair
 }
 
-// coalesceGroup is the pending queue of one configuration: its waiters in
-// FIFO order and their pair count. Groups exist only while non-empty.
-type coalesceGroup struct {
-	key     configKey
+// laneKey identifies one scheduling lane: a tenant's stream of
+// same-config requests in one priority class. Tenants compare by
+// identity, configurations by configKey (matrices by interned pointer).
+type laneKey struct {
+	ten   *Tenant
+	class priorityClass
+	cfg   configKey
+}
+
+// lane is the pending queue of one (tenant, class, config): its waiters
+// in FIFO order, their pair count, the DRR deficit credit, and the
+// cached flush deadline of its head waiter. Lanes exist only while
+// non-empty; a live lane is always in its class ring and in the
+// deadline heap.
+type lane struct {
+	key     laneKey
 	cfg     Config
 	waiters []*coalesceWaiter
 	pending int
+	// deficit is the DRR service credit in pairs: each scheduler
+	// rotation grants a size-ready lane one MaxBatchPairs quantum, and
+	// every flush debits what the batch actually took, so a lane whose
+	// flush overshot the quantum (batches take whole requests) sits out
+	// a turn while its debt amortizes.
+	deficit int
+	dl      time.Time // head waiter's enqueue time + its class's merge window
+	heapIdx int       // position in Coalescer.heap; -1 when not enqueued
 }
 
-// coalesceWaiter is one queued request: its pairs — validated and
-// converted at admission, so the flush never re-scans them — the enqueue
-// time, and the buffered channel its result is delivered on (buffered so
-// the flusher never blocks on an abandoned caller).
+// coalesceWaiter is one queued request: its cache-miss pairs — validated
+// and converted at admission, so the flush never re-scans them — the
+// enqueue time, and the buffered channel its result is delivered on
+// (buffered so the flusher never blocks on an abandoned caller).
 type coalesceWaiter struct {
-	in  []seq.Pair
-	enq time.Time
-	ch  chan coalesceResult
+	in []seq.Pair // pairs the engine must compute (cache misses)
+	// Partial-hit layout (nil on a cache-off or all-miss request): full
+	// is the request-sized result slice with cache hits pre-filled, and
+	// full[missIdx[j]] receives the computed result of in[j].
+	full    []Alignment
+	missIdx []int
+	digests [][32]byte // content digests of in, for the scatter-side cache fill (nil: cache off)
+	npairs  int        // total request size including cache hits
+	tt      *tenantTele
+	enq     time.Time
+	ch      chan coalesceResult
 	// tr is the request's trace (nil when the caller attached none): the
 	// flusher stamps the queue wait and copies the merged batch's stage
 	// spans onto it before delivering the result, so the channel receive
@@ -170,11 +234,20 @@ type coalesceResult struct {
 type coalescerTelemetry struct {
 	enqueued, direct                     *telemetry.Counter
 	shedBudget, shedDelay, shedDeadline  *telemetry.Counter
+	shedQuota                            *telemetry.Counter
 	flushSize, flushDeadline, flushDrain *telemetry.Counter
 	mergedPairs, mergedRequests          *telemetry.Counter
+	cacheHits, cacheMisses, cacheEvict   *telemetry.Counter
 	queueWait                            *telemetry.Counter // seconds
 	maxMergedPairs                       *telemetry.Gauge   // written only by the flusher
 	cellsPerPair                         *telemetry.Gauge   // EWMA, the drain-rate divisor
+}
+
+// tenantTele is one tenant's attribution bundle: who was served, who was
+// shed, who hit the cache. Registered lazily on the tenant's first
+// submission through this Coalescer.
+type tenantTele struct {
+	requests, pairs, shed, cacheHits *telemetry.Counter
 }
 
 // CoalescerMetrics is a snapshot of a Coalescer's lifetime counters and
@@ -187,14 +260,15 @@ type CoalescerMetrics struct {
 	// (>= MaxBatchPairs pairs).
 	Enqueued, Shed, Direct int64
 
-	// The shed breakdown: ShedBudget hit the fixed MaxPending cap,
-	// ShedDelay the adaptive TargetDelay bound, ShedDeadline an
-	// infeasible request deadline (ErrDeadlineInfeasible).
-	ShedBudget, ShedDelay, ShedDeadline int64
+	// The shed breakdown: ShedBudget hit the tenant's share of the fixed
+	// MaxPending budget, ShedDelay the adaptive TargetDelay bound,
+	// ShedDeadline an infeasible request deadline (ErrDeadlineInfeasible),
+	// ShedQuota the tenant's pairs/sec token bucket (ErrQuotaExceeded).
+	ShedBudget, ShedDelay, ShedDeadline, ShedQuota int64
 
 	// MergedBatches counts engine batches submitted by the flusher,
 	// broken down by trigger: SizeFlushes reached MaxBatchPairs,
-	// DeadlineFlushes hit the oldest request's MaxWait deadline, and
+	// DeadlineFlushes hit the oldest request's merge-window deadline, and
 	// DrainFlushes happened during Close.
 	MergedBatches, SizeFlushes, DeadlineFlushes, DrainFlushes int64
 
@@ -203,14 +277,19 @@ type CoalescerMetrics struct {
 	// batch. MergedPairs/MergedBatches is the realized batching factor.
 	MergedPairs, MergedRequests, MaxMergedPairs int64
 
+	// CacheHits and CacheMisses count result-cache probes by outcome
+	// (pairs, not requests); CacheEvictions counts LRU evictions. All
+	// zero when no cache is attached.
+	CacheHits, CacheMisses, CacheEvictions int64
+
 	// WaitNS totals the enqueue-to-flush wait across admitted requests;
 	// WaitNS/Enqueued approximates the mean coalescing latency.
 	WaitNS int64
 
 	// QueuedRequests and QueuedPairs are current-depth gauges;
-	// QueuedConfigs counts the distinct configurations currently queued
-	// (each flushes as its own merged batch).
-	QueuedRequests, QueuedPairs, QueuedConfigs int
+	// QueuedLanes counts the distinct (tenant, class, config) lanes
+	// currently queued (each flushes as its own merged batch).
+	QueuedRequests, QueuedPairs, QueuedLanes int
 }
 
 // NewCoalescer starts a coalescing layer over the engine. Zero fields of
@@ -232,6 +311,9 @@ func (a *Aligner) newCoalescer(opt CoalescerOptions) *Coalescer {
 	if opt.MaxWait <= 0 {
 		opt.MaxWait = 2 * time.Millisecond
 	}
+	if opt.BulkMaxWait <= 0 {
+		opt.BulkMaxWait = 4 * opt.MaxWait
+	}
 	if opt.MaxPending < 0 {
 		opt.MaxPending = 0
 	}
@@ -239,11 +321,14 @@ func (a *Aligner) newCoalescer(opt CoalescerOptions) *Coalescer {
 		opt.TargetDelay = 10 * opt.MaxWait
 	}
 	c := &Coalescer{
-		eng:    a,
-		opt:    opt,
-		groups: make(map[configKey]*coalesceGroup),
-		kick:   make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		eng:        a,
+		opt:        opt,
+		cache:      opt.Cache,
+		lanes:      make(map[laneKey]*lane),
+		tenPending: make(map[*Tenant]int),
+		ttele:      make(map[*Tenant]*tenantTele),
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
 	}
 	reg := a.tele
 	c.t = coalescerTelemetry{
@@ -252,33 +337,40 @@ func (a *Aligner) newCoalescer(opt CoalescerOptions) *Coalescer {
 		shedBudget:     reg.Counter("logan_coalescer_shed_total", "Requests rejected by admission control, by reason.", telemetry.L("reason", "budget")),
 		shedDelay:      reg.Counter("logan_coalescer_shed_total", "Requests rejected by admission control, by reason.", telemetry.L("reason", "delay")),
 		shedDeadline:   reg.Counter("logan_coalescer_shed_total", "Requests rejected by admission control, by reason.", telemetry.L("reason", "deadline")),
+		shedQuota:      reg.Counter("logan_coalescer_shed_total", "Requests rejected by admission control, by reason.", telemetry.L("reason", "quota")),
 		flushSize:      reg.Counter("logan_coalescer_merged_batches_total", "Merged batches submitted to the engine, by flush trigger.", telemetry.L("trigger", "size")),
 		flushDeadline:  reg.Counter("logan_coalescer_merged_batches_total", "Merged batches submitted to the engine, by flush trigger.", telemetry.L("trigger", "deadline")),
 		flushDrain:     reg.Counter("logan_coalescer_merged_batches_total", "Merged batches submitted to the engine, by flush trigger.", telemetry.L("trigger", "drain")),
 		mergedPairs:    reg.Counter("logan_coalescer_merged_pairs_total", "Pairs across all merged batches."),
 		mergedRequests: reg.Counter("logan_coalescer_merged_requests_total", "Requests across all merged batches."),
+		cacheHits:      reg.Counter("logan_cache_hits_total", "Pairs answered from the content-addressed result cache."),
+		cacheMisses:    reg.Counter("logan_cache_misses_total", "Pairs that missed the result cache and reached the engine."),
+		cacheEvict:     reg.Counter("logan_cache_evictions_total", "Result-cache entries evicted by the LRU bound."),
 		queueWait:      reg.Counter("logan_coalescer_queue_wait_seconds_total", "Total enqueue-to-flush wait across admitted requests."),
 		maxMergedPairs: reg.Gauge("logan_coalescer_max_merged_pairs", "Largest single merged batch in pairs."),
 		cellsPerPair:   reg.Gauge("logan_coalescer_cells_per_pair", "EWMA DP cells per pair of recent merged batches (the admission controller's work estimate)."),
 	}
-	reg.GaugeFunc("logan_coalescer_queued_pairs", "Pairs currently queued across all configurations.", func() float64 {
+	reg.GaugeFunc("logan_cache_entries", "Result-cache entries currently resident.", func() float64 {
+		return float64(c.cache.Len())
+	})
+	reg.GaugeFunc("logan_coalescer_queued_pairs", "Pairs currently queued across all lanes.", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		return float64(c.pending)
 	})
-	reg.GaugeFunc("logan_coalescer_queued_requests", "Requests currently queued across all configurations.", func() float64 {
+	reg.GaugeFunc("logan_coalescer_queued_requests", "Requests currently queued across all lanes.", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		n := 0
-		for _, g := range c.order {
-			n += len(g.waiters)
+		for _, l := range c.lanes {
+			n += len(l.waiters)
 		}
 		return float64(n)
 	})
-	reg.GaugeFunc("logan_coalescer_queued_configs", "Distinct configurations currently queued.", func() float64 {
+	reg.GaugeFunc("logan_coalescer_queued_configs", "Distinct (tenant, class, config) lanes currently queued.", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		return float64(len(c.order))
+		return float64(len(c.lanes))
 	})
 	reg.GaugeFunc("logan_coalescer_drain_pairs_per_second", "Measured queue drain rate: backend throughput over cells-per-pair (0 until calibrated).", c.drainPairsPerSec)
 	reg.GaugeFunc("logan_coalescer_projected_delay_seconds", "Projected time to drain the current queue at the measured rate (the adaptive admission signal).", func() float64 {
@@ -292,6 +384,42 @@ func (a *Aligner) newCoalescer(opt CoalescerOptions) *Coalescer {
 		return float64(pending) / rate
 	})
 	return c
+}
+
+// tenantTele returns ten's attribution bundle, registering its series
+// (labelled tenant=<name>) on first use. Never call while holding c.mu:
+// registration takes the registry lock, which snapshot-time gauge
+// functions hold while taking c.mu.
+func (c *Coalescer) tenantTele(ten *Tenant) *tenantTele {
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	if tt, ok := c.ttele[ten]; ok {
+		return tt
+	}
+	reg := c.eng.tele
+	lab := telemetry.L("tenant", ten.name)
+	tt := &tenantTele{
+		requests:  reg.Counter("logan_tenant_requests_total", "Requests completed per tenant (direct, coalesced and cache-only).", lab),
+		pairs:     reg.Counter("logan_tenant_pairs_total", "Pairs served per tenant.", lab),
+		shed:      reg.Counter("logan_tenant_shed_total", "Requests shed per tenant (quota, budget, delay and deadline).", lab),
+		cacheHits: reg.Counter("logan_tenant_cache_hits_total", "Pairs served from the result cache per tenant.", lab),
+	}
+	reg.GaugeFunc("logan_tenant_queued_pairs", "Pairs currently queued per tenant.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.tenPending[ten])
+	}, lab)
+	c.ttele[ten] = tt
+	return tt
+}
+
+// classWait is the merge window of a priority class: MaxWait for
+// interactive lanes, BulkMaxWait for bulk lanes.
+func (c *Coalescer) classWait(cl priorityClass) time.Duration {
+	if cl == classBulk {
+		return c.opt.BulkMaxWait
+	}
+	return c.opt.MaxWait
 }
 
 // drainPairsPerSec is the measured queue drain rate: the backend layer's
@@ -335,35 +463,66 @@ const (
 	shedBudget shedReason = iota
 	shedDelay
 	shedDeadline
+	shedQuota
 )
 
-// admitLocked decides whether n more pairs may queue under ctx. Callers
-// hold c.mu. In fixed mode (MaxPending > 0) only the pair budget
-// applies. In adaptive mode one engine batch is always admissible
-// (coalescing must keep working at low load and before calibration);
-// beyond that floor the controller sheds when the projected drain time
-// of the queue including this request exceeds TargetDelay, or — even
-// under the target — when the request's own deadline cannot survive the
-// projected wait plus a flush interval.
-func (c *Coalescer) admitLocked(ctx context.Context, n int) (shedReason, bool) {
+// activeWeightLocked sums the fair-share weights of tenants with queued
+// pairs, always counting the requester (who is about to have some).
+// Callers hold c.mu.
+func (c *Coalescer) activeWeightLocked(ten *Tenant) int {
+	w := ten.weight
+	for t2, p := range c.tenPending {
+		if p > 0 && t2 != ten {
+			w += t2.weight
+		}
+	}
+	return w
+}
+
+// admitLocked decides whether ten may queue n more pairs under ctx.
+// Callers hold c.mu. Admission is per-tenant share based — the budget a
+// tenant competes for is its weight's fraction of the whole, so a
+// flooding tenant exhausts its own share and is shed while a
+// well-behaved tenant's share stays open. The global total may
+// transiently overshoot a static budget while shares rebalance (a new
+// tenant's arrival halves the incumbent's cap only for subsequent
+// requests); the overshoot is bounded by the pre-arrival share split and
+// drains within one flush cycle.
+//
+// In fixed mode (MaxPending > 0) only the share of the pair budget
+// applies. In adaptive mode one engine batch per tenant is always
+// admissible (coalescing must keep working at low load and before
+// calibration); beyond that floor the controller sheds when the
+// projected drain time of the tenant's queue at its share of the
+// measured rate exceeds TargetDelay, or — even under the target — when
+// the request's own deadline cannot survive the projected wait plus its
+// class's merge window.
+func (c *Coalescer) admitLocked(ctx context.Context, ten *Tenant, class priorityClass, n int) (shedReason, bool) {
+	tp := c.tenPending[ten]
+	w, totalW := ten.weight, c.activeWeightLocked(ten)
 	if c.opt.MaxPending > 0 {
-		if c.pending+n > c.opt.MaxPending {
+		share := c.opt.MaxPending * w / totalW
+		if share < 1 {
+			share = 1
+		}
+		if tp+n > share {
 			return shedBudget, false
 		}
 		return 0, true
 	}
-	if c.pending+n <= c.opt.MaxBatchPairs {
+	if tp+n <= c.opt.MaxBatchPairs {
 		return 0, true
 	}
 	rate := c.drainPairsPerSec()
 	if rate <= 0 {
 		return 0, true // uncalibrated: admit and let the first flushes measure
 	}
-	projected := time.Duration(float64(c.pending+n) / rate * float64(time.Second))
+	shareRate := rate * float64(w) / float64(totalW)
+	projected := time.Duration(float64(tp+n) / shareRate * float64(time.Second))
 	if projected > c.opt.TargetDelay {
 		return shedDelay, false
 	}
-	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < projected+c.opt.MaxWait {
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < projected+c.classWait(class) {
 		return shedDeadline, false
 	}
 	return 0, true
@@ -377,26 +536,34 @@ func (c *Coalescer) Options() CoalescerOptions { return c.opt }
 // run or ctx is done. Results are positionally aligned with pairs and
 // bit-identical to a direct Aligner.Align of the same pairs under the
 // same cfg; only requests with an equal configuration (same X, same
-// scheme — matrices by identity) share a merged batch.
+// scheme — matrices by identity) share a merged batch, and cached pairs
+// are served from the result cache without reaching the engine.
+//
+// The request's tenant (WithTenant; anonymous when absent) selects its
+// scheduling lane, pairs/sec quota and share of the admission budget;
+// its priority class is interactive unless the overlap subsystem tagged
+// it bulk.
 //
 // The returned Stats describe this request's share of the merged batch:
 // Pairs and Cells are the request's own, while WallTime and DeviceTime
 // cover the whole merged batch the request rode in (the request's pairs
-// were not separately timed). Stats.PerBackend is batch-scoped and
-// therefore omitted here; observe it via CoalescerOptions.OnFlush.
+// were not separately timed; a fully cache-served request reports zero
+// time). Stats.PerBackend is batch-scoped and therefore omitted here;
+// observe it via CoalescerOptions.OnFlush.
 //
 // Error contract: cfg and pairs are validated at admission, so an invalid
 // configuration or pair fails only its own request and never the batch it
 // would have merged into. ErrOverloaded reports admission-control
-// shedding (retry later), ErrClosed reports a closed Coalescer or engine,
-// ErrUnsupportedConfig a scheme the engine's backend cannot run. A ctx
-// error on a queued request removes it from the queue and returns the
-// ctx error — its buffers are free for reuse the moment Align returns,
-// preserving Pair's zero-copy aliasing contract. If the request's merged
-// batch is already executing when ctx fires, Align instead waits for
-// that batch (bounded by one engine batch) and returns its result.
-// Engine-sized requests that bypass the queue run alone, so there ctx is
-// forwarded into the engine and cancellation aborts the work itself.
+// shedding (retry later; ErrQuotaExceeded is its tenant-quota variant),
+// ErrClosed reports a closed Coalescer or engine, ErrUnsupportedConfig a
+// scheme the engine's backend cannot run. A ctx error on a queued request
+// removes it from the queue and returns the ctx error — its buffers are
+// free for reuse the moment Align returns, preserving Pair's zero-copy
+// aliasing contract. If the request's merged batch is already executing
+// when ctx fires, Align instead waits for that batch (bounded by one
+// engine batch) and returns its result. Engine-sized requests that bypass
+// the queue run alone, so there ctx is forwarded into the engine and
+// cancellation aborts the work itself.
 func (c *Coalescer) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alignment, Stats, error) {
 	// Validate cfg before the empty-batch fast path, mirroring
 	// Aligner.Align: an invalid configuration fails even with no pairs.
@@ -409,26 +576,39 @@ func (c *Coalescer) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alig
 		ctx = context.Background()
 	}
 	// Shed configs the engine's backend cannot run at admission: letting
-	// them queue would burn MaxPending budget and a flush cycle only to
-	// fan the same error out at execute time (and starve valid traffic
-	// into 429s under sustained unsupported spam).
+	// them queue would burn budget and a flush cycle only to fan the same
+	// error out at execute time (and starve valid traffic into 429s under
+	// sustained unsupported spam).
 	if !c.eng.Supports(cfg) {
 		return nil, Stats{}, ErrUnsupportedConfig
 	}
 	if len(pairs) == 0 {
 		return []Alignment{}, Stats{}, nil
 	}
+	ten := TenantFrom(ctx)
+	if ten == nil {
+		ten = anonymousTenant
+	}
+	tt := c.tenantTele(ten)
 	// Engine-sized requests gain nothing from merging: run them directly,
-	// keeping the queue (and its MaxPending budget) for the small requests
-	// coalescing exists to serve.
+	// keeping the queue (and its pending budget) for the small requests
+	// coalescing exists to serve. The engine meters the tenant quota
+	// itself from ctx.
 	if len(pairs) >= c.opt.MaxBatchPairs {
 		if c.isClosed() {
 			return nil, Stats{}, ErrClosed
 		}
 		c.t.direct.Inc()
 		out, st, err := c.eng.Align(ctx, pairs, cfg)
-		if err == nil && c.opt.OnFlush != nil {
-			c.opt.OnFlush(st, 1)
+		if err == nil {
+			tt.requests.Inc()
+			tt.pairs.Add(float64(len(pairs)))
+			if c.opt.OnFlush != nil {
+				c.opt.OnFlush(st, 1)
+			}
+		} else if errors.Is(err, ErrOverloaded) {
+			c.t.shedQuota.Inc()
+			tt.shed.Inc()
 		}
 		return out, st, err
 	}
@@ -437,14 +617,85 @@ func (c *Coalescer) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alig
 		return nil, Stats{}, err
 	}
 
-	w := &coalesceWaiter{in: in, ch: make(chan coalesceResult, 1), tr: telemetry.TraceFrom(ctx)}
+	// Result-cache probe: hits are answered without queueing, quota
+	// charge or engine work; only the misses continue to admission.
+	total := len(in)
+	var (
+		full    []Alignment
+		missIdx []int
+		digests [][32]byte
+	)
+	if c.cache != nil {
+		ck := cfg.key()
+		allD := make([][32]byte, total)
+		hit := make([]bool, total)
+		res := make([]Alignment, total)
+		nhit := 0
+		for i := range in {
+			allD[i] = pairDigest(in[i])
+			if r, ok := c.cache.get(cacheKey{digest: allD[i], cfg: ck}); ok {
+				hit[i], res[i] = true, r
+				nhit++
+			}
+		}
+		c.t.cacheHits.Add(float64(nhit))
+		c.t.cacheMisses.Add(float64(total - nhit))
+		if nhit > 0 {
+			tt.cacheHits.Add(float64(nhit))
+		}
+		if nhit == total {
+			var cells int64
+			for i := range res {
+				cells += res[i].Cells
+			}
+			tt.requests.Inc()
+			tt.pairs.Add(float64(total))
+			return res, Stats{Pairs: total, Cells: cells}, nil
+		}
+		if nhit > 0 {
+			full = res
+			miss := make([]seq.Pair, 0, total-nhit)
+			missIdx = make([]int, 0, total-nhit)
+			digests = make([][32]byte, 0, total-nhit)
+			for i := range in {
+				if hit[i] {
+					continue
+				}
+				miss = append(miss, in[i])
+				missIdx = append(missIdx, i)
+				digests = append(digests, allD[i])
+			}
+			in = miss
+		} else {
+			digests = allD
+		}
+	}
+	nmiss := len(in)
+
+	class := priorityFrom(ctx)
+	w := &coalesceWaiter{
+		in: in, full: full, missIdx: missIdx, digests: digests,
+		npairs: total, tt: tt,
+		ch: make(chan coalesceResult, 1), tr: telemetry.TraceFrom(ctx),
+	}
+	key := laneKey{ten: ten, class: class, cfg: cfg.key()}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, Stats{}, ErrClosed
 	}
-	if reason, ok := c.admitLocked(ctx, len(pairs)); !ok {
+	// The pairs/sec quota meters work that would reach the engine:
+	// misses only, probed before the share-based queue admission so a
+	// quota-starved tenant is attributed precisely.
+	if ok, _ := ten.takePairs(nmiss); !ok {
 		c.mu.Unlock()
+		c.t.shedQuota.Inc()
+		tt.shed.Inc()
+		return nil, Stats{}, ErrQuotaExceeded
+	}
+	if reason, ok := c.admitLocked(ctx, ten, class, nmiss); !ok {
+		c.mu.Unlock()
+		tt.shed.Inc()
 		switch reason {
 		case shedDelay:
 			c.t.shedDelay.Inc()
@@ -458,16 +709,7 @@ func (c *Coalescer) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alig
 		}
 	}
 	w.enq = time.Now()
-	key := cfg.key()
-	g := c.groups[key]
-	if g == nil {
-		g = &coalesceGroup{key: key, cfg: cfg}
-		c.groups[key] = g
-		c.order = append(c.order, g)
-	}
-	g.waiters = append(g.waiters, w)
-	g.pending += len(pairs)
-	c.pending += len(pairs)
+	c.enqueueLocked(key, cfg, w)
 	c.mu.Unlock()
 	c.t.enqueued.Inc()
 
@@ -497,25 +739,52 @@ func (c *Coalescer) Align(ctx context.Context, pairs []Pair, cfg Config) ([]Alig
 	}
 }
 
+// enqueueLocked appends w to its lane, creating the lane (ring + heap
+// membership) on first use, and charges the pending gauges. Callers hold
+// c.mu and have stamped w.enq.
+func (c *Coalescer) enqueueLocked(key laneKey, cfg Config, w *coalesceWaiter) {
+	l := c.lanes[key]
+	if l == nil {
+		l = &lane{key: key, cfg: cfg, heapIdx: -1}
+		c.lanes[key] = l
+		c.rings[key.class] = append(c.rings[key.class], l)
+	}
+	l.waiters = append(l.waiters, w)
+	n := len(w.in)
+	l.pending += n
+	c.pending += n
+	c.tenPending[key.ten] += n
+	if len(l.waiters) == 1 {
+		l.dl = w.enq.Add(c.classWait(key.class))
+		c.heapPush(l)
+	}
+}
+
 // abandon removes a still-queued waiter after its caller's context fired,
 // releasing its buffers and budget. It reports false when the flusher has
 // already taken the waiter (its batch is executing).
-func (c *Coalescer) abandon(key configKey, w *coalesceWaiter) bool {
+func (c *Coalescer) abandon(key laneKey, w *coalesceWaiter) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	g := c.groups[key]
-	if g == nil {
+	l := c.lanes[key]
+	if l == nil {
 		return false
 	}
-	for i, cand := range g.waiters {
+	for i, cand := range l.waiters {
 		if cand == w {
-			copy(g.waiters[i:], g.waiters[i+1:])
-			g.waiters[len(g.waiters)-1] = nil
-			g.waiters = g.waiters[:len(g.waiters)-1]
-			g.pending -= len(w.in)
-			c.pending -= len(w.in)
-			if len(g.waiters) == 0 {
-				c.dropGroupLocked(g)
+			copy(l.waiters[i:], l.waiters[i+1:])
+			l.waiters[len(l.waiters)-1] = nil
+			l.waiters = l.waiters[:len(l.waiters)-1]
+			n := len(w.in)
+			l.pending -= n
+			c.pending -= n
+			c.chargeTenantLocked(key.ten, -n)
+			if len(l.waiters) == 0 {
+				c.dropLaneLocked(l)
+			} else if i == 0 {
+				// New head, new deadline.
+				l.dl = l.waiters[0].enq.Add(c.classWait(key.class))
+				c.heapFix(l)
 			}
 			return true
 		}
@@ -523,23 +792,36 @@ func (c *Coalescer) abandon(key configKey, w *coalesceWaiter) bool {
 	return false
 }
 
+// chargeTenantLocked adjusts a tenant's queued-pair count, dropping the
+// entry at zero so the active-weight scan only visits tenants with work.
+// Callers hold c.mu.
+func (c *Coalescer) chargeTenantLocked(ten *Tenant, delta int) {
+	v := c.tenPending[ten] + delta
+	if v <= 0 {
+		delete(c.tenPending, ten)
+		return
+	}
+	c.tenPending[ten] = v
+}
+
 // Metrics snapshots the Coalescer's counters and queue gauges.
 func (c *Coalescer) Metrics() CoalescerMetrics {
 	c.mu.Lock()
 	qr := 0
-	for _, g := range c.order {
-		qr += len(g.waiters)
+	for _, l := range c.lanes {
+		qr += len(l.waiters)
 	}
-	qp, qc := c.pending, len(c.order)
+	qp, ql := c.pending, len(c.lanes)
 	c.mu.Unlock()
-	sb, sd, sdl := int64(c.t.shedBudget.Value()), int64(c.t.shedDelay.Value()), int64(c.t.shedDeadline.Value())
+	sb, sd, sdl, sq := int64(c.t.shedBudget.Value()), int64(c.t.shedDelay.Value()), int64(c.t.shedDeadline.Value()), int64(c.t.shedQuota.Value())
 	fs, fd, fdr := int64(c.t.flushSize.Value()), int64(c.t.flushDeadline.Value()), int64(c.t.flushDrain.Value())
 	return CoalescerMetrics{
 		Enqueued:        int64(c.t.enqueued.Value()),
-		Shed:            sb + sd + sdl,
+		Shed:            sb + sd + sdl + sq,
 		ShedBudget:      sb,
 		ShedDelay:       sd,
 		ShedDeadline:    sdl,
+		ShedQuota:       sq,
 		Direct:          int64(c.t.direct.Value()),
 		MergedBatches:   fs + fd + fdr,
 		SizeFlushes:     fs,
@@ -548,10 +830,13 @@ func (c *Coalescer) Metrics() CoalescerMetrics {
 		MergedPairs:     int64(c.t.mergedPairs.Value()),
 		MergedRequests:  int64(c.t.mergedRequests.Value()),
 		MaxMergedPairs:  int64(c.t.maxMergedPairs.Value()),
+		CacheHits:       int64(c.t.cacheHits.Value()),
+		CacheMisses:     int64(c.t.cacheMisses.Value()),
+		CacheEvictions:  int64(c.t.cacheEvict.Value()),
 		WaitNS:          int64(c.t.queueWait.Value() * 1e9),
 		QueuedRequests:  qr,
 		QueuedPairs:     qp,
-		QueuedConfigs:   qc,
+		QueuedLanes:     ql,
 	}
 }
 
@@ -586,8 +871,8 @@ const (
 )
 
 // run is the flusher goroutine: it sleeps until kicked by an enqueue, the
-// oldest request's deadline fires, or Close drains it; on every wake it
-// submits merged batches while some group is flushable and re-arms the
+// earliest lane deadline fires, or Close drains it; on every wake it
+// submits merged batches while some lane is flushable and re-arms the
 // deadline timer for whatever remains.
 func (c *Coalescer) run() {
 	defer c.wg.Done()
@@ -626,86 +911,188 @@ func (c *Coalescer) run() {
 	}
 }
 
-// oldestLocked returns the group holding the globally oldest queued
-// request. Callers hold c.mu; the order slice is non-empty.
-func (c *Coalescer) oldestLocked() *coalesceGroup {
-	oldest := c.order[0]
-	for _, g := range c.order[1:] {
-		if g.waiters[0].enq.Before(oldest.waiters[0].enq) {
-			oldest = g
-		}
-	}
-	return oldest
+// Deadline min-heap over lanes (keyed by lane.dl, the head waiter's
+// flush deadline): the flusher's wake-up schedule reads the earliest
+// deadline in O(1) instead of scanning every lane. All heap operations
+// are called under c.mu.
+
+// heapPush adds l to the deadline heap. Callers hold c.mu.
+func (c *Coalescer) heapPush(l *lane) {
+	l.heapIdx = len(c.heap)
+	c.heap = append(c.heap, l)
+	c.heapUp(l.heapIdx)
 }
 
-// dropGroupLocked removes an emptied group from the map and order slice.
-func (c *Coalescer) dropGroupLocked(g *coalesceGroup) {
-	delete(c.groups, g.key)
-	for i, cand := range c.order {
-		if cand == g {
-			copy(c.order[i:], c.order[i+1:])
-			// Clear the vacated tail slot so the order array does not pin
-			// the dropped group (and its config/matrix) until overwritten.
-			c.order[len(c.order)-1] = nil
-			c.order = c.order[:len(c.order)-1]
+// heapRemove deletes l from the deadline heap. Callers hold c.mu.
+func (c *Coalescer) heapRemove(l *lane) {
+	i := l.heapIdx
+	last := len(c.heap) - 1
+	c.heapSwap(i, last)
+	c.heap[last] = nil
+	c.heap = c.heap[:last]
+	l.heapIdx = -1
+	if i < last {
+		c.heapDown(i)
+		c.heapUp(i)
+	}
+}
+
+// heapFix restores heap order after l.dl changed. Callers hold c.mu.
+func (c *Coalescer) heapFix(l *lane) {
+	c.heapDown(l.heapIdx)
+	c.heapUp(l.heapIdx)
+}
+
+func (c *Coalescer) heapSwap(i, j int) {
+	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
+	c.heap[i].heapIdx = i
+	c.heap[j].heapIdx = j
+}
+
+func (c *Coalescer) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !c.heap[i].dl.Before(c.heap[p].dl) {
+			return
+		}
+		c.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (c *Coalescer) heapDown(i int) {
+	n := len(c.heap)
+	for {
+		s := i
+		if l := 2*i + 1; l < n && c.heap[l].dl.Before(c.heap[s].dl) {
+			s = l
+		}
+		if r := 2*i + 2; r < n && c.heap[r].dl.Before(c.heap[s].dl) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		c.heapSwap(i, s)
+		i = s
+	}
+}
+
+// dropLaneLocked removes an emptied lane from the lane map, its class
+// ring (keeping the DRR cursor on the same neighbor) and the deadline
+// heap. Callers hold c.mu.
+func (c *Coalescer) dropLaneLocked(l *lane) {
+	delete(c.lanes, l.key)
+	cl := l.key.class
+	ring := c.rings[cl]
+	for i, cand := range ring {
+		if cand == l {
+			copy(ring[i:], ring[i+1:])
+			// Clear the vacated tail slot so the ring array does not pin
+			// the dropped lane (and its config/matrix) until overwritten.
+			ring[len(ring)-1] = nil
+			c.rings[cl] = ring[:len(ring)-1]
+			if c.cursor[cl] > i {
+				c.cursor[cl]--
+			}
 			break
 		}
 	}
+	if n := len(c.rings[cl]); n == 0 {
+		c.cursor[cl] = 0
+	} else if c.cursor[cl] >= n {
+		c.cursor[cl] %= n
+	}
+	if l.heapIdx >= 0 {
+		c.heapRemove(l)
+	}
+}
+
+// drrPickLocked selects the next size-ready lane by deficit round-robin:
+// the interactive ring is scanned one full rotation before the bulk ring
+// is considered at all (strict priority between the two classes), each
+// size-ready lane earns one quantum (MaxBatchPairs) of credit per visit,
+// and the first lane whose credit covers a full batch wins. Flushes
+// debit actual pairs served (see take), so a lane whose previous batch
+// overshot the quantum — batches take whole requests — sits out a
+// rotation while the debt amortizes: that is what keeps many same-size
+// lanes within one batch of equal service. Callers hold c.mu; returns
+// nil when no lane is size-ready.
+func (c *Coalescer) drrPickLocked() *lane {
+	quantum := c.opt.MaxBatchPairs
+	for class := range c.rings {
+		ring := c.rings[class]
+		for i := range ring {
+			idx := (c.cursor[class] + i) % len(ring)
+			l := ring[idx]
+			if l.pending < quantum {
+				continue
+			}
+			l.deficit = min(l.deficit+quantum, 2*quantum)
+			if l.deficit >= quantum {
+				c.cursor[class] = (idx + 1) % len(ring)
+				return l
+			}
+		}
+	}
+	return nil
 }
 
 // take pops the next merged batch under the lock: whole requests of ONE
-// configuration group in FIFO order until MaxBatchPairs is covered.
-// Without force it only pops when a flush trigger holds — some group
-// reached the size target, or the globally oldest request has waited
-// MaxWait (that request's group flushes).
+// lane in FIFO order until MaxBatchPairs is covered. Without force it
+// only pops when a flush trigger holds — the earliest lane deadline has
+// passed (the heap top; per-request latency is a guarantee, so deadlines
+// preempt size flushes), or the DRR scheduler found a size-ready lane.
 func (c *Coalescer) take(force bool) (Config, []*coalesceWaiter, int, flushReason, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.order) == 0 {
+	if len(c.heap) == 0 {
 		return Config{}, nil, 0, 0, false
 	}
 	now := time.Now()
 	reason := flushDrain
-	var g *coalesceGroup
+	var l *lane
 	if force {
-		g = c.oldestLocked()
+		l = c.heap[0]
 	} else {
-		// The deadline trigger is checked first: the MaxWait bound is a
-		// per-request guarantee, and a config group saturating the size
-		// target must not starve another group's overdue request (the
-		// take loop flushes the size-ready group right after anyway).
-		if oldest := c.oldestLocked(); now.Sub(oldest.waiters[0].enq) >= c.opt.MaxWait {
-			g, reason = oldest, flushDeadline
-			if g.pending >= c.opt.MaxBatchPairs {
+		// The deadline trigger is checked first: the merge-window bound is
+		// a per-request guarantee, and a lane saturating the size target
+		// must not starve another lane's overdue request (the take loop
+		// flushes the size-ready lane right after anyway).
+		if top := c.heap[0]; !now.Before(top.dl) {
+			l, reason = top, flushDeadline
+			if l.pending >= c.opt.MaxBatchPairs {
 				reason = flushSize
 			}
-		}
-		if g == nil {
-			for _, cand := range c.order {
-				if cand.pending >= c.opt.MaxBatchPairs {
-					g, reason = cand, flushSize
-					break
-				}
-			}
-		}
-		if g == nil {
+		} else if l = c.drrPickLocked(); l != nil {
+			reason = flushSize
+		} else {
 			return Config{}, nil, 0, 0, false
 		}
 	}
 	n, npairs := 0, 0
-	for n < len(g.waiters) && npairs < c.opt.MaxBatchPairs {
-		npairs += len(g.waiters[n].in)
+	for n < len(l.waiters) && npairs < c.opt.MaxBatchPairs {
+		npairs += len(l.waiters[n].in)
 		n++
 	}
 	ws := make([]*coalesceWaiter, n)
-	copy(ws, g.waiters)
-	rest := copy(g.waiters, g.waiters[n:])
-	clear(g.waiters[rest:]) // drop waiter refs so the group array doesn't pin them
-	g.waiters = g.waiters[:rest]
-	g.pending -= npairs
+	copy(ws, l.waiters)
+	rest := copy(l.waiters, l.waiters[n:])
+	clear(l.waiters[rest:]) // drop waiter refs so the lane array doesn't pin them
+	l.waiters = l.waiters[:rest]
+	l.pending -= npairs
 	c.pending -= npairs
-	if len(g.waiters) == 0 {
-		c.dropGroupLocked(g)
+	c.chargeTenantLocked(l.key.ten, -npairs)
+	// DRR service accounting: debit what the batch actually took. A
+	// deadline flush counts too — it is service — and since a
+	// deadline-flushed lane is under the size target its debt stays
+	// within one quantum.
+	l.deficit -= npairs
+	if len(l.waiters) == 0 {
+		c.dropLaneLocked(l)
+	} else {
+		l.dl = l.waiters[0].enq.Add(c.classWait(l.key.class))
+		c.heapFix(l)
 	}
 
 	var wait time.Duration
@@ -722,14 +1109,15 @@ func (c *Coalescer) take(force bool) (Config, []*coalesceWaiter, int, flushReaso
 		}
 	}
 	c.t.queueWait.Add(wait.Seconds())
-	return g.cfg, ws, npairs, reason, true
+	return l.cfg, ws, npairs, reason, true
 }
 
 // execute runs one merged same-config batch on the engine and scatters
-// the results back to each waiting request in submission order. Engine
-// errors at this point are systemic (e.g. ErrClosed) — per-pair and
-// per-config problems were rejected at admission — so they fan out to
-// every request in the batch.
+// the results back to each waiting request in submission order, filling
+// the result cache with what the batch computed. Engine errors at this
+// point are systemic (e.g. ErrClosed) — per-pair and per-config problems
+// were rejected at admission — so they fan out to every request in the
+// batch.
 func (c *Coalescer) execute(cfg Config, ws []*coalesceWaiter, npairs int, reason flushReason) {
 	merged := c.mergeBuf[:0]
 	traced := false
@@ -776,6 +1164,10 @@ func (c *Coalescer) execute(cfg Config, ws []*coalesceWaiter, npairs int, reason
 		c.t.cellsPerPair.ObserveEWMA(float64(st.Cells)/float64(npairs), telemetryAlpha)
 	}
 
+	var ck configKey
+	if c.cache != nil {
+		ck = cfg.key()
+	}
 	// Report the batch before scattering results: a caller must not be
 	// able to see its response while the flush is still unaccounted.
 	if err == nil && c.opt.OnFlush != nil {
@@ -790,35 +1182,54 @@ func (c *Coalescer) execute(cfg Config, ws []*coalesceWaiter, npairs int, reason
 		}
 		res := out[off : off+n : off+n]
 		off += n
+		if c.cache != nil && w.digests != nil {
+			evicted := 0
+			for j := range res {
+				evicted += c.cache.put(cacheKey{digest: w.digests[j], cfg: ck}, res[j])
+			}
+			if evicted > 0 {
+				c.t.cacheEvict.Add(float64(evicted))
+			}
+		}
+		final := res
+		if w.full != nil {
+			// Partial cache hit: merge the computed misses into the
+			// request-sized slice whose hit slots were filled at admission.
+			for j, idx := range w.missIdx {
+				w.full[idx] = res[j]
+			}
+			final = w.full
+		}
 		var cells int64
-		for i := range res {
-			cells += res[i].Cells
+		for i := range final {
+			cells += final[i].Cells
 		}
 		rst := Stats{
-			Pairs: n, Cells: cells,
+			Pairs: w.npairs, Cells: cells,
 			WallTime: st.WallTime, DeviceTime: st.DeviceTime,
 		}
 		rst.GCUPS = rst.gcups(c.eng.opt.Backend)
+		w.tt.requests.Inc()
+		w.tt.pairs.Add(float64(w.npairs))
 		if w.tr != nil && btr != nil {
 			// Span-only copy: the histograms counted the batch once above.
 			for _, sp := range btr.Spans() {
 				w.tr.AddSpan(sp.Stage, sp.D)
 			}
 		}
-		w.ch <- coalesceResult{out: res, st: rst}
+		w.ch <- coalesceResult{out: final, st: rst}
 	}
 }
 
-// nextDeadline returns how long until the globally oldest queued request's
-// MaxWait deadline, or 0 when the queue is empty.
+// nextDeadline returns how long until the earliest lane's flush
+// deadline (the heap top), or 0 when the queue is empty.
 func (c *Coalescer) nextDeadline() time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.order) == 0 {
+	if len(c.heap) == 0 {
 		return 0
 	}
-	oldest := c.oldestLocked()
-	return max(c.opt.MaxWait-time.Since(oldest.waiters[0].enq), time.Nanosecond)
+	return max(time.Until(c.heap[0].dl), time.Nanosecond)
 }
 
 // preparePairs applies the engine's per-pair checks (sequence alphabet

@@ -41,12 +41,13 @@ func TestAdmissionFixedBudget(t *testing.T) {
 	})
 
 	c.pending = 8
-	if reason, ok := c.admitLocked(context.Background(), 3); ok || reason != shedBudget {
+	c.tenPending[anonymousTenant] = 8
+	if reason, ok := c.admitLocked(context.Background(), anonymousTenant, classInteractive, 3); ok || reason != shedBudget {
 		t.Fatalf("over budget: reason %v ok %v, want shedBudget", reason, ok)
 	}
 	// Under the budget everything is admitted, even though the calibrated
 	// delay projection is far past the (ignored) 1ns target.
-	if _, ok := c.admitLocked(context.Background(), 2); !ok {
+	if _, ok := c.admitLocked(context.Background(), anonymousTenant, classInteractive, 2); !ok {
 		t.Fatal("within budget: not admitted")
 	}
 }
@@ -68,13 +69,15 @@ func TestAdmissionAdaptive(t *testing.T) {
 
 	// One engine batch always fits, regardless of the projection.
 	c.pending = 0
-	if _, ok := c.admitLocked(context.Background(), 4); !ok {
+	delete(c.tenPending, anonymousTenant)
+	if _, ok := c.admitLocked(context.Background(), anonymousTenant, classInteractive, 4); !ok {
 		t.Fatal("one-batch floor: not admitted")
 	}
 
 	// Pending far past what drains within the target: shed by delay.
 	c.pending = int(rate*target.Seconds()) + 100
-	if reason, ok := c.admitLocked(context.Background(), 1); ok || reason != shedDelay {
+	c.tenPending[anonymousTenant] = c.pending
+	if reason, ok := c.admitLocked(context.Background(), anonymousTenant, classInteractive, 1); ok || reason != shedDelay {
 		t.Fatalf("past target: reason %v ok %v, want shedDelay", reason, ok)
 	}
 
@@ -83,14 +86,15 @@ func TestAdmissionAdaptive(t *testing.T) {
 	under := int(rate * target.Seconds() / 2)
 	if under > c.opt.MaxBatchPairs {
 		c.pending = under
-		if reason, ok := c.admitLocked(context.Background(), 1); !ok {
+		c.tenPending[anonymousTenant] = under
+		if reason, ok := c.admitLocked(context.Background(), anonymousTenant, classInteractive, 1); !ok {
 			t.Fatalf("under target: reason %v, want admit", reason)
 		}
 		// Same queue, but the request's own deadline cannot survive the
 		// projected wait: shed as infeasible even under the target.
 		ctx, cancel := context.WithDeadline(context.Background(), time.Now())
 		defer cancel()
-		if reason, ok := c.admitLocked(ctx, 1); ok || reason != shedDeadline {
+		if reason, ok := c.admitLocked(ctx, anonymousTenant, classInteractive, 1); ok || reason != shedDeadline {
 			t.Fatalf("infeasible deadline: reason %v ok %v, want shedDeadline", reason, ok)
 		}
 	}
@@ -106,7 +110,8 @@ func TestAdmissionAdaptive(t *testing.T) {
 	fresh := eng.newCoalescer(CoalescerOptions{MaxBatchPairs: 4, TargetDelay: time.Nanosecond})
 	fresh.t.cellsPerPair.Set(0)
 	fresh.pending = 1 << 20
-	if reason, ok := fresh.admitLocked(context.Background(), 1); !ok {
+	fresh.tenPending[anonymousTenant] = 1 << 20
+	if reason, ok := fresh.admitLocked(context.Background(), anonymousTenant, classInteractive, 1); !ok {
 		t.Fatalf("uncalibrated: reason %v, want admit", reason)
 	}
 }

@@ -118,7 +118,7 @@ func TestCoalescerBitIdentical(t *testing.T) {
 			if m.MergedBatches == 0 || m.MergedRequests != clients*4 {
 				t.Fatalf("metrics %+v: want %d requests over >0 merged batches", m, clients*4)
 			}
-			if m.QueuedRequests != 0 || m.QueuedPairs != 0 || m.QueuedConfigs != 0 {
+			if m.QueuedRequests != 0 || m.QueuedPairs != 0 || m.QueuedLanes != 0 {
 				t.Fatalf("queue not drained: %+v", m)
 			}
 		})
@@ -212,7 +212,7 @@ func TestCoalescerMixedConfigs(t *testing.T) {
 		t.Fatalf("mixed-config traffic did not merge: %d batches for %d requests",
 			m.MergedBatches, clients*rounds)
 	}
-	if m.QueuedConfigs != 0 || m.QueuedPairs != 0 {
+	if m.QueuedLanes != 0 || m.QueuedPairs != 0 {
 		t.Fatalf("queue not drained: %+v", m)
 	}
 }
@@ -518,16 +518,14 @@ func TestCoalescerDeadlineBeatsSizeStarvation(t *testing.T) {
 	// newCoalescer: fully instrumented but no flusher goroutine, so the
 	// test owns take() and the hand-built queue state below cannot race.
 	c := eng.newCoalescer(CoalescerOptions{MaxBatchPairs: 4, MaxWait: 10 * time.Millisecond})
-	mk := func(cfg Config, npairs int, enq time.Time) *coalesceGroup {
-		g := &coalesceGroup{key: cfg.key(), cfg: cfg}
-		g.waiters = append(g.waiters, &coalesceWaiter{
-			in: make([]seq.Pair, npairs), enq: enq, ch: make(chan coalesceResult, 1),
-		})
-		g.pending = npairs
-		c.groups[g.key] = g
-		c.order = append(c.order, g)
-		c.pending += npairs
-		return g
+	mk := func(cfg Config, npairs int, enq time.Time) {
+		w := &coalesceWaiter{
+			in: make([]seq.Pair, npairs), npairs: npairs, enq: enq,
+			tt: c.tenantTele(anonymousTenant), ch: make(chan coalesceResult, 1),
+		}
+		c.mu.Lock()
+		c.enqueueLocked(laneKey{ten: anonymousTenant, class: classInteractive, cfg: cfg.key()}, cfg, w)
+		c.mu.Unlock()
 	}
 	full := DefaultConfig(50)
 	starved := DefaultConfig(99)
@@ -607,7 +605,7 @@ func TestCoalescerAbandonReleasesQueue(t *testing.T) {
 		t.Fatalf("err %v, want context.Canceled", err)
 	}
 	m := coal.Metrics()
-	if m.QueuedPairs != 0 || m.QueuedRequests != 0 || m.QueuedConfigs != 0 {
+	if m.QueuedPairs != 0 || m.QueuedRequests != 0 || m.QueuedLanes != 0 {
 		t.Fatalf("abandoned request still queued: %+v", m)
 	}
 	// The full budget is available again: a 4-pair request is admitted

@@ -24,6 +24,11 @@ const (
 	// StageScatter is result conversion and distribution back to the
 	// per-request callers.
 	StageScatter = "scatter"
+	// StageShed marks the rejection point of a shed (429) request: not
+	// part of the happy-path pipeline (and so absent from StageNames),
+	// it closes the trace of a rejected request so the X-Logan-Trace
+	// header shows where admission control stopped it.
+	StageShed = "shed"
 )
 
 // StageNames lists the canonical stages in pipeline order.

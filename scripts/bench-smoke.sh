@@ -100,3 +100,51 @@ END {
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$KOUT" 2>/dev/null \
   || { echo "bench-smoke: $KOUT is not valid JSON" >&2; exit 1; }
 echo "bench-smoke: wrote $KOUT (speedup $(python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get("vector_speedup_10k", "n/a"))' "$KOUT"))"
+
+# Result-cache artifact: serving a warm repeated request from the
+# content-addressed cache vs recomputing the identical pairs on the
+# engine. cache_speedup = recompute ns/op over hit ns/op — the headline
+# number for the serve-path cache (a hit skips queueing, scheduling and
+# the whole DP).
+COUT="${3:-BENCH_cache.json}"
+CRAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KRAW" "$CRAW"' EXIT
+
+go test -run='^$' -bench='^BenchmarkCacheServe$' -benchtime=20x . | tee "$CRAW"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v commit="${GITHUB_SHA:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}" '
+BEGIN {
+  printf("{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n", date, commit)
+  printf("  \"benchmarks\": [")
+  n = 0
+}
+/^Benchmark/ && NF >= 4 {
+  name = $1; iters = $2
+  fields = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1)
+    if (unit == "ns/op") {
+      if (name ~ /CacheServe\/hit/) hit = $i
+      if (name ~ /CacheServe\/recompute/) recompute = $i
+    }
+    gsub(/[^A-Za-z0-9_\/.]/, "_", unit)
+    fields = fields sprintf(", \"%s\": %s", unit, $i)
+  }
+  if (n++) printf(",")
+  printf("\n    {\"name\": \"%s\", \"iterations\": %s%s}", name, iters, fields)
+}
+END {
+  if (n == 0) exit 1
+  printf("\n  ]")
+  if (hit > 0 && recompute > 0)
+    printf(",\n  \"cache_speedup\": %.3f", recompute / hit)
+  printf("\n}\n")
+}' "$CRAW" > "$COUT" || {
+  echo "bench-smoke: no cache benchmark lines found" >&2
+  exit 1
+}
+
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$COUT" 2>/dev/null \
+  || { echo "bench-smoke: $COUT is not valid JSON" >&2; exit 1; }
+echo "bench-smoke: wrote $COUT (cache speedup $(python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get("cache_speedup", "n/a"))' "$COUT"))"

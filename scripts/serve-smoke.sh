@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Serve-level smoke test: boot logan-serve with coalescing on, fire 50
-# concurrent small /align requests, and assert that every request
-# succeeded and that the coalescer actually merged cross-request batches
-# (non-zero mergedBatches in /statz). Then exercise the async /jobs
-# overlap API end to end: submit a small FASTA, poll to completion,
-# assert the PAF is non-empty and byte-identical to an offline cmd/bella
-# run on the same file, and that DELETE yields 404. Run from the repo
-# root; CI runs it after the unit tests.
+# Serve-level smoke test: boot logan-serve with coalescing on and an API
+# key file, fire 50 concurrent small /align requests, and assert that
+# every request succeeded and that the coalescer actually merged
+# cross-request batches (non-zero mergedBatches in /statz). Then drive
+# two authenticated tenants and assert the per-tenant metric series and
+# the content-addressed result cache (repeated pair -> non-zero cache
+# hits), and exercise the async /jobs overlap API end to end: submit a
+# small FASTA, poll to completion, assert the PAF is non-empty and
+# byte-identical to an offline cmd/bella run on the same file, and that
+# DELETE yields 404. Run from the repo root; CI runs it after the unit
+# tests.
 set -euo pipefail
 
 ADDR="127.0.0.1:18080"
@@ -17,9 +20,18 @@ trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$BIN" ./cmd/logan-serve
 go build -o "$BELLA" ./cmd/bella
+# Two authenticated tenants alongside the anonymous default: alpha
+# unlimited, bravo with a generous pairs/sec quota and double weight.
+cat > "$WORK/keys.conf" <<'EOF'
+# key    tenant  pairsPerSec burst weight
+alpha-key alpha
+bravo-key bravo  50000 100000 2
+EOF
+
 # A generous max-wait keeps the merge window open long enough that the
 # 50-request burst reliably coalesces even on a slow CI runner.
-"$BIN" -addr "$ADDR" -backend cpu -coalesce -max-wait 50ms &
+"$BIN" -addr "$ADDR" -backend cpu -coalesce -max-wait 50ms \
+  -api-keys "$WORK/keys.conf" &
 SERVER_PID=$!
 
 # Wait for liveness.
@@ -133,6 +145,42 @@ prom_nonzero 'logan_backend_pairs_total\{backend="cpu"\}'
 prom_nonzero 'logan_kernel_pairs_total\{variant="vector"\}'
 prom_nonzero 'logan_kernel_cells_total\{variant="vector"\}'
 prom_nonzero 'logan_http_requests_total '
+
+# --- multi-tenant QoS + result cache -----------------------------------
+# Authenticated traffic from two tenants, with alpha repeating the same
+# pair: the repeat must be served from the content-addressed cache with
+# the same bytes, and the per-tenant series must attribute the traffic.
+ALPHA_FIRST=$(curl -sf -X POST -H 'Content-Type: application/json' \
+  -H 'X-API-Key: alpha-key' -d "{\"pairs\":[$CFG_PAIR]}" "http://$ADDR/align")
+ALPHA_REPEAT=$(curl -sf -X POST -H 'Content-Type: application/json' \
+  -H 'X-API-Key: alpha-key' -d "{\"pairs\":[$CFG_PAIR]}" "http://$ADDR/align")
+first_aln=$(echo "$ALPHA_FIRST" | grep -o '"alignments":\[[^]]*\]')
+repeat_aln=$(echo "$ALPHA_REPEAT" | grep -o '"alignments":\[[^]]*\]')
+if [ -z "$first_aln" ] || [ "$first_aln" != "$repeat_aln" ]; then
+  echo "serve-smoke: cached repeat differs from first response:" >&2
+  echo "  first:  $first_aln" >&2
+  echo "  repeat: $repeat_aln" >&2
+  exit 1
+fi
+curl -sf -o /dev/null -X POST -H 'Content-Type: application/json' \
+  -H 'Authorization: Bearer bravo-key' -d "$BODY" "http://$ADDR/align"
+
+# An unknown key must be refused, never downgraded to anonymous.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -H 'X-API-Key: wrong-key' -d "$BODY" "http://$ADDR/align")
+if [ "$code" != "401" ]; then
+  echo "serve-smoke: unknown API key returned $code, want 401" >&2
+  exit 1
+fi
+
+# Re-scrape: per-tenant attribution and cache hit counters moved.
+curl -sf -o "$WORK/metrics.txt" "http://$ADDR/metrics"
+prom_nonzero 'logan_tenant_pairs_total\{tenant="alpha"\}'
+prom_nonzero 'logan_tenant_pairs_total\{tenant="bravo"\}'
+prom_nonzero 'logan_tenant_pairs_total\{tenant="anonymous"\}'
+prom_nonzero 'logan_tenant_cache_hits_total\{tenant="alpha"\}'
+prom_nonzero 'logan_cache_hits_total'
+prom_nonzero 'logan_cache_entries'
 
 # An invalid scheme must be rejected with 400, not aligned. (Probed after
 # the statz error check: the rejection itself counts as a served error.)

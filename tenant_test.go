@@ -1,0 +1,277 @@
+package logan
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"logan/internal/seq"
+)
+
+// TestTenantTokenBucket covers the pairs/sec quota mechanics: burst
+// capacity, exhaustion with a positive retry hint, refill over time, and
+// the unlimited defaults (zero options, nil tenant).
+func TestTenantTokenBucket(t *testing.T) {
+	ten := NewTenant(TenantOptions{Name: "t", PairsPerSec: 1000, Burst: 10})
+	if ok, _ := ten.takePairs(10); !ok {
+		t.Fatal("burst capacity not admitted")
+	}
+	ok, retry := ten.takePairs(5)
+	if ok || retry <= 0 {
+		t.Fatalf("exhausted bucket: ok %v retry %v, want shed with positive hint", ok, retry)
+	}
+	// 1000 pairs/sec refills 5 tokens in 5ms; poll with slack for CI.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok, _ := ten.takePairs(5); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	unlimited := NewTenant(TenantOptions{Name: "u"})
+	if ok, _ := unlimited.takePairs(1 << 30); !ok {
+		t.Fatal("unlimited tenant metered")
+	}
+	var nilTen *Tenant
+	if ok, _ := nilTen.takePairs(1); !ok {
+		t.Fatal("nil tenant metered")
+	}
+}
+
+// TestTenantDefaults pins NewTenant's zero-field behavior and the
+// context plumbing round trip.
+func TestTenantDefaults(t *testing.T) {
+	ten := NewTenant(TenantOptions{})
+	if ten.Name() != "tenant" || ten.Weight() != 1 {
+		t.Fatalf("defaults: name %q weight %d", ten.Name(), ten.Weight())
+	}
+	if AnonymousTenant().Name() != "anonymous" {
+		t.Fatalf("anonymous tenant named %q", AnonymousTenant().Name())
+	}
+	if TenantFrom(context.Background()) != nil {
+		t.Fatal("empty context carries a tenant")
+	}
+	ctx := WithTenant(context.Background(), ten)
+	if TenantFrom(ctx) != ten {
+		t.Fatal("WithTenant/TenantFrom round trip failed")
+	}
+	if priorityFrom(ctx) != classInteractive {
+		t.Fatal("default priority class is not interactive")
+	}
+	if priorityFrom(withPriority(ctx, classBulk)) != classBulk {
+		t.Fatal("withPriority/priorityFrom round trip failed")
+	}
+	if !errors.Is(ErrQuotaExceeded, ErrOverloaded) {
+		t.Fatal("ErrQuotaExceeded does not wrap ErrOverloaded")
+	}
+}
+
+// TestTenantQuotaShedsCoalesced: a rate-limited tenant exhausting its
+// bucket is shed with ErrQuotaExceeded on the coalesced path, attributed
+// to its own shed counter, while an unlimited tenant on the same
+// coalescer keeps being served.
+func TestTenantQuotaShedsCoalesced(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	coal := eng.NewCoalescer(CoalescerOptions{MaxBatchPairs: 64, MaxWait: time.Millisecond})
+	defer coal.Close()
+
+	// Rate low enough that the bucket cannot visibly refill mid-test.
+	limited := NewTenant(TenantOptions{Name: "limited", PairsPerSec: 0.001, Burst: 4})
+	free := NewTenant(TenantOptions{Name: "free"})
+	lctx := WithTenant(ctxb, limited)
+	fctx := WithTenant(ctxb, free)
+
+	if _, _, err := coal.Align(lctx, makePairsSeed(4, 1), cfgT); err != nil {
+		t.Fatalf("within burst: %v", err)
+	}
+	_, _, err = coal.Align(lctx, makePairsSeed(2, 2), cfgT)
+	if !errors.Is(err, ErrQuotaExceeded) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("past burst: err %v, want ErrQuotaExceeded", err)
+	}
+	if _, _, err := coal.Align(fctx, makePairsSeed(2, 3), cfgT); err != nil {
+		t.Fatalf("unlimited tenant collateral shed: %v", err)
+	}
+
+	m := coal.Metrics()
+	if m.ShedQuota != 1 || m.Shed != 1 {
+		t.Fatalf("metrics %+v: want exactly one quota shed", m)
+	}
+	if v := coal.tenantTele(limited).shed.Value(); v != 1 {
+		t.Fatalf("limited tenant shed counter %v, want 1", v)
+	}
+	if v := coal.tenantTele(free).shed.Value(); v != 0 {
+		t.Fatalf("free tenant shed counter %v, want 0", v)
+	}
+}
+
+// TestTenantQuotaShedsDirect: the engine meters direct (non-coalesced)
+// submissions against the context tenant's bucket too.
+func TestTenantQuotaShedsDirect(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ten := NewTenant(TenantOptions{Name: "d", PairsPerSec: 0.001, Burst: 4})
+	ctx := WithTenant(ctxb, ten)
+	if _, _, err := eng.Align(ctx, makePairsSeed(4, 4), cfgT); err != nil {
+		t.Fatalf("within burst: %v", err)
+	}
+	if _, _, err := eng.Align(ctx, makePairsSeed(1, 5), cfgT); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("past burst: err %v, want ErrQuotaExceeded", err)
+	}
+	// Tenant-less contexts stay unmetered.
+	if _, _, err := eng.Align(ctxb, makePairsSeed(1, 6), cfgT); err != nil {
+		t.Fatalf("anonymous direct align: %v", err)
+	}
+}
+
+// TestCoalescerPriorityClasses: with both classes size-ready, the DRR
+// scheduler must drain every interactive lane before any bulk lane, and
+// a bulk lane's deadline is the longer BulkMaxWait window.
+func TestCoalescerPriorityClasses(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	c := eng.newCoalescer(CoalescerOptions{MaxBatchPairs: 4, MaxWait: time.Hour})
+	if c.opt.BulkMaxWait != 4*time.Hour {
+		t.Fatalf("BulkMaxWait default %v, want 4*MaxWait", c.opt.BulkMaxWait)
+	}
+	enq := func(class priorityClass, cfg Config, npairs int) {
+		w := &coalesceWaiter{
+			in: make([]seq.Pair, npairs), npairs: npairs, enq: time.Now(),
+			tt: c.tenantTele(anonymousTenant), ch: make(chan coalesceResult, 1),
+		}
+		c.mu.Lock()
+		c.enqueueLocked(laneKey{ten: anonymousTenant, class: class, cfg: cfg.key()}, cfg, w)
+		c.mu.Unlock()
+	}
+	bulkCfg, interCfg := DefaultConfig(60), DefaultConfig(70)
+	enq(classBulk, bulkCfg, 4) // size-ready bulk lane, enqueued FIRST
+	enq(classInteractive, interCfg, 4)
+
+	cfg, _, _, reason, ok := c.take(false)
+	if !ok || cfg.key() != interCfg.key() || reason != flushSize {
+		t.Fatalf("first take: X=%d reason %v ok %v; want the interactive lane despite bulk arriving first",
+			cfg.X, reason, ok)
+	}
+	cfg, _, _, reason, ok = c.take(false)
+	if !ok || cfg.key() != bulkCfg.key() || reason != flushSize {
+		t.Fatalf("second take: X=%d reason %v ok %v; want the bulk lane", cfg.X, reason, ok)
+	}
+
+	// An undersized bulk waiter's flush deadline is BulkMaxWait out, so
+	// it must not be takeable before an interactive MaxWait would fire.
+	enq(classBulk, bulkCfg, 1)
+	if _, _, _, _, ok := c.take(false); ok {
+		t.Fatal("undersized bulk lane flushed before its BulkMaxWait window")
+	}
+	if d := c.nextDeadline(); d < 2*time.Hour {
+		t.Fatalf("bulk lane deadline %v out, want ~BulkMaxWait (4h)", d)
+	}
+}
+
+// TestCoalescerFairShare is the fairness regression test of the
+// multi-tenant scheduler (run under -race in CI): a tenant flooding the
+// coalescer at ~10x its fair rate must neither shed nor delay a
+// well-behaved tenant — the victim's requests all succeed and its p99
+// wall latency stays within its deadline-flush bound plus generous CI
+// slack, while every budget shed is attributed to the flooder.
+func TestCoalescerFairShare(t *testing.T) {
+	eng, err := NewAligner(EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const maxWait = 30 * time.Millisecond
+	coal := eng.NewCoalescer(CoalescerOptions{
+		MaxBatchPairs: 64, MaxWait: maxWait,
+		// Fixed budget keeps the test deterministic: the flooder's share
+		// is MaxPending/2 once the victim is active, and its sustained
+		// burst of 8-pair requests overruns that share immediately.
+		MaxPending: 32,
+	})
+	defer coal.Close()
+
+	flooder := NewTenant(TenantOptions{Name: "flooder"})
+	victim := NewTenant(TenantOptions{Name: "victim"})
+	fctx := WithTenant(ctxb, flooder)
+	vctx := WithTenant(ctxb, victim)
+
+	stop := make(chan struct{})
+	var floodShed, floodServed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; ; r++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _, err := coal.Align(fctx, makePairsSeed(8, int64(1000+i*100+r%7)), cfgT)
+				switch {
+				case err == nil:
+					floodServed.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					floodShed.Add(1)
+				default:
+					t.Errorf("flooder: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// The victim issues sequential single-pair requests while the flood
+	// runs; each rides its own deadline flush at worst.
+	const rounds = 20
+	lat := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		if _, _, err := coal.Align(vctx, makePairsSeed(1, int64(2000+r)), cfgT); err != nil {
+			t.Errorf("victim round %d: %v (the flooder's load must never shed the victim)", r, err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	close(stop)
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	// ε covers one engine batch plus CI scheduler skew: the deadline
+	// flush fires at MaxWait, then the victim's batch must still execute
+	// behind at most a few in-flight flooder batches.
+	if eps := 5 * maxWait; p99 > maxWait+eps {
+		t.Fatalf("victim p99 latency %v exceeds MaxWait(%v)+eps(%v); flooder delayed the victim", p99, maxWait, eps)
+	}
+	if floodShed.Load() == 0 {
+		t.Fatalf("flooder was never shed (served %d): the budget share did not bind", floodServed.Load())
+	}
+	m := coal.Metrics()
+	if m.ShedBudget != floodShed.Load() {
+		t.Fatalf("shed attribution: coalescer %d budget sheds, flooder observed %d", m.ShedBudget, floodShed.Load())
+	}
+	if v := coal.tenantTele(victim).shed.Value(); v != 0 {
+		t.Fatalf("victim shed counter %v, want 0", v)
+	}
+	if v := coal.tenantTele(flooder).shed.Value(); int64(v) != floodShed.Load() {
+		t.Fatalf("flooder shed counter %v, want %d", v, floodShed.Load())
+	}
+}
