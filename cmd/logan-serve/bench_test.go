@@ -40,7 +40,10 @@ func benchServe(b *testing.B, coalesce bool) {
 	cfg.coalesce = coalesce
 	cfg.coalescePairs = 512
 	cfg.maxWait = time.Millisecond
-	s := newServer(eng, cfg)
+	s, err := newServer(eng, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer s.Close()
 
 	const clients, pairsPer = 64, 16

@@ -3,8 +3,6 @@ package main
 import (
 	"bytes"
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,6 +18,7 @@ import (
 	"time"
 
 	"logan"
+	"logan/internal/cluster"
 	"logan/internal/telemetry"
 )
 
@@ -68,6 +67,7 @@ func (p *jobProgress) observe(u logan.OverlapProgress) {
 // job is one submitted overlap run.
 type job struct {
 	id        string
+	idemKey   string // client Idempotency-Key, "" when absent
 	createdAt time.Time
 	cancel    context.CancelFunc
 	progress  jobProgress
@@ -136,7 +136,6 @@ type jobStore struct {
 	stopAll context.CancelFunc
 	wg      sync.WaitGroup
 	t       jobTelemetry
-	dataDir string // server-side FASTA root ("" disables fastaPath)
 	// byteBudget bounds the FASTA bytes buffered by upload jobs that are
 	// still ingesting: admission counts jobs AND bytes, so a client
 	// cannot pin maxJobs × bodyLimit of heap behind two worker slots.
@@ -163,6 +162,11 @@ type jobStore struct {
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []string // insertion order, for eviction scans
+	// idem maps client Idempotency-Keys onto retained job IDs, so a
+	// retried POST lands on the original job instead of double-running.
+	idem map[string]string
+	// idemHits counts submissions deduplicated onto an existing job.
+	idemHits *telemetry.Counter
 }
 
 // runningGauge returns the tenant's running-jobs counter, registering
@@ -182,7 +186,7 @@ func (st *jobStore) runningGauge(name string) *atomic.Int64 {
 
 // newJobStore builds a store running jobs on the given overlapper,
 // registering its instruments (and queued/running gauge funcs) in reg.
-func newJobStore(ov *logan.Overlapper, reg *telemetry.Registry, workers, maxJobs int, dataDir string, byteBudget, resultBudget int64) *jobStore {
+func newJobStore(ov *logan.Overlapper, reg *telemetry.Registry, workers, maxJobs int, byteBudget, resultBudget int64) *jobStore {
 	if workers <= 0 {
 		workers = 2
 	}
@@ -201,11 +205,12 @@ func newJobStore(ov *logan.Overlapper, reg *telemetry.Registry, workers, maxJobs
 		sem:     make(chan struct{}, workers),
 		baseCtx: ctx, stopAll: cancel,
 		t:          newJobTelemetry(reg),
-		dataDir:    dataDir,
 		byteBudget: byteBudget, resultBudget: resultBudget,
 		reg:        reg,
 		tenRunning: make(map[string]*atomic.Int64),
 		jobs:       make(map[string]*job),
+		idem:       make(map[string]string),
+		idemHits:   reg.Counter("logan_jobs_idempotent_replays_total", "Submissions deduplicated onto an existing job by Idempotency-Key."),
 	}
 	reg.GaugeFunc("logan_jobs_queued", "Jobs waiting for a worker slot.", func() float64 {
 		q, _ := st.counts()
@@ -228,11 +233,11 @@ func newJobStore(ov *logan.Overlapper, reg *telemetry.Registry, workers, maxJobs
 // estimate behind Retry-After.
 const jobDurationAlpha = 0.3
 
-// retryAfter projects when a worker slot should free up: the average job
+// RetryAfter projects when a worker slot should free up: the average job
 // duration spread over the queue depth ahead of a new submission, floored
 // at one second and capped at a minute (an uncalibrated store — no job
-// has finished yet — advertises the floor).
-func (st *jobStore) retryAfter() time.Duration {
+// has finished yet — advertises the floor). Implements cluster.JobStore.
+func (st *jobStore) RetryAfter() time.Duration {
 	avg := st.t.avgDuration.Value()
 	if avg <= 0 {
 		return time.Second
@@ -249,28 +254,20 @@ func (st *jobStore) Close() {
 	st.wg.Wait()
 }
 
-// newJobID returns a 16-hex-character random identifier.
-func newJobID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(err) // crypto/rand failure is unrecoverable
-	}
-	return hex.EncodeToString(b[:])
-}
-
-// errStoreFull and errByteBudget report admission-control rejection
-// (mapped to 429).
-var (
-	errStoreFull  = errors.New("job store full of live jobs")
-	errByteBudget = errors.New("job upload byte budget exhausted")
-)
-
 // add registers a new job, evicting the oldest terminal job when the
-// store is full. It fails with errStoreFull when every retained job is
-// still live.
-func (st *jobStore) add(j *job) error {
+// store is full (failing with cluster.ErrStoreFull when every retained
+// job is still live). When the job carries an idempotency key that is
+// already mapped, add registers nothing and returns the existing job —
+// the check runs under the store lock, so two concurrent retries with
+// the same key still collapse onto one job.
+func (st *jobStore) add(j *job) (*job, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if j.idemKey != "" {
+		if id, ok := st.idem[j.idemKey]; ok {
+			return st.jobs[id], nil
+		}
+	}
 	if len(st.jobs) >= st.maxJobs {
 		evicted := false
 		for i, id := range st.order {
@@ -283,22 +280,34 @@ func (st *jobStore) add(j *job) error {
 			}
 			old.mu.Unlock()
 			if dead {
-				delete(st.jobs, id)
-				st.order = append(st.order[:i], st.order[i+1:]...)
-				if paf > 0 {
-					st.resultBytes.Add(int64(-paf))
-				}
+				st.forgetLocked(i, id, old, paf)
 				evicted = true
 				break
 			}
 		}
 		if !evicted {
-			return errStoreFull
+			return nil, cluster.ErrStoreFull
 		}
 	}
 	st.jobs[j.id] = j
 	st.order = append(st.order, j.id)
-	return nil
+	if j.idemKey != "" {
+		st.idem[j.idemKey] = j.id
+	}
+	return nil, nil
+}
+
+// forgetLocked removes the job at order index i from every map and
+// releases its retained result bytes. Caller holds st.mu.
+func (st *jobStore) forgetLocked(i int, id string, j *job, paf int) {
+	delete(st.jobs, id)
+	st.order = append(st.order[:i], st.order[i+1:]...)
+	if j.idemKey != "" {
+		delete(st.idem, j.idemKey)
+	}
+	if paf > 0 {
+		st.resultBytes.Add(int64(-paf))
+	}
 }
 
 // trimResults evicts the oldest terminal jobs (sparing keep, the one
@@ -329,9 +338,7 @@ func (st *jobStore) trimResults(keep string) {
 			i++
 			continue
 		}
-		delete(st.jobs, id)
-		st.order = append(st.order[:i], st.order[i+1:]...)
-		st.resultBytes.Add(int64(-paf))
+		st.forgetLocked(i, id, j, paf)
 	}
 }
 
@@ -352,19 +359,15 @@ func (st *jobStore) remove(id string) (*job, bool) {
 	if !ok {
 		return nil, false
 	}
-	delete(st.jobs, id)
-	for i, oid := range st.order {
-		if oid == id {
-			st.order = append(st.order[:i], st.order[i+1:]...)
-			break
-		}
-	}
 	j.mu.Lock()
 	paf := len(j.paf)
 	j.removed = true // a still-running finish must not account its result
 	j.mu.Unlock()
-	if paf > 0 {
-		st.resultBytes.Add(int64(-paf))
+	for i, oid := range st.order {
+		if oid == id {
+			st.forgetLocked(i, id, j, paf)
+			break
+		}
 	}
 	return j, true
 }
@@ -391,10 +394,12 @@ func (st *jobStore) counts() (queued, running int) {
 // not hold file handles. bufSize is the source's already-buffered upload
 // bytes (0 for server-side paths, which buffer nothing); the reservation
 // is held until the job's runner returns and its buffer is unreachable.
-func (st *jobStore) submit(ten *logan.Tenant, cfg logan.OverlapConfig, src func() (io.ReadCloser, error), bufSize int64) (*job, error) {
+// A submission whose idemKey matches a retained job returns that job
+// with replayed=true instead of starting a second run.
+func (st *jobStore) submit(ten *logan.Tenant, cfg logan.OverlapConfig, src func() (io.ReadCloser, error), bufSize int64, idemKey string) (j *job, replayed bool, err error) {
 	if bufSize > 0 && st.bufferedBytes.Add(bufSize) > st.byteBudget {
 		st.bufferedBytes.Add(-bufSize)
-		return nil, errByteBudget
+		return nil, false, cluster.ErrBusy
 	}
 	ctx, cancel := context.WithCancel(st.baseCtx)
 	if ten != nil {
@@ -403,19 +408,108 @@ func (st *jobStore) submit(ten *logan.Tenant, cfg logan.OverlapConfig, src func(
 		// (bulk class) under this identity instead of anonymously.
 		ctx = logan.WithTenant(ctx, ten)
 	}
-	j := &job{id: newJobID(), createdAt: time.Now(), state: jobQueued, cancel: cancel, tenant: ten}
+	j = &job{id: cluster.NewID(), idemKey: idemKey, createdAt: time.Now(), state: jobQueued, cancel: cancel, tenant: ten}
 	j.progress.stage.Store(logan.OverlapStage("queued"))
 	cfg.OnProgress = j.progress.observe
-	if err := st.add(j); err != nil {
+	existing, err := st.add(j)
+	if existing != nil || err != nil {
 		cancel()
 		st.bufferedBytes.Add(-bufSize)
-		return nil, err
+		if existing != nil {
+			st.idemHits.Inc()
+			return existing, true, nil
+		}
+		return nil, false, err
 	}
 	st.t.submitted.Inc()
 	st.wg.Add(1)
 	go st.run(ctx, j, cfg, src, bufSize)
-	return j, nil
+	return j, false, nil
 }
+
+// clusterStatus snapshots the job in the store-independent wire shape.
+func (j *job) clusterStatus() cluster.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	stage, _ := j.progress.stage.Load().(logan.OverlapStage)
+	return cluster.JobStatus{
+		ID:    j.id,
+		State: string(j.state),
+		Error: j.err,
+		Progress: cluster.Progress{
+			Stage:           string(stage),
+			ReadsParsed:     j.progress.readsParsed.Load(),
+			ReliableKmers:   j.progress.reliableKmers.Load(),
+			CandidatePairs:  j.progress.candidatePairs.Load(),
+			ExtensionsDone:  j.progress.extDone.Load(),
+			ExtensionsTotal: j.progress.extTotal.Load(),
+			Overlaps:        j.progress.overlaps.Load(),
+			Shed:            j.progress.shed.Load(),
+			Retries:         j.progress.retries.Load(),
+		},
+		Overlaps: j.overlaps,
+		Reads:    j.reads,
+		Cells:    j.cells,
+		PAFBytes: len(j.paf),
+		Created:  j.createdAt,
+		Started:  j.startedAt,
+		Finished: j.finishedAt,
+	}
+}
+
+// Submit implements cluster.JobStore for the single-node store.
+func (st *jobStore) Submit(sub cluster.Submission) (cluster.JobStatus, bool, error) {
+	j, replayed, err := st.submit(sub.Tenant, sub.Config, sub.Open, sub.BufBytes, sub.IdempotencyKey)
+	if err != nil {
+		st.t.rejected.Inc()
+		return cluster.JobStatus{}, false, err
+	}
+	return j.clusterStatus(), replayed, nil
+}
+
+// Status implements cluster.JobStore.
+func (st *jobStore) Status(id string) (cluster.JobStatus, bool) {
+	j, ok := st.get(id)
+	if !ok {
+		return cluster.JobStatus{}, false
+	}
+	return j.clusterStatus(), true
+}
+
+// PAF implements cluster.JobStore.
+func (st *jobStore) PAF(id string) ([]byte, cluster.JobStatus, bool) {
+	j, ok := st.get(id)
+	if !ok {
+		return nil, cluster.JobStatus{}, false
+	}
+	stat := j.clusterStatus()
+	if stat.State != cluster.StateDone {
+		return nil, stat, true
+	}
+	j.mu.Lock()
+	paf := j.paf
+	j.mu.Unlock()
+	return paf, stat, true
+}
+
+// Cancel implements cluster.JobStore: abort the run if live, forget the
+// job either way.
+func (st *jobStore) Cancel(id string) bool {
+	j, ok := st.remove(id)
+	if !ok {
+		return false
+	}
+	// Cancel the run; the runner's finish marks the job canceled (it is
+	// already unreachable, but the totals must record the outcome).
+	j.cancel()
+	return true
+}
+
+// Ready implements cluster.JobStore: the single-node store can always
+// make progress once constructed.
+func (st *jobStore) Ready() bool { return true }
+
+var _ cluster.JobStore = (*jobStore)(nil)
 
 // run executes one job: wait for a worker slot, stream the FASTA through
 // the overlapper, publish the outcome.
@@ -632,7 +726,9 @@ func queryOverlapConfig(q url.Values) (overlapConfigJSON, error) {
 // handleJobSubmit is POST /jobs. An application/json body names a
 // server-side FASTA under -job-data-dir; any other content type is the
 // FASTA itself (configuration via query parameters). Accepted jobs get
-// 202 with the job id; a store full of live jobs sheds with 429.
+// 202 with the job id; a store full of live jobs sheds with 429. An
+// Idempotency-Key header dedupes client retries onto the original job,
+// marked by X-Logan-Replayed: true in the response.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
 	// The submit trace only surfaces on rejection: accepted jobs run
@@ -640,7 +736,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	// but a shed submission closes its trace with a shed span so the 429
 	// carries X-Logan-Trace like a shed /align does.
 	tr := s.stages.StartTrace()
-	if s.jobs == nil {
+	if s.store == nil {
 		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
 		return
 	}
@@ -672,7 +768,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusBadRequest, "bad request: %v", err)
 			return
 		}
-		path, err := s.jobs.resolveDataPath(req.FastaPath)
+		path, err := s.resolveDataPath(req.FastaPath)
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "bad request: %v", err)
 			return
@@ -718,30 +814,43 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	j, err := s.jobs.submit(ten, cfg, src, bufSize)
+	stat, replayed, err := s.store.Submit(cluster.Submission{
+		Tenant: ten, Config: cfg, Open: src, BufBytes: bufSize,
+		IdempotencyKey: r.Header.Get("Idempotency-Key"),
+	})
 	if err != nil {
-		s.jobs.t.rejected.Inc()
+		if !errors.Is(err, cluster.ErrStoreFull) && !errors.Is(err, cluster.ErrBusy) {
+			s.fail(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
 		s.m.shed.Inc()
 		// Retry-After projects a worker slot freeing up from the measured
 		// job duration EWMA and the current queue depth, not a constant.
 		tr.Step(telemetry.StageShed)
-		w.Header().Set("Retry-After", retryAfterSeconds(s.jobs.retryAfter()))
+		w.Header().Set("Retry-After", retryAfterSeconds(s.store.RetryAfter()))
 		w.Header().Set("X-Logan-Trace", formatTrace(tr))
 		s.fail(w, http.StatusTooManyRequests, "overloaded: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Location", "/jobs/"+j.id)
+	w.Header().Set("Location", "/jobs/"+stat.ID)
+	if replayed {
+		// The Idempotency-Key matched a retained job: this 202 restates
+		// the original submission rather than creating a new one.
+		w.Header().Set("X-Logan-Replayed", "true")
+	}
 	w.WriteHeader(http.StatusAccepted)
-	if err := json.NewEncoder(w).Encode(jobStatusJSON{ID: j.id, State: string(jobQueued)}); err != nil {
+	if err := json.NewEncoder(w).Encode(statusJSON(stat)); err != nil {
 		s.m.writeErrors.Inc()
 	}
 }
 
 // resolveDataPath maps a client-supplied relative path onto the
-// -job-data-dir sandbox, rejecting escapes.
-func (st *jobStore) resolveDataPath(p string) (string, error) {
-	if st.dataDir == "" {
+// -job-data-dir sandbox, rejecting escapes. In router mode the path is
+// read router-side at admission: workers receive the bytes in the spec,
+// never a path.
+func (s *server) resolveDataPath(p string) (string, error) {
+	if s.dataDir == "" {
 		return "", errors.New("server-side FASTA paths are disabled (start with -job-data-dir)")
 	}
 	if p == "" {
@@ -754,7 +863,7 @@ func (st *jobStore) resolveDataPath(p string) (string, error) {
 	if clean == ".." || len(clean) >= 3 && clean[:3] == ".."+string(filepath.Separator) {
 		return "", fmt.Errorf("fastaPath %q escapes the server's data directory", p)
 	}
-	return filepath.Join(st.dataDir, clean), nil
+	return filepath.Join(s.dataDir, clean), nil
 }
 
 // jobProgressJSON is the progress block of GET /jobs/{id}.
@@ -770,6 +879,8 @@ type jobProgressJSON struct {
 }
 
 // jobStatusJSON is the GET /jobs/{id} payload (also returned by POST).
+// Worker and Requeues only appear in router mode: which node holds (or
+// held) the job's lease, and how many retries it survived.
 type jobStatusJSON struct {
 	ID       string           `json:"id"`
 	State    string           `json:"state"`
@@ -780,41 +891,45 @@ type jobStatusJSON struct {
 	Reads      int    `json:"reads,omitempty"`
 	Cells      int64  `json:"cells,omitempty"`
 	PAFBytes   int    `json:"pafBytes,omitempty"`
+	Worker     string `json:"worker,omitempty"`
+	Requeues   int    `json:"requeues,omitempty"`
 	CreatedAt  string `json:"createdAt"`
 	StartedAt  string `json:"startedAt,omitempty"`
 	FinishedAt string `json:"finishedAt,omitempty"`
 }
 
-// status snapshots the job for the wire.
-func (j *job) status() jobStatusJSON {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	stage, _ := j.progress.stage.Load().(logan.OverlapStage)
+// statusJSON renders a store-independent job status for the wire.
+func statusJSON(st cluster.JobStatus) jobStatusJSON {
 	out := jobStatusJSON{
-		ID:    j.id,
-		State: string(j.state),
-		Error: j.err,
+		ID:    st.ID,
+		State: st.State,
+		Error: st.Error,
 		Progress: &jobProgressJSON{
-			Stage:           string(stage),
-			ReadsParsed:     j.progress.readsParsed.Load(),
-			ReliableKmers:   j.progress.reliableKmers.Load(),
-			CandidatePairs:  j.progress.candidatePairs.Load(),
-			ExtensionsDone:  j.progress.extDone.Load(),
-			ExtensionsTotal: j.progress.extTotal.Load(),
-			Shed:            j.progress.shed.Load(),
-			Retries:         j.progress.retries.Load(),
+			Stage:           st.Progress.Stage,
+			ReadsParsed:     st.Progress.ReadsParsed,
+			ReliableKmers:   st.Progress.ReliableKmers,
+			CandidatePairs:  st.Progress.CandidatePairs,
+			ExtensionsDone:  st.Progress.ExtensionsDone,
+			ExtensionsTotal: st.Progress.ExtensionsTotal,
+			Shed:            st.Progress.Shed,
+			Retries:         st.Progress.Retries,
 		},
-		Overlaps:  j.overlaps,
-		Reads:     j.reads,
-		Cells:     j.cells,
-		PAFBytes:  len(j.paf),
-		CreatedAt: j.createdAt.UTC().Format(time.RFC3339Nano),
+		Overlaps:  st.Overlaps,
+		Reads:     st.Reads,
+		Cells:     st.Cells,
+		PAFBytes:  st.PAFBytes,
+		Worker:    st.Worker,
+		Requeues:  st.Requeues,
+		CreatedAt: st.Created.UTC().Format(time.RFC3339Nano),
 	}
-	if !j.startedAt.IsZero() {
-		out.StartedAt = j.startedAt.UTC().Format(time.RFC3339Nano)
+	if out.Progress.Stage == "" {
+		out.Progress.Stage = st.State
 	}
-	if !j.finishedAt.IsZero() {
-		out.FinishedAt = j.finishedAt.UTC().Format(time.RFC3339Nano)
+	if !st.Started.IsZero() {
+		out.StartedAt = st.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !st.Finished.IsZero() {
+		out.FinishedAt = st.Finished.UTC().Format(time.RFC3339Nano)
 	}
 	return out
 }
@@ -822,12 +937,12 @@ func (j *job) status() jobStatusJSON {
 // handleJobStatus is GET /jobs/{id}.
 func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
-	j, ok := s.jobLookup(w, r)
+	stat, ok := s.jobLookup(w, r)
 	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(j.status()); err != nil {
+	if err := json.NewEncoder(w).Encode(statusJSON(stat)); err != nil {
 		s.m.writeErrors.Inc()
 	}
 }
@@ -836,17 +951,19 @@ func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 // job. Jobs that are not done yet answer 409 with their current state.
 func (s *server) handleJobPAF(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
-	j, ok := s.jobLookup(w, r)
-	if !ok {
+	if s.store == nil {
+		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
 		return
 	}
-	j.mu.Lock()
-	state, errMsg, paf := j.state, j.err, j.paf
-	j.mu.Unlock()
-	if state != jobDone {
-		msg := fmt.Sprintf("job %s is %s", j.id, state)
-		if errMsg != "" {
-			msg += ": " + errMsg
+	paf, stat, ok := s.store.PAF(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if stat.State != cluster.StateDone {
+		msg := fmt.Sprintf("job %s is %s", stat.ID, stat.State)
+		if stat.Error != "" {
+			msg += ": " + stat.Error
 		}
 		s.fail(w, http.StatusConflict, "%s", msg)
 		return
@@ -862,33 +979,29 @@ func (s *server) handleJobPAF(w http.ResponseWriter, r *http.Request) {
 // either way. The id answers 404 from this point on.
 func (s *server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
-	if s.jobs == nil {
+	if s.store == nil {
 		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
 		return
 	}
-	j, ok := s.jobs.remove(r.PathValue("id"))
-	if !ok {
+	if !s.store.Cancel(r.PathValue("id")) {
 		s.fail(w, http.StatusNotFound, "no such job")
 		return
 	}
-	// Cancel the run; the runner's finish marks the job canceled (it is
-	// already unreachable, but the totals must record the outcome).
-	j.cancel()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // jobLookup resolves {id} for the GET handlers.
-func (s *server) jobLookup(w http.ResponseWriter, r *http.Request) (*job, bool) {
-	if s.jobs == nil {
+func (s *server) jobLookup(w http.ResponseWriter, r *http.Request) (cluster.JobStatus, bool) {
+	if s.store == nil {
 		s.fail(w, http.StatusNotFound, "job API disabled (-jobs=false)")
-		return nil, false
+		return cluster.JobStatus{}, false
 	}
-	j, ok := s.jobs.get(r.PathValue("id"))
+	stat, ok := s.store.Status(r.PathValue("id"))
 	if !ok {
 		s.fail(w, http.StatusNotFound, "no such job")
-		return nil, false
+		return cluster.JobStatus{}, false
 	}
-	return j, true
+	return stat, true
 }
 
 // jobsStatzJSON is the "jobs" block of GET /statz.
@@ -898,20 +1011,24 @@ type jobsStatzJSON struct {
 	Failed    int64 `json:"failed"`
 	Canceled  int64 `json:"canceled"`
 	Rejected  int64 `json:"rejected"`
+	Replayed  int64 `json:"replayed,omitempty"`
 	Queued    int   `json:"queued"`
 	Running   int   `json:"running"`
 	PAFBytes  int64 `json:"pafBytes"`
 }
 
-// statz builds the jobs block of /statz from the shared registry
-// snapshot, so it reports the same instant as every other block.
-func (st *jobStore) statz(snap *telemetry.Snapshot) *jobsStatzJSON {
+// jobsStatz builds the jobs block of /statz from the shared registry
+// snapshot, so it reports the same instant as every other block. Both
+// job stores register the same logan_jobs_* series, so the block is
+// store-independent.
+func jobsStatz(snap *telemetry.Snapshot) *jobsStatzJSON {
 	return &jobsStatzJSON{
 		Submitted: snap.Int("logan_jobs_submitted_total"),
 		Completed: snap.Int("logan_jobs_completed_total"),
 		Failed:    snap.Int("logan_jobs_failed_total"),
 		Canceled:  snap.Int("logan_jobs_canceled_total"),
 		Rejected:  snap.Int("logan_jobs_rejected_total"),
+		Replayed:  snap.Int("logan_jobs_idempotent_replays_total"),
 		Queued:    int(snap.Value("logan_jobs_queued")),
 		Running:   int(snap.Value("logan_jobs_running")),
 		PAFBytes:  snap.Int("logan_jobs_paf_bytes_total"),

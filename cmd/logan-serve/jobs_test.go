@@ -46,7 +46,11 @@ func jobsTestServer(t *testing.T, opt logan.EngineOptions, mut func(*serveConfig
 	if mut != nil {
 		mut(&cfg)
 	}
-	s := newServer(eng, cfg)
+	s, err := newServer(eng, cfg)
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(s)
 	t.Cleanup(func() {
 		s.Close()
@@ -54,6 +58,17 @@ func jobsTestServer(t *testing.T, opt logan.EngineOptions, mut func(*serveConfig
 		eng.Close()
 	})
 	return srv, s
+}
+
+// localStore unwraps the server's JobStore as the in-process
+// implementation, for tests that assert on its internal counters.
+func localStore(t *testing.T, s *server) *jobStore {
+	t.Helper()
+	st, ok := s.store.(*jobStore)
+	if !ok {
+		t.Fatalf("server store is %T, want *jobStore", s.store)
+	}
+	return st
 }
 
 // postJob submits a FASTA body and returns the job id.
@@ -245,7 +260,7 @@ func TestJobsCancel(t *testing.T) {
 
 	// The runner must observe ctx promptly (per pair on the CPU pool):
 	// poll the jobs totals until the cancellation lands.
-	for s.jobs.t.canceled.Value() == 0 {
+	for localStore(t, s).t.canceled.Value() == 0 {
 		if time.Since(start) > 10*time.Second {
 			t.Fatal("cancellation not observed within 10s")
 		}
@@ -335,7 +350,7 @@ func TestJobsAdmissionAndErrors(t *testing.T) {
 	if code != http.StatusTooManyRequests {
 		t.Errorf("submission to full store: status %d (%.100s), want 429", code, body)
 	}
-	if s.jobs.t.rejected.Value() == 0 {
+	if localStore(t, s).t.rejected.Value() == 0 {
 		t.Error("rejected submission not counted")
 	}
 	// Drain so cleanup does not race long-running work.
@@ -365,7 +380,7 @@ func TestJobsByteBudget(t *testing.T) {
 	idA := postJob(t, srv.URL, fasta, "?x=500&coverage=5&errorRate=0.12")
 	// Wait until A's ingestion finished — its reservation is released.
 	deadline := time.Now().Add(30 * time.Second)
-	for s.jobs.bufferedBytes.Load() != 0 {
+	for localStore(t, s).bufferedBytes.Load() != 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("job A's upload reservation never released after ingestion")
 		}

@@ -51,8 +51,23 @@
 // additionally merges them into the request coalescer's batches. Jobs
 // are bounded (-max-jobs retained records, -job-workers concurrent runs)
 // and cancellable: DELETE aborts a running job promptly (the backend
-// observes the job's context per pair). See docs/SERVING.md for the full
-// API reference.
+// observes the job's context per pair). Retried submissions can carry an
+// Idempotency-Key header: a repeat of a key the server still remembers
+// maps onto the existing job (original ID, X-Logan-Replayed: true)
+// instead of double-executing. See docs/SERVING.md for the full API
+// reference.
+//
+// With -cluster the process becomes the router tier of a scale-out
+// cluster: the front door (auth, quotas, admission) is unchanged, but
+// accepted /jobs are persisted to a durable file-backed queue
+// (-cluster-queue; replayed on restart) and executed by logan-worker
+// processes that register over HTTP, heartbeat, and pull work under
+// expiring leases (-lease-ttl). A worker that dies mid-job simply stops
+// extending its lease; the router requeues the job (at most
+// -max-requeues times) and a surviving worker produces byte-identical
+// output. /statz gains a "cluster" block and /metrics becomes the
+// fleet rollup: every worker's series re-exported under a
+// worker="<name>" label. See docs/SERVING.md ("Running a cluster").
 //
 // Endpoints:
 //
@@ -64,7 +79,13 @@
 //	                     extensions done/total, shed/retry counts)
 //	GET    /jobs/{id}/paf  the finished job's overlaps in PAF (409 until done)
 //	DELETE /jobs/{id}    cancel and forget the job (404 afterwards)
-//	GET    /healthz      liveness
+//	GET    /healthz      pure liveness: 200 while the process can serve
+//	GET    /readyz       readiness: 503 until the engine has run its
+//	                     warm-up alignment (and, in router mode, until at
+//	                     least one worker is registered), then 200
+//	POST   /cluster/...  worker protocol (register, heartbeat, poll,
+//	                     extend, complete, fail) — router mode only,
+//	                     guarded by -cluster-token
 //	GET    /statz        process-lifetime totals (requests, pairs, cells,
 //	                     errors, shed, writeErrors), the per-backend
 //	                     breakdown (cpu, gpu0, ...), the coalescer counters
@@ -89,6 +110,8 @@
 //	            [-job-body-limit 67108864] [-job-pending-bytes 268435456]
 //	            [-job-result-bytes 268435456] [-job-data-dir dir]
 //	            [-job-coalesce] [-debug-addr 127.0.0.1:6060]
+//	            [-cluster -cluster-queue jobs.wal] [-lease-ttl 10s]
+//	            [-worker-ttl 30s] [-max-requeues 3] [-cluster-token secret]
 //
 // SIGINT/SIGTERM drain in-flight requests, cancel live jobs and flush the
 // coalescer queue, then release the engine and every cached default
@@ -151,6 +174,19 @@ func main() {
 			"root directory for server-side fastaPath submissions (empty = uploads only)")
 		jobCoalesce = flag.Bool("job-coalesce", false,
 			"merge job extension chunks with /align traffic via the coalescer (coarsens DELETE cancellation to whole merged batches)")
+
+		clusterMode = flag.Bool("cluster", false,
+			"router mode: accepted /jobs are persisted to a durable queue and executed by logan-worker processes instead of the local engine (requires -jobs)")
+		clusterQueue = flag.String("cluster-queue", "",
+			"path of the durable job queue file (router mode; required with -cluster)")
+		leaseTTL = flag.Duration("lease-ttl", 0,
+			"work lease duration before an unextended job is requeued (router mode; 0 = 10s)")
+		workerTTL = flag.Duration("worker-ttl", 0,
+			"silence after which a worker is dropped from the registry (router mode; 0 = 3x lease TTL)")
+		maxRequeues = flag.Int("max-requeues", 0,
+			"lease expiries tolerated per job before it fails terminally (router mode; 0 = 3)")
+		clusterToken = flag.String("cluster-token", "",
+			"shared secret workers must present as X-Logan-Cluster-Token (empty = open worker endpoints)")
 	)
 	flag.Parse()
 
@@ -218,7 +254,31 @@ func main() {
 	cfg.jobResultBytes = *jobResults
 	cfg.jobDataDir = *jobDataDir
 	cfg.jobCoalesce = *jobCoalesce
-	handler := newServer(eng, cfg)
+	// Router mode replaces the local job store: it only makes sense with
+	// the /jobs API on, and it cannot run without somewhere durable to
+	// put accepted work.
+	if *clusterMode {
+		if !*jobs {
+			fmt.Fprintln(os.Stderr, "logan-serve: -cluster requires -jobs")
+			os.Exit(2)
+		}
+		if *clusterQueue == "" {
+			fmt.Fprintln(os.Stderr, "logan-serve: -cluster requires -cluster-queue")
+			os.Exit(2)
+		}
+	}
+	cfg.cluster = *clusterMode
+	cfg.clusterQueue = *clusterQueue
+	cfg.leaseTTL = *leaseTTL
+	cfg.workerTTL = *workerTTL
+	cfg.maxRequeues = *maxRequeues
+	cfg.clusterToken = *clusterToken
+	handler, err := newServer(eng, cfg)
+	if err != nil {
+		eng.Close()
+		fmt.Fprintf(os.Stderr, "logan-serve: %v\n", err)
+		os.Exit(1)
+	}
 
 	srv := &http.Server{
 		Addr:    *addr,

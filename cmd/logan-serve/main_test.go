@@ -30,7 +30,11 @@ func testServerCfg(t *testing.T, cfg serveConfig) (*httptest.Server, *server, *l
 	if cfg.defCfg == (logan.Config{}) {
 		cfg.defCfg = logan.DefaultConfig(50)
 	}
-	s := newServer(eng, cfg)
+	s, err := newServer(eng, cfg)
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(s)
 	t.Cleanup(func() {
 		s.Close()
@@ -38,6 +42,27 @@ func testServerCfg(t *testing.T, cfg serveConfig) (*httptest.Server, *server, *l
 		eng.Close()
 	})
 	return srv, s, eng
+}
+
+// waitReady polls /readyz until it reports 200, failing the test if the
+// server never becomes ready.
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server not ready within 30s (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func testServer(t *testing.T) (*httptest.Server, *logan.Aligner) {
@@ -176,7 +201,10 @@ func TestServeWriteErrors(t *testing.T) {
 	cfg := defaultServeConfig()
 	cfg.defCfg = logan.DefaultConfig(50)
 	cfg.maxWait = time.Millisecond
-	s := newServer(eng, cfg)
+	s, err := newServer(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 
 	req := httptest.NewRequest("POST", "/align",
@@ -558,7 +586,10 @@ func TestServeGPURejectsNonLinear(t *testing.T) {
 	cfg := defaultServeConfig()
 	cfg.defCfg = logan.DefaultConfig(50)
 	cfg.maxWait = time.Millisecond
-	s := newServer(eng, cfg)
+	s, err := newServer(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(s)
 	t.Cleanup(func() { s.Close(); srv.Close(); eng.Close() })
 

@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"logan"
+	"logan/internal/cluster"
 	"logan/internal/telemetry"
 )
 
@@ -212,6 +214,18 @@ type serveConfig struct {
 	// already executing must finish its whole merged batch first — with
 	// large X that postpones DELETE by a full batch.
 	jobCoalesce bool
+	// cluster switches the /jobs subsystem from the in-process store to
+	// the router tier: accepted jobs persist to the write-ahead queue at
+	// clusterQueue and execute on registered logan-worker nodes under
+	// expiring leases. leaseTTL/workerTTL/maxRequeues tune the failure
+	// detector (zero values select cluster.RouterOptions defaults), and
+	// clusterToken, when set, gates the worker API.
+	cluster      bool
+	clusterQueue string
+	leaseTTL     time.Duration
+	workerTTL    time.Duration
+	maxRequeues  int
+	clusterToken string
 }
 
 func defaultServeConfig() serveConfig {
@@ -240,8 +254,18 @@ func defaultServeConfig() serveConfig {
 type server struct {
 	eng  *logan.Aligner
 	coal *logan.Coalescer // nil when coalescing is disabled
-	jobs *jobStore        // nil when the /jobs API is disabled
-	mux  *http.ServeMux
+	// store backs the /jobs API (nil when disabled): the in-process
+	// jobStore on a single node, the cluster Router in -cluster mode.
+	// router is the same object as store in cluster mode, typed for the
+	// rollup and /statz views only it provides.
+	store  cluster.JobStore
+	router *cluster.Router
+	mux    *http.ServeMux
+	// dataDir roots server-side fastaPath submissions ("" disables them).
+	dataDir string
+	// ready flips once the warmup alignment completes; /readyz also
+	// requires store.Ready() (in router mode: ≥1 registered worker).
+	ready atomic.Bool
 	// tele is the engine's registry — the one store behind /metrics and
 	// /statz; stages is a handle on the engine's stage-latency histogram
 	// family, used to start per-request traces.
@@ -263,8 +287,10 @@ type server struct {
 
 // newServer builds the HTTP surface for an engine. Callers must Close the
 // returned server (after the HTTP listener has drained) to stop the
-// coalescer's flusher; Close does not close the engine.
-func newServer(eng *logan.Aligner, cfg serveConfig) *server {
+// coalescer's flusher and the job store; Close does not close the engine.
+// Construction only fails in -cluster mode, when the write-ahead queue
+// cannot be opened.
+func newServer(eng *logan.Aligner, cfg serveConfig) (*server, error) {
 	def := defaultServeConfig()
 	if cfg.maxPairs <= 0 {
 		cfg.maxPairs = def.maxPairs
@@ -282,7 +308,8 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 		cfg.jobBodyLimit = def.jobBodyLimit
 	}
 	s := &server{eng: eng, defCfg: cfg.defCfg, maxX: cfg.maxX, maxPairs: cfg.maxPairs,
-		bodyLimit: cfg.bodyLimit, jobBodyLimit: cfg.jobBodyLimit, keys: cfg.apiKeys}
+		bodyLimit: cfg.bodyLimit, jobBodyLimit: cfg.jobBodyLimit, keys: cfg.apiKeys,
+		dataDir: cfg.jobDataDir}
 	// The HTTP layer registers its instruments in the engine's registry:
 	// NewStages get-or-creates the engine's own stage histogram family, so
 	// the traces this layer starts and the stages the engine observes land
@@ -305,7 +332,32 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 			Cache:         s.cache,
 		})
 	}
-	if cfg.jobs {
+	switch {
+	case cfg.jobs && cfg.cluster:
+		// Router mode: this node admits and persists jobs, registered
+		// logan-worker nodes execute them. The front tier's own engine
+		// still serves /align.
+		router, err := cluster.NewRouter(cluster.RouterOptions{
+			QueuePath:    cfg.clusterQueue,
+			LeaseTTL:     cfg.leaseTTL,
+			WorkerTTL:    cfg.workerTTL,
+			MaxRequeues:  cfg.maxRequeues,
+			MaxJobs:      cfg.maxJobs,
+			MaxJobBytes:  cfg.jobBodyLimit,
+			PendingBytes: cfg.jobPendingBytes,
+			ResultBytes:  cfg.jobResultBytes,
+			Token:        cfg.clusterToken,
+			Registry:     s.tele,
+		})
+		if err != nil {
+			if s.coal != nil {
+				s.coal.Close()
+			}
+			return nil, err
+		}
+		s.router = router
+		s.store = router
+	case cfg.jobs:
 		// Jobs extend on the same engine as /align traffic. With
 		// -job-coalesce their chunks additionally flow through the merge
 		// queue (and shed/retry under its admission control); the default
@@ -324,19 +376,39 @@ func newServer(eng *logan.Aligner, cfg serveConfig) *server {
 		if err != nil {
 			panic(err) // unreachable: eng is non-nil
 		}
-		s.jobs = newJobStore(ov, s.tele, cfg.jobWorkers, cfg.maxJobs, cfg.jobDataDir, cfg.jobPendingBytes, cfg.jobResultBytes)
+		s.store = newJobStore(ov, s.tele, cfg.jobWorkers, cfg.maxJobs, cfg.jobPendingBytes, cfg.jobResultBytes)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /align", s.handleAlign)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/paf", s.handleJobPAF)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
+	if s.router != nil {
+		mux.Handle("/cluster/", s.router.Handler())
+	}
 	s.mux = mux
-	return s
+	// Warm the engine off the request path: the first alignment pays
+	// one-time pool/device setup, and /readyz holds back load-balancer
+	// traffic until it has been paid.
+	go s.warmup()
+	return s, nil
+}
+
+// warmup runs one trivial alignment through the engine and flips the
+// readiness gate.
+func (s *server) warmup() {
+	pairs := []logan.Pair{{
+		Query:   []byte("ACGTACGTACGTACGT"),
+		Target:  []byte("ACGTACGTACGTACGT"),
+		SeedLen: 8,
+	}}
+	s.eng.Align(context.Background(), pairs, s.defCfg)
+	s.ready.Store(true)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -345,8 +417,8 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // coalescer after flushing queued requests. Call it after the HTTP server
 // has stopped accepting work and before the engine closes.
 func (s *server) Close() {
-	if s.jobs != nil {
-		s.jobs.Close()
+	if s.store != nil {
+		s.store.Close()
 	}
 	if s.coal != nil {
 		s.coal.Close()
@@ -513,9 +585,30 @@ func formatTrace(tr *telemetry.Trace) string {
 	return b.String()
 }
 
+// handleHealth is GET /healthz: pure liveness — the process is up and
+// serving HTTP. Routability belongs to /readyz; a load balancer that
+// health-checks here must not expect readiness semantics.
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleReady is GET /readyz: 503 until the engine's warmup alignment
+// has completed and — in router mode — at least one worker is
+// registered, so load balancers never route to a node that would shed
+// or queue everything.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"warming"}`)
+	case s.store != nil && !s.store.Ready():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"no workers registered"}`)
+	default:
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	}
 }
 
 // statzJSON is the GET /statz payload: process-lifetime totals, the
@@ -538,6 +631,54 @@ type statzJSON struct {
 	Cache       *cacheStatzJSON             `json:"cache,omitempty"`
 	Tenants     map[string]tenantStatzJSON  `json:"tenants,omitempty"`
 	Jobs        *jobsStatzJSON              `json:"jobs,omitempty"`
+	Cluster     *clusterStatzJSON           `json:"cluster,omitempty"`
+}
+
+// clusterStatzJSON is the router-mode block of /statz: the worker fleet
+// and the durable-queue counters.
+type clusterStatzJSON struct {
+	Workers           map[string]clusterWorkerJSON `json:"workers"`
+	QueueDepth        int                          `json:"queueDepth"`
+	Requeues          int64                        `json:"requeues"`
+	LeaseExpired      int64                        `json:"leaseExpired"`
+	StaleLeases       int64                        `json:"staleLeases"`
+	WALReplayed       int64                        `json:"walReplayed"`
+	IdempotentReplays int64                        `json:"idempotentReplays"`
+}
+
+// clusterWorkerJSON is one registered worker's row in /statz.
+type clusterWorkerJSON struct {
+	Backend     string  `json:"backend"`
+	CellsPerSec float64 `json:"cellsPerSec,omitempty"`
+	Leases      int     `json:"leases"`
+	Completed   int64   `json:"completed"`
+	Failed      int64   `json:"failed"`
+	LastSeen    string  `json:"lastSeen"`
+}
+
+// clusterStatz builds the cluster block from the router's worker
+// registry and the registry snapshot.
+func clusterStatz(router *cluster.Router, snap *telemetry.Snapshot) *clusterStatzJSON {
+	out := &clusterStatzJSON{
+		Workers:           map[string]clusterWorkerJSON{},
+		QueueDepth:        int(snap.Value("logan_cluster_queue_depth")),
+		Requeues:          snap.Int("logan_cluster_requeues_total"),
+		LeaseExpired:      snap.Int("logan_cluster_lease_expired_total"),
+		StaleLeases:       snap.Int("logan_cluster_stale_lease_total"),
+		WALReplayed:       snap.Int("logan_cluster_wal_replayed_total"),
+		IdempotentReplays: snap.Int("logan_jobs_idempotent_replays_total"),
+	}
+	for _, w := range router.Workers() {
+		out.Workers[w.Name] = clusterWorkerJSON{
+			Backend:     w.Backend,
+			CellsPerSec: w.CellsPS,
+			Leases:      w.Leases,
+			Completed:   w.Completed,
+			Failed:      w.Failed,
+			LastSeen:    w.LastSeen.UTC().Format(time.RFC3339Nano),
+		}
+	}
+	return out
 }
 
 // cacheStatzJSON is the result-cache block of /statz: hit/miss/eviction
@@ -627,8 +768,11 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	out.Tenants = tenantStatz(snap)
-	if s.jobs != nil {
-		out.Jobs = s.jobs.statz(snap)
+	if s.store != nil {
+		out.Jobs = jobsStatz(snap)
+	}
+	if s.router != nil {
+		out.Cluster = clusterStatz(s.router, snap)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
@@ -750,11 +894,18 @@ func coalescerStatz(snap *telemetry.Snapshot) *coalescerStatzJSON {
 
 // handleMetrics serves the whole registry in Prometheus text exposition
 // format (version 0.0.4): one atomic snapshot, the same numbers a
-// concurrent /statz request would report.
+// concurrent /statz request would report. In router mode the scrape is
+// the cluster rollup: every live worker's heartbeat-pushed series are
+// merged in under a worker="<name>" label, so one scrape of the router
+// covers the fleet's backend/kernel/tenant breakdowns.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.m.requests.Inc()
+	snap := s.tele.Snapshot()
+	if s.router != nil {
+		snap = cluster.MergeSnapshots(snap, s.router.WorkerSnapshots())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.tele.Snapshot().WriteText(w); err != nil {
+	if err := snap.WriteText(w); err != nil {
 		s.m.writeErrors.Inc()
 	}
 }

@@ -1,0 +1,531 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"logan"
+	"logan/internal/genome"
+	"logan/internal/seq"
+	"logan/internal/telemetry"
+)
+
+// testFasta builds a deterministic read set with real overlaps.
+func testFasta(t testing.TB, seed int64, genomeLen int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := genome.Synthetic(rng, "t", genome.SyntheticOptions{Length: genomeLen, RepeatFrac: 0.03, RepeatLen: 1200})
+	rs := genome.Simulate(rng, g, genome.SimOptions{Coverage: 5, MinLen: 900, MaxLen: 2000, ErrorRate: 0.12})
+	var buf bytes.Buffer
+	if err := seq.WriteFasta(&buf, rs.Records()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testRouter boots a router on a temp WAL and serves its worker API.
+func testRouter(t *testing.T, mut func(*RouterOptions)) (*Router, *httptest.Server) {
+	t.Helper()
+	opt := RouterOptions{
+		QueuePath: filepath.Join(t.TempDir(), "jobs.wal"),
+		LeaseTTL:  80 * time.Millisecond,
+		Registry:  telemetry.NewRegistry(),
+	}
+	if mut != nil {
+		mut(&opt)
+	}
+	r, err := NewRouter(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		r.Close()
+	})
+	return r, srv
+}
+
+// submitBytes submits fasta under cfg and returns the accepted status.
+func submitBytes(t *testing.T, r *Router, fasta []byte, key string) JobStatus {
+	t.Helper()
+	st, replayed, err := r.Submit(Submission{
+		Config:         logan.DefaultOverlapConfig(5, 0.12, 15),
+		Open:           func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(fasta)), nil },
+		IdempotencyKey: key,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed {
+		t.Fatal("fresh submission reported replayed")
+	}
+	return st
+}
+
+// fakeWorker drives the worker protocol by hand, without an engine.
+type fakeWorker struct {
+	t    *testing.T
+	url  string
+	id   string
+	name string
+}
+
+func registerFake(t *testing.T, url, name string) *fakeWorker {
+	t.Helper()
+	f := &fakeWorker{t: t, url: url, name: name}
+	resp := f.post("/cluster/register", registerRequest{Name: name, Backend: "cpu"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %s", resp.Status)
+	}
+	var out registerResponse
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	f.id = out.WorkerID
+	return f
+}
+
+func (f *fakeWorker) post(path string, body any, hdr map[string]string) *http.Response {
+	f.t.Helper()
+	var rd io.Reader
+	if b, ok := body.([]byte); ok {
+		rd = bytes.NewReader(b)
+	} else if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(http.MethodPost, f.url+path, rd)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return resp
+}
+
+// lease long-polls one job; ok=false on an empty poll.
+func (f *fakeWorker) lease(waitMs int64) (spec *Spec, jobID, lease string, ok bool) {
+	f.t.Helper()
+	resp := f.post("/cluster/poll", map[string]any{"workerId": f.id, "waitMs": waitMs}, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, "", "", false
+	}
+	if resp.StatusCode != http.StatusOK {
+		f.t.Fatalf("poll: %s", resp.Status)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	spec, err = UnmarshalSpec(payload)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return spec, resp.Header.Get("X-Logan-Job-Id"), resp.Header.Get("X-Logan-Lease"), true
+}
+
+func (f *fakeWorker) complete(jobID, lease string, paf []byte) int {
+	resp := f.post("/cluster/jobs/"+jobID+"/complete", paf, map[string]string{
+		"X-Logan-Lease":     lease,
+		"X-Logan-Worker-Id": f.id,
+		"X-Logan-Overlaps":  "1",
+	})
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestSpecRoundtrip(t *testing.T) {
+	in := &Spec{
+		ID:             NewID(),
+		Tenant:         "acme",
+		IdempotencyKey: "retry-7",
+		Config:         ConfigFromOverlap(logan.DefaultOverlapConfig(6, 0.15, 21)),
+		Fasta:          []byte(">r1\nACGT\n"),
+	}
+	b, err := in.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Tenant != in.Tenant || out.IdempotencyKey != in.IdempotencyKey {
+		t.Fatalf("roundtrip mangled identity: %+v", out)
+	}
+	if out.Config != in.Config {
+		t.Fatalf("roundtrip mangled config: %+v vs %+v", out.Config, in.Config)
+	}
+	if !bytes.Equal(out.Fasta, in.Fasta) {
+		t.Fatalf("roundtrip mangled fasta: %q", out.Fasta)
+	}
+	// The reconstructed executable config must match a direct default.
+	want := logan.DefaultOverlapConfig(6, 0.15, 21)
+	got := out.Config.Overlap()
+	if ConfigFromOverlap(got) != ConfigFromOverlap(want) || got.Scoring != want.Scoring {
+		t.Fatalf("Overlap() reconstruction drifted:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := UnmarshalSpec(b[:3]); err == nil {
+		t.Fatal("truncated spec decoded")
+	}
+}
+
+func TestRouterLeaseLifecycle(t *testing.T) {
+	r, srv := testRouter(t, nil)
+	st := submitBytes(t, r, []byte(">r1\nACGT\n"), "")
+	if st.State != StateQueued {
+		t.Fatalf("state %q after submit", st.State)
+	}
+
+	w := registerFake(t, srv.URL, "w1")
+	spec, jobID, lease, ok := w.lease(1000)
+	if !ok || jobID != st.ID {
+		t.Fatalf("lease: ok=%v job=%q want %q", ok, jobID, st.ID)
+	}
+	if string(spec.Fasta) != ">r1\nACGT\n" {
+		t.Fatalf("leased fasta %q", spec.Fasta)
+	}
+	if got, _ := r.Status(jobID); got.State != StateRunning || got.Worker != "w1" {
+		t.Fatalf("running status %+v", got)
+	}
+
+	if code := w.complete(jobID, "bogus-lease", []byte("x")); code != http.StatusConflict {
+		t.Fatalf("stale-lease complete returned %d, want 409", code)
+	}
+	if code := w.complete(jobID, lease, []byte("paf-bytes\n")); code != http.StatusOK {
+		t.Fatalf("complete returned %d", code)
+	}
+	paf, got, ok := r.PAF(jobID)
+	if !ok || got.State != StateDone || string(paf) != "paf-bytes\n" {
+		t.Fatalf("PAF after complete: ok=%v st=%+v paf=%q", ok, got, paf)
+	}
+	// A duplicate completion (network retry) is idempotent, not a 409.
+	if code := w.complete(jobID, lease, []byte("paf-bytes\n")); code != http.StatusOK {
+		t.Fatalf("retried complete returned %d, want 200", code)
+	}
+	if r.wal.Pending() != 0 {
+		t.Fatalf("WAL still holds %d records after ack", r.wal.Pending())
+	}
+}
+
+func TestLeaseExpiryRequeues(t *testing.T) {
+	r, srv := testRouter(t, func(o *RouterOptions) {
+		o.LeaseTTL = 50 * time.Millisecond
+		// Registration must outlive many expired leases: a worker that
+		// leases-and-dies repeatedly is still registered, just useless.
+		o.WorkerTTL = 30 * time.Second
+		o.MaxRequeues = 2
+	})
+	st := submitBytes(t, r, []byte(">r\nAC\n"), "")
+	dead := registerFake(t, srv.URL, "dead")
+	if _, id, _, ok := dead.lease(1000); !ok || id != st.ID {
+		t.Fatal("dead worker failed to lease")
+	}
+	// The dead worker never extends: the job must requeue and go to the
+	// survivor with requeues=1.
+	survivor := registerFake(t, srv.URL, "survivor")
+	_, id, lease, ok := survivor.lease(2000)
+	if !ok || id != st.ID {
+		t.Fatalf("survivor lease: ok=%v id=%q", ok, id)
+	}
+	got, _ := r.Status(id)
+	if got.Requeues != 1 || got.Worker != "survivor" {
+		t.Fatalf("after requeue: %+v", got)
+	}
+	if code := survivor.complete(id, lease, []byte("ok\n")); code != http.StatusOK {
+		t.Fatalf("survivor complete: %d", code)
+	}
+
+	// Exhaustion: a job that keeps dying fails terminally after
+	// MaxRequeues retries.
+	st2 := submitBytes(t, r, []byte(">r2\nAC\n"), "")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, _, ok := dead.lease(500); !ok {
+			// Empty poll: either terminal already, or between requeues.
+			if got, _ := r.Status(st2.ID); got.State == StateFailed {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			got, _ := r.Status(st2.ID)
+			t.Fatalf("job never exhausted its retry budget: %+v", got)
+		}
+	}
+	got2, _ := r.Status(st2.ID)
+	if got2.State != StateFailed || got2.Requeues != 3 || !strings.Contains(got2.Error, "gave up") {
+		t.Fatalf("exhausted job: %+v", got2)
+	}
+}
+
+func TestIdempotencyKeyDedupes(t *testing.T) {
+	r, _ := testRouter(t, nil)
+	st := submitBytes(t, r, []byte(">r\nAC\n"), "client-retry-1")
+	again, replayed, err := r.Submit(Submission{
+		Config:         logan.DefaultOverlapConfig(5, 0.12, 15),
+		Open:           func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader([]byte(">other\nGG\n"))), nil },
+		IdempotencyKey: "client-retry-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed || again.ID != st.ID {
+		t.Fatalf("retry created a second job: replayed=%v id=%q want %q", replayed, again.ID, st.ID)
+	}
+	if q, _ := r.counts(); q != 1 {
+		t.Fatalf("queue holds %d jobs, want 1", q)
+	}
+}
+
+func TestWALReplayAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	reg := telemetry.NewRegistry()
+	r1, err := NewRouter(RouterOptions{QueuePath: path, Registry: reg, LeaseTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fasta := []byte(">r1\nACGTACGT\n")
+	st := submitBytes(t, r1, fasta, "replay-key")
+	r1.Close()
+
+	r2, err := NewRouter(RouterOptions{QueuePath: path, Registry: telemetry.NewRegistry(), LeaseTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	got, ok := r2.Status(st.ID)
+	if !ok || got.State != StateQueued {
+		t.Fatalf("replayed job: ok=%v %+v", ok, got)
+	}
+	// Identity survives: the idempotency key still dedupes after restart.
+	again, replayed, err := r2.Submit(Submission{
+		Config:         logan.DefaultOverlapConfig(5, 0.12, 15),
+		Open:           func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(fasta)), nil },
+		IdempotencyKey: "replay-key",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed || again.ID != st.ID {
+		t.Fatalf("post-restart retry: replayed=%v id=%q want %q", replayed, again.ID, st.ID)
+	}
+	// And the leased spec carries the original payload.
+	srv := httptest.NewServer(r2.Handler())
+	defer srv.Close()
+	w := registerFake(t, srv.URL, "w1")
+	spec, id, _, ok := w.lease(1000)
+	if !ok || id != st.ID || !bytes.Equal(spec.Fasta, fasta) {
+		t.Fatalf("replayed lease: ok=%v id=%q fasta=%q", ok, id, spec.Fasta)
+	}
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	r, srv := testRouter(t, nil)
+	// Queued: canceled jobs are forgotten and never leased.
+	st := submitBytes(t, r, []byte(">a\nAC\n"), "")
+	if !r.Cancel(st.ID) {
+		t.Fatal("cancel of queued job failed")
+	}
+	if _, ok := r.Status(st.ID); ok {
+		t.Fatal("canceled job still visible")
+	}
+	w := registerFake(t, srv.URL, "w1")
+	if _, _, _, ok := w.lease(100); ok {
+		t.Fatal("canceled job was leased")
+	}
+	// Running: the executing worker learns on its next extend.
+	st2 := submitBytes(t, r, []byte(">b\nAC\n"), "")
+	_, id, lease, ok := w.lease(1000)
+	if !ok || id != st2.ID {
+		t.Fatal("lease of second job failed")
+	}
+	r.Cancel(st2.ID)
+	// The canceled job is forgotten, so the worker's next extend sees a
+	// stale-lease 409 — its signal to abort without publishing.
+	resp := w.post("/cluster/jobs/"+id+"/extend", extendRequest{WorkerID: w.id, Lease: lease}, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("extend after cancel: %s, want 409", resp.Status)
+	}
+	if code := w.complete(id, lease, []byte("late\n")); code != http.StatusConflict {
+		t.Fatalf("complete after cancel: %d, want 409", code)
+	}
+}
+
+func TestRouterAuthToken(t *testing.T) {
+	_, srv := testRouter(t, func(o *RouterOptions) { o.Token = "s3cret" })
+	resp, err := http.Post(srv.URL+"/cluster/register", "application/json",
+		strings.NewReader(`{"name":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless register: %s, want 401", resp.Status)
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/cluster/register", strings.NewReader(`{"name":"w1"}`))
+	req.Header.Set("X-Logan-Cluster-Token", "s3cret")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("tokened register: %s", resp2.Status)
+	}
+}
+
+// TestWorkerExecutesJob runs the real Worker client against the router
+// and checks the served PAF is byte-identical to a direct engine run.
+func TestWorkerExecutesJob(t *testing.T) {
+	eng, err := logan.NewAligner(logan.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ov, err := logan.NewOverlapper(eng, logan.OverlapperOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fasta := testFasta(t, 42, 30000)
+	cfg := logan.DefaultOverlapConfig(5, 0.12, 15)
+
+	res, err := ov.RunFasta(context.Background(), bytes.NewReader(fasta), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := logan.WritePAF(&want, res.Records); err != nil {
+		t.Fatal(err)
+	}
+
+	r, srv := testRouter(t, func(o *RouterOptions) { o.LeaseTTL = 200 * time.Millisecond })
+	wk, err := NewWorker(WorkerOptions{
+		RouterURL:  srv.URL,
+		Name:       "w1",
+		Overlapper: ov,
+		Backend:    "cpu",
+		Registry:   telemetry.NewRegistry(),
+		PollWait:   200 * time.Millisecond,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); wk.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	st, replayed, err := r.Submit(Submission{
+		Config: cfg,
+		Open:   func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(fasta)), nil },
+	})
+	if err != nil || replayed {
+		t.Fatalf("submit: %v replayed=%v", err, replayed)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, ok := r.Status(st.ID)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if TerminalState(got.State) {
+			if got.State != StateDone {
+				t.Fatalf("job finished %q: %s", got.State, got.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", got)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	paf, got, _ := r.PAF(st.ID)
+	if !bytes.Equal(paf, want.Bytes()) {
+		t.Fatalf("cluster PAF differs from direct run: %d vs %d bytes", len(paf), want.Len())
+	}
+	if got.Worker != "w1" || got.Overlaps != len(res.Records) {
+		t.Fatalf("completion metadata: %+v", got)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	localReg := telemetry.NewRegistry()
+	localReg.Counter("logan_jobs_submitted_total", "h").Add(3)
+	wReg := telemetry.NewRegistry()
+	wReg.Counter("logan_align_requests_total", "h", telemetry.L("backend", "cpu")).Add(7)
+	wReg.Counter("logan_jobs_submitted_total", "h").Add(1)
+
+	merged := MergeSnapshots(localReg.Snapshot(), map[string]*telemetry.Snapshot{
+		"w2": wReg.Snapshot(),
+	})
+	if v := merged.Value("logan_jobs_submitted_total"); v != 3 {
+		t.Fatalf("local series clobbered: %v", v)
+	}
+	if v := merged.Value("logan_jobs_submitted_total", telemetry.L("worker", "w2")); v != 1 {
+		t.Fatalf("worker series missing from shared family: %v", v)
+	}
+	if v := merged.Value("logan_align_requests_total", telemetry.L("worker", "w2"), telemetry.L("backend", "cpu")); v != 7 {
+		t.Fatalf("worker-only family missing: %v", v)
+	}
+	var text bytes.Buffer
+	if err := merged.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), `worker="w2"`) {
+		t.Fatalf("rollup text lacks worker label:\n%s", text.String())
+	}
+	// The local snapshot must not have been mutated.
+	if n := len(localReg.Snapshot().Families); n != 1 {
+		t.Fatalf("local registry grew: %d families", n)
+	}
+}
+
+func TestRouterReadyNeedsWorker(t *testing.T) {
+	r, srv := testRouter(t, nil)
+	if r.Ready() {
+		t.Fatal("workerless router reports ready")
+	}
+	registerFake(t, srv.URL, "w1")
+	if !r.Ready() {
+		t.Fatal("router with a registered worker reports not ready")
+	}
+	ws := r.Workers()
+	if len(ws) != 1 || ws[0].Name != "w1" || ws[0].Backend != "cpu" {
+		t.Fatalf("workers: %+v", ws)
+	}
+}
+
+func TestSubmitLimits(t *testing.T) {
+	r, _ := testRouter(t, func(o *RouterOptions) { o.MaxJobBytes = 16 })
+	_, _, err := r.Submit(Submission{
+		Config: logan.DefaultOverlapConfig(5, 0.12, 15),
+		Open: func() (io.ReadCloser, error) {
+			return io.NopCloser(strings.NewReader(fmt.Sprintf(">r\n%s\n", strings.Repeat("A", 64)))), nil
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "byte limit") {
+		t.Fatalf("oversized submit: %v", err)
+	}
+}

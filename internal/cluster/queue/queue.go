@@ -1,0 +1,324 @@
+// Package queue is the router tier's durable write-ahead job queue: an
+// append-only file of enqueue and ack records that survives process
+// crashes and restarts. Every accepted job is fsynced to the log before
+// the client sees its 202, and every completion is fsynced before the
+// result is acknowledged to the worker, so the set of jobs that exist
+// but have not finished — the pending set — is always reconstructible
+// from the file alone.
+//
+// The log knows nothing about leases or workers: leases are soft state
+// that a router restart is allowed to lose (an expired lease just
+// requeues the job), so only the two durable transitions — "this job
+// exists" and "this job is finished" — hit the disk.
+//
+// On-disk format, little-endian, one frame per record:
+//
+//	'E' | len(id) u16 | id | len(payload) u32 | payload | crc32 u32
+//	'A' | len(id) u16 | id |                    crc32 u32
+//
+// The CRC covers everything before it in the frame. A torn final frame
+// (crash mid-write) fails the CRC or runs short; Open truncates the file
+// back to the last whole frame and carries on — an enqueue whose fsync
+// never completed was never acknowledged to anyone, so dropping it is
+// correct. Open also compacts: the surviving pending set is rewritten to
+// a fresh file (temp + rename), so acked history never accumulates
+// across restarts, and Ack self-compacts once enough dead records pile
+// up in a long-running process.
+package queue
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one pending job: its identifier and the opaque payload the
+// enqueuer stored (the cluster layer's serialized job spec).
+type Record struct {
+	ID      string
+	Payload []byte
+}
+
+// frame type tags.
+const (
+	tagEnqueue = 'E'
+	tagAck     = 'A'
+)
+
+// limits guarding the decoder against corrupt length fields: an ID is a
+// short token, a payload is at most one job's FASTA plus a small header.
+const (
+	maxIDLen      = 1 << 10
+	maxPayloadLen = 1 << 30
+)
+
+// compactEvery is the ack count that triggers inline self-compaction:
+// frequent enough that the file stays near the live set's size, rare
+// enough that the rewrite cost never shows up in steady-state latency.
+const compactEvery = 256
+
+// WAL is the durable queue. All methods are safe for concurrent use.
+type WAL struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	pending map[string][]byte // id -> payload, the live set
+	order   []string          // enqueue order of the live set
+	acked   int               // acks since the last compaction
+	closed  bool
+}
+
+// ErrClosed reports an operation on a closed WAL.
+var ErrClosed = errors.New("queue: closed")
+
+// Open reads the log at path (creating it if absent), reconstructs the
+// pending set, compacts the file down to exactly that set, and returns
+// the WAL ready for appends plus the pending records in enqueue order.
+func Open(path string) (*WAL, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("queue: open %s: %w", path, err)
+	}
+	w := &WAL{path: path, pending: make(map[string][]byte)}
+	w.replay(data)
+	// Rewrite the surviving set to a fresh file: acked and torn records
+	// do not outlive a restart, and the rename is the atomicity barrier.
+	if err := w.rewriteLocked(); err != nil {
+		return nil, nil, err
+	}
+	recs := make([]Record, 0, len(w.order))
+	for _, id := range w.order {
+		recs = append(recs, Record{ID: id, Payload: w.pending[id]})
+	}
+	return w, recs, nil
+}
+
+// replay decodes frames until EOF or the first torn/corrupt frame,
+// folding them into the pending set.
+func (w *WAL) replay(data []byte) {
+	off := 0
+	for off < len(data) {
+		n, tag, id, payload := decodeFrame(data[off:])
+		if n == 0 {
+			break // torn or corrupt tail: everything before it is good
+		}
+		off += n
+		switch tag {
+		case tagEnqueue:
+			if _, dup := w.pending[id]; !dup {
+				w.pending[id] = payload
+				w.order = append(w.order, id)
+			}
+		case tagAck:
+			if _, ok := w.pending[id]; ok {
+				delete(w.pending, id)
+				for i, oid := range w.order {
+					if oid == id {
+						w.order = append(w.order[:i], w.order[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// decodeFrame parses one frame from b, returning its total length (0 on
+// a torn or corrupt frame), its tag, id and payload. The payload slice
+// is copied: the caller's buffer does not pin the whole log.
+func decodeFrame(b []byte) (n int, tag byte, id string, payload []byte) {
+	if len(b) < 3 {
+		return 0, 0, "", nil
+	}
+	tag = b[0]
+	if tag != tagEnqueue && tag != tagAck {
+		return 0, 0, "", nil
+	}
+	idLen := int(binary.LittleEndian.Uint16(b[1:3]))
+	if idLen == 0 || idLen > maxIDLen {
+		return 0, 0, "", nil
+	}
+	off := 3
+	if len(b) < off+idLen {
+		return 0, 0, "", nil
+	}
+	id = string(b[off : off+idLen])
+	off += idLen
+	if tag == tagEnqueue {
+		if len(b) < off+4 {
+			return 0, 0, "", nil
+		}
+		payLen := int(binary.LittleEndian.Uint32(b[off : off+4]))
+		if payLen > maxPayloadLen {
+			return 0, 0, "", nil
+		}
+		off += 4
+		if len(b) < off+payLen {
+			return 0, 0, "", nil
+		}
+		payload = append([]byte(nil), b[off:off+payLen]...)
+		off += payLen
+	}
+	if len(b) < off+4 {
+		return 0, 0, "", nil
+	}
+	if binary.LittleEndian.Uint32(b[off:off+4]) != crc32.ChecksumIEEE(b[:off]) {
+		return 0, 0, "", nil
+	}
+	return off + 4, tag, id, payload
+}
+
+// appendFrame encodes one frame onto buf.
+func appendFrame(buf []byte, tag byte, id string, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, tag)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	buf = append(buf, id...)
+	if tag == tagEnqueue {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+}
+
+// rewriteLocked writes the pending set to a temp file, fsyncs it, and
+// renames it over the log. Caller holds mu (or is Open, pre-publish).
+func (w *WAL) rewriteLocked() error {
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("queue: compact %s: %w", w.path, err)
+	}
+	var buf []byte
+	for _, id := range w.order {
+		buf = appendFrame(buf, tagEnqueue, id, w.pending[id])
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("queue: compact %s: %w", w.path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("queue: compact %s: %w", w.path, err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("queue: compact %s: %w", w.path, err)
+	}
+	nf, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("queue: reopen %s: %w", w.path, err)
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.f = nf
+	w.acked = 0
+	return nil
+}
+
+// Append durably enqueues (id, payload): the frame is written and
+// fsynced before Append returns, so a crash after it cannot lose the
+// job. Duplicate IDs are rejected — enqueue idempotency lives a layer
+// up, keyed by client idempotency keys, not here.
+func (w *WAL) Append(id string, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if _, dup := w.pending[id]; dup {
+		return fmt.Errorf("queue: duplicate id %q", id)
+	}
+	if err := w.writeLocked(appendFrame(nil, tagEnqueue, id, payload)); err != nil {
+		return err
+	}
+	w.pending[id] = append([]byte(nil), payload...)
+	w.order = append(w.order, id)
+	return nil
+}
+
+// Ack durably marks id finished (completed, failed terminally, or
+// canceled): after the fsync the job will not replay on restart.
+// Unknown IDs are a no-op — an ack raced by a compaction that already
+// dropped the record must not fail the caller.
+func (w *WAL) Ack(id string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if _, ok := w.pending[id]; !ok {
+		return nil
+	}
+	if err := w.writeLocked(appendFrame(nil, tagAck, id, nil)); err != nil {
+		return err
+	}
+	delete(w.pending, id)
+	for i, oid := range w.order {
+		if oid == id {
+			w.order = append(w.order[:i], w.order[i+1:]...)
+			break
+		}
+	}
+	w.acked++
+	if w.acked >= compactEvery && w.acked > len(w.pending) {
+		return w.rewriteLocked()
+	}
+	return nil
+}
+
+// writeLocked appends the frame bytes and fsyncs.
+func (w *WAL) writeLocked(frame []byte) error {
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("queue: write %s: %w", w.path, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("queue: sync %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// Pending returns the number of live (enqueued, unacked) records.
+func (w *WAL) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// Close releases the file handle. Pending records stay on disk for the
+// next Open.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.f != nil {
+		return w.f.Close()
+	}
+	return nil
+}
+
+// sizeForTest reports the current log file size (test hook for the
+// compaction assertions).
+func (w *WAL) sizeForTest() (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fi, err := os.Stat(w.path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+var _ io.Closer = (*WAL)(nil)

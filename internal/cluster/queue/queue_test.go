@@ -1,0 +1,178 @@
+package queue
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string) (*WAL, []Record) {
+	t.Helper()
+	w, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, recs
+}
+
+func TestReplayPendingInOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, recs := openT(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	for i := range 3 {
+		if err := w.Append(fmt.Sprintf("job-%d", i), []byte{byte(i), 0xAA}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Ack("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	w.Close()
+
+	_, recs = openT(t, path)
+	if len(recs) != 2 || recs[0].ID != "job-0" || recs[1].ID != "job-2" {
+		t.Fatalf("replayed %+v, want job-0 then job-2", recs)
+	}
+	if !bytes.Equal(recs[0].Payload, []byte{0, 0xAA}) || !bytes.Equal(recs[1].Payload, []byte{2, 0xAA}) {
+		t.Fatalf("replayed payloads %v", recs)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, _ := openT(t, path)
+	if err := w.Append("whole", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("torn", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Chop bytes off the final frame: a crash mid-write.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, recs := openT(t, path)
+	if len(recs) != 1 || recs[0].ID != "whole" {
+		t.Fatalf("after torn tail replayed %+v, want just %q", recs, "whole")
+	}
+	// The log must be writable again after the truncating recovery.
+	if err := w2.Append("next", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, recs = openT(t, path)
+	if len(recs) != 2 {
+		t.Fatalf("post-recovery append lost: %+v", recs)
+	}
+}
+
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, _ := openT(t, path)
+	if err := w.Append("good", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("bad", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // flip a CRC byte of the last frame
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, path)
+	if len(recs) != 1 || recs[0].ID != "good" {
+		t.Fatalf("after CRC corruption replayed %+v, want just %q", recs, "good")
+	}
+}
+
+func TestOpenCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, _ := openT(t, path)
+	big := bytes.Repeat([]byte("x"), 1<<16)
+	for i := range 8 {
+		id := fmt.Sprintf("j%d", i)
+		if err := w.Append(id, big); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Ack(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Append("live", []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, recs := openT(t, path)
+	if len(recs) != 1 || recs[0].ID != "live" {
+		t.Fatalf("replayed %+v, want just live", recs)
+	}
+	size, err := w2.sizeForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size > 1<<12 {
+		t.Fatalf("compacted log is %d bytes; acked history survived the rewrite", size)
+	}
+}
+
+func TestAckSelfCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, _ := openT(t, path)
+	payload := bytes.Repeat([]byte("y"), 1<<12)
+	for i := range compactEvery + 8 {
+		id := fmt.Sprintf("j%d", i)
+		if err := w.Append(id, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Ack(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size, err := w.sizeForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without self-compaction the file would hold >compactEvery dead
+	// 4KiB payloads; after it, only the post-compaction tail remains.
+	if size > int64(compactEvery)*int64(len(payload))/2 {
+		t.Fatalf("log is %d bytes after %d acks; self-compaction never fired", size, compactEvery+8)
+	}
+}
+
+func TestDuplicateAndUnknown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, _ := openT(t, path)
+	if err := w.Append("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("a", nil); err == nil {
+		t.Fatal("duplicate Append succeeded")
+	}
+	if err := w.Ack("never-enqueued"); err != nil {
+		t.Fatalf("unknown Ack: %v", err)
+	}
+	w.Close()
+	if err := w.Append("b", nil); err != ErrClosed {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"sort"
+
+	"logan/internal/telemetry"
+)
+
+// MergeSnapshots folds each worker's pushed telemetry snapshot into the
+// local (router) snapshot, tagging every imported series with a
+// worker="<name>" label: the cluster-wide /metrics rollup. Families that
+// exist on both sides merge series-wise; worker-only families are
+// appended whole. The local snapshot is not mutated.
+//
+// Worker series that already carry a worker label (a worker scraping
+// another worker would be a deployment error, not a case to support) are
+// imported as-is, never double-labeled.
+func MergeSnapshots(local *telemetry.Snapshot, workers map[string]*telemetry.Snapshot) *telemetry.Snapshot {
+	out := &telemetry.Snapshot{Families: make([]telemetry.FamilySnapshot, len(local.Families))}
+	copy(out.Families, local.Families)
+	byName := make(map[string]int, len(out.Families))
+	for i, f := range out.Families {
+		byName[f.Name] = i
+	}
+
+	// Deterministic rollup order: scrapes diff cleanly.
+	names := make([]string, 0, len(workers))
+	for name := range workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		snap := workers[name]
+		for _, wf := range snap.Families {
+			series := make([]telemetry.SeriesSnapshot, 0, len(wf.Series))
+			for _, ss := range wf.Series {
+				series = append(series, labelSeries(ss, name))
+			}
+			if i, ok := byName[wf.Name]; ok {
+				// Copy-on-write: out.Families may still alias local's
+				// Series slice.
+				merged := out.Families[i]
+				merged.Series = append(append([]telemetry.SeriesSnapshot(nil), merged.Series...), series...)
+				out.Families[i] = merged
+				continue
+			}
+			byName[wf.Name] = len(out.Families)
+			out.Families = append(out.Families, telemetry.FamilySnapshot{
+				Name: wf.Name, Help: wf.Help, Kind: wf.Kind, Bounds: wf.Bounds,
+				Series: series,
+			})
+		}
+	}
+	return out
+}
+
+// labelSeries returns ss with worker=<name> prepended to its label set.
+func labelSeries(ss telemetry.SeriesSnapshot, worker string) telemetry.SeriesSnapshot {
+	for _, l := range ss.Labels {
+		if l.Key == "worker" {
+			return ss
+		}
+	}
+	labels := make([]telemetry.Label, 0, len(ss.Labels)+1)
+	labels = append(labels, telemetry.L("worker", worker))
+	labels = append(labels, ss.Labels...)
+	ss.Labels = labels
+	return ss
+}
