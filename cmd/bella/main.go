@@ -48,6 +48,7 @@ func main() {
 		cigar      = flag.Bool("cigar", false, "recover CIGAR strings for accepted overlaps (CPU post-pass)")
 		pafOut     = flag.String("paf", "", "write accepted overlaps to this file in PAF format")
 		dumpReads  = flag.String("dump-reads", "", "write the simulated reads as FASTA and exit")
+		dumpGenome = flag.String("dump-genome", "", "also write the simulated genome as FASTA (the mapping reference for logan-map / POST /map)")
 		progress   = flag.Bool("progress", false, "print pipeline progress to stderr")
 	)
 	flag.Parse()
@@ -91,6 +92,21 @@ func main() {
 		rs = preset.Build(rng)
 		haveTruth = true
 		fmt.Printf("  %d reads sampled\n", len(rs.Reads))
+	}
+	if *dumpGenome != "" {
+		if len(rs.Genome.Seq) == 0 {
+			fatal(fmt.Errorf("-dump-genome needs a simulated data set (-fasta input has no genome)"))
+		}
+		f, err := os.Create(*dumpGenome)
+		if err != nil {
+			fatal(err)
+		}
+		rec := []seq.Record{{Name: rs.Genome.Name, Seq: rs.Genome.Seq}}
+		if err := seq.WriteFasta(f, rec); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote the %d bp genome to %s\n", len(rs.Genome.Seq), *dumpGenome)
 	}
 	if *dumpReads != "" {
 		f, err := os.Create(*dumpReads)

@@ -69,6 +69,15 @@
 // fleet rollup: every worker's series re-exported under a
 // worker="<name>" label. See docs/SERVING.md ("Running a cluster").
 //
+// The server also hosts the reference-mapping API (logan.Mapper): POST
+// a reference FASTA to /map/index (or start with -map-ref/-map-index)
+// and POST /map places FASTA reads against it, returning PAF that is
+// byte-identical to the offline logan.Mapper.Map output for the same
+// reads and index. Mapping extension batches run on the shared engine
+// and — with coalescing on — through the same QoS lanes as /align and
+// job traffic; logan_map_* series land in /metrics and a "map" block
+// in /statz.
+//
 // Endpoints:
 //
 //	POST   /align        {"pairs":[{"query","target","seedQ","seedT","seedLen"}],
@@ -79,6 +88,14 @@
 //	                     extensions done/total, shed/retry counts)
 //	GET    /jobs/{id}/paf  the finished job's overlaps in PAF (409 until done)
 //	DELETE /jobs/{id}    cancel and forget the job (404 afterwards)
+//	POST   /map          FASTA reads in, PAF placements out: maps reads
+//	                     against the installed minimizer index via the
+//	                     minimize → chain → extend pipeline (409 until an
+//	                     index is installed; ?x=&maxSecondary=... tune it)
+//	POST   /map/index    reference FASTA in; builds the minimizer index
+//	                     asynchronously (?k=&w=&maxOcc=) — 202, then poll
+//	GET    /map/index    index state: none | building | ready | failed,
+//	                     plus the installed index's statistics
 //	GET    /healthz      pure liveness: 200 while the process can serve
 //	GET    /readyz       readiness: 503 until the engine has run its
 //	                     warm-up alignment (and, in router mode, until at
@@ -110,6 +127,8 @@
 //	            [-job-body-limit 67108864] [-job-pending-bytes 268435456]
 //	            [-job-result-bytes 268435456] [-job-data-dir dir]
 //	            [-job-coalesce] [-debug-addr 127.0.0.1:6060]
+//	            [-map] [-map-ref ref.fa | -map-index ref.lgi]
+//	            [-map-k 15] [-map-w 10] [-map-max-occ 256]
 //	            [-cluster -cluster-queue jobs.wal] [-lease-ttl 10s]
 //	            [-worker-ttl 30s] [-max-requeues 3] [-cluster-token secret]
 //
@@ -174,6 +193,16 @@ func main() {
 			"root directory for server-side fastaPath submissions (empty = uploads only)")
 		jobCoalesce = flag.Bool("job-coalesce", false,
 			"merge job extension chunks with /align traffic via the coalescer (coarsens DELETE cancellation to whole merged batches)")
+
+		mapAPI = flag.Bool("map", true, "enable the reference-mapping /map API")
+		mapRef = flag.String("map-ref", "",
+			"reference FASTA to index at startup for /map (empty = build via POST /map/index)")
+		mapIndex = flag.String("map-index", "",
+			"saved minimizer index (from logan-map build-index) to load at startup for /map")
+		mapK      = flag.Int("map-k", 0, "minimizer k-mer length for the -map-ref startup build (0 = 15)")
+		mapW      = flag.Int("map-w", 0, "minimizer window for the -map-ref startup build (0 = 10)")
+		mapMaxOcc = flag.Int("map-max-occ", 0,
+			"mask -map-ref minimizers occurring more than this (0 = 256, negative = no masking)")
 
 		clusterMode = flag.Bool("cluster", false,
 			"router mode: accepted /jobs are persisted to a durable queue and executed by logan-worker processes instead of the local engine (requires -jobs)")
@@ -267,6 +296,15 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	cfg.maps = *mapAPI
+	if (*mapRef != "" || *mapIndex != "") && !*mapAPI {
+		fmt.Fprintln(os.Stderr, "logan-serve: -map-ref/-map-index require -map")
+		os.Exit(2)
+	}
+	if *mapRef != "" && *mapIndex != "" {
+		fmt.Fprintln(os.Stderr, "logan-serve: -map-ref and -map-index are mutually exclusive")
+		os.Exit(2)
+	}
 	cfg.cluster = *clusterMode
 	cfg.clusterQueue = *clusterQueue
 	cfg.leaseTTL = *leaseTTL
@@ -278,6 +316,34 @@ func main() {
 		eng.Close()
 		fmt.Fprintf(os.Stderr, "logan-serve: %v\n", err)
 		os.Exit(1)
+	}
+	// Startup index installation is synchronous: a -map-ref server that
+	// accepts traffic before the index exists would 409 every /map until
+	// the build lands, which reads as flapping to a load balancer.
+	if *mapRef != "" || *mapIndex != "" {
+		path := *mapRef
+		if path == "" {
+			path = *mapIndex
+		}
+		f, err := os.Open(path)
+		if err == nil {
+			if *mapRef != "" {
+				_, err = handler.maps.mapper.Build(context.Background(), f,
+					logan.IndexOptions{K: *mapK, W: *mapW, MaxOccurrence: *mapMaxOcc})
+			} else {
+				_, err = handler.maps.mapper.Load(f)
+			}
+			f.Close()
+		}
+		if err != nil {
+			handler.Close()
+			eng.Close()
+			fmt.Fprintf(os.Stderr, "logan-serve: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		st, _ := handler.maps.mapper.IndexStats()
+		fmt.Printf("logan-serve: mapping index ready (%d refs, %d bases, k=%d w=%d)\n",
+			st.Refs, st.Bases, st.K, st.W)
 	}
 
 	srv := &http.Server{

@@ -214,6 +214,10 @@ type serveConfig struct {
 	// already executing must finish its whole merged batch first — with
 	// large X that postpones DELETE by a full batch.
 	jobCoalesce bool
+	// maps enables the reference-mapping API: POST /map places FASTA
+	// reads against the installed minimizer index (built asynchronously
+	// via POST /map/index, or at startup from -map-ref/-map-index).
+	maps bool
 	// cluster switches the /jobs subsystem from the in-process store to
 	// the router tier: accepted jobs persist to the write-ahead queue at
 	// clusterQueue and execute on registered logan-worker nodes under
@@ -242,6 +246,7 @@ func defaultServeConfig() serveConfig {
 		jobBodyLimit:    64 << 20,
 		jobPendingBytes: 256 << 20,
 		jobResultBytes:  256 << 20,
+		maps:            true,
 	}
 }
 
@@ -260,7 +265,10 @@ type server struct {
 	// rollup and /statz views only it provides.
 	store  cluster.JobStore
 	router *cluster.Router
-	mux    *http.ServeMux
+	// maps backs the reference-mapping API (nil when disabled): the
+	// shared Mapper plus the single-slot async index build.
+	maps *mapTier
+	mux  *http.ServeMux
 	// dataDir roots server-side fastaPath submissions ("" disables them).
 	dataDir string
 	// ready flips once the warmup alignment completes; /readyz also
@@ -378,6 +386,15 @@ func newServer(eng *logan.Aligner, cfg serveConfig) (*server, error) {
 		}
 		s.store = newJobStore(ov, s.tele, cfg.jobWorkers, cfg.maxJobs, cfg.jobPendingBytes, cfg.jobResultBytes)
 	}
+	if cfg.maps {
+		// The mapper extends on the shared engine; with coalescing on its
+		// batches ride the same QoS lanes as /align and /jobs traffic.
+		mapper, err := logan.NewMapper(eng, logan.MapperOptions{Coalescer: s.coal})
+		if err != nil {
+			panic(err) // unreachable: eng is non-nil
+		}
+		s.maps = &mapTier{mapper: mapper}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /align", s.handleAlign)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -388,6 +405,11 @@ func newServer(eng *logan.Aligner, cfg serveConfig) (*server, error) {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/paf", s.handleJobPAF)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
+	if s.maps != nil {
+		mux.HandleFunc("POST /map", s.handleMap)
+		mux.HandleFunc("POST /map/index", s.handleMapIndexBuild)
+		mux.HandleFunc("GET /map/index", s.handleMapIndexStatus)
+	}
 	if s.router != nil {
 		mux.Handle("/cluster/", s.router.Handler())
 	}
@@ -631,6 +653,7 @@ type statzJSON struct {
 	Cache       *cacheStatzJSON             `json:"cache,omitempty"`
 	Tenants     map[string]tenantStatzJSON  `json:"tenants,omitempty"`
 	Jobs        *jobsStatzJSON              `json:"jobs,omitempty"`
+	Map         *mapStatzJSON               `json:"map,omitempty"`
 	Cluster     *clusterStatzJSON           `json:"cluster,omitempty"`
 }
 
@@ -770,6 +793,19 @@ func (s *server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	out.Tenants = tenantStatz(snap)
 	if s.store != nil {
 		out.Jobs = jobsStatz(snap)
+	}
+	if s.maps != nil {
+		out.Map = &mapStatzJSON{
+			Reads:      snap.Int("logan_map_reads_total"),
+			Mapped:     snap.Int("logan_map_reads_mapped_total"),
+			Anchors:    snap.Int("logan_map_anchors_total"),
+			Chains:     snap.Int("logan_map_chains_total"),
+			Extensions: snap.Int("logan_map_extensions_total"),
+			Records:    snap.Int("logan_map_records_total"),
+			Shed:       snap.Int("logan_map_shed_total"),
+			Retries:    snap.Int("logan_map_retries_total"),
+			Index:      s.maps.status(),
+		}
 	}
 	if s.router != nil {
 		out.Cluster = clusterStatz(s.router, snap)

@@ -1,0 +1,345 @@
+// Package chain implements colinear chaining of exact-match anchors, the
+// middle stage of the minimap2-style mapping pipeline (minimize → chain →
+// extend). Anchors — k-mer matches between a read and a reference — are
+// sorted and scored with a gap-cost dynamic program whose lookback is
+// bounded (O(n log n) for the sort, O(n·lookback) for the DP), then
+// backtracked into disjoint chains. The package also classifies the
+// chains of a read into primary and secondary loci and estimates mapping
+// quality from the score gap between them.
+package chain
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Anchor is one exact k-mer match: start positions on the read (QPos)
+// and the reference (TPos), both in the coordinates of the strand being
+// chained, and the match length.
+type Anchor struct {
+	QPos, TPos int32
+	Len        int32
+}
+
+// Options tunes the chaining DP.
+type Options struct {
+	// MaxGap bounds the query gap, target gap, and diagonal drift between
+	// consecutive chained anchors. Default 5000.
+	MaxGap int32
+	// Lookback bounds how many sorted predecessors each anchor examines,
+	// the minimap2 heuristic that keeps the DP near-linear. Default 64.
+	Lookback int
+	// MinScore drops chains scoring below it. Default 2×k-ish; zero means
+	// DefaultMinScore, negative disables the floor.
+	MinScore int32
+	// MinAnchors drops chains with fewer anchors. Default 3; negative
+	// disables the floor.
+	MinAnchors int
+}
+
+// Chaining defaults: gaps beyond 5 kbp read better as two loci, 64
+// predecessors is the minimap2 lookback, and three colinear 15-mers
+// (score ≈ 30+) separate signal from stray repeat hits.
+const (
+	DefaultMaxGap     = 5000
+	DefaultLookback   = 64
+	DefaultMinScore   = 30
+	DefaultMinAnchors = 3
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxGap == 0 {
+		o.MaxGap = DefaultMaxGap
+	}
+	if o.Lookback == 0 {
+		o.Lookback = DefaultLookback
+	}
+	if o.MinScore == 0 {
+		o.MinScore = DefaultMinScore
+	}
+	if o.MinAnchors == 0 {
+		o.MinAnchors = DefaultMinAnchors
+	}
+	return o
+}
+
+// Chain is one colinear run of anchors, ascending in both coordinates.
+// Bounds are half-open: the chain spans [QStart,QEnd) × [TStart,TEnd).
+type Chain struct {
+	Score        int32
+	Anchors      []Anchor
+	QStart, QEnd int32
+	TStart, TEnd int32
+}
+
+// linkScore returns the DP gain of extending a chain ending at prev with
+// next (both on the same diagonal band), or ok=false when the pair is
+// not chainable. The gain is the newly matched length minus a gap cost
+// affine in the diagonal drift — an integer rendering of minimap2's
+// 0.01·k̄·|dd| + 0.5·log2|dd| so the oracle test can reproduce it
+// exactly.
+func linkScore(prev, next Anchor, maxGap int32) (int32, bool) {
+	qd := next.QPos - prev.QPos
+	td := next.TPos - prev.TPos
+	if qd <= 0 || td <= 0 || qd > maxGap || td > maxGap {
+		return 0, false
+	}
+	dd := qd - td
+	if dd < 0 {
+		dd = -dd
+	}
+	if dd > maxGap {
+		return 0, false
+	}
+	gain := qd
+	if td < gain {
+		gain = td
+	}
+	if next.Len < gain {
+		gain = next.Len
+	}
+	var gap int32
+	if dd > 0 {
+		gap = dd*next.Len/100 + int32(bits.Len32(uint32(dd)))
+	}
+	return gain - gap, true
+}
+
+// Find chains anchors and returns disjoint chains in descending score
+// order. Anchors may arrive in any order; ties at every stage break
+// deterministically so repeated runs (and the serve tier vs the offline
+// path) produce identical chains.
+func Find(anchors []Anchor, opt Options) []Chain {
+	opt = opt.withDefaults()
+	n := len(anchors)
+	if n == 0 {
+		return nil
+	}
+	srt := make([]Anchor, n)
+	copy(srt, anchors)
+	sort.Slice(srt, func(a, b int) bool {
+		if srt[a].TPos != srt[b].TPos {
+			return srt[a].TPos < srt[b].TPos
+		}
+		if srt[a].QPos != srt[b].QPos {
+			return srt[a].QPos < srt[b].QPos
+		}
+		return srt[a].Len < srt[b].Len
+	})
+	f := make([]int32, n)   // best chain score ending at i
+	pre := make([]int32, n) // predecessor index, -1 for chain start
+	for i := 0; i < n; i++ {
+		f[i] = srt[i].Len
+		pre[i] = -1
+		lo := i - opt.Lookback
+		if lo < 0 {
+			lo = 0
+		}
+		for j := i - 1; j >= lo; j-- {
+			gain, ok := linkScore(srt[j], srt[i], opt.MaxGap)
+			if !ok {
+				continue
+			}
+			if s := f[j] + gain; s > f[i] {
+				f[i] = s
+				pre[i] = int32(j)
+			}
+		}
+	}
+	// Backtrack from chain ends in descending score order; anchors join
+	// at most one chain, and a walk stopping at a consumed anchor keeps
+	// only its own suffix (scored relative to the shared prefix).
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if f[ia] != f[ib] {
+			return f[ia] > f[ib]
+		}
+		return ia < ib
+	})
+	used := make([]bool, n)
+	var chains []Chain
+	for _, end := range order {
+		if used[end] {
+			continue
+		}
+		var idx []int32
+		score := f[end]
+		for i := end; i >= 0; {
+			if used[i] {
+				score -= f[i] // suffix only: the prefix belongs to a better chain
+				break
+			}
+			used[i] = true
+			idx = append(idx, i)
+			i = pre[i]
+		}
+		if opt.MinScore >= 0 && score < opt.MinScore {
+			continue
+		}
+		if opt.MinAnchors >= 0 && len(idx) < opt.MinAnchors {
+			continue
+		}
+		ch := Chain{Score: score, Anchors: make([]Anchor, len(idx))}
+		for k, i := range idx {
+			ch.Anchors[len(idx)-1-k] = srt[i]
+		}
+		first, last := ch.Anchors[0], ch.Anchors[len(ch.Anchors)-1]
+		ch.QStart, ch.QEnd = first.QPos, last.QPos+last.Len
+		ch.TStart, ch.TEnd = first.TPos, last.TPos+last.Len
+		chains = append(chains, ch)
+	}
+	sort.SliceStable(chains, func(a, b int) bool {
+		if chains[a].Score != chains[b].Score {
+			return chains[a].Score > chains[b].Score
+		}
+		if chains[a].TStart != chains[b].TStart {
+			return chains[a].TStart < chains[b].TStart
+		}
+		return chains[a].QStart < chains[b].QStart
+	})
+	return chains
+}
+
+// Candidate is one chained locus of a read offered to Select. Group and
+// Ordinal are opaque caller tags (the mapper uses reference×strand and
+// the chain's index within that group) used only for deterministic
+// tie-breaking and for mapping placements back to chains.
+type Candidate struct {
+	Group   int
+	Ordinal int
+	Score   int32
+	QStart  int32
+	QEnd    int32
+	Anchors int
+}
+
+// Placement is Select's classification of one candidate.
+type Placement struct {
+	Candidate
+	// Primary marks the best chain of a distinct read locus; secondaries
+	// are chains whose read interval substantially overlaps a better
+	// primary (a repeat copy or alternative placement).
+	Primary bool
+	// MapQ is the 0–60 mapping-quality estimate for primaries (0 for
+	// secondaries): high when the best chain dominates its runner-up.
+	MapQ int
+}
+
+// secondaryOverlapFrac: a chain is secondary to a primary when their
+// read intervals overlap by at least half of the shorter interval,
+// minimap2's mask level.
+const secondaryOverlapFrac = 0.5
+
+// Select classifies a read's candidate loci into primaries and up to
+// maxSecondary secondaries per primary, ordered primary-first in
+// descending score order with each primary's secondaries following it.
+func Select(cands []Candidate, maxSecondary int) []Placement {
+	if len(cands) == 0 {
+		return nil
+	}
+	order := make([]Candidate, len(cands))
+	copy(order, cands)
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].Score != order[b].Score {
+			return order[a].Score > order[b].Score
+		}
+		if order[a].QStart != order[b].QStart {
+			return order[a].QStart < order[b].QStart
+		}
+		if order[a].Group != order[b].Group {
+			return order[a].Group < order[b].Group
+		}
+		return order[a].Ordinal < order[b].Ordinal
+	})
+	type locus struct {
+		primary Placement
+		subs    []Placement
+		subBest int32 // best secondary score, for MapQ
+		nsubs   int   // all overlapping chains, kept or not
+	}
+	var loci []locus
+	for _, c := range order {
+		attached := false
+		for li := range loci {
+			p := &loci[li]
+			if overlapFrac(c.QStart, c.QEnd, p.primary.QStart, p.primary.QEnd) >= secondaryOverlapFrac {
+				if p.nsubs == 0 {
+					p.subBest = c.Score
+				}
+				p.nsubs++
+				if len(p.subs) < maxSecondary {
+					p.subs = append(p.subs, Placement{Candidate: c})
+				}
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			loci = append(loci, locus{primary: Placement{Candidate: c, Primary: true}})
+		}
+	}
+	out := make([]Placement, 0, len(cands))
+	for i := range loci {
+		l := &loci[i]
+		l.primary.MapQ = MapQ(l.primary.Score, l.subBest, l.primary.Anchors)
+		out = append(out, l.primary)
+		out = append(out, l.subs...)
+	}
+	return out
+}
+
+func overlapFrac(aLo, aHi, bLo, bHi int32) float64 {
+	lo, hi := aLo, aHi
+	if bLo > lo {
+		lo = bLo
+	}
+	if bHi < hi {
+		hi = bHi
+	}
+	if hi <= lo {
+		return 0
+	}
+	shorter := aHi - aLo
+	if bHi-bLo < shorter {
+		shorter = bHi - bLo
+	}
+	if shorter <= 0 {
+		return 0
+	}
+	return float64(hi-lo) / float64(shorter)
+}
+
+// MapQ estimates mapping quality for a primary chain: 40·(1−f2/f1)
+// scaled by anchor support and clamped to [0,60], evaluated in integer
+// arithmetic so every platform and path computes the identical value.
+// f2 is the best secondary score (0 when the locus is unique).
+func MapQ(f1, f2 int32, anchors int) int {
+	if f1 <= 0 {
+		return 0
+	}
+	if f2 < 0 {
+		f2 = 0
+	}
+	if f2 > f1 {
+		f2 = f1
+	}
+	n := anchors
+	if n > 10 {
+		n = 10
+	}
+	if n < 0 {
+		n = 0
+	}
+	q := int(int64(40) * int64(f1-f2) * int64(n) / (int64(f1) * 10))
+	if q > 60 {
+		q = 60
+	}
+	if q < 0 {
+		q = 0
+	}
+	return q
+}

@@ -1,0 +1,253 @@
+package chain
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// oracleLink mirrors linkScore independently for the brute-force oracle.
+func oracleLink(prev, next Anchor, maxGap int32) (int32, bool) {
+	qd, td := next.QPos-prev.QPos, next.TPos-prev.TPos
+	if qd <= 0 || td <= 0 || qd > maxGap || td > maxGap {
+		return 0, false
+	}
+	dd := qd - td
+	if dd < 0 {
+		dd = -dd
+	}
+	if dd > maxGap {
+		return 0, false
+	}
+	gain := min(min(qd, td), next.Len)
+	gap := int32(0)
+	if dd > 0 {
+		gap = dd*next.Len/100 + int32(bits.Len32(uint32(dd)))
+	}
+	return gain - gap, true
+}
+
+// oracleBest exhaustively enumerates every colinear chain (all increasing
+// subsequences under the chainability predicate) and returns the best
+// total score. Exponential — callers keep len(anchors) small.
+func oracleBest(anchors []Anchor, maxGap int32) int32 {
+	best := int32(-1 << 30)
+	var dfs func(last int, score int32)
+	dfs = func(last int, score int32) {
+		if score > best {
+			best = score
+		}
+		for i := 0; i < len(anchors); i++ {
+			if i == last {
+				continue
+			}
+			gain, ok := oracleLink(anchors[last], anchors[i], maxGap)
+			if !ok {
+				continue
+			}
+			dfs(i, score+gain)
+		}
+	}
+	for i := range anchors {
+		dfs(i, anchors[i].Len)
+	}
+	return best
+}
+
+// checkChainConsistency validates the structural invariants of every
+// returned chain and recomputes its score from the links.
+func checkChainConsistency(t *testing.T, chains []Chain, opt Options) {
+	t.Helper()
+	opt = opt.withDefaults()
+	for ci, ch := range chains {
+		if len(ch.Anchors) == 0 {
+			t.Fatalf("chain %d has no anchors", ci)
+		}
+		score := ch.Anchors[0].Len
+		for i := 1; i < len(ch.Anchors); i++ {
+			gain, ok := linkScore(ch.Anchors[i-1], ch.Anchors[i], opt.MaxGap)
+			if !ok {
+				t.Fatalf("chain %d link %d not chainable: %+v -> %+v", ci, i, ch.Anchors[i-1], ch.Anchors[i])
+			}
+			score += gain
+		}
+		if score < ch.Score {
+			// A chain truncated at a consumed anchor reports the suffix
+			// score, which never exceeds the full recomputed score.
+			t.Fatalf("chain %d reported score %d exceeds recomputed %d", ci, ch.Score, score)
+		}
+		first, last := ch.Anchors[0], ch.Anchors[len(ch.Anchors)-1]
+		if ch.QStart != first.QPos || ch.QEnd != last.QPos+last.Len ||
+			ch.TStart != first.TPos || ch.TEnd != last.TPos+last.Len {
+			t.Fatalf("chain %d bounds %+v disagree with anchors", ci, ch)
+		}
+		if ci > 0 && ch.Score > chains[ci-1].Score {
+			t.Fatalf("chains not in descending score order at %d", ci)
+		}
+	}
+}
+
+func TestFindMatchesOracleOnSmallSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	opt := Options{MaxGap: 100, Lookback: 64, MinScore: -1, MinAnchors: -1}
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(8)
+		anchors := make([]Anchor, n)
+		for i := range anchors {
+			anchors[i] = Anchor{
+				QPos: int32(rng.Intn(120)),
+				TPos: int32(rng.Intn(120)),
+				Len:  int32(5 + rng.Intn(15)),
+			}
+		}
+		chains := Find(anchors, opt)
+		if len(chains) == 0 {
+			t.Fatalf("trial %d: no chains from %d anchors with filters disabled", trial, n)
+		}
+		checkChainConsistency(t, chains, opt)
+		want := oracleBest(anchors, opt.MaxGap)
+		if got := chains[0].Score; got != want {
+			t.Fatalf("trial %d anchors %+v: best chain score %d, oracle %d", trial, anchors, got, want)
+		}
+	}
+}
+
+func TestFindPerfectDiagonal(t *testing.T) {
+	// 20 colinear k-mers on one diagonal chain into a single chain whose
+	// score is the covered query span (gapless: gain = qd each link).
+	var anchors []Anchor
+	for i := 0; i < 20; i++ {
+		anchors = append(anchors, Anchor{QPos: int32(i * 10), TPos: int32(1000 + i*10), Len: 15})
+	}
+	chains := Find(anchors, Options{})
+	if len(chains) != 1 {
+		t.Fatalf("got %d chains, want 1: %+v", len(chains), chains)
+	}
+	ch := chains[0]
+	if len(ch.Anchors) != 20 {
+		t.Fatalf("chain kept %d anchors, want 20", len(ch.Anchors))
+	}
+	if ch.QStart != 0 || ch.QEnd != 205 || ch.TStart != 1000 || ch.TEnd != 1205 {
+		t.Fatalf("bounds %+v", ch)
+	}
+	want := int32(15 + 19*10)
+	if ch.Score != want {
+		t.Fatalf("score %d, want %d", ch.Score, want)
+	}
+}
+
+func TestFindSplitsDistantLoci(t *testing.T) {
+	// Two diagonal runs separated by far more than MaxGap on the target
+	// must come back as two chains.
+	var anchors []Anchor
+	for i := 0; i < 5; i++ {
+		anchors = append(anchors, Anchor{QPos: int32(i * 20), TPos: int32(i * 20), Len: 15})
+		anchors = append(anchors, Anchor{QPos: int32(i * 20), TPos: int32(50000 + i*20), Len: 15})
+	}
+	chains := Find(anchors, Options{MinAnchors: 2, MinScore: 1})
+	if len(chains) != 2 {
+		t.Fatalf("got %d chains, want 2: %+v", len(chains), chains)
+	}
+	if chains[0].Score != chains[1].Score {
+		t.Fatalf("symmetric loci scored differently: %d vs %d", chains[0].Score, chains[1].Score)
+	}
+}
+
+func TestFindFilters(t *testing.T) {
+	anchors := []Anchor{{QPos: 0, TPos: 0, Len: 15}, {QPos: 30, TPos: 30, Len: 15}}
+	if got := Find(anchors, Options{MinAnchors: 3}); len(got) != 0 {
+		t.Fatalf("MinAnchors=3 kept a 2-anchor chain: %+v", got)
+	}
+	if got := Find(anchors, Options{MinAnchors: -1, MinScore: 1000}); len(got) != 0 {
+		t.Fatalf("MinScore=1000 kept a low-scoring chain: %+v", got)
+	}
+	if got := Find(nil, Options{}); got != nil {
+		t.Fatalf("empty input produced %+v", got)
+	}
+}
+
+func TestFindDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	anchors := make([]Anchor, 300)
+	for i := range anchors {
+		anchors[i] = Anchor{QPos: int32(rng.Intn(2000)), TPos: int32(rng.Intn(2000)), Len: 15}
+	}
+	a := Find(anchors, Options{})
+	// Shuffle the input: output must not depend on arrival order.
+	shuffled := make([]Anchor, len(anchors))
+	copy(shuffled, anchors)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b := Find(shuffled, Options{})
+	if len(a) != len(b) {
+		t.Fatalf("chain count depends on input order: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score || a[i].QStart != b[i].QStart || a[i].TStart != b[i].TStart {
+			t.Fatalf("chain %d differs across input orders: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSelectPrimarySecondary(t *testing.T) {
+	cands := []Candidate{
+		{Group: 0, Ordinal: 0, Score: 100, QStart: 0, QEnd: 100, Anchors: 10}, // primary locus A
+		{Group: 1, Ordinal: 0, Score: 80, QStart: 10, QEnd: 90, Anchors: 8},   // secondary of A
+		{Group: 2, Ordinal: 0, Score: 70, QStart: 200, QEnd: 300, Anchors: 7}, // primary locus B
+		{Group: 3, Ordinal: 0, Score: 20, QStart: 5, QEnd: 95, Anchors: 2},    // secondary of A
+	}
+	got := Select(cands, 5)
+	if len(got) != 4 {
+		t.Fatalf("got %d placements, want 4: %+v", len(got), got)
+	}
+	if !got[0].Primary || got[0].Score != 100 {
+		t.Fatalf("placement 0 = %+v, want primary score 100", got[0])
+	}
+	if got[1].Primary || got[1].Score != 80 || got[2].Primary || got[2].Score != 20 {
+		t.Fatalf("secondaries of locus A wrong: %+v %+v", got[1], got[2])
+	}
+	if !got[3].Primary || got[3].Score != 70 {
+		t.Fatalf("placement 3 = %+v, want primary score 70", got[3])
+	}
+	// MapQ of locus A reflects the 100-vs-80 contest; unique locus B
+	// should be maximal for its anchor support.
+	if got[0].MapQ != MapQ(100, 80, 10) || got[3].MapQ != MapQ(70, 0, 7) {
+		t.Fatalf("MapQ wiring wrong: %+v %+v", got[0], got[3])
+	}
+
+	if got := Select(cands, 0); len(got) != 2 {
+		t.Fatalf("maxSecondary=0 kept %d placements, want 2 primaries", len(got))
+	}
+	if got := Select(nil, 5); got != nil {
+		t.Fatalf("empty candidates produced %+v", got)
+	}
+}
+
+func TestMapQ(t *testing.T) {
+	cases := []struct {
+		f1, f2  int32
+		anchors int
+		want    int
+	}{
+		{100, 0, 10, 40},  // unique, well-supported: full scale
+		{100, 100, 10, 0}, // exact tie: ambiguous
+		{100, 50, 10, 20},
+		{100, 0, 5, 20}, // thin anchor support halves confidence
+		{0, 0, 10, 0},
+		{-5, 0, 10, 0},
+		{100, 200, 10, 0}, // f2 clamped to f1
+		{100, -7, 10, 40}, // negative runner-up treated as absent
+	}
+	for _, c := range cases {
+		if got := MapQ(c.f1, c.f2, c.anchors); got != c.want {
+			t.Errorf("MapQ(%d,%d,%d) = %d, want %d", c.f1, c.f2, c.anchors, got, c.want)
+		}
+	}
+	for f1 := int32(1); f1 < 200; f1 += 7 {
+		for f2 := int32(0); f2 <= f1; f2 += 11 {
+			q := MapQ(f1, f2, 10)
+			if q < 0 || q > 60 {
+				t.Fatalf("MapQ(%d,%d,10) = %d outside [0,60]", f1, f2, q)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package chain
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzChainOracle decodes arbitrary bytes into a small anchor set and
+// cross-checks Find's best chain against the exhaustive brute-force
+// enumeration, plus the structural invariants of every returned chain.
+// Anchor sets are capped at 8 so the exponential oracle stays fast.
+func FuzzChainOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 10, 20, 20, 30, 30})
+	f.Add([]byte{5, 100, 5, 100, 5, 100, 60, 60})
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		maxGap := int32(20 + int(data[0]))
+		data = data[1:]
+		var anchors []Anchor
+		for len(data) >= 4 && len(anchors) < 8 {
+			v := binary.LittleEndian.Uint32(data)
+			data = data[4:]
+			anchors = append(anchors, Anchor{
+				QPos: int32(v & 0x3ff),
+				TPos: int32((v >> 10) & 0x3ff),
+				Len:  int32((v>>20)&0x1f) + 1,
+			})
+		}
+		if len(anchors) == 0 {
+			return
+		}
+		opt := Options{MaxGap: maxGap, Lookback: 64, MinScore: -1, MinAnchors: -1}
+		chains := Find(anchors, opt)
+		if len(chains) == 0 {
+			t.Fatalf("no chains from %d anchors with filters disabled", len(anchors))
+		}
+		checkChainConsistency(t, chains, opt)
+		want := oracleBest(anchors, maxGap)
+		if got := chains[0].Score; got != want {
+			t.Fatalf("anchors %+v maxGap %d: best chain %d, oracle %d", anchors, maxGap, got, want)
+		}
+		// Every anchor lands in at most one chain.
+		total := 0
+		for _, ch := range chains {
+			total += len(ch.Anchors)
+		}
+		if total > len(anchors) {
+			t.Fatalf("chains reuse anchors: %d placed from %d", total, len(anchors))
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package minidx
+
+import (
+	"reflect"
+	"testing"
+
+	"logan/internal/seq"
+)
+
+// fuzzSeq maps arbitrary fuzz bytes onto the ACGTN alphabet so every
+// input is a valid sequence and occasionally contains run-breaking Ns.
+func fuzzSeq(data []byte) seq.Seq {
+	s := make(seq.Seq, len(data))
+	for i, b := range data {
+		if b >= 250 {
+			s[i] = 'N'
+		} else {
+			s[i] = seq.Alphabet[b&3]
+		}
+	}
+	return s
+}
+
+// FuzzMinimizersDifferential cross-checks the O(n) monotonic-queue
+// extractor against the quadratic reference on arbitrary inputs and
+// parameters, then asserts the two extraction properties the mapper
+// relies on: window invariance (no window of w eligible k-mers is left
+// without a minimizer) and reverse-complement canonicality (the reverse
+// complement selects the same hashes at mirrored positions).
+func FuzzMinimizersDifferential(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTACGTACGT"), uint8(5), uint8(4))
+	f.Add([]byte("AAAAAAAAAAAAAAAAAAAA"), uint8(3), uint8(3))
+	f.Add([]byte{0, 1, 2, 3, 250, 3, 2, 1, 0, 1, 2, 3, 0, 1, 2, 3}, uint8(4), uint8(2))
+	f.Add([]byte("ATATATATATATATATAT"), uint8(2), uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, kb, wb uint8) {
+		k := int(kb)%seq.MaxK + 1 // 1..31
+		w := int(wb)%12 + 1       // 1..12
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		s := fuzzSeq(data)
+		got := Extract(nil, s, k, w)
+		want := ExtractNaive(s, k, w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("k=%d w=%d seq=%s:\nExtract      = %+v\nExtractNaive = %+v", k, w, s, got, want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Pos <= got[i-1].Pos {
+				t.Fatalf("positions not strictly ascending: %+v", got)
+			}
+		}
+		// Window invariance.
+		sel := make(map[int32]bool, len(got))
+		for _, m := range got {
+			sel[m.Pos] = true
+		}
+		for _, run := range eligibleRuns(s, k) {
+			for lo := 0; lo+w <= len(run); lo++ {
+				ok := false
+				for j := lo; j < lo+w; j++ {
+					if sel[run[j]] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("k=%d w=%d: window at eligible offset %d has no minimizer (seq=%s)", k, w, run[lo], s)
+				}
+			}
+		}
+		// Reverse-complement canonicality: same hash multiset at mirrored
+		// positions.
+		rc := Extract(nil, s.RevComp(), k, w)
+		if len(rc) != len(got) {
+			t.Fatalf("revcomp selected %d minimizers, forward %d", len(rc), len(got))
+		}
+		for i, m := range rc {
+			fm := got[len(got)-1-i]
+			if m.Hash != fm.Hash || m.Pos != int32(len(s)-k)-fm.Pos {
+				t.Fatalf("revcomp minimizer %d = %+v, want mirror of %+v", i, m, fm)
+			}
+		}
+	})
+}

@@ -102,13 +102,12 @@ func (fr *FastaReader) Next() (Record, error) {
 			fr.setHeader(b)
 			return rec, nil
 		}
-		if !Valid(b) {
-			fr.done = true
-			return Record{}, fmt.Errorf("seq: line %d: %w", fr.line, ErrBadBase)
-		}
 		n := len(rec.Seq)
 		rec.Seq = append(rec.Seq, b...)
-		normalize(rec.Seq[n:])
+		if err := normalizeFasta(rec.Seq[n:]); err != nil {
+			fr.done = true
+			return Record{}, fmt.Errorf("seq: line %d: %w", fr.line, err)
+		}
 	}
 }
 
@@ -122,21 +121,50 @@ func (fr *FastaReader) setHeader(b []byte) {
 	}
 }
 
-// normalize rewrites validated bases in place to the canonical upper-case
-// ACGTN alphabet.
-func normalize(b []byte) {
-	for i, c := range b {
-		if code := encode[c]; code == 0xFE {
-			b[i] = 'N'
-		} else {
-			b[i] = Alphabet[code]
-		}
+// fastaBase maps an input FASTA base to its normalized form: upper-case
+// ACGT pass through (lower-case is upcased), U becomes T, N and every
+// IUPAC ambiguity code collapse to N, and 0 marks an invalid character.
+// The table is shared by the FASTA and FASTQ ingestion paths so the
+// overlap and mapping pipelines accept the same inputs.
+var fastaBase [256]byte
+
+func init() {
+	set := func(in, out byte) {
+		fastaBase[in] = out
+		fastaBase[in|0x20] = out // lower case
 	}
+	set('A', 'A')
+	set('C', 'C')
+	set('G', 'G')
+	set('T', 'T')
+	set('U', 'T') // RNA input: uracil reads as thymine
+	set('N', 'N')
+	// IUPAC ambiguity codes: any multi-base possibility degrades to N,
+	// which the k-mer and seeding layers already treat as a wildcard gap.
+	for _, c := range []byte("RYSWKMBDHV") {
+		set(c, 'N')
+	}
+}
+
+// normalizeFasta rewrites b in place to the canonical upper-case ACGTN
+// alphabet, accepting lower-case bases, U, and IUPAC ambiguity codes.
+// It reports ErrBadBase for anything else.
+func normalizeFasta(b []byte) error {
+	for i, c := range b {
+		out := fastaBase[c]
+		if out == 0 {
+			return fmt.Errorf("%w: %q at offset %d", ErrBadBase, c, i)
+		}
+		b[i] = out
+	}
+	return nil
 }
 
 // ReadFasta parses FASTA records from r. Header lines start with '>'; the
 // name is the first whitespace-delimited token. Sequence lines are
-// concatenated and validated against the ACGTN alphabet. It is a
+// concatenated and normalized to the upper-case ACGTN alphabet:
+// lower-case bases are upcased, U reads as T, and IUPAC ambiguity codes
+// collapse to N (anything else is ErrBadBase). It is a
 // collecting wrapper over FastaReader; callers that should not hold the
 // whole data set in flight stream records with FastaReader.Next instead.
 func ReadFasta(r io.Reader) ([]Record, error) {
@@ -198,8 +226,8 @@ func ReadFastq(r io.Reader) ([]Record, error) {
 		if !ok {
 			return nil, fmt.Errorf("seq: line %d: truncated FASTQ record", line)
 		}
-		if !Valid(sq) {
-			return nil, fmt.Errorf("seq: line %d: %v", line, ErrBadBase)
+		if err := normalizeFasta(sq); err != nil {
+			return nil, fmt.Errorf("seq: line %d: %v", line, err)
 		}
 		plus, ok := next()
 		if !ok || plus[0] != '+' {

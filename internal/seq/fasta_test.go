@@ -75,6 +75,70 @@ func TestFastaReaderErrors(t *testing.T) {
 	}
 }
 
+func TestFastaReaderBaseNormalization(t *testing.T) {
+	// The overlap and mapping paths both ingest through FastaReader; this
+	// table pins the shared acceptance rules: case-insensitive ACGT, U→T,
+	// N and IUPAC ambiguity codes →N, everything else ErrBadBase.
+	cases := []struct {
+		name string
+		in   string
+		want string // "" with bad=true means ErrBadBase
+		bad  bool
+	}{
+		{"upper", "ACGT", "ACGT", false},
+		{"lower", "acgt", "ACGT", false},
+		{"mixed case", "AcGtNn", "ACGTNN", false},
+		{"uracil", "ACGU", "ACGT", false},
+		{"uracil lower", "acgu", "ACGT", false},
+		{"iupac upper", "RYSWKMBDHV", "NNNNNNNNNN", false},
+		{"iupac lower", "ryswkmbdhv", "NNNNNNNNNN", false},
+		{"iupac embedded", "ACGTRACGTY", "ACGTNACGTN", false},
+		{"digit", "ACG1T", "", true},
+		{"gap dash", "ACG-T", "", true},
+		{"asterisk", "ACGT*", "", true},
+		{"interior space rejected", "AC GT", "", true},
+		{"punctuation", "AC.GT", "", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fr := NewFastaReader(strings.NewReader(">r\n" + c.in + "\n"))
+			rec, err := fr.Next()
+			if c.bad {
+				if err == nil || !errors.Is(err, ErrBadBase) {
+					t.Fatalf("input %q: err = %v, want ErrBadBase", c.in, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("input %q: %v", c.in, err)
+			}
+			if rec.Seq.String() != c.want {
+				t.Fatalf("input %q normalized to %q, want %q", c.in, rec.Seq, c.want)
+			}
+			// The normalized output must be canonical for every downstream
+			// consumer (zero-copy FromBytes, k-mer scan, packing).
+			if _, err := FromBytes(rec.Seq); err != nil {
+				t.Fatalf("normalized output %q not canonical: %v", rec.Seq, err)
+			}
+		})
+	}
+}
+
+func TestFastqBaseNormalization(t *testing.T) {
+	// FASTQ rides the same table so both ingestion formats agree.
+	in := "@r\nacgurY\n+\n!!!!!!\n"
+	recs, err := ReadFastq(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recs[0].Seq.String(); got != "ACGTNN" {
+		t.Fatalf("FASTQ normalized to %q, want ACGTNN", got)
+	}
+	if _, err := ReadFastq(strings.NewReader("@r\nAC-T\n+\n!!!!\n")); err == nil {
+		t.Fatal("FASTQ accepted a gap character")
+	}
+}
+
 func TestFastaReaderEmptyInput(t *testing.T) {
 	if _, err := NewFastaReader(strings.NewReader("")).Next(); err != io.EOF {
 		t.Errorf("empty input: err = %v, want io.EOF", err)

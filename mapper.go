@@ -1,0 +1,702 @@
+package logan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"logan/internal/bella"
+	"logan/internal/chain"
+	"logan/internal/minidx"
+	"logan/internal/seq"
+	"logan/internal/telemetry"
+	"logan/internal/xdrop"
+)
+
+// ErrNoIndex reports a Map call on a Mapper that has neither built nor
+// loaded a reference index yet.
+var ErrNoIndex = errors.New("logan: mapper has no reference index (call Build or Load first)")
+
+// IndexOptions parameterizes reference index construction, mirroring the
+// minimizer sampling scheme: (w,k)-minimizers over the reference with
+// high-occurrence masking. Zero fields select the package defaults
+// (k=15, w=10, mask above 256 occurrences); a negative MaxOccurrence
+// disables masking.
+type IndexOptions struct {
+	K             int
+	W             int
+	MaxOccurrence int
+}
+
+// IndexStats describes a built or loaded reference index: its sampling
+// parameters and the shape of the minimizer table, including the
+// open-addressing occupancy exported as the logan_map_index_occupancy
+// gauge.
+type IndexStats struct {
+	K             int     `json:"k"`
+	W             int     `json:"w"`
+	MaxOccurrence int     `json:"maxOccurrence"`
+	Refs          int     `json:"refs"`
+	Bases         int64   `json:"bases"`
+	Minimizers    int64   `json:"minimizers"`
+	Distinct      int64   `json:"distinct"`
+	Kept          int64   `json:"kept"`
+	MaskedKmers   int64   `json:"maskedKmers"`
+	TableSize     int     `json:"tableSize"`
+	Occupancy     float64 `json:"occupancy"`
+}
+
+// MapStage names a phase of the mapping pipeline in progress updates:
+// "ingest" (MapFasta parsing), "seed" (minimizer lookup + chaining),
+// "extend" (batched X-drop extension of selected chains) and "done".
+type MapStage string
+
+// Mapping pipeline stages.
+const (
+	MapStageIngest MapStage = "ingest"
+	MapStageSeed   MapStage = "seed"
+	MapStageExtend MapStage = "extend"
+	MapStageDone   MapStage = "done"
+)
+
+// MapProgress is one progress snapshot of a mapping run, delivered via
+// MapConfig.OnProgress. Counters are cumulative over the run; reads are
+// processed in batches, so Seeded/ExtensionsTotal grow as the run
+// streams through its input.
+type MapProgress struct {
+	// Stage is the phase that just produced this update.
+	Stage MapStage
+	// ReadsParsed counts input records ingested (grows during "ingest"
+	// for MapFasta; set once up front for Map).
+	ReadsParsed int
+	// ReadsSeeded counts reads through minimizer lookup and chaining.
+	ReadsSeeded int
+	// Anchors and Chains are cumulative seeding outcomes.
+	Anchors, Chains int64
+	// ExtensionsDone/ExtensionsTotal track X-drop extensions of selected
+	// chains; the total grows batch by batch as reads are seeded.
+	ExtensionsDone, ExtensionsTotal int
+	// Mapped counts reads with at least one accepted placement so far.
+	Mapped int
+	// Shed/Retries count coalescer admission rejections of extension
+	// batches and their re-submissions (coalescer-routed Mappers only).
+	Shed, Retries int64
+}
+
+// MapConfig parameterizes one mapping run: chaining bounds, placement
+// selection, and the X-drop extension configuration. The zero value is
+// not valid; start from DefaultMapConfig.
+type MapConfig struct {
+	// X is the X-drop termination threshold of the extension stage.
+	X int32
+	// Scoring is the extension scheme; mapping-quality estimation and the
+	// match-count estimate are calibrated for linear DNA scoring, so only
+	// LinearScoring configurations validate.
+	Scoring Scoring
+	// MaxGap bounds the query/target gap and diagonal drift between
+	// chained anchors (0 selects the chaining default of 5000).
+	MaxGap int32
+	// MinChainScore drops chains scoring below it (0 selects the default
+	// of 30; negative disables the floor).
+	MinChainScore int32
+	// MinChainAnchors drops chains with fewer anchors (0 selects the
+	// default of 3; negative disables the floor).
+	MinChainAnchors int
+	// MaxSecondary caps reported secondary placements per primary locus
+	// (0 reports primaries only; negative selects the default of 5).
+	MaxSecondary int
+	// BatchReads processes reads in batches of this size, with
+	// cancellation checks, progress updates, and one batched extension
+	// submission per batch (0 selects 512).
+	BatchReads int
+	// OnProgress, when non-nil, receives progress snapshots. It is called
+	// synchronously and must return quickly.
+	OnProgress func(MapProgress)
+}
+
+// DefaultMapConfig returns the default mapping configuration with the
+// paper's +1/-1/-1 scoring at the given X-drop threshold.
+func DefaultMapConfig(x int32) MapConfig {
+	return MapConfig{X: x, Scoring: LinearScoring(1, -1, -1), MaxSecondary: -1}
+}
+
+// defaultMapBatch is the read batch size when BatchReads is unset.
+const defaultMapBatch = 512
+
+// defaultMapSecondaries is the per-primary secondary placement cap when
+// MaxSecondary is negative (the "use defaults" value).
+const defaultMapSecondaries = 5
+
+// Validate rejects configurations the mapping pipeline cannot honor.
+func (c MapConfig) Validate() error {
+	if c.Scoring.mode != scoringLinear {
+		return fmt.Errorf("logan: mapping scoring must be linear (got %q): mapping quality and match estimates are calibrated for the match/mismatch/gap family", c.Scoring.Mode())
+	}
+	if c.MaxGap < 0 {
+		return fmt.Errorf("logan: mapping MaxGap %d must be >= 0", c.MaxGap)
+	}
+	return Config{X: c.X, Scoring: c.Scoring}.Validate()
+}
+
+// MapStageTimes records measured wall time per mapping stage.
+type MapStageTimes struct {
+	Seed   time.Duration
+	Extend time.Duration
+}
+
+// MapStats summarizes one mapping run.
+type MapStats struct {
+	// Reads is the ingested record count; Mapped of them produced at
+	// least one placement.
+	Reads, Mapped int
+	// Anchors, Chains and Extensions count seeding hits, chained loci,
+	// and X-drop extensions across the run.
+	Anchors, Chains, Extensions int64
+	// Cells is the DP work of the extension stage; DeviceTime its
+	// modeled GPU share (zero on pure-CPU engines).
+	Cells      int64
+	DeviceTime time.Duration
+	// Times is the per-stage breakdown; WallTime the run total including
+	// ingestion.
+	Times    MapStageTimes
+	WallTime time.Duration
+	// Shed/Retries mirror the final MapProgress counters.
+	Shed, Retries int64
+}
+
+// MapResult is the outcome of one mapping run: PAF records grouped by
+// read in input order (each read's primary placement first, secondaries
+// after it in descending chain score) plus run statistics.
+type MapResult struct {
+	Records []OverlapRecord
+	Stats   MapStats
+}
+
+// MapperOptions tunes how a Mapper submits extension work.
+type MapperOptions struct {
+	// Coalescer, when non-nil, routes extension batches through the given
+	// request coalescer instead of straight onto the engine's backend, so
+	// mapping traffic shares QoS lanes with /align and /jobs work of the
+	// same configuration. The coalescer must belong to the same engine.
+	Coalescer *Coalescer
+}
+
+// Mapper is the public reference mapping subsystem: a minimizer index
+// over a reference set (Build/Load/Save) and a minimap2-style
+// minimize → chain → extend pipeline (Map) whose extension stage is the
+// shared Aligner engine's batched X-drop. The index is swapped
+// atomically, so Map calls may run concurrently with Build/Load; each
+// run uses the index installed when it started.
+type Mapper struct {
+	eng  *Aligner
+	coal *Coalescer
+
+	mu  sync.RWMutex
+	idx *minidx.Index
+
+	// Run counters (lifetime totals, exported via the engine registry).
+	mReads      *telemetry.Counter
+	mMapped     *telemetry.Counter
+	mAnchors    *telemetry.Counter
+	mChains     *telemetry.Counter
+	mExtensions *telemetry.Counter
+	mRecords    *telemetry.Counter
+	// Index shape gauges, refreshed on every Build/Load.
+	gRefs, gBases, gKept, gOccupancy *telemetry.Gauge
+}
+
+// NewMapper builds a mapping front end over the engine, registering the
+// logan_map_* instruments on the engine's telemetry registry.
+func NewMapper(eng *Aligner, opt MapperOptions) (*Mapper, error) {
+	if eng == nil {
+		return nil, errors.New("logan: NewMapper requires an engine")
+	}
+	t := eng.tele
+	return &Mapper{
+		eng:  eng,
+		coal: opt.Coalescer,
+
+		mReads:      t.Counter("logan_map_reads_total", "Reads processed by the mapping pipeline."),
+		mMapped:     t.Counter("logan_map_reads_mapped_total", "Reads that produced at least one placement."),
+		mAnchors:    t.Counter("logan_map_anchors_total", "Minimizer anchors collected across mapped reads."),
+		mChains:     t.Counter("logan_map_chains_total", "Colinear chains surviving score/anchor floors."),
+		mExtensions: t.Counter("logan_map_extensions_total", "X-drop extensions of selected chains."),
+		mRecords:    t.Counter("logan_map_records_total", "PAF records emitted by the mapping pipeline."),
+		gRefs:       t.Gauge("logan_map_index_refs", "Reference sequences in the loaded minimizer index."),
+		gBases:      t.Gauge("logan_map_index_bases", "Reference bases in the loaded minimizer index."),
+		gKept:       t.Gauge("logan_map_index_minimizers", "Minimizer positions stored in the loaded index (after masking)."),
+		gOccupancy:  t.Gauge("logan_map_index_occupancy", "Open-addressing table occupancy of the loaded index."),
+	}, nil
+}
+
+// Engine returns the engine the Mapper extends on.
+func (m *Mapper) Engine() *Aligner { return m.eng }
+
+// indexStats lowers internal index statistics onto the public view.
+func indexStats(x *minidx.Index) IndexStats {
+	st := x.Stats()
+	return IndexStats{
+		K: x.K(), W: x.W(), MaxOccurrence: x.MaxOccurrence(),
+		Refs: st.Refs, Bases: st.Bases, Minimizers: st.Minimizers,
+		Distinct: st.Distinct, Kept: st.Kept, MaskedKmers: st.MaskedKmers,
+		TableSize: st.TableSize, Occupancy: st.Occupancy,
+	}
+}
+
+// setIndex installs a new index and refreshes the index gauges.
+func (m *Mapper) setIndex(x *minidx.Index) IndexStats {
+	m.mu.Lock()
+	m.idx = x
+	m.mu.Unlock()
+	st := indexStats(x)
+	m.gRefs.Set(float64(st.Refs))
+	m.gBases.Set(float64(st.Bases))
+	m.gKept.Set(float64(st.Kept))
+	m.gOccupancy.Set(st.Occupancy)
+	return st
+}
+
+// index returns the installed index, or nil.
+func (m *Mapper) index() *minidx.Index {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.idx
+}
+
+// Ready reports whether an index is installed.
+func (m *Mapper) Ready() bool { return m.index() != nil }
+
+// IndexStats returns the installed index's statistics; ok is false when
+// no index is installed yet.
+func (m *Mapper) IndexStats() (st IndexStats, ok bool) {
+	x := m.index()
+	if x == nil {
+		return IndexStats{}, false
+	}
+	return indexStats(x), true
+}
+
+// Build constructs a reference index from streamed FASTA input and
+// installs it as the Mapper's index. Reference bases are normalized the
+// same way the FASTA ingestion path normalizes reads (lower-case and
+// IUPAC codes accepted); N bases never seed anchors and are stored as A,
+// matching the engine's 2-bit packing. Cancelling ctx abandons the build
+// between records.
+func (m *Mapper) Build(ctx context.Context, r io.Reader, opt IndexOptions) (IndexStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fr := seq.NewFastaReader(r)
+	var refs []minidx.Ref
+	for {
+		if err := ctx.Err(); err != nil {
+			return IndexStats{}, err
+		}
+		rec, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return IndexStats{}, fmt.Errorf("logan: index fasta: %w", err)
+		}
+		refs = append(refs, minidx.Ref{Name: rec.Name, Seq: rec.Seq})
+	}
+	x, err := minidx.Build(refs, minidx.Options{K: opt.K, W: opt.W, MaxOccurrence: opt.MaxOccurrence})
+	if err != nil {
+		return IndexStats{}, fmt.Errorf("logan: index build: %w", err)
+	}
+	return m.setIndex(x), nil
+}
+
+// Load installs an index previously written by Save, verifying its CRC.
+func (m *Mapper) Load(r io.Reader) (IndexStats, error) {
+	x, err := minidx.Load(r)
+	if err != nil {
+		return IndexStats{}, fmt.Errorf("logan: index load: %w", err)
+	}
+	return m.setIndex(x), nil
+}
+
+// Save writes the installed index in the versioned binary format;
+// Load(Save(x)) is bit-identical to x.
+func (m *Mapper) Save(w io.Writer) error {
+	x := m.index()
+	if x == nil {
+		return ErrNoIndex
+	}
+	return x.Save(w)
+}
+
+// mapJob is one selected chain queued for X-drop extension.
+type mapJob struct {
+	readIdx int
+	refID   int32
+	rev     bool
+	primary bool
+	mapq    int
+	pair    seq.Pair
+	tOff    int // target window offset into the reference
+}
+
+// Map places reads against the installed index. Records come back
+// grouped by read in input order, each read's primary placement first.
+// Sequence bytes are aliased during the run, not copied; do not mutate
+// them until Map returns. Cancelling ctx abandons the run at the next
+// batch boundary.
+func (m *Mapper) Map(ctx context.Context, reads []Read, cfg MapConfig) (*MapResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rs := make([]seq.Seq, len(reads))
+	for i, r := range reads {
+		s, err := seq.FromBytes(r.Seq)
+		if err != nil {
+			return nil, fmt.Errorf("logan: read %d (%s): %w", i, r.Name, err)
+		}
+		rs[i] = s
+	}
+	return m.run(ctx, reads, rs, cfg, start)
+}
+
+// MapFasta is Map over streamed FASTA input, reporting "ingest" progress
+// per read. The parse enforces no size limits; callers admitting
+// untrusted input should wrap r with an io.LimitReader.
+func (m *Mapper) MapFasta(ctx context.Context, r io.Reader, cfg MapConfig) (*MapResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	fr := seq.NewFastaReader(r)
+	var reads []Read
+	var rs []seq.Seq
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rec, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("logan: fasta: %w", err)
+		}
+		reads = append(reads, Read{Name: rec.Name, Seq: rec.Seq})
+		rs = append(rs, rec.Seq)
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(MapProgress{Stage: MapStageIngest, ReadsParsed: len(reads)})
+		}
+	}
+	return m.run(ctx, reads, rs, cfg, start)
+}
+
+// run executes the mapping pipeline over ingested reads.
+func (m *Mapper) run(ctx context.Context, reads []Read, rs []seq.Seq, cfg MapConfig, start time.Time) (*MapResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	idx := m.index()
+	if idx == nil {
+		return nil, ErrNoIndex
+	}
+	batch := cfg.BatchReads
+	if batch <= 0 {
+		batch = defaultMapBatch
+	}
+	maxSec := cfg.MaxSecondary
+	if maxSec < 0 {
+		maxSec = defaultMapSecondaries
+	}
+	chOpt := chain.Options{
+		MaxGap:     cfg.MaxGap,
+		MinScore:   cfg.MinChainScore,
+		MinAnchors: cfg.MinChainAnchors,
+	}
+
+	var counters overlapCounters
+	var al bella.Aligner
+	if m.coal != nil {
+		al = &coalescedExtender{
+			coal:       m.coal,
+			counters:   &counters,
+			shedTotal:  m.eng.tele.Counter("logan_map_shed_total", "Mapping extension batches shed by coalescer admission control."),
+			retryTotal: m.eng.tele.Counter("logan_map_retries_total", "Re-submissions of shed mapping extension batches."),
+		}
+	} else {
+		al = &engineExtender{eng: m.eng}
+	}
+
+	res := &MapResult{}
+	st := &res.Stats
+	st.Reads = len(reads)
+	seeder := mapSeeder{idx: idx, opt: chOpt, x: cfg.X, maxSec: maxSec}
+	progress := func(stage MapStage, extDone, extTotal int) {
+		if cfg.OnProgress == nil {
+			return
+		}
+		cfg.OnProgress(MapProgress{
+			Stage:       stage,
+			ReadsParsed: len(reads), ReadsSeeded: seeder.seeded,
+			Anchors: st.Anchors, Chains: st.Chains,
+			ExtensionsDone: extDone, ExtensionsTotal: extTotal,
+			Mapped: st.Mapped,
+			Shed:   counters.shed.Load(), Retries: counters.retries.Load(),
+		})
+	}
+	extDone := 0
+	for lo := 0; lo < len(reads); lo += batch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := min(lo+batch, len(reads))
+		seedStart := time.Now()
+		var jobs []mapJob
+		for i := lo; i < hi; i++ {
+			jobs = seeder.seedRead(jobs, i, rs[i])
+		}
+		st.Times.Seed += time.Since(seedStart)
+		st.Anchors, st.Chains = seeder.anchors, seeder.chains
+		progress(MapStageSeed, extDone, extDone+len(jobs))
+
+		if len(jobs) == 0 {
+			continue
+		}
+		extStart := time.Now()
+		pairs := make([]seq.Pair, len(jobs))
+		for i, j := range jobs {
+			pairs[i] = j.pair
+		}
+		out, ast, err := al.AlignPairs(ctx, pairs, cfg.Scoring.linear, cfg.X)
+		if err != nil {
+			return nil, err
+		}
+		st.Times.Extend += time.Since(extStart)
+		st.Extensions += int64(len(jobs))
+		st.Cells += ast.Cells
+		st.DeviceTime += ast.DeviceTime
+		extDone += len(jobs)
+
+		mappedRead := -1
+		for i, j := range jobs {
+			rec, ok := mapRecord(reads, rs, idx, j, out[i])
+			if !ok {
+				continue
+			}
+			res.Records = append(res.Records, rec)
+			if j.readIdx != mappedRead {
+				mappedRead = j.readIdx
+				st.Mapped++
+			}
+		}
+		progress(MapStageExtend, extDone, extDone)
+	}
+	st.Shed = counters.shed.Load()
+	st.Retries = counters.retries.Load()
+	st.WallTime = time.Since(start)
+
+	m.mReads.Add(float64(st.Reads))
+	m.mMapped.Add(float64(st.Mapped))
+	m.mAnchors.Add(float64(st.Anchors))
+	m.mChains.Add(float64(st.Chains))
+	m.mExtensions.Add(float64(st.Extensions))
+	m.mRecords.Add(float64(len(res.Records)))
+	progress(MapStageDone, extDone, extDone)
+	return res, nil
+}
+
+// mapSeeder carries the per-run seeding state: minimizer extraction,
+// index lookup, per-(reference,strand) chaining, and placement
+// selection, emitting extension jobs.
+type mapSeeder struct {
+	idx    *minidx.Index
+	opt    chain.Options
+	x      int32
+	maxSec int
+
+	seeded  int
+	anchors int64
+	chains  int64
+
+	mins []minidx.Minimizer // reused scratch
+}
+
+// seedRead appends the extension jobs of one read to jobs.
+func (s *mapSeeder) seedRead(jobs []mapJob, readIdx int, rd seq.Seq) []mapJob {
+	s.seeded++
+	k := s.idx.K()
+	qlen := len(rd)
+	if qlen < k {
+		return jobs
+	}
+	s.mins = minidx.Extract(s.mins[:0], rd, k, s.idx.W())
+	// Group anchors by (reference, relative strand). Group keys are
+	// iterated in sorted order below so chaining and selection stay
+	// deterministic.
+	groups := map[uint64][]chain.Anchor{}
+	for _, mm := range s.mins {
+		for _, hit := range s.idx.Lookup(mm.Hash) {
+			ref, tpos, trev := minidx.UnpackPos(hit)
+			rev := mm.Rev != trev // relative strand
+			qpos := mm.Pos
+			if rev {
+				// Anchor coordinates on the reverse-complemented read, so
+				// chained anchors ascend in both coordinates.
+				qpos = int32(qlen-k) - mm.Pos
+			}
+			key := uint64(uint32(ref)) << 1
+			if rev {
+				key |= 1
+			}
+			groups[key] = append(groups[key], chain.Anchor{QPos: qpos, TPos: tpos, Len: int32(k)})
+		}
+	}
+	keys := make([]uint64, 0, len(groups))
+	for key, anchors := range groups {
+		s.anchors += int64(len(anchors))
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+
+	var cands []chain.Candidate
+	found := make(map[uint64][]chain.Chain, len(groups))
+	for _, key := range keys {
+		chains := chain.Find(groups[key], s.opt)
+		if len(chains) == 0 {
+			continue
+		}
+		found[key] = chains
+		s.chains += int64(len(chains))
+		rev := key&1 == 1
+		for i, ch := range chains {
+			qs, qe := ch.QStart, ch.QEnd
+			if rev {
+				// Compare loci in forward-read coordinates.
+				qs, qe = int32(qlen)-ch.QEnd, int32(qlen)-ch.QStart
+			}
+			cands = append(cands, chain.Candidate{
+				Group: int(key), Ordinal: i,
+				Score: ch.Score, QStart: qs, QEnd: qe,
+				Anchors: len(ch.Anchors),
+			})
+		}
+	}
+	if len(cands) == 0 {
+		return jobs
+	}
+	var rc seq.Seq // lazily computed reverse complement
+	for _, pl := range chain.Select(cands, s.maxSec) {
+		key := uint64(pl.Group)
+		ch := found[key][pl.Ordinal]
+		ref := s.idx.Refs()[key>>1]
+		rev := key&1 == 1
+		query := rd
+		if rev {
+			if rc == nil {
+				rc = rd.RevComp()
+			}
+			query = rc
+		}
+		an, ok := seedAnchor(ch, query, ref.Seq, k)
+		if !ok {
+			continue // every anchor was a hash collision; drop the chain
+		}
+		// Window the target around the chain so extension never copies the
+		// whole reference: X-drop can move at most X bases past the
+		// query's reach under linear scoring, plus slack.
+		leftNeed := int(an.QPos) + int(s.x) + 64
+		rightNeed := qlen - int(an.QPos) + int(s.x) + 64
+		t0 := max(int(an.TPos)-leftNeed, 0)
+		t1 := min(int(an.TPos)+k+rightNeed, len(ref.Seq))
+		jobs = append(jobs, mapJob{
+			readIdx: readIdx,
+			refID:   int32(key >> 1),
+			rev:     rev,
+			primary: pl.Primary,
+			mapq:    pl.MapQ,
+			tOff:    t0,
+			pair: seq.Pair{
+				Query: query, Target: ref.Seq[t0:t1:t1],
+				SeedQPos: int(an.QPos), SeedTPos: int(an.TPos) - t0,
+				SeedLen: k, ID: readIdx,
+			},
+		})
+	}
+	return jobs
+}
+
+// seedAnchor picks the extension seed from a chain: the median anchor,
+// falling back outward when the k-mer bytes disagree (a minimizer hash
+// collision or an N normalized away at build time).
+func seedAnchor(ch chain.Chain, query, target seq.Seq, k int) (chain.Anchor, bool) {
+	n := len(ch.Anchors)
+	mid := n / 2
+	for d := 0; d < n; d++ {
+		var i int
+		if d%2 == 0 {
+			i = mid + d/2
+		} else {
+			i = mid - (d+1)/2
+		}
+		if i < 0 || i >= n {
+			continue
+		}
+		an := ch.Anchors[i]
+		q, t := int(an.QPos), int(an.TPos)
+		if q < 0 || t < 0 || q+k > len(query) || t+k > len(target) {
+			continue
+		}
+		if string(query[q:q+k]) == string(target[t:t+k]) {
+			return an, true
+		}
+	}
+	return chain.Anchor{}, false
+}
+
+// mapRecord converts one extension result into its PAF record; ok is
+// false for empty alignments (the extension never cleared the seed).
+func mapRecord(reads []Read, rs []seq.Seq, idx *minidx.Index, j mapJob, a xdrop.SeedResult) (OverlapRecord, bool) {
+	if a.QEnd <= a.QBegin || a.TEnd <= a.TBegin {
+		return OverlapRecord{}, false
+	}
+	qlen := len(rs[j.readIdx])
+	ref := idx.Refs()[j.refID]
+	rec := OverlapRecord{
+		QName: reads[j.readIdx].Name, QLen: qlen,
+		QStart: a.QBegin, QEnd: a.QEnd,
+		Strand: '+',
+		TName:  ref.Name, TLen: len(ref.Seq),
+		TStart: j.tOff + a.TBegin, TEnd: j.tOff + a.TEnd,
+		Score:  a.Score,
+		QIndex: j.readIdx, TIndex: int(j.refID),
+	}
+	if j.rev {
+		rec.Strand = '-'
+		// The query was reverse-complemented; report read coordinates on
+		// the forward strand (target coordinates are forward already).
+		rec.QStart = qlen - a.QEnd
+		rec.QEnd = qlen - a.QBegin
+	}
+	rec.BlockLen = max(rec.QEnd-rec.QStart, rec.TEnd-rec.TStart)
+	// Estimate matches from the +1/-1/-1 score, as the overlap path does:
+	// score = matches - errors, block ~ matches + errors.
+	rec.Matches = (rec.BlockLen + int(a.Score)) / 2
+	if rec.Matches < 0 {
+		rec.Matches = 0
+	}
+	if rec.Matches > rec.BlockLen {
+		rec.Matches = rec.BlockLen
+	}
+	if j.primary {
+		rec.MapQ = j.mapq
+	} else {
+		rec.MapQ = 0
+	}
+	return rec, true
+}

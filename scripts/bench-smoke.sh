@@ -148,3 +148,49 @@ END {
 python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$COUT" 2>/dev/null \
   || { echo "bench-smoke: $COUT is not valid JSON" >&2; exit 1; }
 echo "bench-smoke: wrote $COUT (cache speedup $(python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get("cache_speedup", "n/a"))' "$COUT"))"
+
+# Mapping artifact: the minimize -> chain -> extend pipeline placing a
+# simulated read set against a 1 Mbp synthetic reference. reads/sec is
+# the mapping tier's throughput headline; anchors/read guards the
+# seeding density (a collapse there means the minimizer index regressed
+# even if throughput held up).
+MOUT="${4:-BENCH_map.json}"
+MRAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KRAW" "$CRAW" "$MRAW"' EXIT
+
+go test -run='^$' -bench='^BenchmarkMap$' -benchtime=1x . | tee "$MRAW"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v commit="${GITHUB_SHA:-$(git rev-parse HEAD 2>/dev/null || echo unknown)}" '
+BEGIN {
+  printf("{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n", date, commit)
+  printf("  \"benchmarks\": [")
+  n = 0
+}
+/^Benchmark/ && NF >= 4 {
+  name = $1; iters = $2
+  fields = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1)
+    if (unit == "reads/sec")     rps = $i
+    if (unit == "anchors/read")  apr = $i
+    gsub(/[^A-Za-z0-9_\/.]/, "_", unit)
+    fields = fields sprintf(", \"%s\": %s", unit, $i)
+  }
+  if (n++) printf(",")
+  printf("\n    {\"name\": \"%s\", \"iterations\": %s%s}", name, iters, fields)
+}
+END {
+  if (n == 0) exit 1
+  printf("\n  ]")
+  if (rps > 0) printf(",\n  \"reads_per_sec\": %s", rps)
+  if (apr > 0) printf(",\n  \"anchors_per_read\": %s", apr)
+  printf("\n}\n")
+}' "$MRAW" > "$MOUT" || {
+  echo "bench-smoke: no mapping benchmark lines found" >&2
+  exit 1
+}
+
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$MOUT" 2>/dev/null \
+  || { echo "bench-smoke: $MOUT is not valid JSON" >&2; exit 1; }
+echo "bench-smoke: wrote $MOUT (reads/sec $(python3 -c 'import json,sys; print(json.load(open(sys.argv[1])).get("reads_per_sec", "n/a"))' "$MOUT"))"

@@ -8,18 +8,23 @@
 # hits), and exercise the async /jobs overlap API end to end: submit a
 # small FASTA, poll to completion, assert the PAF is non-empty and
 # byte-identical to an offline cmd/bella run on the same file, and that
-# DELETE yields 404. Run from the repo root; CI runs it after the unit
-# tests.
+# DELETE yields 404. Finally exercise the reference-mapping tier: build
+# a minimizer index through POST /map/index, map reads through POST /map
+# and assert the PAF is byte-identical to an offline cmd/logan-map run
+# on the same reference and reads. Run from the repo root; CI runs it
+# after the unit tests.
 set -euo pipefail
 
 ADDR="127.0.0.1:18080"
 WORK="$(mktemp -d)"
 BIN="$WORK/logan-serve"
 BELLA="$WORK/bella"
+LOGAN_MAP="$WORK/logan-map"
 trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$BIN" ./cmd/logan-serve
 go build -o "$BELLA" ./cmd/bella
+go build -o "$LOGAN_MAP" ./cmd/logan-map
 # Two authenticated tenants alongside the anonymous default: alpha
 # unlimited, bravo with a generous pairs/sec quota and double weight.
 cat > "$WORK/keys.conf" <<'EOF'
@@ -245,8 +250,66 @@ if [ "$code" != "404" ]; then
   exit 1
 fi
 
+# --- reference mapping: POST /map vs offline cmd/logan-map -------------
+# Same simulated genome + reads for both paths: the served PAF must be
+# byte-identical to the offline CLI (both are logan.Mapper.MapFasta).
+"$BELLA" -preset tiny -seed 2 -dump-genome "$WORK/ref.fa" \
+  -dump-reads "$WORK/mapreads.fa" >/dev/null
+
+"$LOGAN_MAP" build-index -ref "$WORK/ref.fa" -o "$WORK/ref.lgi" 2>/dev/null
+"$LOGAN_MAP" map -index "$WORK/ref.lgi" -x 100 "$WORK/mapreads.fa" \
+  > "$WORK/offline-map.paf"
+
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  --data-binary "@$WORK/ref.fa" "http://$ADDR/map/index")
+if [ "$code" != "202" ]; then
+  echo "serve-smoke: POST /map/index returned $code, want 202" >&2
+  exit 1
+fi
+MSTATE=""
+for _ in $(seq 1 300); do
+  MSTATE=$(curl -sf "http://$ADDR/map/index" | grep -o '"state":"[a-z]*"' | cut -d'"' -f4)
+  case "$MSTATE" in
+    ready) break ;;
+    failed)
+      echo "serve-smoke: server index build failed: $(curl -sf "http://$ADDR/map/index")" >&2
+      exit 1 ;;
+  esac
+  sleep 0.1
+done
+if [ "$MSTATE" != "ready" ]; then
+  echo "serve-smoke: mapping index still '$MSTATE' after 30s" >&2
+  exit 1
+fi
+
+curl -sf -X POST --data-binary "@$WORK/mapreads.fa" \
+  "http://$ADDR/map?x=100" -o "$WORK/served-map.paf"
+MAP_RECORDS=$(wc -l < "$WORK/served-map.paf")
+if [ "$MAP_RECORDS" -lt 1 ]; then
+  echo "serve-smoke: POST /map returned an empty PAF" >&2
+  exit 1
+fi
+if ! cmp -s "$WORK/offline-map.paf" "$WORK/served-map.paf"; then
+  echo "serve-smoke: /map PAF differs from the offline cmd/logan-map run:" >&2
+  diff "$WORK/offline-map.paf" "$WORK/served-map.paf" | head -5 >&2
+  exit 1
+fi
+
+# The mapping telemetry must have moved.
+curl -sf -o "$WORK/metrics.txt" "http://$ADDR/metrics"
+prom_nonzero 'logan_map_reads_total'
+prom_nonzero 'logan_map_anchors_total'
+prom_nonzero 'logan_map_chains_total'
+# The occupancy gauge is a fraction in (0,1), so the integer-summing
+# prom_nonzero helper would truncate it to zero; compare as a float.
+occ=$(grep -E '^logan_map_index_occupancy ' "$WORK/metrics.txt" | awk '{print $2}')
+if [ -z "$occ" ] || ! awk -v o="$occ" 'BEGIN { exit !(o > 0) }'; then
+  echo "serve-smoke: logan_map_index_occupancy missing or zero (got '${occ:-}')" >&2
+  exit 1
+fi
+
 # Graceful shutdown must drain cleanly.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
-echo "serve-smoke: OK (50/50 requests, $merged merged batches, $RECORDS job PAF records)"
+echo "serve-smoke: OK (50/50 requests, $merged merged batches, $RECORDS job PAF records, $MAP_RECORDS map PAF records)"
